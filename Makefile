@@ -1,0 +1,29 @@
+# Convenience targets for the repro library.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples report check clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+report:
+	$(PYTHON) -m repro report --output report.md
+
+check: test bench
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,103 @@
+"""E16 — ablations: why each design choice of A^opt is there.
+
+* Removing the ``L^max`` cap of Algorithm 3 line 2 breaks the real-time
+  envelope (Condition (1)): the measured envelope margin goes positive
+  and grows with the horizon.
+* Removing eager ``L^max`` forwarding (Algorithm 2 line 3) slows
+  information transport from one-hop-per-delay to one-hop-per-``H0`` and
+  measurably degrades the global skew.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.metrics import check_envelope
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, ZeroDelay
+from repro.sim.drift import PerNodeDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.variants.ablations import LazyForwardAopt, NoMaxCapAopt
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 9
+
+
+@pytest.mark.benchmark(group="E16-ablations")
+def test_no_max_cap_breaks_envelope(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    drift = TwoGroupDrift(EPSILON, list(range(N // 2)))
+    delay = ZeroDelay(max_delay=DELAY)
+
+    def experiment():
+        rows = []
+        for horizon in (50.0, 100.0, 200.0):
+            broken = run_execution(
+                line(N), NoMaxCapAopt(params), drift, delay, horizon
+            )
+            intact = run_execution(
+                line(N), AoptAlgorithm(params), drift, delay, horizon
+            )
+            rows.append(
+                [
+                    horizon,
+                    check_envelope(broken, EPSILON),
+                    check_envelope(intact, EPSILON),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E16: removing the L^max cap — envelope margin (positive = broken)",
+        format_table(
+            ["horizon", "no-cap margin", "A^opt margin"], rows
+        ),
+    )
+    margins = [row[1] for row in rows]
+    # The ablated algorithm's violation exists and grows with the horizon.
+    assert margins[0] > 0.1
+    assert margins[-1] > 2 * margins[0]
+    # Intact A^opt never violates.
+    assert all(row[2] <= 1e-7 for row in rows)
+
+
+@pytest.mark.benchmark(group="E16-ablations")
+def test_lazy_forwarding_degrades_global_skew(benchmark, report):
+    # Large H0 makes the transport slowdown visible.
+    base = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    params = SyncParams.recommended(
+        epsilon=EPSILON, delay_bound=DELAY, h0=base.h0 * 4
+    )
+    drift = PerNodeDrift(EPSILON, {0: 1 + EPSILON}, default=1 - EPSILON)
+    delay = ConstantDelay(DELAY)
+    horizon = 400.0
+
+    def experiment():
+        eager = run_execution(
+            line(N), AoptAlgorithm(params), drift, delay, horizon
+        )
+        lazy = run_execution(
+            line(N), LazyForwardAopt(params), drift, delay, horizon
+        )
+        probe = horizon - 1.0
+        return [
+            ["eager forward (A^opt)", eager.spread_at(probe),
+             global_skew_bound(params, N - 1)],
+            ["lazy forward (ablated)", lazy.spread_at(probe),
+             global_skew_bound(params, N - 1)],
+        ]
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E16b: removing eager forwarding — steady-state spread (H0 x4)",
+        format_table(["variant", "steady spread", "plain bound G"], rows),
+    )
+    eager_spread, lazy_spread = rows[0][1], rows[1][1]
+    assert lazy_spread > eager_spread * 1.2
+    # Eager A^opt stays within its bound.
+    assert eager_spread <= rows[0][2] + 1e-7

@@ -1,0 +1,129 @@
+"""E8 — algorithm comparison: A^opt vs the literature baselines.
+
+The paper's positioning (Sections 2 and 4.2):
+
+* max-forwarding (Srikanth–Toueg style): asymptotically optimal *global*
+  skew, but Θ(D) *local* skew in the worst case;
+* midpoint chasing: no sublinear local-skew guarantee (§4.2);
+* oblivious gradient (Locher–Wattenhofer '06): O(√(εD)) local skew;
+* A^opt: O(log D) local skew (Theorem 5.10).
+
+The Θ(D) weakness of max-forwarding is exhibited by the *delay-switch*
+adversary: run a line with all delays at the maximum ``T`` so each node's
+view of the maximum is ``d·T`` stale, then switch every edge except the
+last to instantaneous delivery — the released "max wave" makes node
+``D−1`` jump by ``Θ(D·T)`` while its blocked neighbor still holds the
+stale value.  Rate-limited algorithms (A^opt) cannot jump and keep the
+edge skew at ``O(κ log D)`` under the identical schedule.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.baselines import (
+    MaxForwardAlgorithm,
+    MidpointAlgorithm,
+    ObliviousGradientAlgorithm,
+)
+from repro.baselines.oblivious_gradient import blocking_threshold
+from repro.core.bounds import local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, FunctionDelay
+from repro.sim.drift import PerNodeDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line, ring
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+def delay_switch_model(n: int, t_switch: float) -> FunctionDelay:
+    """All edges slow until ``t_switch``; then all but the last go fast."""
+    blocked = n - 2
+
+    def delay_fn(sender, receiver, send_time, seq):
+        if receiver == sender + 1 and send_time >= t_switch and sender < blocked:
+            return 0.0
+        return DELAY
+
+    return FunctionDelay(delay_fn, max_delay=DELAY)
+
+
+def algorithms(params, diameter):
+    return [
+        ("aopt", lambda: AoptAlgorithm(params)),
+        ("max-forward", lambda: MaxForwardAlgorithm(send_period=params.h0)),
+        ("midpoint", lambda: MidpointAlgorithm(send_period=params.h0, mu=params.mu)),
+        (
+            "oblivious-grad",
+            lambda: ObliviousGradientAlgorithm(
+                params, blocking_threshold(params, diameter)
+            ),
+        ),
+    ]
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_local_skew_under_delay_switch(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    sizes = (9, 17, 33)
+
+    def experiment():
+        table = {}
+        for n in sizes:
+            t_switch = 20.0 * n
+            drift = PerNodeDrift(EPSILON, {0: 1 + EPSILON}, default=1 - EPSILON)
+            for name, factory in algorithms(params, n - 1):
+                trace = run_execution(
+                    line(n), factory(), drift, delay_switch_model(n, t_switch),
+                    t_switch + 50.0,
+                )
+                table[(name, n)] = trace.local_skew().value
+        rows = []
+        for name, _factory in algorithms(params, 4):
+            rows.append([name] + [table[(name, n)] for n in sizes])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E8: worst neighbor skew under the delay-switch adversary (line)",
+        format_table(["algorithm", "D=8", "D=16", "D=32"], rows),
+    )
+    values = {row[0]: row[1:] for row in rows}
+    # Max-forward: local skew ~ D*T (linear growth: x4 diameter -> ~x4 skew).
+    assert values["max-forward"][2] > 3 * values["max-forward"][0]
+    assert values["max-forward"][2] > 0.8 * 32 * DELAY
+    # A^opt: flat in D and within Theorem 5.10's bound.
+    assert values["aopt"][2] <= values["aopt"][0] + params.kappa
+    assert values["aopt"][2] <= local_skew_bound(params, 32) + 1e-7
+    # A^opt beats every baseline at the largest diameter.
+    for name in ("max-forward", "midpoint", "oblivious-grad"):
+        assert values["aopt"][2] <= values[name][2] + 1e-9
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_global_skew_all_bounded(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+
+    def experiment():
+        topology = ring(16)
+        drift = TwoGroupDrift(EPSILON, list(range(8)))
+        delay = ConstantDelay(DELAY)
+        rows = []
+        for name, factory in algorithms(params, 8):
+            trace = run_execution(topology, factory(), drift, delay, 400.0)
+            rows.append(
+                [name, trace.global_skew().value, trace.total_messages()]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E8b: global skew and message cost on ring-16 (two-group drift)",
+        format_table(["algorithm", "global skew", "messages"], rows),
+    )
+    free_running_growth = 2 * EPSILON * 400.0
+    for _name, global_skew, _messages in rows:
+        assert global_skew < free_running_growth

@@ -1,0 +1,84 @@
+"""E10 — §6.2: constant-size messages preserve the skew bounds.
+
+Compares plain A^opt (two 64-bit floats per message) against the
+bit-budget variant (progress deltas + capped L^max increments) under the
+same adversary: steady-state messages must cost O(log 1/μ) bits — here a
+single-digit count — while global and local skew stay within ~the plain
+algorithm's, and within the (slack-adjusted) bounds.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.complexity import bit_stats
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.variants import BitBudgetAoptAlgorithm, bit_budget_params
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 13
+
+
+@pytest.mark.benchmark(group="E10-bits")
+def test_bit_budget_vs_plain(benchmark, report):
+    plain_params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    budget_params = bit_budget_params(EPSILON, DELAY)
+    drift = TwoGroupDrift(EPSILON, list(range(N // 2)))
+    delay = ConstantDelay(DELAY)
+    horizon = 300.0
+
+    def experiment():
+        rows = []
+        plain = run_execution(
+            line(N), AoptAlgorithm(plain_params), drift, delay, horizon,
+            record_messages=True,
+        )
+        stats = bit_stats(plain)
+        rows.append(
+            [
+                "plain A^opt",
+                stats.mean_bits_per_message,
+                stats.max_message_bits,
+                plain.global_skew().value,
+                plain.local_skew().value,
+            ]
+        )
+        algo = BitBudgetAoptAlgorithm(budget_params)
+        budget = run_execution(
+            line(N), algo, drift, delay, horizon, record_messages=True
+        )
+        stats = bit_stats(budget)
+        steady = [m.size_bits for m in budget.message_log if m.payload[0] == "delta"]
+        rows.append(
+            [
+                "bit-budget (§6.2)",
+                stats.mean_bits_per_message,
+                max(steady),
+                budget.global_skew().value,
+                budget.local_skew().value,
+            ]
+        )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E10: bit complexity — plain vs §6.2 encoding (line of 13)",
+        format_table(
+            ["algorithm", "mean bits/msg", "steady max bits", "global", "local"],
+            rows,
+        ),
+    )
+    plain_row, budget_row = rows
+    assert budget_row[2] <= 16  # constant-size steady state
+    assert plain_row[2] == 128
+    assert budget_row[1] < plain_row[1] / 8  # order-of-magnitude saving
+    # Skews preserved within the enlarged-kappa bounds.
+    assert budget_row[3] <= global_skew_bound(budget_params, N - 1) + 1e-7
+    assert budget_row[4] <= local_skew_bound(budget_params, N - 1) + 1e-7

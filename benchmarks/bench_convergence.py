@@ -1,0 +1,85 @@
+"""E18 — Lemma 5.7's dynamics: skew is corrected at rate ≈ (1 − ε)·μ.
+
+Perturb-and-recover: the adversary builds up global skew with two-group
+drift for a warm-up phase, then all clocks return to rate 1 and delays
+drop to (near) zero.  Lagging nodes catch up at logical rate
+``(1 + μ)·h`` against leaders at ``h``, so the spread must decay at slope
+``≈ μ`` (within the ``(1 − ε)···(1 + ε)`` drift window) — the measurable
+content of Lemma 5.7's ``(1 − ε)·μ`` bound.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import convergence_time, recovery_rate, spread_series
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import FunctionDelay
+from repro.sim.drift import ExplicitDrift
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 9
+WARMUP = 120.0
+
+
+@pytest.mark.benchmark(group="E18-convergence")
+def test_recovery_rate_matches_mu(benchmark, report):
+    def experiment():
+        rows = []
+        for sigma_target in (2, 4, 8):
+            params = SyncParams.recommended(
+                epsilon=EPSILON, delay_bound=DELAY, sigma_target=sigma_target
+            )
+            # Warm-up: halves drift apart; then all rates 1.
+            schedules = {
+                u: PiecewiseConstantRate(
+                    [0.0, WARMUP],
+                    [1 + EPSILON if u < N // 2 else 1 - EPSILON, 1.0],
+                )
+                for u in range(N)
+            }
+            drift = ExplicitDrift(EPSILON, schedules)
+            delay = FunctionDelay(
+                lambda s, r, t, q: DELAY if t < WARMUP else 0.01,
+                max_delay=DELAY,
+            )
+            horizon = WARMUP + 60.0
+            trace = run_execution(
+                line(N), AoptAlgorithm(params), drift, delay, horizon
+            )
+            series = spread_series(trace, WARMUP, horizon, samples=400)
+            slope = recovery_rate(series, floor=0.0)
+            settle = convergence_time(series, threshold=params.kappa / 2)
+            rows.append(
+                [
+                    params.mu,
+                    slope,
+                    (1 - EPSILON) * params.mu,
+                    (1 + EPSILON) * (1 + params.mu) - (1 - EPSILON),
+                    settle is not None,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E18: spread recovery slope vs Lemma 5.7's (1-eps)*mu",
+        format_table(
+            ["mu", "measured slope", "(1-eps)mu", "max possible", "settles"],
+            rows,
+        ),
+    )
+    for mu, slope, lower, upper, settles in rows:
+        assert settles
+        # Measured decay at least the Lemma 5.7 rate, at most the
+        # physically possible rate difference.
+        assert slope >= lower * 0.9
+        assert slope <= upper + 1e-9
+    # Larger mu recovers faster.
+    slopes = [row[1] for row in rows]
+    assert slopes == sorted(slopes)

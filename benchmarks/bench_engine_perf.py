@@ -1,0 +1,86 @@
+"""E21 — substrate performance: event throughput of the simulator.
+
+Not a paper claim — a harness property worth tracking: the discrete-event
+engine's events/second determines which experiment scales are feasible.
+Unlike the experiment benchmarks (deterministic, single-round), these run
+multiple rounds for stable timing statistics.
+"""
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import grid, line
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+def build_and_run(topology, params, drift, delay, horizon):
+    engine = SimulationEngine(topology, AoptAlgorithm(params), drift, delay, horizon)
+    return engine.run()
+
+
+@pytest.mark.benchmark(group="E21-engine-perf", min_rounds=3)
+def test_throughput_line_constant(benchmark):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topology = line(16)
+
+    def run():
+        return build_and_run(
+            topology, params, TwoGroupDrift(EPSILON, list(range(8))),
+            ConstantDelay(DELAY), 150.0,
+        )
+
+    trace = benchmark(run)
+    assert trace.events_processed > 1000
+    benchmark.extra_info["events"] = trace.events_processed
+
+
+@pytest.mark.benchmark(group="E21-engine-perf", min_rounds=3)
+def test_throughput_grid_random(benchmark):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topology = grid(5, 5)
+
+    def run():
+        return build_and_run(
+            topology, params,
+            RandomWalkDrift(EPSILON, step_period=5.0, step_size=0.02, seed=1),
+            UniformDelay(0.0, DELAY, seed=1), 100.0,
+        )
+
+    trace = benchmark(run)
+    assert trace.events_processed > 1000
+    benchmark.extra_info["events"] = trace.events_processed
+
+
+@pytest.mark.benchmark(group="E21-engine-perf", min_rounds=3)
+def test_exact_skew_evaluation_cost(benchmark):
+    """The price of exactness: global-skew evaluation over all breakpoints."""
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    trace = build_and_run(
+        line(16), params, TwoGroupDrift(EPSILON, list(range(8))),
+        ConstantDelay(DELAY), 150.0,
+    )
+
+    result = benchmark(trace.global_skew)
+    assert result.value > 0
+
+
+@pytest.mark.benchmark(group="E21-engine-perf", min_rounds=3)
+def test_numpy_fastpath_cost(benchmark):
+    """The vectorized evaluation: same exact answer, faster."""
+    numpy = pytest.importorskip("numpy")
+    from repro.analysis.fastpath import global_skew_fast
+
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    trace = build_and_run(
+        line(16), params, TwoGroupDrift(EPSILON, list(range(8))),
+        ConstantDelay(DELAY), 150.0,
+    )
+
+    result = benchmark(global_skew_fast, trace)
+    assert result.value == pytest.approx(trace.global_skew().value, abs=1e-9)

@@ -1,0 +1,66 @@
+"""E9 — Corollary 5.3: the envelope and rate-bound conditions always hold.
+
+Exact (breakpoint-complete) verification of Conditions (1) and (2) across
+the full adversary suite on three topologies — margins must be
+non-positive everywhere, and the observed logical rates must actually use
+the allowed range (the boost 1+μ is exercised, not just permitted).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_adversary_suite
+from repro.analysis.metrics import check_envelope, check_rate_bounds
+from repro.analysis.tables import format_table
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import grid, line, ring
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+@pytest.mark.benchmark(group="E9-envelope")
+def test_envelope_and_rate_conditions(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topologies = [line(9), ring(10), grid(3, 3)]
+
+    def experiment():
+        rows = []
+        for topology in topologies:
+            suite = run_adversary_suite(
+                topology, lambda: AoptAlgorithm(params), params, keep_traces=True
+            )
+            worst_envelope = float("-inf")
+            worst_rate = float("-inf")
+            boost_used = False
+            for trace in suite.traces.values():
+                worst_envelope = max(
+                    worst_envelope, check_envelope(trace, EPSILON)
+                )
+                worst_rate = max(
+                    worst_rate, check_rate_bounds(trace, params.alpha, params.beta)
+                )
+                boost_used = boost_used or any(
+                    record.multiplier_at(t) > 1.0
+                    for record in trace.logical.values()
+                    for t in (
+                        trace.horizon * 0.25,
+                        trace.horizon * 0.5,
+                        trace.horizon * 0.75,
+                    )
+                )
+            rows.append([topology.name, worst_envelope, worst_rate, boost_used])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E9: envelope (Cond 1) and rate (Cond 2) margins — negative = OK",
+        format_table(
+            ["topology", "envelope margin", "rate margin", "boost exercised"], rows
+        ),
+    )
+    for _name, envelope_margin, rate_margin, boost_used in rows:
+        assert envelope_margin <= 1e-7
+        assert rate_margin <= 1e-7
+        assert boost_used

@@ -1,0 +1,83 @@
+"""E1 — Theorem 5.5: global skew vs the bound G = (1+ε)DT + 2ε/(1+ε)H0.
+
+Sweeps the line diameter under the standard adversary suite; on every
+topology the worst measured global skew must stay below G, and the
+two-group adversary is expected to come within a few percent of it
+(the bound is essentially achieved, matching the matching lower bound
+of Theorem 7.2).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_adversary_suite
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import grid, line, ring
+from repro.topology.properties import diameter
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+@pytest.mark.benchmark(group="E1-global-skew")
+def test_global_skew_vs_diameter_line(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+
+    def experiment():
+        rows = []
+        for n in (5, 9, 17, 33):
+            topology = line(n)
+            result = run_adversary_suite(
+                topology, lambda: AoptAlgorithm(params), params
+            )
+            bound = global_skew_bound(params, n - 1)
+            rows.append(
+                [
+                    n - 1,
+                    result.worst_global,
+                    bound,
+                    result.worst_global / bound,
+                    result.worst_global_case,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E1: global skew vs diameter (line), Theorem 5.5",
+        format_table(["D", "worst measured", "bound G", "ratio", "worst case"], rows),
+    )
+    for _, measured, bound, ratio, _case in rows:
+        assert measured <= bound + 1e-7
+    # The bound is essentially tight: the suite reaches >= 80% of G.
+    assert all(row[3] >= 0.8 for row in rows)
+    # Linear growth in D: measured skew roughly scales with the bound.
+    assert rows[-1][1] > 3 * rows[0][1]
+
+
+@pytest.mark.benchmark(group="E1-global-skew")
+def test_global_skew_other_topologies(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topologies = [ring(16), grid(4, 4)]
+
+    def experiment():
+        rows = []
+        for topology in topologies:
+            d = diameter(topology)
+            result = run_adversary_suite(
+                topology, lambda: AoptAlgorithm(params), params
+            )
+            bound = global_skew_bound(params, d)
+            rows.append([topology.name, d, result.worst_global, bound])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E1b: global skew on ring and grid",
+        format_table(["topology", "D", "worst measured", "bound G"], rows),
+    )
+    for _name, _d, measured, bound in rows:
+        assert measured <= bound + 1e-7

@@ -1,0 +1,96 @@
+"""E7 — Corollary 7.9 / Definition 5.6: the gradient property.
+
+On a line of 33 nodes under the worst suite adversary, the maximum skew
+between nodes at distance d must stay below the legal-state bound
+d·(s(d)+½)·κ, and the *per-hop* skew must decrease as d grows — distant
+nodes are allowed proportionally more skew, nearby nodes are tightly
+coupled.  That is the gradient property in one table.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_adversary_suite, standard_adversaries
+from repro.analysis.metrics import gradient_curve
+from repro.analysis.tables import format_table
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import line
+from repro.topology.properties import all_pairs_distances
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 33
+
+
+@pytest.mark.benchmark(group="E7-gradient")
+def test_gradient_property(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topology = line(N)
+    distances = all_pairs_distances(topology)
+
+    def experiment():
+        suite = run_adversary_suite(
+            topology, lambda: AoptAlgorithm(params), params, keep_traces=True
+        )
+        trace = suite.traces[suite.worst_local_case]
+        return gradient_curve(trace, params, distances, N - 1)
+
+    curve = run_once(benchmark, experiment)
+    shown = [row for row in curve if row[0] in (1, 2, 4, 8, 16, 32)]
+    report(
+        "E7: skew vs distance (worst suite adversary, line of 33)",
+        format_table(
+            ["distance d", "measured max skew", "legal-state bound"],
+            [[d, measured, bound] for d, measured, bound in shown],
+        ),
+    )
+    for d, measured, bound in curve:
+        assert measured <= bound + 1e-7
+    # Gradient shape: per-hop skew at d=1 exceeds per-hop skew at d=D-1.
+    per_hop = {d: measured / d for d, measured, _ in curve}
+    assert per_hop[1] >= per_hop[max(per_hop)] - 1e-9
+
+
+@pytest.mark.benchmark(group="E7-gradient")
+def test_forced_gradient_from_amplification(benchmark, report):
+    """E7b — Corollary 7.9 from below: the amplification adversary forces,
+    at each of its round distances d, an *average* skew of Θ(d·T) — while
+    the legal-state upper bound at that distance still holds.  Together
+    with the upper curve this brackets the gradient property."""
+    from repro.adversary.local_bound import run_skew_amplification
+    from repro.core.bounds import gradient_bound
+
+    epsilon = 0.1
+    params = SyncParams.recommended(epsilon=epsilon, delay_bound=DELAY)
+
+    def experiment():
+        result = run_skew_amplification(
+            lambda: AoptAlgorithm(params),
+            n=17,
+            epsilon=epsilon,
+            delay_bound=DELAY,
+            base=4,
+        )
+        rows = []
+        for r in result.rounds:
+            rows.append(
+                [
+                    r.distance,
+                    r.skew_after_shift,
+                    (1 - epsilon) * r.distance * DELAY,
+                    gradient_bound(params, 16, r.distance),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E7b: forced skew at distance d (amplification) vs gradient bound",
+        format_table(
+            ["distance d", "forced skew", "alpha*d*T", "upper bound"], rows
+        ),
+    )
+    for _d, forced, floor, upper in rows:
+        assert forced >= floor - 1e-6
+        assert forced <= upper + 1e-6

@@ -1,0 +1,70 @@
+"""E4 — §6.1: the message-frequency vs skew trade-off in H0.
+
+Amortized message frequency is Θ(1/H0) (Corollary 5.2 (ii)); the global
+skew bound only pays 2ε/(1+ε)·H0 for it, and κ — hence the local skew —
+pays Θ(μ·H0).  Quadrupling H0 should quarter the message count while the
+measured skews degrade by no more than the bounds predict.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_adversary_suite
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import line
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 13
+
+
+@pytest.mark.benchmark(group="E4-h0-tradeoff")
+def test_h0_frequency_skew_tradeoff(benchmark, report):
+    base = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    horizon = 250.0
+
+    def experiment():
+        rows = []
+        for factor in (0.5, 1.0, 4.0, 16.0):
+            params = SyncParams.recommended(
+                epsilon=EPSILON, delay_bound=DELAY, h0=base.h0 * factor
+            )
+            result = run_adversary_suite(
+                line(N), lambda: AoptAlgorithm(params), params, horizon=horizon
+            )
+            messages = sum(
+                case["messages"] for case in result.per_case.values()
+            ) / len(result.per_case)
+            rows.append(
+                [
+                    params.h0,
+                    messages,
+                    result.worst_global,
+                    global_skew_bound(params, N - 1),
+                    result.worst_local,
+                    params.kappa,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E4: H0 sweep — messages vs skew (line of 13, fixed horizon)",
+        format_table(
+            ["H0", "msgs/case", "global", "G bound", "local", "kappa"], rows
+        ),
+    )
+    # Message counts fall roughly inversely with H0.
+    messages = [row[1] for row in rows]
+    assert messages == sorted(messages, reverse=True)
+    assert messages[0] > 5 * messages[-1]
+    # Bounds are respected at every H0.
+    for row in rows:
+        assert row[2] <= row[3] + 1e-7
+    # The global-skew *price* of H0 is the 2eps/(1+eps) H0 term: going from
+    # the smallest to the largest H0 costs less than 2 eps * delta_H0.
+    h_small, h_large = rows[0][0], rows[-1][0]
+    assert rows[-1][3] - rows[0][3] <= 2 * EPSILON * (h_large - h_small) + 1e-9

@@ -1,0 +1,92 @@
+"""E2 — Theorem 5.10: local skew stays below κ(⌈log_σ(2G/κ)⌉ + ½).
+
+Two views:
+
+* upper-bound check: under the adversary suite, the measured local skew
+  must stay below the bound at every diameter, while the bound itself
+  grows logarithmically (adding at most κ per doubling of D);
+* forced-skew check: the Theorem 7.7 amplification adversary must force a
+  local skew of at least α·T, and the gap between forced and bound stays
+  within the κ/T factor the paper proves (constant-factor optimality,
+  Corollary 7.8).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.adversary.local_bound import run_skew_amplification
+from repro.analysis.experiments import run_adversary_suite
+from repro.analysis.tables import format_table
+from repro.core.bounds import local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import line
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+@pytest.mark.benchmark(group="E2-local-skew")
+def test_local_skew_upper_bound_vs_diameter(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+
+    def experiment():
+        rows = []
+        for n in (5, 9, 17, 33):
+            result = run_adversary_suite(
+                line(n), lambda: AoptAlgorithm(params), params
+            )
+            bound = local_skew_bound(params, n - 1)
+            rows.append([n - 1, result.worst_local, bound, result.worst_local_case])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E2: local skew vs diameter (line), Theorem 5.10",
+        format_table(["D", "worst measured", "bound", "worst case"], rows),
+    )
+    for _d, measured, bound, _case in rows:
+        assert measured <= bound + 1e-7
+    # Logarithmic bound growth: each doubling adds at most one kappa.
+    bounds = [row[2] for row in rows]
+    for a, b in zip(bounds, bounds[1:]):
+        assert b - a <= params.kappa + 1e-9
+    # Measured local skew does NOT grow linearly with D (contrast E8's
+    # baselines): x8 diameter gains less than x3 local skew.
+    assert rows[-1][1] <= 3 * rows[0][1]
+
+
+@pytest.mark.benchmark(group="E2-local-skew")
+def test_local_skew_forced_by_amplification(benchmark, report):
+    epsilon = 0.1
+    params = SyncParams.recommended(epsilon=epsilon, delay_bound=DELAY)
+
+    def experiment():
+        rows = []
+        for n in (5, 17):
+            result = run_skew_amplification(
+                lambda: AoptAlgorithm(params),
+                n=n,
+                epsilon=epsilon,
+                delay_bound=DELAY,
+                base=4,
+            )
+            last = result.rounds[-1]
+            rows.append(
+                [
+                    n - 1,
+                    last.skew_after_shift,
+                    (1 - epsilon) * DELAY,
+                    local_skew_bound(params, n - 1),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E2b: neighbor skew forced by the Theorem 7.7 adversary",
+        format_table(["D", "forced skew", "alpha*T", "Thm 5.10 bound"], rows),
+    )
+    for _d, forced, floor, bound in rows:
+        assert forced >= floor - 1e-6  # the lower bound bites
+        assert forced <= bound + 1e-6  # and the upper bound holds

@@ -1,0 +1,82 @@
+"""E5 — Theorem 7.2: the forced global skew (1 + ϱ)·D·T.
+
+Runs the E3 drift-apart execution against A^opt for several diameters and
+knowledge accuracies.  The measured skew must match the construction's
+target (1 + ϱ)·D·T essentially exactly, and lie below the Theorem 5.5
+upper bound — demonstrating that upper and lower bounds meet up to the
+2ε/(1+ε)·H0 additive term.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.adversary.global_bound import run_global_lower_bound
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import line
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+@pytest.mark.benchmark(group="E5-lower-global")
+def test_forced_global_skew_vs_diameter(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+
+    def experiment():
+        rows = []
+        for n in (5, 9, 17):
+            result = run_global_lower_bound(
+                line(n), AoptAlgorithm(params), EPSILON, DELAY
+            )
+            rows.append(
+                [
+                    n - 1,
+                    result.forced_skew,
+                    result.predicted,
+                    global_skew_bound(params, n - 1),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E5: Theorem 7.2 forced global skew (exact knowledge, rho = -eps)",
+        format_table(["D", "forced", "(1+rho)DT", "upper bound G"], rows),
+    )
+    for _d, forced, predicted, upper in rows:
+        assert forced == pytest.approx(predicted, rel=1e-5)
+        assert forced <= upper + 1e-7
+
+
+@pytest.mark.benchmark(group="E5-lower-global")
+def test_forced_skew_vs_knowledge_accuracy(benchmark, report):
+    def experiment():
+        rows = []
+        # rho transitions from -eps to +eps as c1 crosses (1-eps)/(1+eps);
+        # beyond that the penalty saturates (Theorem 7.2's min with eps).
+        for c1 in (1.0, 0.97, 0.95, 0.92, 0.6):
+            params = SyncParams.recommended(
+                epsilon=EPSILON, delay_bound=DELAY, delay_bound_hat=DELAY / c1
+            )
+            result = run_global_lower_bound(
+                line(9), AoptAlgorithm(params), EPSILON, DELAY, delay_ratio=c1
+            )
+            rows.append([c1, result.rho, result.forced_skew, result.theoretical])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E5b: forced global skew vs delay-knowledge accuracy c1 (D=8)",
+        format_table(["c1 = T/T_hat", "rho used", "forced", "paper sup"], rows),
+    )
+    # Worse knowledge -> (weakly) more forced skew, approaching (1+eps)DT;
+    # strict growth across the transition window, saturation afterwards.
+    forced = [row[2] for row in rows]
+    assert forced == sorted(forced)
+    assert forced[-1] > forced[0]
+    assert forced[-1] <= (1 + EPSILON) * 8 * DELAY + 1e-9
+    # rho saturates at +eps once c1 <= (1-eps)/(1+eps).
+    assert rows[-1][1] <= EPSILON

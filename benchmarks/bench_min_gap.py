@@ -1,0 +1,71 @@
+"""E15 — §6.1's minimum-send-gap variant: the frequency/skew trade-off.
+
+The variant enforces at least ``H0`` of hardware time between sends,
+bounding the burst message frequency; §6.1 predicts the price is an extra
+``Θ(ε·D·H0)`` of global skew because estimates now travel one hop per
+``H0``.  Sweeping H0 shows both sides of the trade.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.variants import MinGapAoptAlgorithm
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 13
+
+
+@pytest.mark.benchmark(group="E15-min-gap")
+def test_min_gap_tradeoff(benchmark, report):
+    base = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    drift = TwoGroupDrift(EPSILON, list(range(N // 2)))
+    delay = ConstantDelay(DELAY)
+    horizon = 400.0
+
+    def experiment():
+        rows = []
+        plain = run_execution(
+            line(N), AoptAlgorithm(base), drift, delay, horizon
+        )
+        rows.append(
+            ["plain", base.h0, plain.total_messages(), plain.global_skew().value]
+        )
+        for factor in (1.0, 4.0, 8.0):
+            params = SyncParams.recommended(
+                epsilon=EPSILON, delay_bound=DELAY, h0=base.h0 * factor
+            )
+            trace = run_execution(
+                line(N), MinGapAoptAlgorithm(params), drift, delay, horizon
+            )
+            rows.append(
+                [
+                    f"min-gap x{factor:g}",
+                    params.h0,
+                    trace.total_messages(),
+                    trace.global_skew().value,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E15: §6.1 minimum send gap — messages vs global skew (line of 13)",
+        format_table(["variant", "H0", "messages", "global skew"], rows),
+    )
+    # The gap caps bursts: message counts fall as H0 grows.
+    gap_rows = rows[1:]
+    messages = [row[2] for row in gap_rows]
+    assert messages == sorted(messages, reverse=True)
+    # Skew degrades by O(eps D H0): bounded by the predicted allowance.
+    for _name, h0, _messages, global_skew in gap_rows:
+        allowance = global_skew_bound(base, N - 1) + 4 * EPSILON * (N - 1) * h0
+        assert global_skew <= allowance

@@ -1,0 +1,63 @@
+"""E3 — end of §5: larger μ enlarges the base σ ∈ Θ(μ/ε) of the logarithm.
+
+Sweeping μ (via the σ target) at fixed ε and D: the local-skew *bound*
+shrinks in its log depth while β grows; the measured local skew under a
+fixed adversary must respect every bound.  This is the paper's trade-off
+between clock-rate smoothness and achievable local skew.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.experiments import run_adversary_suite, standard_adversaries
+from repro.analysis.tables import format_table
+from repro.core.bounds import legal_state_levels, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import line
+
+EPSILON = 0.02
+DELAY = 1.0
+N = 17
+
+
+@pytest.mark.benchmark(group="E3-mu-sweep")
+def test_sigma_depth_tradeoff(benchmark, report):
+    def experiment():
+        rows = []
+        for sigma_target in (2, 4, 8, 16):
+            params = SyncParams.recommended(
+                epsilon=EPSILON, delay_bound=DELAY, sigma_target=sigma_target
+            )
+            result = run_adversary_suite(
+                line(N), lambda: AoptAlgorithm(params), params
+            )
+            rows.append(
+                [
+                    params.mu,
+                    params.sigma,
+                    params.beta,
+                    legal_state_levels(params, N - 1),
+                    result.worst_local,
+                    local_skew_bound(params, N - 1),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E3: mu sweep — base sigma vs log depth vs beta (D=16)",
+        format_table(
+            ["mu", "sigma", "beta", "levels s_max", "worst local", "bound"], rows
+        ),
+    )
+    # sigma grows with mu; the level count (log depth) never increases.
+    sigmas = [row[1] for row in rows]
+    assert sigmas == sorted(sigmas) and sigmas[-1] > sigmas[0]
+    levels = [row[3] for row in rows]
+    assert all(b <= a for a, b in zip(levels, levels[1:]))
+    # beta (max logical rate) is the price paid.
+    betas = [row[2] for row in rows]
+    assert betas == sorted(betas)
+    for row in rows:
+        assert row[4] <= row[5] + 1e-7

@@ -1,0 +1,100 @@
+"""E26 — scale validation: the bounds at D = 64 and on a 100-node graph.
+
+The other experiments keep topologies small for fast iteration; this one
+checks that nothing changes at larger scale: the Theorem 5.5 equality
+persists at D = 64, Theorem 5.10's bound still holds with a widening
+measured-to-bound gap (log growth of the bound, flat measurements), and a
+100-node random graph behaves like its diameter predicts.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line, random_connected
+from repro.topology.properties import diameter
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+@pytest.mark.benchmark(group="E26-scale")
+def test_line_64(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    n = 65
+    d = n - 1
+
+    def experiment():
+        trace = run_execution(
+            line(n),
+            AoptAlgorithm(params),
+            TwoGroupDrift(EPSILON, list(range(n // 2))),
+            ConstantDelay(DELAY),
+            horizon=500.0,
+        )
+        return [
+            [
+                d,
+                trace.global_skew().value,
+                global_skew_bound(params, d),
+                trace.local_skew().value,
+                local_skew_bound(params, d),
+                trace.total_messages(),
+            ]
+        ]
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E26: scale check — 65-node line, two-group adversary",
+        format_table(
+            ["D", "global", "G", "local", "local bound", "messages"], rows
+        ),
+    )
+    (row,) = rows
+    assert row[1] <= row[2] + 1e-7
+    assert row[1] >= 0.95 * row[2]  # still essentially achieved
+    assert row[3] <= row[4] + 1e-7
+
+
+@pytest.mark.benchmark(group="E26-scale")
+def test_random_100_nodes(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topology = random_connected(100, 0.03, seed=6)
+    d = diameter(topology)
+
+    def experiment():
+        trace = run_execution(
+            topology,
+            AoptAlgorithm(params),
+            RandomWalkDrift(EPSILON, step_period=8.0, step_size=EPSILON / 2, seed=6),
+            UniformDelay(0.0, DELAY, seed=6),
+            horizon=300.0,
+        )
+        return [
+            [
+                topology.name,
+                len(topology),
+                d,
+                trace.global_skew().value,
+                global_skew_bound(params, d),
+                trace.local_skew().value,
+                local_skew_bound(params, d),
+            ]
+        ]
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E26b: scale check — 100-node random graph, random schedules",
+        format_table(
+            ["graph", "n", "D", "global", "G", "local", "local bound"], rows
+        ),
+    )
+    (row,) = rows
+    assert row[3] <= row[4] + 1e-7
+    assert row[5] <= row[6] + 1e-7

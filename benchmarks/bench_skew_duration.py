@@ -1,0 +1,75 @@
+"""E25 — §7.2's duration remark: forced local skew *persists*.
+
+After Theorem 7.7 the paper notes the forced neighbor skew is not a
+fleeting spike: "for Θ(T·√D) time there are always some neighbors with a
+clock skew of Ω(α·T·log_b D)" — because decaying the skew takes time
+proportional to the accumulated amount at bounded rates.
+
+The benchmark forces skew with the amplification adversary against a
+weak corrector, then lets the system run on (drift-free, fast delays) and
+measures how long the worst *edge* skew stays above half its peak: the
+duration must be at least peak/(2·(β−α)) — the fastest any rate-bounded
+algorithm can burn skew.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.adversary.local_bound import run_skew_amplification
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import time_above
+from repro.baselines import MidpointAlgorithm
+from repro.core.params import SyncParams
+
+EPSILON = 0.1
+DELAY = 1.0
+MU = 0.12  # weak corrector: beta - alpha = (1+eps)(1+mu) - (1-eps)
+
+
+@pytest.mark.benchmark(group="E25-duration")
+def test_forced_skew_persists(benchmark, report):
+    beta = (1 + EPSILON) * (1 + MU)
+    alpha = 1 - EPSILON
+    decay_rate = beta - alpha
+
+    def experiment():
+        rows = []
+        for n in (17, 65):
+            result = run_skew_amplification(
+                lambda: MidpointAlgorithm(send_period=1.0, mu=MU),
+                n=n,
+                epsilon=EPSILON,
+                delay_bound=DELAY,
+                base=4,
+                tail=60.0,
+            )
+            trace = result.trace
+            last = result.rounds[-1]
+            v, w = last.v, last.w
+            peak = abs(trace.skew(v, w, last.t_eval))
+            # Edge-skew series on the final pair through the tail of the run.
+            samples = 400
+            t0 = max(0.0, last.t_eval - 5.0)
+            step = (trace.horizon - t0) / samples
+            series = [
+                (t0 + i * step, abs(trace.skew(v, w, t0 + i * step)))
+                for i in range(samples + 1)
+            ]
+            duration = time_above(series, peak / 2)
+            rows.append([n - 1, peak, duration, peak / (2 * decay_rate)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E25: forced neighbor skew persists (midpoint, final pair)",
+        format_table(
+            ["D", "peak edge skew", "time above peak/2", "peak/(2(beta-alpha))"],
+            rows,
+        ),
+    )
+    for _d, peak, duration, floor in rows:
+        assert peak > (1 - EPSILON) * DELAY - 1e-6
+        # Decaying from peak to peak/2 takes at least peak/(2*decay_rate).
+        assert duration >= min(floor, 1.0) * 0.8
+    # Larger forced skew persists longer.
+    assert rows[1][2] >= rows[0][2]

@@ -1,0 +1,80 @@
+"""E22 — §6.3 space complexity.
+
+Measures the §6.3 state encoding for every node at the end of adversarial
+executions and compares against the closed-form budget
+``O(log fT + log μD + Δ(log 1/μ + log εμD + log log_{μ/ε} D))``:
+the encoded size must stay below the budget (with unit constants a small
+multiple suffices), grow with the node degree Δ, and grow only
+logarithmically with the diameter D.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.complexity import encoded_state_bits, space_estimate_bits
+from repro.analysis.tables import format_table
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import line, star
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+def run_and_measure(topology, params, horizon=150.0):
+    engine = SimulationEngine(
+        topology,
+        AoptAlgorithm(params),
+        TwoGroupDrift(EPSILON, topology.nodes[: len(topology) // 2]),
+        ConstantDelay(DELAY),
+        horizon,
+    )
+    trace = engine.run()
+    worst = 0
+    for node in topology.nodes:
+        state = engine.node_state(node)
+        bits = encoded_state_bits(
+            state,
+            params,
+            trace.hardware_value(node, horizon),
+            trace.logical_value(node, horizon),
+        )
+        worst = max(worst, bits)
+    return worst
+
+
+@pytest.mark.benchmark(group="E22-space")
+def test_state_bits_vs_budget(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    frequency = 100.0
+
+    def experiment():
+        rows = []
+        for topology, degree in ((line(9), 2), (line(33), 2), (star(9), 8)):
+            from repro.topology.properties import diameter
+
+            d = diameter(topology)
+            measured = run_and_measure(topology, params)
+            budget = space_estimate_bits(params, d, degree, frequency)
+            rows.append([topology.name, d, degree, measured, budget])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E22: §6.3 state size — measured encoding vs closed-form budget",
+        format_table(
+            ["topology", "D", "max degree", "measured bits", "budget (unit consts)"],
+            rows,
+        ),
+    )
+    line9, line33, star9 = rows
+    # Diameter x4 adds only O(log) bits.
+    assert line33[3] - line9[3] <= 8
+    # Degree dominates: the star's hub needs ~Delta x the line's per-node bits.
+    assert star9[3] > line9[3]
+    # Measured stays within a small multiple of the unit-constant budget.
+    for _name, _d, _deg, measured, budget in rows:
+        assert measured <= 4 * budget

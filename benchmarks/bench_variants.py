@@ -1,0 +1,141 @@
+"""E11/E12/E13 — the §8 model variants.
+
+* E11 (§8.3): delays in [T1, T2] — with T2−T1 held fixed, the steady-state
+  skew should track the *uncertainty*, not the absolute delay, growing
+  only by the O(ε·D·T1) reaction-time term as T1 rises.
+* E12 (§8.5): external synchronization — clocks never ahead of real time,
+  lag linear in the distance to the source.
+* E13 (§8.4): discrete ticks — T is effectively replaced by
+  max(1/f, T): coarse ticks dominate the skew, fine ticks vanish into it.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import PerNodeDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.variants import (
+    BoundedDelayAoptAlgorithm,
+    DiscreteAoptAlgorithm,
+    ExternalAoptAlgorithm,
+    bounded_delay_params,
+    discrete_params,
+)
+
+EPSILON = 0.05
+N = 9
+
+
+@pytest.mark.benchmark(group="E11-bounded-delays")
+def test_bounded_delay_skew_tracks_uncertainty(benchmark, report):
+    uncertainty = 1.0
+    drift = TwoGroupDrift(EPSILON, list(range(N // 2)))
+
+    def experiment():
+        rows = []
+        for t1 in (0.0, 2.0, 8.0):
+            t2 = t1 + uncertainty
+            params = bounded_delay_params(EPSILON, t1, t2)
+            channel = UniformDelay(t1, t2, seed=5, max_delay=t2)
+            horizon = 150.0 + 30.0 * t2
+            trace = run_execution(
+                line(N),
+                BoundedDelayAoptAlgorithm(params, min_delay=t1),
+                drift,
+                channel,
+                horizon,
+            )
+            # Steady state: spread at the end (initialization transients
+            # depend on t2·D and are excluded by construction).
+            rows.append([t1, t2, trace.spread_at(horizon - 1.0)])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E11: §8.3 delays in [T1, T1+1] — steady-state spread vs T1",
+        format_table(["T1", "T2", "steady-state spread"], rows),
+    )
+    spreads = [row[2] for row in rows]
+    # An 8x larger absolute delay must NOT produce an 8x larger spread:
+    # the skew tracks T2-T1 (fixed) plus the O(eps D T1) reaction term.
+    reaction_allowance = 2 * EPSILON * (N - 1) * 8.0 + 2.0
+    assert spreads[2] <= spreads[0] + reaction_allowance
+    assert spreads[2] < 8 * max(spreads[0], 1.0)
+
+
+@pytest.mark.benchmark(group="E12-external")
+def test_external_sync_lag_linear_in_distance(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=1.0)
+    drift = PerNodeDrift(EPSILON, {0: 1.0}, default=1 - EPSILON)
+
+    def experiment():
+        trace = run_execution(
+            line(N),
+            ExternalAoptAlgorithm(params, source=0),
+            drift,
+            UniformDelay(0.0, 1.0, seed=11),
+            400.0,
+            initiators=[0],
+        )
+        t = 399.0
+        rows = []
+        worst_ahead = float("-inf")
+        for node in range(N):
+            lag = t - trace.logical_value(node, t)
+            worst_ahead = max(worst_ahead, -lag)
+            rows.append([node, node, lag, node * 1.0])
+        return rows, worst_ahead
+
+    rows, worst_ahead = run_once(benchmark, experiment)
+    report(
+        "E12: §8.5 external sync — lag behind real time vs distance",
+        format_table(["node", "d(v, source)", "lag", "d*T"], rows),
+    )
+    assert worst_ahead <= 1e-9  # L_v(t) <= t everywhere, always
+    slack = 3 * params.h0 + params.kappa
+    for _node, distance, lag, budget in rows:
+        assert lag <= budget + slack
+
+
+@pytest.mark.benchmark(group="E13-discrete")
+def test_discrete_ticks_replace_delay_uncertainty(benchmark, report):
+    delay_bound = 0.25
+    drift = TwoGroupDrift(EPSILON, list(range(N // 2)))
+    channel = ConstantDelay(delay_bound)
+
+    def experiment():
+        rows = []
+        for frequency in (1.0, 4.0, 64.0):
+            params = discrete_params(EPSILON, delay_bound, frequency=frequency)
+            trace = run_execution(
+                line(N),
+                DiscreteAoptAlgorithm(params, frequency),
+                drift,
+                channel,
+                250.0,
+            )
+            rows.append(
+                [
+                    frequency,
+                    1.0 / frequency,
+                    max(1.0 / frequency, delay_bound),
+                    trace.local_skew().value,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E13: §8.4 discrete ticks — local skew vs tick size (T=0.25)",
+        format_table(["f", "1/f", "max(1/f, T)", "local skew"], rows),
+    )
+    # Coarse ticks (1/f = 1 > T) dominate; finer ticks monotonically
+    # approach the continuous behaviour.
+    coarse, medium, fine = (row[3] for row in rows)
+    assert fine <= medium + 1e-9
+    assert medium <= coarse + 1e-9
+    assert fine < 0.6 * coarse

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark runs one experiment from the DESIGN.md index (E1-E15),
+asserts the paper's *shape* claims, and registers a plain-text results
+table that is printed in the terminal summary, so
+
+    pytest benchmarks/ --benchmark-only
+
+produces the full paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, str]] = []
+
+
+@pytest.fixture
+def report():
+    """Register a results table for the end-of-run summary."""
+
+    def _register(title: str, table_text: str) -> None:
+        _REPORTS.append((title, table_text))
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment results (paper vs measured)")
+    for title, table in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations: a single round gives
+    the exact result, and wall-clock timing is informational only.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

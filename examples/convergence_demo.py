@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Watching A^opt recover from a perturbation (Lemma 5.7 in motion).
+
+Two halves of a line drift apart for a warm-up phase while delays are
+maximal; then the drift stops and delays become fast.  The spread decays
+back to the steady band at slope ≈ (1 − ε)·μ — the correction rate at
+the heart of the local-skew proof — rendered as a terminal chart.
+"""
+
+from repro import SyncParams, run_execution, topology
+from repro.analysis.timeseries import (
+    ascii_chart,
+    convergence_time,
+    recovery_rate,
+    spread_series,
+)
+from repro.core.node import AoptAlgorithm
+from repro.sim import ExplicitDrift, FunctionDelay, PiecewiseConstantRate
+
+
+def main() -> None:
+    epsilon, delay_bound, n = 0.05, 1.0, 9
+    warmup = 120.0
+    params = SyncParams.recommended(epsilon=epsilon, delay_bound=delay_bound)
+
+    schedules = {
+        u: PiecewiseConstantRate(
+            [0.0, warmup],
+            [1 + epsilon if u < n // 2 else 1 - epsilon, 1.0],
+        )
+        for u in range(n)
+    }
+    drift = ExplicitDrift(epsilon, schedules)
+    delay = FunctionDelay(
+        lambda s, r, t, q: delay_bound if t < warmup else 0.01,
+        max_delay=delay_bound,
+    )
+    horizon = warmup + 60.0
+
+    trace = run_execution(
+        topology.line(n), AoptAlgorithm(params), drift, delay, horizon
+    )
+    series = spread_series(trace, 0.0, horizon, samples=300)
+    print(ascii_chart(series, width=72, height=12,
+                      label="global spread over time (perturb at t=0..120, recover after)"))
+    print()
+
+    recovery = spread_series(trace, warmup, horizon, samples=300)
+    slope = recovery_rate(recovery)
+    settle = convergence_time(recovery, threshold=params.kappa / 2)
+    print(f"measured recovery slope: {slope:.4f}")
+    print(f"Lemma 5.7 correction rate (1-eps)*mu: {(1 - epsilon) * params.mu:.4f}")
+    print(
+        f"settled below kappa/2 = {params.kappa / 2:.3f} at "
+        f"t = {settle:.1f}" if settle else "did not settle"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Exploring the paper's parameter trade-offs.
+
+Two dials govern A^opt in practice:
+
+* **H0** (send period): §6.1 — message frequency is Θ(1/H0), but the
+  global skew bound carries a ``2ε/(1+ε)·H0`` term and κ (hence the local
+  skew) grows with ``μ·H0``.
+* **μ** (rate boost): the end of §5 — a larger μ enlarges the logarithm
+  base σ ∈ Θ(μ/ε), shrinking the local skew bound, at the cost of a worse
+  worst-case logical clock rate β = (1+ε)(1+μ).
+
+This example sweeps both on a 12-node line under a fixed adversary and
+prints measured skews, message counts, and the corresponding bounds.
+"""
+
+from repro import SyncParams, run_execution, topology
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.sim import ConstantDelay, TwoGroupDrift
+
+
+def run_once(params: SyncParams, horizon: float = 400.0):
+    graph = topology.line(12)
+    drift = TwoGroupDrift(params.epsilon, fast_nodes=range(6))
+    delay = ConstantDelay(params.delay_bound)
+    return run_execution(graph, AoptAlgorithm(params), drift, delay, horizon)
+
+
+def sweep_h0() -> None:
+    epsilon, delay_bound, d = 0.02, 1.0, 11
+    rows = []
+    for h0_factor in (0.25, 1.0, 4.0, 16.0):
+        base = SyncParams.recommended(epsilon=epsilon, delay_bound=delay_bound)
+        params = SyncParams.recommended(
+            epsilon=epsilon, delay_bound=delay_bound, h0=base.h0 * h0_factor
+        )
+        trace = run_once(params)
+        rows.append(
+            [
+                params.h0,
+                trace.total_messages(),
+                trace.global_skew().value,
+                global_skew_bound(params, d),
+                trace.local_skew().value,
+                local_skew_bound(params, d),
+            ]
+        )
+    print(
+        format_table(
+            ["H0", "messages", "global", "G bound", "local", "local bound"],
+            rows,
+            title="H0 sweep (epsilon=0.02, T=1, line of 12)",
+        )
+    )
+
+
+def sweep_mu() -> None:
+    epsilon, delay_bound, d = 0.02, 1.0, 11
+    rows = []
+    for sigma_target in (2, 4, 8, 16):
+        params = SyncParams.recommended(
+            epsilon=epsilon, delay_bound=delay_bound, sigma_target=sigma_target
+        )
+        trace = run_once(params)
+        rows.append(
+            [
+                params.mu,
+                params.sigma,
+                params.beta,
+                trace.local_skew().value,
+                local_skew_bound(params, d),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["mu", "sigma", "beta", "local skew", "local bound"],
+            rows,
+            title="mu sweep: larger base sigma, smaller log depth, larger beta",
+        )
+    )
+
+
+def main() -> None:
+    sweep_h0()
+    sweep_mu()
+
+
+if __name__ == "__main__":
+    main()

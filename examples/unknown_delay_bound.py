@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Deploying without knowing the network (§8.1).
+
+In practice nobody hands you the delay uncertainty T.  The §8.1 variant
+starts with a deliberately tiny estimate, measures round trips on live
+traffic, and floods doubled announcements until its working bound covers
+reality.  This example deploys it on a random topology with random
+delays it has never been told about, then compares against an oracle that
+knew T exactly.
+"""
+
+from repro import SyncParams, topology
+from repro.analysis.tables import format_table
+from repro.core.node import AoptAlgorithm
+from repro.sim import RandomWalkDrift, SimulationEngine, UniformDelay
+from repro.topology.properties import diameter
+from repro.variants import AdaptiveDelayAoptAlgorithm
+
+
+def main() -> None:
+    epsilon, true_delay_bound = 0.02, 0.8
+    graph = topology.random_connected(14, 0.15, seed=11)
+    d = diameter(graph)
+    horizon = 500.0
+    params = SyncParams.recommended(epsilon=epsilon, delay_bound=true_delay_bound)
+
+    def run(algorithm):
+        engine = SimulationEngine(
+            graph,
+            algorithm,
+            RandomWalkDrift(epsilon, step_period=10.0, step_size=epsilon / 2, seed=11),
+            UniformDelay(0.1, true_delay_bound, seed=11),
+            horizon,
+        )
+        return engine, engine.run()
+
+    _, oracle = run(AoptAlgorithm(params))
+    adaptive_algorithm = AdaptiveDelayAoptAlgorithm(params, initial_estimate=0.005)
+    engine, adaptive = run(adaptive_algorithm)
+
+    node = graph.nodes[len(graph) // 2]
+    state = engine.node_state(node)
+    rows = [
+        [
+            "oracle (knows T)",
+            true_delay_bound,
+            params.kappa,
+            oracle.spread_at(horizon - 1),
+            oracle.total_messages(),
+        ],
+        [
+            "adaptive (§8.1)",
+            state._delay_estimate,
+            state.current_kappa(),
+            adaptive.spread_at(horizon - 1),
+            adaptive.total_messages(),
+        ],
+    ]
+    print(
+        format_table(
+            ["algorithm", "T-hat", "kappa", "steady spread", "messages"],
+            rows,
+            title=f"unknown delay bound on {graph.name} (D={d}, true T={true_delay_bound})",
+        )
+    )
+    print()
+    print(
+        "the adaptive node measured its own delay bound from round trips "
+        f"(converged to {state._delay_estimate:.3f}, announced "
+        f"{state._announced:.3f}) and never needed to be configured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A gallery of worst-case executions, rendered as terminal figures.
+
+Three panels:
+
+1. the two-group drift adversary driving A^opt's spread exactly to the
+   Theorem 5.5 bound G and holding it there;
+2. the delay-switch adversary's staleness release: max-forwarding's
+   Θ(D·T) neighbor-skew spike vs A^opt's flat line on the same schedule;
+3. the Theorem 7.2 drift-apart execution forcing (1−ε)·D·T invisibly.
+"""
+
+from repro import SyncParams, global_skew_bound, run_execution, topology
+from repro.adversary.global_bound import run_global_lower_bound
+from repro.analysis.timeseries import ascii_chart, pair_skew_series, spread_series
+from repro.baselines import MaxForwardAlgorithm
+from repro.core.node import AoptAlgorithm
+from repro.sim import ConstantDelay, FunctionDelay, PerNodeDrift, TwoGroupDrift
+
+EPSILON, DELAY, N = 0.05, 1.0, 13
+
+
+def panel_1_bound_achieved(params) -> None:
+    trace = run_execution(
+        topology.line(N),
+        AoptAlgorithm(params),
+        TwoGroupDrift(EPSILON, range(N // 2)),
+        ConstantDelay(DELAY),
+        300.0,
+    )
+    series = spread_series(trace, samples=240)
+    bound = global_skew_bound(params, N - 1)
+    print(ascii_chart(series, label=(
+        f"panel 1 — two-group drift: spread climbs to G = {bound:.3f} "
+        f"and is held there (measured max {trace.global_skew().value:.3f})"
+    )))
+    print()
+
+
+def panel_2_delay_switch(params) -> None:
+    t_switch, blocked = 200.0, N - 2
+
+    def delay_fn(sender, receiver, send_time, seq):
+        if receiver == sender + 1 and send_time >= t_switch and sender < blocked:
+            return 0.0
+        return DELAY
+
+    drift = PerNodeDrift(EPSILON, {0: 1 + EPSILON}, default=1 - EPSILON)
+    for name, algorithm in (
+        ("max-forward", MaxForwardAlgorithm(send_period=params.h0)),
+        ("A^opt", AoptAlgorithm(params)),
+    ):
+        trace = run_execution(
+            topology.line(N), algorithm, drift,
+            FunctionDelay(delay_fn, max_delay=DELAY), t_switch + 60.0,
+        )
+        series = pair_skew_series(
+            trace, blocked, blocked + 1, t0=t_switch - 20.0, samples=240
+        )
+        series = [(t, abs(v)) for t, v in series]
+        print(ascii_chart(series, height=8, label=(
+            f"panel 2 — staleness release at t={t_switch:.0f}: edge "
+            f"({blocked},{blocked + 1}) skew under {name}"
+        )))
+        print()
+
+
+def panel_3_theorem_72(params) -> None:
+    result = run_global_lower_bound(
+        topology.line(N), AoptAlgorithm(params), EPSILON, DELAY
+    )
+    series = pair_skew_series(
+        result.trace, result.v0, result.v_far, samples=240,
+        t1=result.t0,
+    )
+    print(ascii_chart(series, height=8, label=(
+        f"panel 3 — Theorem 7.2: skew({result.v0}, {result.v_far}) grows "
+        f"invisibly to (1+rho)DT = {result.predicted:.3f} "
+        f"(measured {result.forced_skew:.3f})"
+    )))
+
+
+def main() -> None:
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    panel_1_bound_achieved(params)
+    panel_2_delay_switch(params)
+    panel_3_theorem_72(params)
+
+
+if __name__ == "__main__":
+    main()

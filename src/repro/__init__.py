@@ -1,0 +1,63 @@
+"""repro — reproduction of *Tight Bounds for Clock Synchronization*.
+
+Lenzen, Locher, Wattenhofer (PODC 2009 / J. ACM 57(2), 2010).
+
+The package implements the paper's gradient clock synchronization
+algorithm A^opt, the asynchronous bounded-drift/bounded-delay system model
+as a discrete-event simulation with *exact* piecewise-linear skew
+measurement, the baseline algorithms the paper compares against, the
+adversarial executions from the lower-bound proofs, and the model variants
+of Sections 6 and 8.
+
+Quickstart::
+
+    from repro import SyncParams, simulate_aopt, topology
+
+    params = SyncParams.recommended(epsilon=1e-4, delay_bound=1.0)
+    trace = simulate_aopt(topology.line(16), params)
+    print(trace.global_skew().value, trace.local_skew().value)
+"""
+
+from repro import topology
+from repro.core.bounds import (
+    global_skew_bound,
+    global_skew_lower_bound,
+    gradient_bound,
+    local_skew_bound,
+    local_skew_lower_bound,
+)
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TopologyError,
+    TraceError,
+)
+from repro.sim.runner import run_execution, simulate_aopt
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SyncParams",
+    "AoptAlgorithm",
+    "simulate_aopt",
+    "run_execution",
+    "topology",
+    "global_skew_bound",
+    "local_skew_bound",
+    "gradient_bound",
+    "global_skew_lower_bound",
+    "local_skew_lower_bound",
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "SimulationError",
+    "ScheduleError",
+    "TraceError",
+    "InvariantViolation",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Executable adversaries from the paper's lower-bound proofs (Section 7).
+
+* :mod:`repro.adversary.shifting` — the shifting machinery behind
+  indistinguishable executions (Definition 7.1), plus a checker that
+  verifies two traces present identical message patterns in local time.
+* :mod:`repro.adversary.global_bound` — the executions E1/E2/E3 of
+  Theorem 7.2 forcing a global skew of ``(1 + ϱ)·D·T``.
+* :mod:`repro.adversary.local_bound` — the iterative skew-amplification
+  construction of Theorem 7.7 forcing a local skew of
+  ``((⌊log_b D⌋ + 1)/2)·α·T``.
+"""
+
+from repro.adversary.global_bound import (
+    GlobalLowerBoundResult,
+    run_global_lower_bound,
+    theorem72_schedules,
+)
+from repro.adversary.local_bound import (
+    AmplificationRound,
+    LocalLowerBoundResult,
+    run_skew_amplification,
+)
+from repro.adversary.shifting import (
+    local_time_message_pattern,
+    patterns_match,
+)
+from repro.adversary.unbounded_rates import (
+    RateCaptureResult,
+    find_largest_jump,
+    phi_for_epsilon,
+    run_rate_capture,
+)
+
+__all__ = [
+    "theorem72_schedules",
+    "run_global_lower_bound",
+    "GlobalLowerBoundResult",
+    "run_skew_amplification",
+    "LocalLowerBoundResult",
+    "AmplificationRound",
+    "local_time_message_pattern",
+    "patterns_match",
+    "run_rate_capture",
+    "RateCaptureResult",
+    "find_largest_jump",
+    "phi_for_epsilon",
+]

@@ -1,0 +1,232 @@
+"""The Theorem 7.2 adversary: forcing a global skew of ``(1 + ϱ)·D·T``.
+
+The proof constructs three mutually indistinguishable executions on any
+graph with reference nodes ``v0`` and ``vD`` at distance ``D``.  With
+``ε' = c2·ε̂`` and ``T' = (1 + ϱ)·T/(1 − ε')``:
+
+* **E1** — all hardware rates ``1 − ε'``; messages toward ``v0`` take
+  ``T'``, all others are instantaneous;
+* **E2** — all rates ``1 + ε'``; toward-delays scaled by
+  ``(1 − ε')/(1 + ε')`` so local-time patterns coincide with E1;
+* **E3** — node ``v`` runs at ``1 + ϱ + (1 − d(v0, v)/D)·ε̃`` until
+  ``t0 = (1 + ϱ)·D·T/ε̃`` and at ``1 + ϱ`` after; delays are adjusted so
+  that every message arrives when the receiver's hardware clock reads the
+  sender's send value plus ``(1 − ε')·T'`` (toward ``v0``) or exactly the
+  send value (otherwise).
+
+Any algorithm bound by the real-time envelope Condition (1) must set
+``L_v = H_v`` in E1/E2, hence — being unable to distinguish E3 — also in
+E3, where the hardware clocks of ``v0`` and ``vD`` have drifted apart by
+``ε̃·t0 = (1 + ϱ)·D·T`` by time ``t0``.
+
+The paper treats ``ε̃`` as infinitesimal; any ``0 < ε̃ ≤ ε − ϱ`` keeps E3
+legal, and the forced skew is independent of the choice (only the run
+length ``t0`` scales with ``1/ε̃``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.bounds import rho_accuracy_penalty
+from repro.core.interfaces import Algorithm
+from repro.errors import ScheduleError
+from repro.sim.clock import HardwareClock
+from repro.sim.delays import FunctionDelay
+from repro.sim.drift import ExplicitDrift
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.runner import run_execution
+from repro.sim.trace import ExecutionTrace
+from repro.topology.generators import Topology
+from repro.topology.properties import bfs_distances
+
+__all__ = ["theorem72_schedules", "run_global_lower_bound", "GlobalLowerBoundResult"]
+
+NodeId = Hashable
+
+
+@dataclass
+class Theorem72Schedules:
+    """Drift and delay models for one of the executions E1/E2/E3."""
+
+    drift: ExplicitDrift
+    delay: FunctionDelay
+    t0: float  # evaluation time (end of the drift-apart period in E3)
+    rho: float  # the shaved rho actually used by the construction
+    rho_sup: float  # the paper's supremum rho (Theorem 7.2 statement)
+    epsilon_prime: float
+    delay_prime: float
+
+
+def _directed(
+    distances: Dict[NodeId, int], sender: NodeId, receiver: NodeId
+) -> bool:
+    """True when the message moves toward the reference node ``v0``."""
+    return distances[receiver] == distances[sender] - 1
+
+
+def theorem72_schedules(
+    topology: Topology,
+    v0: NodeId,
+    variant: str,
+    epsilon: float,
+    delay_bound: float,
+    epsilon_hat: Optional[float] = None,
+    delay_ratio: float = 1.0,
+    drift_ratio: float = 1.0,
+    eps_tilde: Optional[float] = None,
+) -> Theorem72Schedules:
+    """Build the E1, E2 or E3 schedules of Theorem 7.2.
+
+    Parameters
+    ----------
+    variant:
+        ``"E1"``, ``"E2"`` or ``"E3"``.
+    epsilon, delay_bound:
+        The true model bounds ``ε`` and ``T``.
+    epsilon_hat:
+        The algorithm's drift knowledge ``ε̂`` (default: exact).
+    delay_ratio, drift_ratio:
+        ``c1 = T/T̂`` and ``c2 = ε/ε̂`` from the theorem.
+    eps_tilde:
+        The E3 drift-apart speed ``ε̃``; defaults to ``(ε − ϱ)/2``
+        (must be in ``(0, ε − ϱ]``; smaller values lengthen the run).
+    """
+    epsilon_hat = epsilon if epsilon_hat is None else epsilon_hat
+    distances = bfs_distances(topology, v0)
+    diameter_from_v0 = max(distances.values())
+    rho_sup = rho_accuracy_penalty(epsilon, epsilon_hat, delay_ratio, drift_ratio)
+    # The paper treats eps_tilde as infinitesimal (footnote 13): when
+    # rho_sup = epsilon there is no drift slack left, so the executable
+    # construction shaves rho by eps_tilde and approaches the supremum
+    # (1 + rho_sup)·D·T as eps_tilde → 0.
+    if eps_tilde is None:
+        eps_tilde = max((epsilon - rho_sup) / 2, epsilon / 20)
+    if not (0 < eps_tilde <= 2 * epsilon + 1e-12):
+        raise ScheduleError(
+            f"eps_tilde={eps_tilde} outside (0, 2*epsilon] = (0, {2 * epsilon}]"
+        )
+    rho = min(rho_sup, epsilon - eps_tilde)
+    epsilon_prime = drift_ratio * epsilon_hat
+    delay_prime = (1 + rho) * delay_bound / (1 - epsilon_prime)
+    t0 = (1 + rho) * diameter_from_v0 * delay_bound / eps_tilde
+    toward_local = (1 - epsilon_prime) * delay_prime
+
+    if variant == "E1":
+        rate = PiecewiseConstantRate.constant(1 - epsilon_prime)
+        drift = ExplicitDrift(epsilon, {n: rate for n in topology.nodes})
+
+        def delay_fn(sender, receiver, send_time, seq):
+            return delay_prime if _directed(distances, sender, receiver) else 0.0
+
+    elif variant == "E2":
+        rate = PiecewiseConstantRate.constant(1 + epsilon_prime)
+        drift = ExplicitDrift(epsilon, {n: rate for n in topology.nodes})
+        scaled = (1 - epsilon_prime) * delay_prime / (1 + epsilon_prime)
+
+        def delay_fn(sender, receiver, send_time, seq):
+            return scaled if _directed(distances, sender, receiver) else 0.0
+
+    elif variant == "E3":
+        clocks: Dict[NodeId, HardwareClock] = {}
+        schedules: Dict[NodeId, PiecewiseConstantRate] = {}
+        for node in topology.nodes:
+            early = 1 + rho + (1 - distances[node] / diameter_from_v0) * eps_tilde
+            schedule = PiecewiseConstantRate([0.0, t0], [early, 1 + rho])
+            schedules[node] = schedule
+            clocks[node] = HardwareClock(schedule, start_time=0.0)
+        drift = ExplicitDrift(epsilon, schedules)
+
+        def delay_fn(sender, receiver, send_time, seq):
+            # Deliver when the receiver's hardware clock reads the sender's
+            # send value, plus (1 − ε')·T' for messages toward v0.
+            target = clocks[sender].value(send_time)
+            if _directed(distances, sender, receiver):
+                target += toward_local
+            return clocks[receiver].time_at_value(target) - send_time
+
+    else:
+        raise ScheduleError(f"unknown Theorem 7.2 variant {variant!r}")
+
+    return Theorem72Schedules(
+        drift=drift,
+        delay=FunctionDelay(delay_fn, max_delay=delay_bound),
+        t0=t0,
+        rho=rho,
+        rho_sup=rho_sup,
+        epsilon_prime=epsilon_prime,
+        delay_prime=delay_prime,
+    )
+
+
+@dataclass
+class GlobalLowerBoundResult:
+    """Outcome of running an algorithm under the Theorem 7.2 adversary."""
+
+    forced_skew: float
+    predicted: float  # the construction's own target (1 + rho_used)·D·T
+    theoretical: float  # the paper's supremum (1 + rho_sup)·D·T
+    rho: float
+    t0: float
+    trace: ExecutionTrace
+    v0: NodeId
+    v_far: NodeId
+
+
+def run_global_lower_bound(
+    topology: Topology,
+    algorithm: Algorithm,
+    epsilon: float,
+    delay_bound: float,
+    epsilon_hat: Optional[float] = None,
+    delay_ratio: float = 1.0,
+    drift_ratio: float = 1.0,
+    eps_tilde: Optional[float] = None,
+    v0: Optional[NodeId] = None,
+    record_messages: bool = False,
+) -> GlobalLowerBoundResult:
+    """Run the E3 execution and measure the skew it forces at ``t0``.
+
+    All nodes are initialized at time 0 (the Section 7 convention) so the
+    hardware-clock geometry matches the proof exactly.  The measured skew
+    between ``v0`` and the farthest node should approach the predicted
+    ``(1 + ϱ)·D·T`` for any envelope-respecting algorithm.
+    """
+    v0 = topology.nodes[0] if v0 is None else v0
+    schedules = theorem72_schedules(
+        topology,
+        v0,
+        "E3",
+        epsilon,
+        delay_bound,
+        epsilon_hat=epsilon_hat,
+        delay_ratio=delay_ratio,
+        drift_ratio=drift_ratio,
+        eps_tilde=eps_tilde,
+    )
+    distances = bfs_distances(topology, v0)
+    v_far = max(distances, key=distances.get)
+    # Run a little past t0 so the trace cleanly covers the evaluation time.
+    horizon = schedules.t0 * 1.02 + delay_bound
+    trace = run_execution(
+        topology,
+        algorithm,
+        schedules.drift,
+        schedules.delay,
+        horizon,
+        initiators=list(topology.nodes),
+        record_messages=record_messages,
+    )
+    forced = trace.skew(v0, v_far, schedules.t0)
+    return GlobalLowerBoundResult(
+        forced_skew=forced,
+        predicted=(1 + schedules.rho) * distances[v_far] * delay_bound,
+        theoretical=(1 + schedules.rho_sup) * distances[v_far] * delay_bound,
+        rho=schedules.rho,
+        t0=schedules.t0,
+        trace=trace,
+        v0=v0,
+        v_far=v_far,
+    )

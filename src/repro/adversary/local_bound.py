@@ -1,0 +1,368 @@
+"""The Theorem 7.7 adversary: iterative local-skew amplification.
+
+The proof forces a local skew of ``((⌊log_b D⌋ + 1)/2)·α·T`` on a path by
+induction: each round holds a node pair ``(v_k, w_k)`` at distance ``d_k``
+whose skew is at least ``((k + 1)/2)·α·d_k·T``, then
+
+1. **extends** the execution by ``(1 + ε)·d_{k+1}·T/ε`` real time with
+   drift-free clocks and delays set by the direction rule of Lemma 7.6
+   (instantaneous away from ``v_k``, maximal ``T`` toward it) — during
+   which the algorithm can shrink the skew at rate at most ``β − α``,
+   losing at most half of it because ``b = ⌈2(β − α)/(αε)⌉``;
+2. **selects** a sub-pair ``(v_{k+1}, w_{k+1})`` at distance
+   ``d_{k+1} = d_k/b`` carrying at least the average skew;
+3. **shifts** (Lemma 7.6): re-runs the same execution with the
+   ``v_{k+1}``-side hardware clocks sped up to ``1 + ε`` inside a window
+   of length ``d_{k+1}·T/ε``, adjusting delays so every node observes the
+   *identical* message pattern in local time.  Being unable to tell the
+   difference, the algorithm repeats its behaviour while ``v_{k+1}``'s
+   clock gains ``d_{k+1}·T`` of hardware time — at least ``α·d_{k+1}·T``
+   of logical time — over ``w_{k+1}``.
+
+After ``⌊log_b D⌋`` rounds the pair are neighbors.  This module replays
+the construction against any concrete :class:`Algorithm` on a line: the
+simulation is deterministic, so each round re-simulates from time zero
+with the extended schedule, reproducing the prefix exactly, and the
+shifted re-run is verified to be indistinguishable via the message log.
+
+The adversary is *adaptive between rounds but offline within a round*,
+exactly as in the proof (executions are constructed, not steered live).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.adversary.shifting import corrected_delay, patterns_match
+from repro.core.interfaces import Algorithm
+from repro.errors import ScheduleError
+from repro.sim.clock import HardwareClock
+from repro.sim.delays import FunctionDelay
+from repro.sim.drift import ExplicitDrift
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.runner import run_execution
+from repro.sim.trace import ExecutionTrace
+from repro.topology.generators import Topology, line
+
+__all__ = [
+    "AmplificationRound",
+    "LocalLowerBoundResult",
+    "run_skew_amplification",
+    "amplification_base",
+]
+
+#: Numerical slack when clamping corrected delays into [0, T].
+_DELAY_SLACK = 1e-7
+
+
+def amplification_base(alpha: float, beta: float, epsilon: float) -> int:
+    """Theorem 7.7's ``b = ⌈2(β − α)/(α·ε)⌉`` (clamped to ≥ 2)."""
+    return max(2, math.ceil(2 * (beta - alpha) / (alpha * epsilon)))
+
+
+@dataclass
+class AmplificationRound:
+    """Bookkeeping for one induction round."""
+
+    index: int
+    v: int
+    w: int
+    distance: int
+    t_eval: float
+    skew_before_shift: float  # L_v − L_w at t_eval in the unshifted E run
+    skew_after_shift: float  # L_v − L_w at t_eval in the shifted run
+    predicted: float  # the proof's guarantee ((k+1)/2)·α·d·T
+    indistinguishable: Optional[bool] = None
+    delay_clamps: int = 0
+
+
+@dataclass
+class LocalLowerBoundResult:
+    """Outcome of the full amplification against one algorithm."""
+
+    rounds: List[AmplificationRound]
+    final_skew: float
+    predicted_final: float
+    trace: ExecutionTrace = None
+    n: int = 0
+    base: int = 0
+
+
+class _PhaseDelays:
+    """Delay model dispatching to per-phase closures by send time."""
+
+    def __init__(self, max_delay: float):
+        self.max_delay = max_delay
+        self._starts: List[float] = []
+        self._rules: List[Callable[[int, int, float], float]] = []
+        self.clamps = 0
+
+    def add_phase(self, start: float, rule: Callable[[int, int, float], float]) -> None:
+        if self._starts and start < self._starts[-1]:
+            raise ScheduleError("phases must be appended in time order")
+        if self._starts and start == self._starts[-1]:
+            self._rules[-1] = rule
+        else:
+            self._starts.append(start)
+            self._rules.append(rule)
+
+    def copy(self) -> "_PhaseDelays":
+        clone = _PhaseDelays(self.max_delay)
+        clone._starts = list(self._starts)
+        clone._rules = list(self._rules)
+        return clone
+
+    def __call__(self, sender, receiver, send_time, seq) -> float:
+        index = bisect_right(self._starts, send_time) - 1
+        if index < 0:
+            index = 0
+        value = self._rules[index](sender, receiver, send_time)
+        if value < -_DELAY_SLACK or value > self.max_delay + _DELAY_SLACK:
+            raise ScheduleError(
+                f"amplification delay {value} outside [0, {self.max_delay}] "
+                f"for {sender}->{receiver} at t={send_time}"
+            )
+        clamped = min(max(value, 0.0), self.max_delay)
+        if clamped != value:
+            self.clamps += 1
+        return clamped
+
+
+def _phi(u: int, v: int, w: int) -> int:
+    """``Φ_v^w(u) = d(w, u) − d(v, u)`` on the line."""
+    return abs(w - u) - abs(v - u)
+
+
+def _direction_rule(v: int, w: int, delay_bound: float):
+    """Lemma 7.6's E-delays: small away from ``v``, large toward it."""
+
+    def rule(sender: int, receiver: int, send_time: float) -> float:
+        if _phi(sender, v, w) >= _phi(receiver, v, w):
+            return 0.0
+        return delay_bound
+
+    return rule
+
+
+def _append_segment(segments: List[Tuple[float, float]], t: float, rate: float) -> None:
+    if segments and segments[-1][0] == t:
+        segments[-1] = (t, rate)
+    else:
+        segments.append((t, rate))
+
+
+def run_skew_amplification(
+    algorithm_factory: Callable[[], Algorithm],
+    n: int,
+    epsilon: float,
+    delay_bound: float,
+    base: int,
+    rounds: Optional[int] = None,
+    alpha: Optional[float] = None,
+    verify_indistinguishability: bool = False,
+    topology: Optional[Topology] = None,
+    tail: float = 0.0,
+) -> LocalLowerBoundResult:
+    """Run the Theorem 7.7 construction on a line of ``n`` nodes.
+
+    Parameters
+    ----------
+    algorithm_factory:
+        Builds a fresh algorithm instance per simulation (each round
+        re-simulates from time zero).
+    n:
+        Path length; the initial pair distance is the largest power of
+        ``base`` not exceeding ``n − 1`` (the proof's ``D'``).
+    epsilon, delay_bound:
+        The model bounds ``ε`` and ``T`` the adversary may exploit.
+    base:
+        The divisor ``b`` (use :func:`amplification_base` for the safe
+        choice; smaller values are more aggressive but unguaranteed).
+    rounds:
+        Number of induction rounds; default ``⌊log_b D'⌋ + 1`` (down to
+        neighboring nodes).
+    alpha:
+        The algorithm's minimum rate (for the predicted column only);
+        default ``1 − ε``.
+    verify_indistinguishability:
+        Re-run each round's unshifted execution with message recording
+        and check Definition 7.1 against the shifted run (slower).
+    tail:
+        Extra real time to keep simulating after the final evaluation
+        instant (drift-free, last delay rule), so the *persistence* of
+        the forced skew can be observed (the §7.2 duration remark).
+    """
+    if n < base + 1:
+        raise ScheduleError(f"need n >= base + 1 = {base + 1}, got n = {n}")
+    alpha = (1 - epsilon) if alpha is None else alpha
+    topology = line(n) if topology is None else topology
+    levels = int(math.floor(round(math.log(n - 1, base), 9)))
+    d0 = base ** levels
+    if rounds is None:
+        rounds = levels + 1
+    initiators = list(topology.nodes)
+
+    # Accumulated adversarial schedule.
+    node_segments: Dict[int, List[Tuple[float, float]]] = {
+        u: [(0.0, 1.0)] for u in topology.nodes
+    }
+    delays = _PhaseDelays(delay_bound)
+    t_prev = 0.0
+    v_current, w_current = 0, d0
+    d_current = d0
+    history: List[AmplificationRound] = []
+    final_trace: Optional[ExecutionTrace] = None
+
+    def drift_from(segments: Dict[int, List[Tuple[float, float]]]) -> ExplicitDrift:
+        return ExplicitDrift(
+            epsilon,
+            {u: PiecewiseConstantRate.from_segments(s) for u, s in segments.items()},
+        )
+
+    def clocks_from(segments: Dict[int, List[Tuple[float, float]]]) -> Dict[int, HardwareClock]:
+        return {
+            u: HardwareClock(PiecewiseConstantRate.from_segments(s), 0.0)
+            for u, s in segments.items()
+        }
+
+    for k in range(rounds):
+        # The shift window opens one full delay bound after the phase
+        # starts so that every message in flight across the phase boundary
+        # is delivered before any clock is shifted (the proof of Lemma 7.6
+        # guarantees this by choosing t' >= t_E0 + d·T; see also its
+        # handling of pending messages).  Without the gap, boundary
+        # messages would arrive at slightly shifted receiver-local times
+        # and indistinguishability would only hold approximately.
+        window_start = t_prev + delay_bound
+        t_eval = window_start + d_current * delay_bound / epsilon
+        t_extension_end = t_eval + d_current * delay_bound
+
+        # ---- Phase E: extend with drift-free clocks, direction delays. ----
+        pattern_rule = _direction_rule(v_current, w_current, delay_bound)
+        delays_e = delays.copy()
+        delays_e.add_phase(t_prev, pattern_rule)
+        trace_e = run_execution(
+            topology,
+            algorithm_factory(),
+            drift_from(node_segments),
+            FunctionDelay(delays_e, max_delay=delay_bound),
+            t_extension_end,
+            initiators=initiators,
+            record_messages=verify_indistinguishability,
+        )
+
+        # ---- Select the sub-pair carrying the most skew at t_eval. ----
+        step = 1 if w_current > v_current else -1
+        d_next = d_current if k == 0 else d_current  # pair distance this round
+        best_skew, best_pair = -math.inf, (v_current, w_current)
+        for offset in range(abs(w_current - v_current) - d_next + 1):
+            v_candidate = v_current + offset * step
+            w_candidate = v_candidate + d_next * step
+            skew = trace_e.skew(v_candidate, w_candidate, t_eval)
+            if skew > best_skew:
+                best_skew, best_pair = skew, (v_candidate, w_candidate)
+        v_sub, w_sub = best_pair
+
+        # ---- Phase Ē: shift the v-side inside [t_prev, t_eval]. ----
+        clocks_e = clocks_from(node_segments)
+        phi_v = _phi(v_sub, v_sub, w_sub)
+        shifted_segments = {u: list(s) for u, s in node_segments.items()}
+        for u in topology.nodes:
+            rate = 1 + epsilon - (phi_v - _phi(u, v_sub, w_sub)) * epsilon / (
+                2 * d_next
+            )
+            rate = min(max(rate, 1.0), 1 + epsilon)
+            _append_segment(shifted_segments[u], window_start, rate)
+            _append_segment(shifted_segments[u], t_eval, 1.0)
+        clocks_ebar = clocks_from(shifted_segments)
+
+        def make_corrected(rule, clocks_reference, clocks_shifted):
+            def corrected(sender: int, receiver: int, send_time: float) -> float:
+                return corrected_delay(
+                    send_time,
+                    rule(sender, receiver, send_time),
+                    clocks_reference[sender],
+                    clocks_reference[receiver],
+                    clocks_shifted[sender],
+                    clocks_shifted[receiver],
+                )
+
+            return corrected
+
+        delays.add_phase(
+            t_prev, make_corrected(pattern_rule, clocks_e, clocks_ebar)
+        )
+        node_segments = shifted_segments
+        trace_ebar = run_execution(
+            topology,
+            algorithm_factory(),
+            drift_from(node_segments),
+            FunctionDelay(delays, max_delay=delay_bound),
+            t_eval,
+            initiators=initiators,
+            record_messages=verify_indistinguishability,
+        )
+
+        indistinguishable = None
+        if verify_indistinguishability:
+            indistinguishable, _detail = patterns_match(
+                trace_e,
+                trace_ebar,
+                tolerance=1e-6,
+                check_payloads=True,
+                allow_prefix=True,
+            )
+
+        shifted_skew = trace_ebar.skew(v_sub, w_sub, t_eval)
+        history.append(
+            AmplificationRound(
+                index=k,
+                v=v_sub,
+                w=w_sub,
+                distance=d_next,
+                t_eval=t_eval,
+                skew_before_shift=best_skew,
+                skew_after_shift=shifted_skew,
+                predicted=(k + 1) / 2 * alpha * d_next * delay_bound,
+                indistinguishable=indistinguishable,
+                delay_clamps=delays.clamps,
+            )
+        )
+        final_trace = trace_ebar
+
+        # Descend: the next round works inside the selected sub-pair.
+        v_current, w_current = v_sub, w_sub
+        t_prev = t_eval
+        if d_current % base == 0 and d_current // base >= 1:
+            d_current = d_current // base
+        elif d_current > 1:
+            d_current = max(1, d_current // base)
+        else:
+            break
+
+    if tail > 0:
+        # Replay the final schedule with a longer horizon: the drift
+        # schedules extend at rate 1 and the last phase's delay rule
+        # remains in force, so the prefix reproduces exactly and the
+        # forced skew's decay becomes observable.
+        final_trace = run_execution(
+            topology,
+            algorithm_factory(),
+            drift_from(node_segments),
+            FunctionDelay(delays, max_delay=delay_bound),
+            t_prev + tail,
+            initiators=initiators,
+        )
+
+    last = history[-1]
+    return LocalLowerBoundResult(
+        rounds=history,
+        final_skew=last.skew_after_shift / max(last.distance, 1),
+        predicted_final=last.predicted / max(last.distance, 1),
+        trace=final_trace,
+        n=n,
+        base=base,
+    )

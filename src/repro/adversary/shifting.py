@@ -1,0 +1,145 @@
+"""Shifting and indistinguishability (Definition 7.1 of the paper).
+
+Two executions are *indistinguishable at a node* when the node observes
+the same message pattern with respect to its own hardware clock in both.
+The lower-bound proofs construct pairs of executions that are
+indistinguishable everywhere yet have very different real-time clock
+alignments, forcing any algorithm into large skew in one of them.
+
+This module provides:
+
+* :func:`local_time_message_pattern` — project a trace's message log into
+  local-time coordinates ``(sender, receiver, H_sender(send),
+  H_receiver(delivery), payload)``;
+* :func:`patterns_match` — verify that two executions are
+  indistinguishable (used by tests to validate the Theorem 7.2 and
+  Lemma 7.6 constructions);
+* :func:`corrected_delay` — the delay that delivers a message at the same
+  receiver-local time as a reference execution would, the core of the
+  "modify delays to preserve indistinguishability" step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.sim.clock import HardwareClock
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["local_time_message_pattern", "patterns_match", "corrected_delay"]
+
+NodeId = Hashable
+
+PatternEntry = Tuple[NodeId, NodeId, float, float, tuple]
+
+
+def local_time_message_pattern(trace: ExecutionTrace) -> List[PatternEntry]:
+    """The message log of a trace in local-time coordinates.
+
+    Requires the execution to have been run with ``record_messages=True``.
+    Entries are ordered as recorded (send order), which is deterministic.
+    """
+    pattern: List[PatternEntry] = []
+    for record in trace.message_log:
+        send_local = trace.hardware[record.sender].value(record.send_time)
+        deliver_local = trace.hardware[record.receiver].value(record.deliver_time)
+        payload = (
+            tuple(record.payload)
+            if isinstance(record.payload, (tuple, list))
+            else (record.payload,)
+        )
+        pattern.append(
+            (record.sender, record.receiver, send_local, deliver_local, payload)
+        )
+    return pattern
+
+
+def patterns_match(
+    trace_a: ExecutionTrace,
+    trace_b: ExecutionTrace,
+    tolerance: float = 1e-6,
+    check_payloads: bool = True,
+    local_horizon: float = None,
+    allow_prefix: bool = False,
+) -> Tuple[bool, str]:
+    """Whether two executions are indistinguishable (Definition 7.1).
+
+    Indistinguishability is a *per-node* property: every node must observe
+    the same messages at the same readings of its own hardware clock.
+    Shifting reorders real-time interleavings *across* nodes, so the
+    comparison groups the message logs per directed edge (per-edge send
+    order is preserved because logs append at send time) and compares the
+    local send/delivery times pairwise.
+
+    ``local_horizon`` bounds the comparison in sender-local time (entries
+    with a later local send time are ignored); by default it is the larger
+    local time reachable within the shorter trace's horizon minus the
+    maximum shift, i.e. callers comparing differently-long executions
+    should pass it explicitly.  Returns ``(ok, detail)``.
+    """
+    per_edge_a = _per_edge(local_time_message_pattern(trace_a), local_horizon)
+    per_edge_b = _per_edge(local_time_message_pattern(trace_b), local_horizon)
+    if not allow_prefix and set(per_edge_a) != set(per_edge_b):
+        only_a = set(per_edge_a) - set(per_edge_b)
+        only_b = set(per_edge_b) - set(per_edge_a)
+        return False, f"edge sets differ (only_a={only_a}, only_b={only_b})"
+    for edge in set(per_edge_a) & set(per_edge_b):
+        entries_a, entries_b = per_edge_a[edge], per_edge_b[edge]
+        if not allow_prefix and len(entries_a) != len(entries_b):
+            return False, (
+                f"edge {edge}: {len(entries_a)} vs {len(entries_b)} messages"
+            )
+        for i, ((send_a, deliver_a, payload_a), (send_b, deliver_b, payload_b)) in (
+            enumerate(zip(entries_a, entries_b))
+        ):
+            if abs(send_a - send_b) > tolerance or abs(deliver_a - deliver_b) > tolerance:
+                return False, (
+                    f"edge {edge} message {i}: local times "
+                    f"({send_a:.9f}, {deliver_a:.9f}) vs ({send_b:.9f}, {deliver_b:.9f})"
+                )
+            if check_payloads:
+                if len(payload_a) != len(payload_b) or any(
+                    abs(x - y) > tolerance for x, y in zip(payload_a, payload_b)
+                ):
+                    return False, (
+                        f"edge {edge} message {i}: payloads {payload_a} vs {payload_b}"
+                    )
+    return True, "indistinguishable"
+
+
+def _per_edge(
+    pattern: List[PatternEntry], local_horizon: float = None
+) -> Dict[Tuple[NodeId, NodeId], List[Tuple[float, float, tuple]]]:
+    edges: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float, tuple]]] = {}
+    for sender, receiver, send_local, deliver_local, payload in pattern:
+        if local_horizon is not None and send_local > local_horizon:
+            continue
+        edges.setdefault((sender, receiver), []).append(
+            (send_local, deliver_local, payload)
+        )
+    return edges
+
+
+def corrected_delay(
+    send_time: float,
+    reference_delay: float,
+    sender_reference: HardwareClock,
+    receiver_reference: HardwareClock,
+    sender_actual: HardwareClock,
+    receiver_actual: HardwareClock,
+) -> float:
+    """Delay preserving the reference execution's local-time pattern.
+
+    A message sent in the *actual* (shifted) execution at real time
+    ``send_time`` corresponds, via the sender's local clock, to a send in
+    the *reference* execution; there it is delivered after
+    ``reference_delay``.  The returned delay makes the actual delivery hit
+    the same receiver-local time, which is exactly the adjustment in the
+    proofs of Theorem 7.2 and Lemma 7.6.
+    """
+    send_local = sender_actual.value(send_time)
+    reference_send_time = sender_reference.time_at_value(send_local)
+    reference_delivery = reference_send_time + reference_delay
+    receiver_local = receiver_reference.value(reference_delivery)
+    actual_delivery = receiver_actual.time_at_value(receiver_local)
+    return actual_delivery - send_time

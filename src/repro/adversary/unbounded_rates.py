@@ -1,0 +1,253 @@
+"""Section 7.3 — lower bounds against unbounded clock rates (Lemma 7.10).
+
+Theorem 7.7's bound degrades as the rate cap β grows, so could an
+algorithm that *jumps* its clocks (β = ∞) beat the logarithmic local
+skew?  Section 7.3 answers no (Theorem 7.12); the key tool is
+Lemma 7.10:
+
+    In any φ-framed execution (hardware rates in ``[1, 1+ε]``, delays in
+    ``[φT, (1−φ)T]``), the adversary can *unnoticeably* slow one node
+    ``v`` so that at a chosen time ``t`` its clock shows what it showed
+    at ``t' = t − φT/(1+ε)`` — while every other node is unaffected.
+
+Consequently, whatever logical progress ``v`` made during ``[t', t]`` —
+including an arbitrarily large jump — reappears as clock skew between
+``v`` and its neighbors in the modified execution.  An algorithm that
+uses average rate ``ρ`` over a ``Θ(T)`` window hands the adversary a
+local skew of ``Ω(ρT)``; iterating (as in Theorem 7.12) yields
+``Ω(α·T·log_{1/ε} D)`` no matter how fast clocks may run.
+
+This module makes the lemma executable: build the slowed execution,
+verify indistinguishability on the message logs, and measure the skew it
+exposes.  The benchmark contrasts a jumping algorithm (max-forwarding,
+whose catch-up jumps are converted 1:1 into neighbor skew) with A^opt
+(whose exposure is capped by β·φT/(1+ε)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+from repro.adversary.shifting import corrected_delay, patterns_match
+from repro.core.interfaces import Algorithm
+from repro.errors import ScheduleError
+from repro.sim.clock import HardwareClock
+from repro.sim.delays import DelayModel, FunctionDelay
+from repro.sim.drift import ExplicitDrift
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.runner import run_execution
+from repro.sim.trace import ExecutionTrace
+from repro.topology.generators import Topology
+
+__all__ = [
+    "phi_for_epsilon",
+    "slowed_node_schedules",
+    "RateCaptureResult",
+    "run_rate_capture",
+    "find_largest_jump",
+]
+
+NodeId = Hashable
+
+
+def phi_for_epsilon(epsilon: float) -> float:
+    """Theorem 7.12's framing constant ``φ_ε = ε/(2(1+ε))``."""
+    if not (0 < epsilon < 1):
+        raise ScheduleError(f"epsilon must be in (0, 1), got {epsilon}")
+    return epsilon / (2 * (1 + epsilon))
+
+
+def slowed_node_schedules(
+    base_schedules: Mapping[NodeId, PiecewiseConstantRate],
+    victim: NodeId,
+    t_eval: float,
+    phi: float,
+    delay_bound: float,
+    epsilon: float,
+    base_delay: Callable[[NodeId, NodeId, float, int], float],
+) -> Tuple[ExplicitDrift, FunctionDelay, float]:
+    """Build the Lemma 7.10 modification of a φ-framed execution.
+
+    The victim's hardware rate is reduced by ``ε`` on an initial interval
+    sized so that ``H_victim`` at ``t_eval`` equals the base execution's
+    value at ``t' = t_eval − φT/(1+ε)``; all delays are re-derived so
+    every node observes the identical local-time message pattern.
+
+    Returns ``(drift, delay_model, t_prime)``.
+    """
+    t_prime = t_eval - phi * delay_bound / (1 + epsilon)
+    if t_prime < 0:
+        raise ScheduleError(
+            f"t_eval={t_eval} too early: need t >= phi*T/(1+eps)"
+        )
+    base_clocks: Dict[NodeId, HardwareClock] = {
+        node: HardwareClock(schedule, 0.0)
+        for node, schedule in base_schedules.items()
+    }
+    victim_clock = base_clocks[victim]
+    shift = victim_clock.value(t_eval) - victim_clock.value(t_prime)
+    slow_until = shift / epsilon
+    if slow_until > t_eval + 1e-9:
+        raise ScheduleError(
+            f"slow-down interval {slow_until} exceeds t_eval={t_eval}; "
+            "the base execution is not phi-framed enough"
+        )
+
+    # Victim's modified rate: base − ε on [0, slow_until], base afterwards.
+    base_rate = base_schedules[victim]
+    times = []
+    rates = []
+    for start, rate in base_rate.segments:
+        if start < slow_until:
+            times.append(start)
+            rates.append(rate - epsilon)
+        else:
+            times.append(start)
+            rates.append(rate)
+    if slow_until not in times and slow_until > times[0]:
+        times.append(slow_until)
+        rates.append(base_rate.rate_at(slow_until))
+        order = sorted(range(len(times)), key=times.__getitem__)
+        times = [times[i] for i in order]
+        rates = [rates[i] for i in order]
+    modified_schedules = dict(base_schedules)
+    modified_schedules[victim] = PiecewiseConstantRate(times, rates)
+    modified_clocks = {
+        node: HardwareClock(schedule, 0.0)
+        for node, schedule in modified_schedules.items()
+    }
+
+    def delay_fn(sender, receiver, send_time, seq):
+        send_local = modified_clocks[sender].value(send_time)
+        base_send_time = base_clocks[sender].time_at_value(send_local)
+        reference = base_delay(sender, receiver, base_send_time, seq)
+        value = corrected_delay(
+            send_time,
+            reference,
+            base_clocks[sender],
+            base_clocks[receiver],
+            modified_clocks[sender],
+            modified_clocks[receiver],
+        )
+        return min(max(value, 0.0), delay_bound)
+
+    drift = ExplicitDrift(epsilon, modified_schedules)
+    return drift, FunctionDelay(delay_fn, max_delay=delay_bound), t_prime
+
+
+def find_largest_jump(
+    trace: ExecutionTrace, after: float = 0.0
+) -> Tuple[Optional[NodeId], float, float]:
+    """The biggest discontinuous clock jump in a trace.
+
+    Returns ``(node, jump_time, jump_size)`` (``(None, 0, 0)`` if no node
+    ever jumped).  Used to aim Lemma 7.10 at the moment a jumping
+    algorithm used "infinite rate": choosing ``t_eval`` just after the
+    jump puts the whole jump inside the erased window.
+    """
+    best_node, best_time, best_size = None, 0.0, 0.0
+    for node, record in trace.logical.items():
+        for t in record.jump_times:
+            if t < after:
+                continue
+            size = record.value(t) - record.value_left(t)
+            if size > best_size:
+                best_node, best_time, best_size = node, t, size
+    return best_node, best_time, best_size
+
+
+@dataclass
+class RateCaptureResult:
+    """Outcome of applying Lemma 7.10 to one execution and victim."""
+
+    victim: NodeId
+    t_eval: float
+    t_prime: float
+    base_progress: float  # L_victim^E(t) − L_victim^E(t') — what was erased
+    forced_skew: float  # worst |L_victim − L_neighbor| at t in the slowed run
+    indistinguishable: Optional[bool]
+    base_trace: ExecutionTrace
+    slowed_trace: ExecutionTrace
+
+
+def run_rate_capture(
+    topology: Topology,
+    algorithm_factory: Callable[[], Algorithm],
+    base_schedules: Mapping[NodeId, PiecewiseConstantRate],
+    base_delay: Callable[[NodeId, NodeId, float, int], float],
+    delay_bound: float,
+    epsilon: float,
+    victim: NodeId,
+    t_eval: float,
+    phi: Optional[float] = None,
+    verify_indistinguishability: bool = True,
+) -> RateCaptureResult:
+    """Run base and slowed executions; measure the exposed neighbor skew.
+
+    ``base_schedules`` must keep all rates in ``[1, 1+ε]`` and
+    ``base_delay`` must return delays in ``[φT, (1−φ)T]`` (the φ-framing
+    Lemma 7.10 requires); both are validated.
+    """
+    phi = phi_for_epsilon(epsilon) if phi is None else phi
+    for node, schedule in base_schedules.items():
+        schedule.check_bounds(1.0 - 1e-12, 1 + epsilon + 1e-12)
+    horizon = t_eval + delay_bound
+
+    def checked_base_delay(sender, receiver, send_time, seq):
+        value = base_delay(sender, receiver, send_time, seq)
+        low, high = phi * delay_bound, (1 - phi) * delay_bound
+        if not (low - 1e-9 <= value <= high + 1e-9):
+            raise ScheduleError(
+                f"base delay {value} outside phi-framed range [{low}, {high}]"
+            )
+        return value
+
+    base_drift = ExplicitDrift(epsilon, base_schedules)
+    base_trace = run_execution(
+        topology,
+        algorithm_factory(),
+        base_drift,
+        FunctionDelay(checked_base_delay, max_delay=delay_bound),
+        horizon,
+        initiators=list(topology.nodes),
+        record_messages=verify_indistinguishability,
+    )
+
+    drift, delay_model, t_prime = slowed_node_schedules(
+        base_schedules, victim, t_eval, phi, delay_bound, epsilon,
+        checked_base_delay,
+    )
+    slowed_trace = run_execution(
+        topology,
+        algorithm_factory(),
+        drift,
+        delay_model,
+        horizon,
+        initiators=list(topology.nodes),
+        record_messages=verify_indistinguishability,
+    )
+
+    indistinguishable = None
+    if verify_indistinguishability:
+        indistinguishable, _detail = patterns_match(
+            base_trace, slowed_trace, tolerance=1e-6, allow_prefix=True
+        )
+
+    base_progress = base_trace.logical[victim].value(t_eval) - base_trace.logical[
+        victim
+    ].value(t_prime)
+    forced = max(
+        abs(slowed_trace.skew(victim, neighbor, t_eval))
+        for neighbor in topology.neighbors(victim)
+    )
+    return RateCaptureResult(
+        victim=victim,
+        t_eval=t_eval,
+        t_prime=t_prime,
+        base_progress=base_progress,
+        forced_skew=forced,
+        indistinguishable=indistinguishable,
+        base_trace=base_trace,
+        slowed_trace=slowed_trace,
+    )

@@ -1,0 +1,61 @@
+"""Measurement, accounting and reporting utilities for experiments."""
+
+from repro.analysis.complexity import (
+    BitStats,
+    MessageStats,
+    bit_stats,
+    message_stats,
+    space_estimate_bits,
+)
+from repro.analysis.metrics import (
+    LegalStateReport,
+    check_envelope,
+    check_legal_state,
+    check_rate_bounds,
+    estimate_accuracy_errors,
+    gradient_curve,
+    summarize,
+)
+from repro.analysis.montecarlo import (
+    DistributionSummary,
+    SkewSample,
+    run_monte_carlo,
+    summarize_samples,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.timeseries import (
+    ascii_chart,
+    convergence_time,
+    pair_skew_series,
+    recovery_rate,
+    series_to_csv,
+    spread_series,
+    time_above,
+)
+
+__all__ = [
+    "run_monte_carlo",
+    "summarize_samples",
+    "SkewSample",
+    "DistributionSummary",
+    "spread_series",
+    "pair_skew_series",
+    "convergence_time",
+    "recovery_rate",
+    "time_above",
+    "series_to_csv",
+    "ascii_chart",
+    "summarize",
+    "gradient_curve",
+    "check_envelope",
+    "check_rate_bounds",
+    "check_legal_state",
+    "estimate_accuracy_errors",
+    "LegalStateReport",
+    "message_stats",
+    "bit_stats",
+    "space_estimate_bits",
+    "MessageStats",
+    "BitStats",
+    "format_table",
+]

@@ -1,0 +1,182 @@
+"""Message, bit, and space complexity accounting (Section 6 of the paper).
+
+Section 6 proves three complexity properties of A^opt:
+
+* **message complexity** (§6.1) — amortized message frequency ``Θ(1/H0)``
+  per node, i.e. ``Θ(ε̂/T̂)`` for the recommended ``H0 = T̂/μ``;
+* **bit complexity** (§6.2) — messages need only ``O(log 1/μ)`` bits (and
+  ``O(1)`` with the minimum-send-gap variant);
+* **space complexity** (§6.3) — per node
+  ``O(log fT + log μD + Δ(log 1/μ + log εμD + log log_{μ/ε} D))`` bits.
+
+The functions here measure the first two from traces and evaluate the
+third as a closed-form budget for comparison with the variant
+implementations in :mod:`repro.variants.bit_budget`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from repro.core.params import SyncParams
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "MessageStats",
+    "BitStats",
+    "message_stats",
+    "bit_stats",
+    "amortized_frequency_bound",
+    "space_estimate_bits",
+    "encoded_state_bits",
+]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Per-execution message accounting."""
+
+    total: int
+    per_node_mean: float
+    per_node_max: int
+    mean_frequency: float  # messages per unit time per node
+    max_frequency: float
+
+
+@dataclass(frozen=True)
+class BitStats:
+    """Per-execution bit accounting."""
+
+    total_bits: int
+    mean_bits_per_message: float
+    max_message_bits: Optional[int]  # None without a message log
+
+
+def message_stats(trace: ExecutionTrace) -> MessageStats:
+    """Counts and amortized frequencies from a trace."""
+    counts = trace.messages_sent
+    nodes = list(counts)
+    frequencies = [trace.amortized_message_frequency(n) for n in nodes]
+    total = sum(counts.values())
+    return MessageStats(
+        total=total,
+        per_node_mean=total / len(nodes),
+        per_node_max=max(counts.values()),
+        mean_frequency=sum(frequencies) / len(frequencies),
+        max_frequency=max(frequencies),
+    )
+
+
+def bit_stats(trace: ExecutionTrace) -> BitStats:
+    """Bit totals; per-message maximum requires ``record_messages=True``."""
+    total_messages = trace.total_messages()
+    total_bits = trace.total_bits()
+    max_bits = (
+        max((m.size_bits for m in trace.message_log), default=0)
+        if trace.message_log
+        else None
+    )
+    return BitStats(
+        total_bits=total_bits,
+        mean_bits_per_message=(total_bits / total_messages) if total_messages else 0.0,
+        max_message_bits=max_bits,
+    )
+
+
+def amortized_frequency_bound(params: SyncParams) -> float:
+    """§6.1: the amortized send frequency is at most ``(1 + ε)/H0``.
+
+    ``L^max`` advances at most at rate ``1 + ε`` system-wide (Corollary
+    5.2 (ii)) and a node sends once per ``H0`` of ``L^max`` progress, plus
+    the one-off initialization send which amortizes away.
+    """
+    return (1 + params.epsilon) / params.h0
+
+
+def encoded_state_bits(
+    node, params: SyncParams, hardware_now: float, logical_now: float
+) -> int:
+    """Bits to store one A^opt node's *current* state per the §6.3 encoding.
+
+    Applies the paper's storage scheme to the node's live values:
+
+    * per neighbor ``w``: the skew ``L_v − L_v^w`` rounded to multiples of
+      ``μ·H0`` (the §6.3 resolution) — ``⌈log2(|skew|/(μH0) + 2)⌉`` bits
+      each plus a sign bit;
+    * the gap ``L^max_v − L_v`` as a multiple of ``H0`` (it is bounded by
+      ``G`` and the announced part is a multiple of ``H0``);
+    * per neighbor: the elapsed-local-time counter at resolution
+      ``Θ(μ·H0)`` over one send period — ``⌈log2(1/μ + 2)⌉`` bits;
+    * the offset to the next send mark, also at resolution ``μ·H0``.
+
+    This is the measured companion of :func:`space_estimate_bits`: the
+    formula bounds the worst case, this counts what the encoding needs for
+    the state actually reached.
+    """
+    quantum = params.mu * params.h0
+
+    def width(value_range: float) -> int:
+        steps = max(value_range, 0.0) / quantum + 2
+        return max(1, math.ceil(math.log2(steps)))
+
+    bits = 0
+    # Per-neighbor skew registers (sign + magnitude).
+    for neighbor in node.neighbors:
+        estimate = node.estimate_of(neighbor, hardware_now)
+        if estimate is None:
+            bits += 1  # "unknown" flag
+            continue
+        bits += 1 + width(abs(estimate - logical_now))
+    # L^max − L as a multiple of H0 (announced parts are multiples).
+    lmax_gap = node.l_max(hardware_now) - logical_now
+    bits += max(1, math.ceil(math.log2(max(lmax_gap, 0.0) / params.h0 + 2)))
+    # Per-neighbor elapsed-time counters at resolution mu*H0 over <= H0.
+    bits += len(node.neighbors) * max(1, math.ceil(math.log2(1 / params.mu + 2)))
+    # Next-mark offset within one H0 period.
+    bits += max(1, math.ceil(math.log2(1 / params.mu + 2)))
+    return bits
+
+
+def _log2_at_least_one(x: float) -> float:
+    """``max(log2(x), 1)`` — each stored quantity needs at least one bit.
+
+    Mirrors footnote 12 of the paper ("each summand has to be replaced by
+    the maximum of the term itself and 1").
+    """
+    return max(1.0, math.log2(max(x, 2.0)))
+
+
+def space_estimate_bits(
+    params: SyncParams,
+    diameter: int,
+    degree: int,
+    clock_frequency: float,
+) -> float:
+    """§6.3 closed-form space budget in bits (up to the hidden constants).
+
+    ``O(log(fT) + log(μD) + Δ·(log(1/μ) + log(εμD) + log log_{μ/ε} D))``
+    evaluated with unit constants; used as the comparison line for the
+    bit-budget variant's measured state size.
+    """
+    if diameter < 1:
+        raise ValueError(f"diameter must be >= 1, got {diameter}")
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    f_t = clock_frequency * max(params.delay_bound, 1e-12)
+    mu_d = params.mu * diameter
+    per_neighbor = (
+        _log2_at_least_one(1 / params.mu)
+        + _log2_at_least_one(params.epsilon * params.mu * diameter)
+        + _log2_at_least_one(
+            math.log(max(diameter, 2), max(params.mu / params.epsilon, 2))
+        )
+    )
+    return (
+        _log2_at_least_one(f_t)
+        + _log2_at_least_one(mu_d)
+        + degree * per_neighbor
+    )

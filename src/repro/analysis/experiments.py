@@ -1,0 +1,186 @@
+"""Shared experiment harnesses used by the benchmark suite.
+
+The paper's upper bounds quantify over *all* executions; an experiment can
+only run finitely many, so each upper-bound benchmark runs a *suite* of
+adversarial schedules (the known worst-case patterns) and reports the
+worst observation, which must stay below the bound.  Lower-bound
+benchmarks instead replay the constructions from Section 7 (see
+:mod:`repro.adversary`), whose forced skew must come close to the bound
+from below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import Algorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import (
+    ConstantDelay,
+    DelayModel,
+    DistanceDirectedDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+from repro.sim.drift import (
+    AlternatingDrift,
+    ConstantDrift,
+    DriftModel,
+    RandomWalkDrift,
+    TwoGroupDrift,
+)
+from repro.sim.runner import run_execution
+from repro.sim.trace import ExecutionTrace
+from repro.topology.generators import Topology
+from repro.topology.properties import bfs_distances, diameter as graph_diameter
+
+__all__ = [
+    "AdversaryCase",
+    "standard_adversaries",
+    "SuiteResult",
+    "run_adversary_suite",
+    "default_horizon",
+]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class AdversaryCase:
+    """A named (drift model, delay model) pair — one adversary strategy."""
+
+    name: str
+    drift: DriftModel
+    delay: DelayModel
+
+
+def standard_adversaries(
+    topology: Topology, params: SyncParams, seed: int = 0
+) -> List[AdversaryCase]:
+    """The standard worst-case-pattern suite for upper-bound experiments.
+
+    Covers the known skew-building mechanisms: the slow initialization
+    wave, coherent two-group drift, antiphase neighbor drift, random
+    drift walks, direction-biased delays, and random delays.
+    """
+    epsilon = params.epsilon
+    delay_bound = params.delay_bound
+    nodes = topology.nodes
+    half = set(nodes[: len(nodes) // 2])
+    phases = {node: index % 2 for index, node in enumerate(nodes)}
+    reference_distances = bfs_distances(topology, nodes[0])
+    # Antiphase period long enough for skew to accumulate between flips but
+    # short enough for several flips per run.
+    flip_period = max(
+        10 * params.h0, params.kappa / max(2 * epsilon, 1e-9) / 4
+    )
+    cases = [
+        AdversaryCase(
+            "slow-delays",
+            ConstantDrift(epsilon),
+            ConstantDelay(delay_bound, max_delay=delay_bound),
+        ),
+        AdversaryCase(
+            "two-group-drift",
+            TwoGroupDrift(epsilon, half),
+            ConstantDelay(delay_bound, max_delay=delay_bound),
+        ),
+        AdversaryCase(
+            "antiphase-drift",
+            AlternatingDrift(epsilon, flip_period, phases),
+            ConstantDelay(delay_bound, max_delay=delay_bound),
+        ),
+        AdversaryCase(
+            "random-walk-drift",
+            RandomWalkDrift(epsilon, step_period=5 * params.h0,
+                            step_size=epsilon / 2, seed=seed),
+            UniformDelay(0.0, delay_bound, seed=seed),
+        ),
+        AdversaryCase(
+            "directed-delays",
+            TwoGroupDrift(epsilon, half),
+            DistanceDirectedDelay(reference_distances, toward=delay_bound, away=0.0),
+        ),
+        AdversaryCase(
+            "zero-delays",
+            TwoGroupDrift(epsilon, half),
+            ZeroDelay(max_delay=delay_bound),
+        ),
+    ]
+    return cases
+
+
+@dataclass
+class SuiteResult:
+    """Worst observations over a suite of adversary cases."""
+
+    worst_global: float
+    worst_global_case: str
+    worst_local: float
+    worst_local_case: str
+    per_case: Dict[str, Dict[str, float]]
+    traces: Dict[str, ExecutionTrace]
+
+
+def default_horizon(params: SyncParams, diameter: int) -> float:
+    """A horizon long enough for skew to build and be corrected repeatedly.
+
+    Covers the initialization flood (``D·T``), several catch-up periods
+    (skew up to ``G`` corrected at rate ``≈ μ``), and several send
+    periods.
+    """
+    base = max(params.delay_bound, params.h0 / 4)
+    correction = params.kappa / max(params.mu * (1 - params.epsilon), 1e-9)
+    return 4 * diameter * base + 6 * correction + 20 * params.h0
+
+
+def run_adversary_suite(
+    topology: Topology,
+    algorithm_factory: Callable[[], Algorithm],
+    params: SyncParams,
+    horizon: Optional[float] = None,
+    cases: Optional[Sequence[AdversaryCase]] = None,
+    keep_traces: bool = False,
+    initiators=None,
+) -> SuiteResult:
+    """Run every adversary case and aggregate the worst skews."""
+    d = graph_diameter(topology)
+    if horizon is None:
+        horizon = default_horizon(params, d)
+    if cases is None:
+        cases = standard_adversaries(topology, params)
+    per_case: Dict[str, Dict[str, float]] = {}
+    traces: Dict[str, ExecutionTrace] = {}
+    worst_global, worst_local = -1.0, -1.0
+    worst_global_case = worst_local_case = ""
+    for case in cases:
+        trace = run_execution(
+            topology,
+            algorithm_factory(),
+            case.drift,
+            case.delay,
+            horizon,
+            initiators=initiators,
+        )
+        global_skew = trace.global_skew().value
+        local_skew = trace.local_skew().value
+        per_case[case.name] = {
+            "global_skew": global_skew,
+            "local_skew": local_skew,
+            "messages": float(trace.total_messages()),
+        }
+        if keep_traces:
+            traces[case.name] = trace
+        if global_skew > worst_global:
+            worst_global, worst_global_case = global_skew, case.name
+        if local_skew > worst_local:
+            worst_local, worst_local_case = local_skew, case.name
+    return SuiteResult(
+        worst_global=worst_global,
+        worst_global_case=worst_global_case,
+        worst_local=worst_local,
+        worst_local_case=worst_local_case,
+        per_case=per_case,
+        traces=traces,
+    )

@@ -1,0 +1,118 @@
+"""Plain-text table rendering for benchmark reports.
+
+EXPERIMENTS.md and the benchmark output both use these fixed-width tables
+so paper-vs-measured comparisons stay readable in a terminal and in git
+diffs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+__all__ = ["format_table", "format_value", "format_latex_table"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str``.
+
+    >>> format_value(3.14159265)
+    '3.1416'
+    >>> format_value(True)
+    'yes'
+    >>> format_value(0.0)
+    '0'
+    """
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-4:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_latex_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 4,
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """Render rows as a LaTeX ``tabular`` (optionally wrapped in a table).
+
+    For dropping reproduction results straight into a paper draft.
+    Special LaTeX characters in cells are escaped.
+
+    >>> print(format_latex_table(["D", "G"], [[4, 4.33]]))
+    \\begin{tabular}{ll}
+    \\toprule
+    D & G \\\\
+    \\midrule
+    4 & 4.3300 \\\\
+    \\bottomrule
+    \\end{tabular}
+    """
+    def escape(text: str) -> str:
+        for char in ("&", "%", "#", "_"):
+            text = text.replace(char, "\\" + char)
+        return text
+
+    lines: List[str] = []
+    if caption or label:
+        lines.append("\\begin{table}[t]")
+        lines.append("\\centering")
+    body: List[str] = []
+    column_spec = "l" * len(headers)
+    body.append(f"\\begin{{tabular}}{{{column_spec}}}")
+    body.append("\\toprule")
+    body.append(" & ".join(escape(h) for h in headers) + " \\\\")
+    body.append("\\midrule")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        body.append(
+            " & ".join(escape(format_value(cell, precision)) for cell in row)
+            + " \\\\"
+        )
+    body.append("\\bottomrule")
+    body.append("\\end{tabular}")
+    lines.extend(body)
+    if caption:
+        lines.append(f"\\caption{{{escape(caption)}}}")
+    if label:
+        lines.append(f"\\label{{{label}}}")
+    if caption or label:
+        lines.append("\\end{table}")
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Align ``rows`` under ``headers`` with a separator line."""
+    rendered: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Skew time series and convergence analysis.
+
+Lemma 5.7 of the paper is a statement about *dynamics*: the potential
+``Ξ`` (worst over-skew relative to the legal level) decreases at an
+average rate of at least ``(1 − ε)·μ`` once nodes can react.  These
+helpers expose the dynamics of a finished execution:
+
+* :func:`spread_series` / :func:`pair_skew_series` — skew as a function
+  of time (evaluated exactly at the requested instants);
+* :func:`convergence_time` — when the spread first enters (and stays in)
+  a band;
+* :func:`recovery_rate` — the measured decay slope of the spread after a
+  perturbation, for comparison with ``(1 − ε)·μ``;
+* :func:`series_to_csv` and :func:`ascii_chart` — export and quick-look
+  rendering.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "spread_series",
+    "pair_skew_series",
+    "convergence_time",
+    "recovery_rate",
+    "time_above",
+    "series_to_csv",
+    "ascii_chart",
+]
+
+NodeId = Hashable
+Series = List[Tuple[float, float]]
+
+
+def _grid(t0: float, t1: float, samples: int) -> List[float]:
+    if samples < 2:
+        raise TraceError(f"need at least 2 samples, got {samples}")
+    if not t1 > t0:
+        raise TraceError(f"need t1 > t0, got [{t0}, {t1}]")
+    step = (t1 - t0) / (samples - 1)
+    return [t0 + i * step for i in range(samples)]
+
+
+def spread_series(
+    trace: ExecutionTrace,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+    samples: int = 200,
+) -> Series:
+    """``(t, max_v L_v(t) − min_v L_v(t))`` on an even grid."""
+    t1 = trace.horizon if t1 is None else t1
+    return [(t, trace.spread_at(t)) for t in _grid(t0, t1, samples)]
+
+
+def pair_skew_series(
+    trace: ExecutionTrace,
+    a: NodeId,
+    b: NodeId,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+    samples: int = 200,
+) -> Series:
+    """``(t, L_a(t) − L_b(t))`` on an even grid."""
+    t1 = trace.horizon if t1 is None else t1
+    return [(t, trace.skew(a, b, t)) for t in _grid(t0, t1, samples)]
+
+
+def convergence_time(
+    series: Series, threshold: float, hold: int = 5
+) -> Optional[float]:
+    """First time from which the series stays ≤ ``threshold``.
+
+    Requires the value to remain under the threshold for at least ``hold``
+    consecutive samples (and through the end of the series); returns
+    ``None`` if it never converges.
+    """
+    run_start: Optional[float] = None
+    run_length = 0
+    for t, value in series:
+        if value <= threshold:
+            if run_start is None:
+                run_start, run_length = t, 1
+            else:
+                run_length += 1
+        else:
+            run_start, run_length = None, 0
+    if run_start is not None and run_length >= hold:
+        return run_start
+    return None
+
+
+def recovery_rate(series: Series, floor: float = 0.0) -> float:
+    """The average decay slope from the series' peak to its re-entry.
+
+    Finds the maximum value, then the first subsequent time the series
+    drops to ``floor + 5%`` of the peak-to-floor gap, and returns
+    ``(peak − value) / elapsed`` — the measured analogue of Lemma 5.7's
+    ``(1 − ε)·μ`` correction rate.  Raises if the series never recovers.
+    """
+    if not series:
+        raise TraceError("empty series")
+    peak_index = max(range(len(series)), key=lambda i: series[i][1])
+    peak_time, peak_value = series[peak_index]
+    target = floor + 0.05 * (peak_value - floor)
+    for t, value in series[peak_index + 1:]:
+        if value <= target:
+            if t == peak_time:
+                break
+            return (peak_value - value) / (t - peak_time)
+    raise TraceError(
+        f"series never recovered to {target} after its peak {peak_value}"
+    )
+
+
+def time_above(series: Series, threshold: float) -> float:
+    """Total time the series spends at or above ``threshold``.
+
+    Supports the duration claims after Theorem 7.7: not only does a large
+    local skew occur, it *persists* — e.g. a skew of ``Ω(αT·log_b D)``
+    between some neighbors for ``Θ(T·√D)`` time.  Sums the grid intervals
+    whose left sample is at or above the threshold (a Riemann
+    approximation at the series' own resolution).
+    """
+    if len(series) < 2:
+        raise TraceError("need at least two samples to measure a duration")
+    total = 0.0
+    for (t_left, value), (t_right, _) in zip(series, series[1:]):
+        if value >= threshold:
+            total += t_right - t_left
+    return total
+
+
+def series_to_csv(series: Series, header: Tuple[str, str] = ("t", "value")) -> str:
+    """Render a series as CSV text (for external plotting)."""
+    buffer = io.StringIO()
+    buffer.write(f"{header[0]},{header[1]}\n")
+    for t, value in series:
+        buffer.write(f"{t!r},{value!r}\n")
+    return buffer.getvalue()
+
+
+def ascii_chart(
+    series: Series, width: int = 72, height: int = 12, label: str = ""
+) -> str:
+    """A quick-look text chart of a series (terminal 'figure').
+
+    Values are max-pooled into ``width`` columns and drawn on a
+    ``height``-row grid with the value range annotated.
+    """
+    if not series:
+        raise TraceError("empty series")
+    values = [v for _, v in series]
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    columns: List[float] = []
+    per_column = max(1, len(series) // width)
+    for i in range(0, len(series), per_column):
+        chunk = values[i:i + per_column]
+        columns.append(max(chunk))
+    grid = [[" "] * len(columns) for _ in range(height)]
+    for x, value in enumerate(columns):
+        level = int(round((value - low) / span * (height - 1)))
+        for y in range(level + 1):
+            grid[height - 1 - y][x] = "█" if y == level else "·"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"max {high:.4f}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min {low:.4f}   t in [{series[0][0]:.1f}, {series[-1][0]:.1f}]")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Baseline algorithms the paper positions A^opt against.
+
+* :class:`FreeRunningAlgorithm` — no synchronization at all (control).
+* :class:`MaxForwardAlgorithm` — Srikanth–Toueg-style max-based
+  synchronization: asymptotically optimal global skew but ``Θ(D)``
+  worst-case *local* skew (Section 2 of the paper).
+* :class:`MidpointAlgorithm` — chase the midpoint of the fastest and
+  slowest neighbor estimate; the "simpler approach" that Section 4.2 notes
+  fails to achieve even a sublinear local skew bound.
+* :class:`ObliviousGradientAlgorithm` — the blocking algorithm of
+  Locher–Wattenhofer (DISC 2006) with an ``O(√(εD))`` local skew.
+"""
+
+from repro.baselines.free_running import FreeRunningAlgorithm
+from repro.baselines.max_forward import MaxForwardAlgorithm
+from repro.baselines.midpoint import MidpointAlgorithm
+from repro.baselines.oblivious_gradient import ObliviousGradientAlgorithm
+
+__all__ = [
+    "FreeRunningAlgorithm",
+    "MaxForwardAlgorithm",
+    "MidpointAlgorithm",
+    "ObliviousGradientAlgorithm",
+]

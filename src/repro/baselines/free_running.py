@@ -1,0 +1,48 @@
+"""No synchronization: logical clocks equal hardware clocks.
+
+The control baseline.  Skew between two nodes grows at up to ``2ε`` per
+unit time without bound, illustrating why synchronization is needed at
+all.  Nodes still flood one initialization message so that the whole
+system starts within ``D·T`` time, as in the paper's model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
+
+__all__ = ["FreeRunningAlgorithm"]
+
+NodeId = Hashable
+
+_INIT_ALARM = "init-flood"
+
+
+class _FreeRunningNode(AlgorithmNode):
+    def __init__(self) -> None:
+        self._flooded = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        # Fire immediately after the wake event (or the waking message) so
+        # every node forwards the initialization flood exactly once.
+        ctx.set_alarm(_INIT_ALARM, 0.0)
+
+    def on_alarm(self, ctx: NodeContext, name: str) -> None:
+        if name == _INIT_ALARM and not self._flooded:
+            self._flooded = True
+            ctx.send_all(("init",))
+
+    def on_message(self, ctx: NodeContext, sender: NodeId, payload: Any) -> None:
+        # The waking message already triggered on_start; nothing to do.
+        pass
+
+
+class FreeRunningAlgorithm(Algorithm):
+    """Logical clock ≡ hardware clock; one-shot initialization flood."""
+
+    allows_jumps = False
+    name = "free-running"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]) -> AlgorithmNode:
+        return _FreeRunningNode()

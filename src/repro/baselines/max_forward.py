@@ -1,0 +1,82 @@
+"""Max-based synchronization (Srikanth–Toueg style).
+
+Every node periodically broadcasts its logical clock value; upon receiving
+a larger value it jumps its own clock to the received value and forwards
+it.  This achieves an asymptotically optimal ``O(D·T)`` global skew and
+keeps clocks inside the real-time envelope, but — as the paper's related
+work section points out — it incurs a ``Θ(D)`` *local* skew in the worst
+case: on a ring, the node adjacent to where a "max wave" has not yet
+arrived can lag the already-updated neighbor by nearly the full global
+skew (the two neighbors learned the maximum over paths whose lengths
+differ by ``Θ(D)``).
+
+The jump makes the logical clock rate unbounded above (``β = ∞``), so the
+algorithm declares ``allows_jumps``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
+
+__all__ = ["MaxForwardAlgorithm"]
+
+NodeId = Hashable
+
+_SEND_ALARM = "periodic-send"
+_INIT_ALARM = "init-send"
+
+
+class _MaxForwardNode(AlgorithmNode):
+    def __init__(self, send_period: float):
+        self._send_period = send_period
+        self._sent_init = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.set_alarm(_INIT_ALARM, 0.0)
+
+    def _broadcast(self, ctx: NodeContext) -> None:
+        ctx.send_all((ctx.logical(),))
+        ctx.set_alarm(_SEND_ALARM, ctx.hardware() + self._send_period)
+
+    def on_alarm(self, ctx: NodeContext, name: str) -> None:
+        if name == _INIT_ALARM:
+            if not self._sent_init:
+                self._sent_init = True
+                self._broadcast(ctx)
+        elif name == _SEND_ALARM:
+            self._broadcast(ctx)
+
+    def on_message(self, ctx: NodeContext, sender: NodeId, payload: Any) -> None:
+        (their_logical,) = payload
+        if not self._sent_init:
+            # Woken by this message: join the protocol.
+            self._sent_init = True
+            self._broadcast(ctx)
+        if their_logical > ctx.logical():
+            ctx.jump_logical(their_logical)
+            # Forward the new maximum immediately so it floods at network
+            # speed rather than at the periodic send cadence.
+            ctx.send_all((ctx.logical(),))
+
+
+class MaxForwardAlgorithm(Algorithm):
+    """Jump to the largest clock value heard; broadcast every ``send_period``.
+
+    Parameters
+    ----------
+    send_period:
+        Hardware time between periodic broadcasts (the ``H0`` analogue).
+    """
+
+    allows_jumps = True
+
+    def __init__(self, send_period: float):
+        if send_period <= 0:
+            raise ValueError(f"send_period must be positive, got {send_period}")
+        self.send_period = float(send_period)
+        self.name = "max-forward"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]) -> AlgorithmNode:
+        return _MaxForwardNode(self.send_period)

@@ -1,0 +1,116 @@
+"""Midpoint averaging — the "simpler approach" that fails.
+
+Section 4.2 of the paper remarks that attempting to keep the own clock at
+the midpoint between the largest and the smallest neighbor estimate
+"fails to achieve even a sublinear bound on the local skew"
+(Locher–Wattenhofer 2006).  This baseline implements exactly that rule so
+the failure is measurable:
+
+* every node broadcasts its logical clock value every ``send_period`` of
+  hardware time;
+* neighbor estimates advance at the local hardware rate between updates;
+* the node runs its logical clock at ``(1 + μ)·h_v`` while the clock is
+  below the midpoint of the extreme neighbor estimates, and at ``h_v``
+  otherwise.
+
+Like A^opt it never jumps, but unlike A^opt it has no ``L^max`` flooding
+and no multi-level rate rule — its skew against distant nodes can grow
+linearly with the distance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, Sequence, Tuple
+
+from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
+
+__all__ = ["MidpointAlgorithm"]
+
+NodeId = Hashable
+
+_SEND_ALARM = "periodic-send"
+_INIT_ALARM = "init-send"
+_RATE_ALARM = "rate-reset"
+
+
+class _MidpointNode(AlgorithmNode):
+    def __init__(self, send_period: float, mu: float):
+        self._send_period = send_period
+        self._mu = mu
+        self._sent_init = False
+        self._estimates: Dict[NodeId, Tuple[float, float]] = {}
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.set_alarm(_INIT_ALARM, 0.0)
+
+    def _broadcast(self, ctx: NodeContext) -> None:
+        ctx.send_all((ctx.logical(),))
+        ctx.set_alarm(_SEND_ALARM, ctx.hardware() + self._send_period)
+
+    def _update_rate(self, ctx: NodeContext) -> None:
+        if not self._estimates:
+            return
+        hardware_now = ctx.hardware()
+        values = [
+            value + (hardware_now - anchor)
+            for value, anchor in self._estimates.values()
+        ]
+        midpoint = (max(values) + min(values)) / 2
+        gap = midpoint - ctx.logical()
+        if gap > 0:
+            ctx.set_rate_multiplier(1 + self._mu)
+            # Estimates and the midpoint advance at h_v while the clock
+            # advances at (1 + mu) h_v, so the gap closes after gap/mu of
+            # hardware time.
+            ctx.set_alarm(_RATE_ALARM, hardware_now + gap / self._mu)
+        else:
+            ctx.set_rate_multiplier(1.0)
+            ctx.cancel_alarm(_RATE_ALARM)
+
+    def on_alarm(self, ctx: NodeContext, name: str) -> None:
+        if name == _INIT_ALARM:
+            if not self._sent_init:
+                self._sent_init = True
+                self._broadcast(ctx)
+        elif name == _SEND_ALARM:
+            self._broadcast(ctx)
+        elif name == _RATE_ALARM:
+            ctx.set_rate_multiplier(1.0)
+
+    def on_message(self, ctx: NodeContext, sender: NodeId, payload: Any) -> None:
+        (their_logical,) = payload
+        if not self._sent_init:
+            self._sent_init = True
+            self._broadcast(ctx)
+        previous = self._estimates.get(sender)
+        if previous is None or their_logical > -math.inf:
+            # Fresher information supersedes the extrapolated estimate.
+            self._estimates[sender] = (their_logical, ctx.hardware())
+        self._update_rate(ctx)
+
+
+class MidpointAlgorithm(Algorithm):
+    """Chase the midpoint of the extreme neighbor estimates.
+
+    Parameters
+    ----------
+    send_period:
+        Hardware time between broadcasts.
+    mu:
+        Catch-up rate boost (logical rate becomes ``(1 + μ)·h_v``).
+    """
+
+    allows_jumps = False
+
+    def __init__(self, send_period: float, mu: float):
+        if send_period <= 0:
+            raise ValueError(f"send_period must be positive, got {send_period}")
+        if mu <= 0:
+            raise ValueError(f"mu must be positive, got {mu}")
+        self.send_period = float(send_period)
+        self.mu = float(mu)
+        self.name = "midpoint"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]) -> AlgorithmNode:
+        return _MidpointNode(self.send_period, self.mu)

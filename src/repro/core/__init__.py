@@ -1,0 +1,35 @@
+"""The paper's primary contribution: the A^opt algorithm and its bounds."""
+
+from repro.core.bounds import (
+    global_skew_bound,
+    global_skew_lower_bound,
+    gradient_bound,
+    legal_state_distance,
+    legal_state_levels,
+    local_skew_bound,
+    local_skew_lower_bound,
+    local_skew_lower_bound_unbounded,
+)
+from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
+from repro.core.node import AoptAlgorithm, AoptNode
+from repro.core.params import SyncParams
+from repro.core.rate_rule import clamped_rate_increase, raw_rate_increase
+
+__all__ = [
+    "SyncParams",
+    "AoptAlgorithm",
+    "AoptNode",
+    "Algorithm",
+    "AlgorithmNode",
+    "NodeContext",
+    "raw_rate_increase",
+    "clamped_rate_increase",
+    "global_skew_bound",
+    "local_skew_bound",
+    "legal_state_levels",
+    "legal_state_distance",
+    "gradient_bound",
+    "global_skew_lower_bound",
+    "local_skew_lower_bound",
+    "local_skew_lower_bound_unbounded",
+]

@@ -1,0 +1,153 @@
+"""Closed-form bound formulas from the paper.
+
+Every experiment compares a *measured* worst-case skew against one of the
+expressions below:
+
+* Theorem 5.5 — global skew upper bound ``G``;
+* Theorem 5.10 — local skew upper bound ``κ(⌈log_σ(2G/κ)⌉ + ½)``;
+* Definition 5.6 — the legal-state gradient bound at every distance;
+* Theorem 7.2 / Corollary 7.3 — global skew lower bound ``(1 + ϱ)·D·T``;
+* Theorem 7.7 — local skew lower bound ``((⌊log_b D⌋ + 1)/2)·α·T``;
+* Theorem 7.12 — local skew lower bound ``Ω(α·T·log_{1/ε} D)`` for
+  unbounded rates.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "global_skew_bound",
+    "local_skew_bound",
+    "legal_state_distance",
+    "legal_state_levels",
+    "gradient_bound",
+    "global_skew_lower_bound",
+    "rho_accuracy_penalty",
+    "local_skew_lower_bound",
+    "local_skew_lower_bound_unbounded",
+]
+
+
+def global_skew_bound(params: SyncParams, diameter: int) -> float:
+    """Theorem 5.5: ``G = (1 + ε)·D·T + 2ε/(1 + ε)·H0``.
+
+    >>> params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+    >>> round(global_skew_bound(params, 8), 4)
+    8.5293
+    """
+    if diameter < 0:
+        raise ConfigurationError(f"diameter must be >= 0, got {diameter}")
+    return (1 + params.epsilon) * diameter * params.delay_bound + (
+        2 * params.epsilon / (1 + params.epsilon)
+    ) * params.h0
+
+
+def legal_state_levels(params: SyncParams, diameter: int) -> int:
+    """``s_max = ⌈log_σ(2G/κ)⌉`` — the number of legal-state levels.
+
+    Zero when ``2G ≤ κ`` (a single level already covers neighbors).
+    """
+    g = global_skew_bound(params, diameter)
+    ratio = 2 * g / params.kappa
+    if ratio <= 1:
+        return 0
+    return max(0, math.ceil(round(math.log(ratio, params.sigma), 12)))
+
+
+def local_skew_bound(params: SyncParams, diameter: int) -> float:
+    """Theorem 5.10: local skew ≤ ``κ(⌈log_σ(2G/κ)⌉ + ½)``."""
+    return params.kappa * (legal_state_levels(params, diameter) + 0.5)
+
+
+def legal_state_distance(params: SyncParams, diameter: int, s: int) -> float:
+    """Definition 5.6: ``C_s = (2G/κ)·σ^{−s}``."""
+    if s < 0:
+        raise ConfigurationError(f"level s must be >= 0, got {s}")
+    g = global_skew_bound(params, diameter)
+    return (2 * g / params.kappa) * params.sigma ** (-s)
+
+
+def gradient_bound(params: SyncParams, diameter: int, distance: int) -> float:
+    """Legal-state skew bound between nodes at hop distance ``distance``.
+
+    The smallest level ``s`` with ``C_s ≤ d`` gives skew ≤ ``d(s + ½)κ``
+    (Definition 5.6); this is the gradient property of Corollary 7.9 in
+    explicit constants.
+    """
+    if distance < 1:
+        raise ConfigurationError(f"distance must be >= 1, got {distance}")
+    g = global_skew_bound(params, diameter)
+    ratio = 2 * g / (params.kappa * distance)
+    s = 0 if ratio <= 1 else max(0, math.ceil(round(math.log(ratio, params.sigma), 12)))
+    return distance * (s + 0.5) * params.kappa
+
+
+def rho_accuracy_penalty(
+    epsilon: float, epsilon_hat: float, delay_ratio: float, drift_ratio: float
+) -> float:
+    """The ``ϱ`` of Theorem 7.2.
+
+    ``delay_ratio = c1 = T/T̂`` and ``drift_ratio = c2 = ε/ε̂`` quantify how
+    accurate the algorithm's knowledge is; the adversary can force a global
+    skew of ``(1 + ϱ)·D·T`` with ``ϱ = min(ε, (1 − c2·ε̂)/c1 − 1)``.
+    """
+    if not (0 < delay_ratio <= 1) or not (0 < drift_ratio <= 1):
+        raise ConfigurationError(
+            f"c1 and c2 must be in (0, 1], got c1={delay_ratio}, c2={drift_ratio}"
+        )
+    return min(epsilon, (1 - drift_ratio * epsilon_hat) / delay_ratio - 1)
+
+
+def global_skew_lower_bound(
+    diameter: int,
+    delay_bound: float,
+    epsilon: float,
+    delay_ratio: float = 1.0,
+    drift_ratio: float = 1.0,
+    epsilon_hat: float = None,
+) -> float:
+    """Theorem 7.2: forced global skew ``(1 + ϱ)·D·T``.
+
+    With exact knowledge (``c1 = c2 = 1``), ``ϱ = min(ε, −ε) = −ε``, giving
+    the Corollary 7.3 bound ``(1 − ε)·D·T``; with unknown bounds it rises
+    to ``(1 + ε)·D·T``.
+    """
+    epsilon_hat = epsilon if epsilon_hat is None else epsilon_hat
+    rho = rho_accuracy_penalty(epsilon, epsilon_hat, delay_ratio, drift_ratio)
+    return (1 + rho) * diameter * delay_bound
+
+
+def local_skew_lower_bound(
+    diameter: int, delay_bound: float, epsilon: float, alpha: float, beta: float
+) -> float:
+    """Theorem 7.7: forced local skew ``((⌊log_b D⌋ + 1)/2)·α·T``.
+
+    ``b = ⌈2(β − α)/(α·ε)⌉`` (clamped to ≥ 2 so the logarithm is defined).
+    """
+    if diameter < 1:
+        raise ConfigurationError(f"diameter must be >= 1, got {diameter}")
+    if not (0 < alpha <= beta):
+        raise ConfigurationError(f"need 0 < alpha <= beta, got {alpha}, {beta}")
+    b = max(2, math.ceil(2 * (beta - alpha) / (alpha * epsilon)))
+    return (1 + math.floor(math.log(diameter, b))) / 2 * alpha * delay_bound
+
+
+def local_skew_lower_bound_unbounded(
+    diameter: int, delay_bound: float, epsilon: float, alpha: float
+) -> float:
+    """Theorem 7.12: even with β = ∞, local skew is ``Ω(α·T·log_{1/ε} D)``.
+
+    Returns the leading term ``α·T·log_{1/ε} D`` (the theorem shows the
+    constant tends to 1 for small ε and large D).
+    """
+    if diameter < 1:
+        raise ConfigurationError(f"diameter must be >= 1, got {diameter}")
+    if not (0 < epsilon < 1):
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    if diameter == 1:
+        return alpha * delay_bound / 2
+    return alpha * delay_bound * math.log(diameter, 1 / epsilon)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class.  Invariant violations detected by runtime monitors
+(see :mod:`repro.sim.monitors`) raise :class:`InvariantViolation` with the
+offending node, time, and values attached for post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter set violates a constraint required by the model.
+
+    Raised, for example, when :class:`repro.core.params.SyncParams` is
+    constructed with ``kappa`` smaller than the bound of Inequality (4) of
+    the paper, or with a drift bound outside ``(0, 1)``.
+    """
+
+
+class TopologyError(ReproError):
+    """A graph is malformed for the requested operation (e.g. disconnected)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class ScheduleError(ReproError):
+    """An adversarial schedule is malformed (e.g. rate outside drift bounds)."""
+
+
+class TraceError(ReproError):
+    """A trace query is invalid (e.g. evaluating a clock before its start)."""
+
+
+class InvariantViolation(ReproError):
+    """A model invariant was violated at runtime.
+
+    Attributes
+    ----------
+    node:
+        Identifier of the node at which the violation was observed (may be
+        ``None`` for system-wide invariants).
+    time:
+        Real time of the violation.
+    detail:
+        Human-readable description with the offending values.
+    """
+
+    def __init__(self, detail: str, node: object = None, time: float = None):
+        super().__init__(detail)
+        self.detail = detail
+        self.node = node
+        self.time = time

@@ -1,0 +1,241 @@
+"""Hardware clock drift models.
+
+A drift model assigns every node a rate function within the drift bounds
+``[1 − ε, 1 + ε]`` of the model (Section 3).  Schedules are generated up
+front for the whole simulation horizon — the adversary in the paper fixes
+an execution in advance, and knowing the full schedule lets the engine
+convert hardware-time alarms to exact real times.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.errors import ScheduleError
+from repro.sim.rates import PiecewiseConstantRate, alternating_rate
+
+__all__ = [
+    "DriftModel",
+    "ConstantDrift",
+    "PerNodeDrift",
+    "TwoGroupDrift",
+    "AlternatingDrift",
+    "RandomWalkDrift",
+    "SinusoidalDrift",
+    "ExplicitDrift",
+]
+
+NodeId = Hashable
+
+
+class DriftModel:
+    """Base class: produces a hardware rate function per node.
+
+    Parameters
+    ----------
+    epsilon:
+        The maximum drift ``ε`` of the model; every produced rate must lie
+        in ``[1 − ε, 1 + ε]``, which :meth:`validated_rate_function`
+        enforces.
+    """
+
+    def __init__(self, epsilon: float):
+        if not (0 <= epsilon < 1):
+            raise ScheduleError(f"epsilon must be in [0, 1), got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def rate_function(self, node: NodeId, horizon: float) -> PiecewiseConstantRate:
+        raise NotImplementedError
+
+    def validated_rate_function(
+        self, node: NodeId, horizon: float
+    ) -> PiecewiseConstantRate:
+        rate = self.rate_function(node, horizon)
+        rate.check_bounds(1 - self.epsilon - 1e-12, 1 + self.epsilon + 1e-12)
+        return rate
+
+
+class ConstantDrift(DriftModel):
+    """Every node runs at the same constant rate (default: exactly 1)."""
+
+    def __init__(self, epsilon: float, rate: float = 1.0):
+        super().__init__(epsilon)
+        self.rate = float(rate)
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        return PiecewiseConstantRate.constant(self.rate)
+
+
+class PerNodeDrift(DriftModel):
+    """Constant per-node rates given by a mapping; others default to 1."""
+
+    def __init__(self, epsilon: float, rates: Mapping[NodeId, float], default: float = 1.0):
+        super().__init__(epsilon)
+        self._rates = dict(rates)
+        self.default = float(default)
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        return PiecewiseConstantRate.constant(self._rates.get(node, self.default))
+
+
+class TwoGroupDrift(DriftModel):
+    """Nodes in ``fast_nodes`` run at ``1 + ε``; all others at ``1 − ε``.
+
+    The classic skew-building adversary: two halves of the network drift
+    apart at combined rate ``2ε``.
+    """
+
+    def __init__(self, epsilon: float, fast_nodes: Sequence[NodeId]):
+        super().__init__(epsilon)
+        self._fast = set(fast_nodes)
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        rate = 1 + self.epsilon if node in self._fast else 1 - self.epsilon
+        return PiecewiseConstantRate.constant(rate)
+
+
+class AlternatingDrift(DriftModel):
+    """Rates alternate between ``1 − ε`` and ``1 + ε`` with period ``period``.
+
+    Nodes with odd ``phase`` start slow while even-phase nodes start fast,
+    so adjacent nodes on a path can be driven in antiphase — the pattern
+    behind worst-case *local* skew accumulation.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        period: float,
+        phases: Optional[Mapping[NodeId, int]] = None,
+    ):
+        super().__init__(epsilon)
+        if period <= 0:
+            raise ScheduleError(f"period must be positive, got {period}")
+        self.period = float(period)
+        self._phases = dict(phases) if phases else {}
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        phase = self._phases.get(node, 0)
+        low, high = 1 - self.epsilon, 1 + self.epsilon
+        if phase % 2 == 1:
+            low, high = high, low
+        return alternating_rate(low, high, self.period, horizon)
+
+
+class RandomWalkDrift(DriftModel):
+    """Rates perform a bounded random walk inside ``[1 − ε, 1 + ε]``.
+
+    Models oscillators whose frequency wanders with temperature and supply
+    voltage (footnote 15 of the paper).  Each node's walk is seeded from
+    ``(seed, node)`` so executions are reproducible and node order doesn't
+    matter.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        step_period: float,
+        step_size: float,
+        seed: int = 0,
+    ):
+        super().__init__(epsilon)
+        if step_period <= 0:
+            raise ScheduleError(f"step_period must be positive, got {step_period}")
+        self.step_period = float(step_period)
+        self.step_size = float(step_size)
+        self.seed = seed
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        rng = random.Random(f"{self.seed}:{node!r}")
+        low, high = 1 - self.epsilon, 1 + self.epsilon
+        times: List[float] = []
+        rates: List[float] = []
+        t = 0.0
+        rate = rng.uniform(low, high)
+        while t <= horizon:
+            times.append(t)
+            rates.append(rate)
+            rate = min(high, max(low, rate + rng.uniform(-self.step_size, self.step_size)))
+            t += self.step_period
+        return PiecewiseConstantRate(times, rates)
+
+
+class SinusoidalDrift(DriftModel):
+    """Rates follow a piecewise-constant approximation of a sinusoid.
+
+    Models diurnal/thermal cycles of oscillators: node ``v``'s rate is
+    ``1 + ε·sin(2π(t/period + phase_v))`` sampled at ``steps`` points per
+    period.  Per-node phases default to evenly spread, so different nodes
+    peak at different times — a smooth cousin of
+    :class:`AlternatingDrift`.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        period: float,
+        steps: int = 16,
+        phases: Optional[Mapping[NodeId, float]] = None,
+        amplitude: Optional[float] = None,
+    ):
+        super().__init__(epsilon)
+        if period <= 0:
+            raise ScheduleError(f"period must be positive, got {period}")
+        if steps < 2:
+            raise ScheduleError(f"steps must be >= 2, got {steps}")
+        self.period = float(period)
+        self.steps = steps
+        self.amplitude = epsilon if amplitude is None else float(amplitude)
+        if not (0 <= self.amplitude <= epsilon):
+            raise ScheduleError(
+                f"amplitude {self.amplitude} outside [0, epsilon={epsilon}]"
+            )
+        self._phases = dict(phases) if phases else {}
+        self._assigned = 0
+
+    def _phase_of(self, node: NodeId) -> float:
+        if node not in self._phases:
+            # Spread unknown nodes evenly around the cycle (golden-angle
+            # increments give good dispersion for any node count).
+            self._phases[node] = (self._assigned * 0.381966) % 1.0
+            self._assigned += 1
+        return self._phases[node]
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        import math as _math
+
+        phase = self._phase_of(node)
+        step = self.period / self.steps
+        times: List[float] = []
+        rates: List[float] = []
+        t = 0.0
+        while t <= horizon:
+            midpoint = t + step / 2
+            value = 1 + self.amplitude * _math.sin(
+                2 * _math.pi * (midpoint / self.period + phase)
+            )
+            times.append(t)
+            rates.append(min(max(value, 1 - self.epsilon), 1 + self.epsilon))
+            t += step
+        return PiecewiseConstantRate(times, rates)
+
+
+class ExplicitDrift(DriftModel):
+    """Fully explicit per-node rate functions (for adversary constructions)."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        schedules: Mapping[NodeId, PiecewiseConstantRate],
+        default_rate: float = 1.0,
+    ):
+        super().__init__(epsilon)
+        self._schedules: Dict[NodeId, PiecewiseConstantRate] = dict(schedules)
+        self.default_rate = float(default_rate)
+
+    def rate_function(self, node, horizon) -> PiecewiseConstantRate:
+        schedule = self._schedules.get(node)
+        if schedule is None:
+            return PiecewiseConstantRate.constant(self.default_rate)
+        return schedule

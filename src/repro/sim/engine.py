@@ -1,0 +1,374 @@
+"""The discrete-event simulation engine.
+
+Runs any :class:`repro.core.interfaces.Algorithm` on a topology under a
+drift model and a delay model — together these constitute an *execution*
+in the sense of Section 3 of the paper ("an execution specifies the delays
+of all messages and also the hardware clock rates of all nodes").
+
+Responsibilities:
+
+* wake initiator nodes and flood-initialize the rest on first message
+  receipt (Section 4.2, initialization);
+* deliver messages after delays chosen by the delay model, validated to
+  lie in ``[0, T]``;
+* maintain each node's logical clock record exactly (rate-multiplier
+  checkpoints; optional jumps for β = ∞ algorithms);
+* fire hardware-time alarms at the exact real time at which the hardware
+  clock reaches the target value (possible because the adversary's rate
+  schedule is fixed up front);
+* run invariant monitors after every event and return an
+  :class:`~repro.sim.trace.ExecutionTrace`.
+
+Determinism: simultaneous events are processed in schedule order, so a
+given (topology, drift, delays, algorithm) tuple always reproduces the
+identical execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
+from repro.errors import SimulationError
+from repro.sim.clock import HardwareClock
+from repro.sim.delays import DROP, DelayModel
+from repro.sim.drift import DriftModel
+from repro.sim.events import AlarmEvent, DeliveryEvent, EventQueue, WakeEvent
+from repro.sim.trace import (
+    ExecutionTrace,
+    LogicalClockRecord,
+    MessageRecord,
+    ProbeRecord,
+)
+from repro.topology.generators import Topology
+
+__all__ = ["SimulationEngine"]
+
+NodeId = Hashable
+
+#: Hard cap on processed events; a correct experiment stays far below it,
+#: so hitting the cap indicates a message storm or alarm loop.
+DEFAULT_MAX_EVENTS = 20_000_000
+
+
+class _NodeRuntime:
+    """Engine-side state for one node."""
+
+    __slots__ = (
+        "node_id",
+        "neighbors",
+        "algorithm_node",
+        "started",
+        "hardware",
+        "record",
+        "rho",
+        "alarm_generations",
+        "edge_seq",
+    )
+
+    def __init__(
+        self, node_id: NodeId, neighbors: Tuple[NodeId, ...], algorithm_node: AlgorithmNode
+    ):
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.algorithm_node = algorithm_node
+        self.started = False
+        self.hardware: Optional[HardwareClock] = None
+        self.record: Optional[LogicalClockRecord] = None
+        self.rho = 1.0
+        self.alarm_generations: Dict[str, int] = {}
+        self.edge_seq: Dict[NodeId, int] = {}
+
+
+class _EngineContext(NodeContext):
+    """The capability object handed to algorithm callbacks.
+
+    Bound to one node; the engine updates ``_now`` before each callback.
+    Exposes only model-legal operations — notably *not* real time.
+    """
+
+    def __init__(self, engine: "SimulationEngine", runtime: _NodeRuntime):
+        self._engine = engine
+        self._runtime = runtime
+        self.node_id = runtime.node_id
+        self.neighbors = runtime.neighbors
+
+    def hardware(self) -> float:
+        return self._runtime.hardware.value(self._engine.now)
+
+    def logical(self) -> float:
+        return self._runtime.record.value(self._engine.now)
+
+    def rate_multiplier(self) -> float:
+        return self._runtime.rho
+
+    def set_rate_multiplier(self, rho: float) -> None:
+        if rho <= 0:
+            raise SimulationError(f"rate multiplier must be positive, got {rho}")
+        runtime = self._runtime
+        if rho != runtime.rho:
+            runtime.record.checkpoint(self._engine.now, rho)
+            runtime.rho = rho
+
+    def jump_logical(self, value: float) -> None:
+        if not self._engine.algorithm.allows_jumps:
+            raise SimulationError(
+                f"algorithm {self._engine.algorithm.name!r} did not declare "
+                "allows_jumps but attempted a discontinuous clock jump"
+            )
+        self._runtime.record.jump(self._engine.now, value)
+
+    def send_to(self, neighbor: NodeId, payload: Any) -> None:
+        self._engine._send(self._runtime, neighbor, payload)
+
+    def send_all(self, payload: Any) -> None:
+        for neighbor in self.neighbors:
+            self._engine._send(self._runtime, neighbor, payload)
+
+    def set_alarm(self, name: str, hardware_value: float) -> None:
+        self._engine._set_alarm(self._runtime, name, hardware_value)
+
+    def cancel_alarm(self, name: str) -> None:
+        generations = self._runtime.alarm_generations
+        generations[name] = generations.get(name, 0) + 1
+
+    def probe(self, name: str, value: Any) -> None:
+        self._engine._probes.append(
+            ProbeRecord(name, self.node_id, self._engine.now, value)
+        )
+
+
+class SimulationEngine:
+    """Builds and runs one execution; see module docstring.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph ``G``.
+    algorithm:
+        Factory of per-node state machines.
+    drift_model:
+        Hardware clock rate schedules (the adversary's drift choice).
+    delay_model:
+        Message delay choices (the adversary's delay choice).
+    horizon:
+        Real-time duration of the execution.
+    initiators:
+        Nodes that wake spontaneously at time 0 (default: the first node,
+        matching the paper's single-origin initialization flood).  A
+        mapping ``node → wake_time`` is also accepted.
+    record_messages:
+        Keep a full message log in the trace (memory-heavy; default off).
+    monitors:
+        Objects with ``check(engine, node_id, time)`` called after every
+        event (see :mod:`repro.sim.monitors`).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Algorithm,
+        drift_model: DriftModel,
+        delay_model: DelayModel,
+        horizon: float,
+        initiators: Optional[Iterable[NodeId]] = None,
+        record_messages: bool = False,
+        monitors: Sequence[Any] = (),
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ):
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon}")
+        self.topology = topology
+        self.algorithm = algorithm
+        self.drift_model = drift_model
+        self.delay_model = delay_model
+        self.horizon = float(horizon)
+        self.record_messages = record_messages
+        self.monitors = tuple(monitors)
+        self.max_events = max_events
+        self.now = 0.0
+
+        self._queue = EventQueue()
+        self._runtimes: Dict[NodeId, _NodeRuntime] = {}
+        self._contexts: Dict[NodeId, _EngineContext] = {}
+        for node in topology.nodes:
+            neighbors = topology.neighbors(node)
+            runtime = _NodeRuntime(node, neighbors, algorithm.make_node(node, neighbors))
+            self._runtimes[node] = runtime
+            self._contexts[node] = _EngineContext(self, runtime)
+
+        self._messages_sent: Dict[NodeId, int] = {n: 0 for n in topology.nodes}
+        self._messages_received: Dict[NodeId, int] = {n: 0 for n in topology.nodes}
+        self._bits_sent: Dict[NodeId, int] = {n: 0 for n in topology.nodes}
+        self._message_log: List[MessageRecord] = []
+        self._probes: List[ProbeRecord] = []
+        self._events_processed = 0
+        self._messages_dropped = 0
+        self._finished = False
+
+        if initiators is None:
+            wake_times: Dict[NodeId, float] = {topology.nodes[0]: 0.0}
+        elif isinstance(initiators, dict):
+            wake_times = dict(initiators)
+        else:
+            wake_times = {node: 0.0 for node in initiators}
+        if not wake_times:
+            raise SimulationError("at least one initiator node is required")
+        for node, wake_time in wake_times.items():
+            self._queue.push(WakeEvent(wake_time, node))
+
+    # -- read API used by monitors and algorithms-by-proxy -------------------
+
+    def is_started(self, node: NodeId) -> bool:
+        return self._runtimes[node].started
+
+    def logical_value(self, node: NodeId, t: Optional[float] = None) -> float:
+        runtime = self._runtimes[node]
+        if runtime.record is None:
+            return 0.0
+        return runtime.record.value(self.now if t is None else t)
+
+    def hardware_value(self, node: NodeId, t: Optional[float] = None) -> float:
+        runtime = self._runtimes[node]
+        if runtime.hardware is None:
+            return 0.0
+        return runtime.hardware.value(self.now if t is None else t)
+
+    def start_time(self, node: NodeId) -> Optional[float]:
+        runtime = self._runtimes[node]
+        return runtime.hardware.start_time if runtime.started else None
+
+    def rate_multiplier(self, node: NodeId) -> float:
+        return self._runtimes[node].rho
+
+    def node_state(self, node: NodeId) -> AlgorithmNode:
+        """The algorithm's node object (for white-box assertions in tests)."""
+        return self._runtimes[node].algorithm_node
+
+    # -- internals ------------------------------------------------------------
+
+    def _start_node(self, runtime: _NodeRuntime) -> None:
+        rate = self.drift_model.validated_rate_function(runtime.node_id, self.horizon)
+        runtime.hardware = HardwareClock(rate, start_time=self.now)
+        runtime.record = LogicalClockRecord(runtime.hardware)
+        runtime.started = True
+        runtime.algorithm_node.on_start(self._contexts[runtime.node_id])
+
+    def _send(self, runtime: _NodeRuntime, neighbor: NodeId, payload: Any) -> None:
+        if neighbor not in runtime.neighbors:
+            raise SimulationError(
+                f"node {runtime.node_id!r} attempted to send to non-neighbor {neighbor!r}"
+            )
+        seq = runtime.edge_seq.get(neighbor, 0)
+        runtime.edge_seq[neighbor] = seq + 1
+        delay = self.delay_model.validated_delay(
+            runtime.node_id, neighbor, self.now, seq
+        )
+        bits = self.algorithm.payload_bits(payload)
+        self._messages_sent[runtime.node_id] += 1
+        self._bits_sent[runtime.node_id] += bits
+        if delay == DROP:
+            self._messages_dropped += 1
+            return
+        if self.record_messages:
+            self._message_log.append(
+                MessageRecord(runtime.node_id, neighbor, self.now, delay, payload, bits)
+            )
+        self._queue.push(
+            DeliveryEvent(
+                time=self.now + delay,
+                node=neighbor,
+                sender=runtime.node_id,
+                payload=payload,
+                send_time=self.now,
+                size_bits=bits,
+            )
+        )
+
+    def _set_alarm(self, runtime: _NodeRuntime, name: str, hardware_value: float) -> None:
+        if runtime.hardware is None:
+            raise SimulationError(
+                f"node {runtime.node_id!r} armed alarm {name!r} before starting"
+            )
+        generation = runtime.alarm_generations.get(name, 0) + 1
+        runtime.alarm_generations[name] = generation
+        fire_time = runtime.hardware.time_at_value(max(hardware_value, 0.0))
+        # An alarm for an already-reached value fires immediately after the
+        # current callback (same timestamp, later sequence number).
+        fire_time = max(fire_time, self.now)
+        self._queue.push(
+            AlarmEvent(
+                time=fire_time,
+                node=runtime.node_id,
+                name=name,
+                generation=generation,
+                hardware_value=hardware_value,
+            )
+        )
+
+    def _process_event(self, event) -> None:
+        runtime = self._runtimes[event.node]
+        ctx = self._contexts[event.node]
+        if isinstance(event, WakeEvent):
+            if not runtime.started:
+                self._start_node(runtime)
+        elif isinstance(event, DeliveryEvent):
+            self._messages_received[event.node] += 1
+            if not runtime.started:
+                self._start_node(runtime)
+            runtime.algorithm_node.on_message(ctx, event.sender, event.payload)
+        elif isinstance(event, AlarmEvent):
+            if runtime.alarm_generations.get(event.name, 0) != event.generation:
+                return  # superseded or cancelled
+            if not runtime.started:  # pragma: no cover - defensive
+                raise SimulationError(f"alarm at unstarted node {event.node!r}")
+            runtime.algorithm_node.on_alarm(ctx, event.name)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event type {type(event).__name__}")
+        for monitor in self.monitors:
+            monitor.check(self, event.node, self.now)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self) -> ExecutionTrace:
+        """Run until the horizon and return the execution trace."""
+        if self._finished:
+            raise SimulationError("engine instances are single-use; build a new one")
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time > self.horizon:
+                break
+            event = self._queue.pop()
+            self.now = event.time
+            self._process_event(event)
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events at t={self.now}; "
+                    "likely a message storm or alarm loop"
+                )
+        self.now = self.horizon
+        self._finished = True
+        return self._build_trace()
+
+    def _build_trace(self) -> ExecutionTrace:
+        unstarted = [n for n, r in self._runtimes.items() if not r.started]
+        if unstarted:
+            raise SimulationError(
+                f"{len(unstarted)} nodes never initialized within the horizon "
+                f"(first few: {unstarted[:5]}); extend the horizon"
+            )
+        return ExecutionTrace(
+            topology=self.topology,
+            horizon=self.horizon,
+            logical={n: r.record for n, r in self._runtimes.items()},
+            hardware={n: r.hardware for n, r in self._runtimes.items()},
+            start_times={n: r.hardware.start_time for n, r in self._runtimes.items()},
+            messages_sent=dict(self._messages_sent),
+            messages_received=dict(self._messages_received),
+            bits_sent=dict(self._bits_sent),
+            message_log=self._message_log,
+            probes=self._probes,
+            events_processed=self._events_processed,
+            messages_dropped=self._messages_dropped,
+        )

@@ -1,0 +1,114 @@
+"""Event records and the deterministic event queue.
+
+The paper's model is fully asynchronous: node actions are triggered either
+by message receipt (Algorithm 2) or by the local hardware clock reaching a
+target value (Algorithms 1 and 4).  The simulation therefore needs exactly
+three event kinds — node wake-up, message delivery, and hardware alarm.
+
+Determinism matters for reproducibility of adversarial executions:
+simultaneous events are ordered by a monotone sequence number, so a given
+execution (graph + schedules + seeds) always replays identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "WakeEvent", "DeliveryEvent", "AlarmEvent", "EventQueue"]
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something that happens at a real time at a node."""
+
+    time: float
+    node: NodeId
+
+
+@dataclass(frozen=True)
+class WakeEvent(Event):
+    """A node initializes spontaneously (an initiator node)."""
+
+
+@dataclass(frozen=True)
+class DeliveryEvent(Event):
+    """A message arrives at ``node`` from neighbor ``sender``."""
+
+    sender: NodeId = None
+    payload: Any = None
+    send_time: float = 0.0
+    size_bits: int = 0
+
+
+@dataclass(frozen=True)
+class AlarmEvent(Event):
+    """A named hardware-time alarm fires at ``node``.
+
+    ``generation`` implements cancellation: re-arming an alarm bumps the
+    node's generation counter for that name, and stale queue entries are
+    dropped when popped.
+    """
+
+    name: str = ""
+    generation: int = 0
+    hardware_value: float = 0.0
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    event: Event = field(compare=False)
+
+
+class EventQueue:
+    """A time-ordered queue with deterministic FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List[_QueueEntry] = []
+        self._counter = itertools.count()
+        self._last_popped_time: Optional[float] = None
+
+    def push(self, event: Event) -> None:
+        if self._last_popped_time is not None and event.time < self._last_popped_time:
+            raise SimulationError(
+                f"event at time {event.time} scheduled in the past "
+                f"(current time {self._last_popped_time}): {event}"
+            )
+        heapq.heappush(self._heap, _QueueEntry(event.time, next(self._counter), event))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        entry = heapq.heappop(self._heap)
+        self._last_popped_time = entry.time
+        return entry.event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next event, or ``None`` if the queue is empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def drain_until(self, horizon: float) -> Tuple[int, int]:
+        """Drop all events later than ``horizon``; returns (kept, dropped).
+
+        Used when an execution is truncated.  Events exactly at the horizon
+        are kept.
+        """
+        kept = [e for e in self._heap if e.time <= horizon]
+        dropped = len(self._heap) - len(kept)
+        heapq.heapify(kept)
+        self._heap = kept
+        return len(kept), dropped

@@ -1,0 +1,153 @@
+"""Online invariant monitors.
+
+The paper requires every clock synchronization algorithm to satisfy two
+conditions at all times (Section 3):
+
+* Condition (1), the *envelope*: ``(1 − ε)(t − t_v) ≤ L_v(t) ≤ (1 + ε)t``;
+* Condition (2), *bounded rates*: ``α(t' − t) ≤ L_v(t') − L_v(t) ≤ β(t' − t)``
+  with ``α = 1 − ε`` and ``β = (1 + ε)(1 + μ)`` for A^opt (Corollary 5.3).
+
+Monitors check these after every simulation event.  Because all clocks are
+piecewise-linear and the bounds are linear, a violation that occurs at all
+occurs at an event breakpoint, so event-time checking is exact up to the
+numerical tolerance.
+
+Monitors either raise :class:`~repro.errors.InvariantViolation` fail-fast
+(``strict=True``) or collect violations for post-run inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "Violation",
+    "BaseMonitor",
+    "EnvelopeMonitor",
+    "RateBoundMonitor",
+    "MonotonicityMonitor",
+]
+
+NodeId = Hashable
+
+#: Absolute numerical slack for invariant comparisons.
+TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class Violation:
+    monitor: str
+    node: NodeId
+    time: float
+    detail: str
+
+
+class BaseMonitor:
+    """Shared collect-or-raise behaviour."""
+
+    name = "monitor"
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.violations: List[Violation] = []
+
+    def _report(self, node: NodeId, time: float, detail: str) -> None:
+        violation = Violation(self.name, node, time, detail)
+        if self.strict:
+            raise InvariantViolation(detail, node=node, time=time)
+        self.violations.append(violation)
+
+    def check(self, engine, node: NodeId, time: float) -> None:
+        raise NotImplementedError
+
+
+class EnvelopeMonitor(BaseMonitor):
+    """Condition (1): logical clocks stay in the affine envelope of real time."""
+
+    name = "envelope"
+
+    def __init__(self, epsilon: float, strict: bool = True):
+        super().__init__(strict)
+        self.epsilon = float(epsilon)
+
+    def check(self, engine, node: NodeId, time: float) -> None:
+        start = engine.start_time(node)
+        if start is None:
+            return
+        logical = engine.logical_value(node)
+        lower = (1 - self.epsilon) * (time - start)
+        upper = (1 + self.epsilon) * time
+        if logical < lower - TOLERANCE:
+            self._report(
+                node,
+                time,
+                f"envelope lower bound violated at node {node!r}, t={time}: "
+                f"L={logical} < (1-eps)(t-t_v)={lower}",
+            )
+        if logical > upper + TOLERANCE:
+            self._report(
+                node,
+                time,
+                f"envelope upper bound violated at node {node!r}, t={time}: "
+                f"L={logical} > (1+eps)t={upper}",
+            )
+
+
+class RateBoundMonitor(BaseMonitor):
+    """Condition (2): the instantaneous logical rate stays within [α, β].
+
+    Checks the *multiplier* against what the current hardware rate allows:
+    ``α ≤ ρ · h_v(t) ≤ β``.  For algorithms that declare ``allows_jumps``
+    the upper bound is skipped (β = ∞ by declaration).
+    """
+
+    name = "rate-bounds"
+
+    def __init__(self, alpha: float, beta: float, strict: bool = True):
+        super().__init__(strict)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def check(self, engine, node: NodeId, time: float) -> None:
+        if engine.start_time(node) is None:
+            return
+        runtime_record = engine._runtimes[node].record
+        rate = runtime_record.rate_at(time)
+        if rate < self.alpha - TOLERANCE:
+            self._report(
+                node,
+                time,
+                f"logical rate {rate} below alpha={self.alpha} at node {node!r}, t={time}",
+            )
+        if not engine.algorithm.allows_jumps and rate > self.beta + TOLERANCE:
+            self._report(
+                node,
+                time,
+                f"logical rate {rate} above beta={self.beta} at node {node!r}, t={time}",
+            )
+
+
+class MonotonicityMonitor(BaseMonitor):
+    """Logical clocks never run backwards (implied by Condition (2))."""
+
+    name = "monotonicity"
+
+    def __init__(self, strict: bool = True):
+        super().__init__(strict)
+        self._last: dict = {}
+
+    def check(self, engine, node: NodeId, time: float) -> None:
+        if engine.start_time(node) is None:
+            return
+        logical = engine.logical_value(node)
+        previous: Optional[float] = self._last.get(node)
+        if previous is not None and logical < previous - TOLERANCE:
+            self._report(
+                node,
+                time,
+                f"logical clock decreased at node {node!r}: {previous} -> {logical}",
+            )
+        self._last[node] = logical

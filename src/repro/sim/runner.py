@@ -1,0 +1,99 @@
+"""Convenience entry points for building and running executions.
+
+Most experiments follow the same shape — pick a topology, an algorithm, a
+drift model and a delay model, run for a horizon, inspect the trace.
+:func:`run_execution` wires that together; :func:`simulate_aopt` further
+defaults to A^opt with standard monitors so that the quickstart is one
+call.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence
+
+from repro.core.interfaces import Algorithm
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, DelayModel
+from repro.sim.drift import ConstantDrift, DriftModel
+from repro.sim.engine import SimulationEngine
+from repro.sim.monitors import EnvelopeMonitor, MonotonicityMonitor, RateBoundMonitor
+from repro.sim.trace import ExecutionTrace
+from repro.topology.generators import Topology
+
+__all__ = ["run_execution", "simulate_aopt", "default_monitors"]
+
+NodeId = Hashable
+
+
+def default_monitors(params: SyncParams, strict: bool = True):
+    """The three standard invariant monitors for a compliant algorithm."""
+    return (
+        EnvelopeMonitor(params.epsilon, strict=strict),
+        RateBoundMonitor(params.alpha, params.beta, strict=strict),
+        MonotonicityMonitor(strict=strict),
+    )
+
+
+def run_execution(
+    topology: Topology,
+    algorithm: Algorithm,
+    drift_model: DriftModel,
+    delay_model: DelayModel,
+    horizon: float,
+    initiators: Optional[Iterable[NodeId]] = None,
+    record_messages: bool = False,
+    monitors: Sequence = (),
+) -> ExecutionTrace:
+    """Build a :class:`SimulationEngine`, run it, and return the trace."""
+    engine = SimulationEngine(
+        topology=topology,
+        algorithm=algorithm,
+        drift_model=drift_model,
+        delay_model=delay_model,
+        horizon=horizon,
+        initiators=initiators,
+        record_messages=record_messages,
+        monitors=monitors,
+    )
+    return engine.run()
+
+
+def simulate_aopt(
+    topology: Topology,
+    params: SyncParams,
+    drift_model: Optional[DriftModel] = None,
+    delay_model: Optional[DelayModel] = None,
+    horizon: Optional[float] = None,
+    initiators: Optional[Iterable[NodeId]] = None,
+    record_messages: bool = False,
+    check_invariants: bool = True,
+) -> ExecutionTrace:
+    """Run A^opt with sensible defaults.
+
+    Defaults: drift-free hardware clocks, constant delays equal to the
+    delay bound ``T`` (messages as slow as allowed), a horizon long enough
+    for several information round-trips across the network, and strict
+    envelope / rate-bound / monotonicity monitors.
+    """
+    if drift_model is None:
+        drift_model = ConstantDrift(params.epsilon)
+    if delay_model is None:
+        delay_model = ConstantDelay(params.delay_bound, max_delay=params.delay_bound)
+    if horizon is None:
+        n = len(topology)
+        horizon = max(
+            10 * params.h0,
+            20 * n * max(params.delay_bound, params.h0 / 10),
+        )
+    monitors = default_monitors(params) if check_invariants else ()
+    return run_execution(
+        topology,
+        AoptAlgorithm(params),
+        drift_model,
+        delay_model,
+        horizon,
+        initiators=initiators,
+        record_messages=record_messages,
+        monitors=monitors,
+    )

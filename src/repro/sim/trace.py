@@ -1,0 +1,359 @@
+"""Execution traces with *exact* skew evaluation.
+
+Because adversarial rate schedules are piecewise-constant, every clock in
+an execution is piecewise-linear in real time.  This module records the
+breakpoint structure of each logical clock and evaluates skews exactly:
+
+* the difference ``L_v − L_w`` of two piecewise-linear functions is
+  piecewise-linear, so its extremum over an interval is attained at a
+  breakpoint of either clock;
+* the spread ``max_v L_v − min_v L_v`` is a maximum of linear functions
+  minus a minimum of linear functions on each common linearity interval,
+  hence convex there, so its maximum is attained at interval endpoints —
+  i.e. again at breakpoints.
+
+Therefore evaluating at the merged breakpoints (plus the horizon) yields
+the true worst case of Definitions 3.1 and 3.2 for the executed schedule,
+with no sampling error.  Discontinuous clock jumps (baselines with
+unbounded rates, β = ∞) are supported by additionally evaluating left
+limits at jump points.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.sim.clock import HardwareClock
+from repro.topology.generators import Topology
+
+__all__ = [
+    "LogicalClockRecord",
+    "MessageRecord",
+    "ProbeRecord",
+    "ExecutionTrace",
+    "SkewExtremum",
+]
+
+NodeId = Hashable
+
+
+class LogicalClockRecord:
+    """Piecewise record of one node's logical clock.
+
+    Between checkpoints the logical clock advances at ``ρ · h_v``, i.e.
+    ``L(t) = L_k + ρ_k · (H(t) − H(t_k))`` on ``[t_k, t_{k+1})``.  A
+    checkpoint is appended whenever the rate multiplier ``ρ`` changes or
+    the clock jumps discontinuously.
+    """
+
+    __slots__ = ("_hardware", "_times", "_values", "_multipliers", "_jump_times")
+
+    def __init__(self, hardware: HardwareClock, initial_multiplier: float = 1.0):
+        self._hardware = hardware
+        start = hardware.start_time
+        self._times: List[float] = [start]
+        self._values: List[float] = [0.0]
+        self._multipliers: List[float] = [float(initial_multiplier)]
+        self._jump_times: List[float] = []
+
+    @property
+    def hardware(self) -> HardwareClock:
+        return self._hardware
+
+    @property
+    def start_time(self) -> float:
+        return self._times[0]
+
+    def checkpoint(self, t: float, multiplier: float) -> None:
+        """Record a rate-multiplier change at time ``t`` (continuous)."""
+        value = self.value(t)
+        self._append(t, value, multiplier)
+
+    def jump(self, t: float, new_value: float) -> None:
+        """Record a discontinuous jump of the clock value at time ``t``."""
+        current = self.value(t)
+        if new_value < current - 1e-9:
+            raise TraceError(
+                f"logical clock jump backwards at t={t}: {current} -> {new_value}"
+            )
+        if new_value != current:
+            self._jump_times.append(t)
+        self._append(t, new_value, self._multipliers[-1])
+
+    def _append(self, t: float, value: float, multiplier: float) -> None:
+        if t < self._times[-1]:
+            raise TraceError(
+                f"checkpoint at {t} precedes last checkpoint {self._times[-1]}"
+            )
+        if t == self._times[-1]:
+            # Same-instant update replaces the last checkpoint's future.
+            self._values[-1] = value
+            self._multipliers[-1] = float(multiplier)
+        else:
+            self._times.append(t)
+            self._values.append(value)
+            self._multipliers.append(float(multiplier))
+
+    # -- evaluation ---------------------------------------------------------
+
+    def _segment_index(self, t: float) -> int:
+        if t < self._times[0]:
+            raise TraceError(f"time {t} precedes clock start {self._times[0]}")
+        return bisect_right(self._times, t) - 1
+
+    def value(self, t: float) -> float:
+        """Logical clock value at real time ``t`` (0 before the start).
+
+        Right-continuous at jump points.
+        """
+        if t < self._times[0]:
+            return 0.0
+        i = self._segment_index(t)
+        anchor_t, anchor_value, rho = self._times[i], self._values[i], self._multipliers[i]
+        return anchor_value + rho * (
+            self._hardware.value(t) - self._hardware.value(anchor_t)
+        )
+
+    def value_left(self, t: float) -> float:
+        """Left limit of the clock at ``t`` (differs from value at jumps)."""
+        if t <= self._times[0]:
+            return 0.0
+        i = self._segment_index(t)
+        if self._times[i] == t and i > 0:
+            i -= 1
+        anchor_t, anchor_value, rho = self._times[i], self._values[i], self._multipliers[i]
+        return anchor_value + rho * (
+            self._hardware.value(t) - self._hardware.value(anchor_t)
+        )
+
+    def multiplier_at(self, t: float) -> float:
+        """The rate multiplier ρ in effect at time ``t``."""
+        if t < self._times[0]:
+            return 0.0
+        return self._multipliers[self._segment_index(t)]
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous logical rate ``ρ(t) · h_v(t)``."""
+        if t < self._times[0]:
+            return 0.0
+        return self.multiplier_at(t) * self._hardware.rate_at(t)
+
+    # -- structure ----------------------------------------------------------
+
+    def breakpoints_in(self, a: float, b: float) -> List[float]:
+        """All linearity breakpoints of this clock in the closed ``[a, b]``.
+
+        Includes checkpoint times, hardware rate changes, and the clock
+        start (before which the value is the constant 0); sorted.
+        """
+        points = [t for t in self._times if a <= t <= b]
+        points.extend(t for t in self._hardware.breakpoints_in(a, b))
+        points.sort()
+        return points
+
+    @property
+    def jump_times(self) -> Tuple[float, ...]:
+        return tuple(self._jump_times)
+
+    @property
+    def checkpoint_count(self) -> int:
+        return len(self._times)
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One message: who, when, what, and how long it was in transit."""
+
+    sender: NodeId
+    receiver: NodeId
+    send_time: float
+    delay: float
+    payload: Any
+    size_bits: int
+
+    @property
+    def deliver_time(self) -> float:
+        return self.send_time + self.delay
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """An algorithm-emitted measurement (e.g. estimate error samples)."""
+
+    name: str
+    node: NodeId
+    time: float
+    value: Any
+
+
+@dataclass(frozen=True)
+class SkewExtremum:
+    """A worst-case skew observation: its value, when, and between whom."""
+
+    value: float
+    time: float
+    node_a: NodeId
+    node_b: NodeId
+
+
+@dataclass
+class ExecutionTrace:
+    """Everything measurable about one finished execution."""
+
+    topology: Topology
+    horizon: float
+    logical: Dict[NodeId, LogicalClockRecord]
+    hardware: Dict[NodeId, HardwareClock]
+    start_times: Dict[NodeId, float]
+    messages_sent: Dict[NodeId, int]
+    messages_received: Dict[NodeId, int]
+    bits_sent: Dict[NodeId, int]
+    message_log: List[MessageRecord] = field(default_factory=list)
+    probes: List[ProbeRecord] = field(default_factory=list)
+    events_processed: int = 0
+    messages_dropped: int = 0
+
+    # -- point queries -------------------------------------------------------
+
+    def logical_value(self, node: NodeId, t: float) -> float:
+        return self.logical[node].value(t)
+
+    def hardware_value(self, node: NodeId, t: float) -> float:
+        return self.hardware[node].value(t)
+
+    def skew(self, a: NodeId, b: NodeId, t: float) -> float:
+        """Signed skew ``L_a(t) − L_b(t)``."""
+        return self.logical[a].value(t) - self.logical[b].value(t)
+
+    def spread_at(self, t: float) -> float:
+        """``max_v L_v(t) − min_v L_v(t)``."""
+        values = [rec.value(t) for rec in self.logical.values()]
+        return max(values) - min(values)
+
+    # -- exact extrema -------------------------------------------------------
+
+    def _pair_eval_points(self, a: NodeId, b: NodeId, t0: float, t1: float) -> List[float]:
+        points = set(self.logical[a].breakpoints_in(t0, t1))
+        points.update(self.logical[b].breakpoints_in(t0, t1))
+        points.add(t0)
+        points.add(t1)
+        return sorted(points)
+
+    def max_pair_skew(
+        self, a: NodeId, b: NodeId, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> SkewExtremum:
+        """Exact maximum of ``|L_a − L_b|`` over ``[t0, t1]``."""
+        t0 = 0.0 if t0 is None else t0
+        t1 = self.horizon if t1 is None else t1
+        rec_a, rec_b = self.logical[a], self.logical[b]
+        best_value, best_time = -1.0, t0
+        for t in self._pair_eval_points(a, b, t0, t1):
+            for va, vb in (
+                (rec_a.value(t), rec_b.value(t)),
+                (rec_a.value_left(t), rec_b.value_left(t)),
+            ):
+                magnitude = abs(va - vb)
+                if magnitude > best_value:
+                    best_value, best_time = magnitude, t
+        return SkewExtremum(best_value, best_time, a, b)
+
+    def global_skew(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> SkewExtremum:
+        """Exact worst-case global skew (Definition 3.1) of this execution.
+
+        The spread is convex on each common linearity interval, so
+        evaluating at all merged breakpoints is exact.
+        """
+        t0 = 0.0 if t0 is None else t0
+        t1 = self.horizon if t1 is None else t1
+        points = {t0, t1}
+        for rec in self.logical.values():
+            points.update(rec.breakpoints_in(t0, t1))
+        best = SkewExtremum(-1.0, t0, None, None)
+        nodes = list(self.logical)
+        for t in sorted(points):
+            for left in (False, True):
+                values = [
+                    (self.logical[n].value_left(t) if left else self.logical[n].value(t))
+                    for n in nodes
+                ]
+                hi = max(range(len(nodes)), key=values.__getitem__)
+                lo = min(range(len(nodes)), key=values.__getitem__)
+                spread = values[hi] - values[lo]
+                if spread > best.value:
+                    best = SkewExtremum(spread, t, nodes[hi], nodes[lo])
+        return best
+
+    def local_skew(
+        self, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> SkewExtremum:
+        """Exact worst-case local skew (Definition 3.2): max over edges."""
+        best = SkewExtremum(-1.0, 0.0, None, None)
+        for a, b in self.topology.edges():
+            candidate = self.max_pair_skew(a, b, t0, t1)
+            if candidate.value > best.value:
+                best = candidate
+        return best
+
+    def skew_by_distance(
+        self,
+        distances: Dict[NodeId, Dict[NodeId, int]],
+        t: Optional[float] = None,
+    ) -> Dict[int, float]:
+        """Maximum absolute skew per hop distance, at time ``t``.
+
+        ``t`` defaults to the horizon.  Used for gradient-property curves
+        (Corollary 7.9): the paper predicts skew at distance ``d`` grows as
+        ``O(d · κ · (1 + log(D/d)))``.
+        """
+        t = self.horizon if t is None else t
+        values = {node: self.logical[node].value(t) for node in self.logical}
+        worst: Dict[int, float] = {}
+        nodes = list(self.logical)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                d = distances[a][b]
+                magnitude = abs(values[a] - values[b])
+                if magnitude > worst.get(d, -1.0):
+                    worst[d] = magnitude
+        return worst
+
+    def max_skew_by_distance(
+        self, distances: Dict[NodeId, Dict[NodeId, int]]
+    ) -> Dict[int, float]:
+        """Worst-case (over all time) absolute skew per hop distance.
+
+        More expensive than :meth:`skew_by_distance`; intended for modest
+        node counts.
+        """
+        worst: Dict[int, float] = {}
+        nodes = list(self.logical)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                d = distances[a][b]
+                extremum = self.max_pair_skew(a, b)
+                if extremum.value > worst.get(d, -1.0):
+                    worst[d] = extremum.value
+        return worst
+
+    # -- aggregate counters ----------------------------------------------------
+
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+    def total_bits(self) -> int:
+        return sum(self.bits_sent.values())
+
+    def amortized_message_frequency(self, node: NodeId) -> float:
+        """Messages per unit real time at ``node`` over its active period."""
+        active = self.horizon - self.start_times[node]
+        if active <= 0:
+            return 0.0
+        return self.messages_sent[node] / active
+
+    def probes_named(self, name: str) -> List[ProbeRecord]:
+        return [p for p in self.probes if p.name == name]

@@ -1,0 +1,87 @@
+"""Post-hoc execution validation.
+
+The lower-bound adversaries hand-craft drift and delay schedules; a bug
+there would produce impressive-looking but *illegal* executions (outside
+the model of Section 3) and invalidate every conclusion drawn from them.
+:func:`validate_execution` independently re-checks a finished trace:
+
+* every hardware rate stayed within ``[1 − ε, 1 + ε]``;
+* every recorded message delay stayed within ``[0, T]``;
+* every node was eventually initialized, and never before time 0;
+* logical clocks never ran backwards.
+
+The adversary test-suites run every construction through this gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["ValidationReport", "validate_execution"]
+
+_TOLERANCE = 1e-7
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_execution`."""
+
+    valid: bool = True
+    problems: List[str] = field(default_factory=list)
+
+    def _fail(self, problem: str) -> None:
+        self.valid = False
+        self.problems.append(problem)
+
+
+def validate_execution(
+    trace: ExecutionTrace, epsilon: float, delay_bound: float
+) -> ValidationReport:
+    """Re-check that an execution respected the model bounds.
+
+    Delay checking requires the execution to have been recorded with
+    ``record_messages=True``; otherwise only rates and clocks are checked.
+    """
+    report = ValidationReport()
+
+    for node, clock in trace.hardware.items():
+        rate_function = clock.rate_function
+        low, high = rate_function.min_rate(), rate_function.max_rate()
+        if low < 1 - epsilon - _TOLERANCE:
+            report._fail(
+                f"node {node!r}: hardware rate {low} below 1 - eps = {1 - epsilon}"
+            )
+        if high > 1 + epsilon + _TOLERANCE:
+            report._fail(
+                f"node {node!r}: hardware rate {high} above 1 + eps = {1 + epsilon}"
+            )
+
+    for node, start in trace.start_times.items():
+        if start < -_TOLERANCE:
+            report._fail(f"node {node!r} initialized before time 0 ({start})")
+        if start > trace.horizon:
+            report._fail(f"node {node!r} initialized after the horizon ({start})")
+
+    for record in trace.message_log:
+        if record.delay < -_TOLERANCE or record.delay > delay_bound + _TOLERANCE:
+            report._fail(
+                f"message {record.sender!r}->{record.receiver!r} at "
+                f"t={record.send_time}: delay {record.delay} outside "
+                f"[0, {delay_bound}]"
+            )
+
+    for node, record in trace.logical.items():
+        previous = 0.0
+        for t in record.breakpoints_in(0.0, trace.horizon):
+            value = record.value(t)
+            if value < previous - _TOLERANCE:
+                report._fail(
+                    f"node {node!r}: logical clock decreased to {value} at t={t}"
+                )
+                break
+            previous = value
+
+    return report

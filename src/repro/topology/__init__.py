@@ -1,0 +1,37 @@
+"""Network topologies for clock synchronization experiments."""
+
+from repro.topology.generators import (
+    Topology,
+    barbell,
+    binary_tree,
+    caterpillar,
+    circulant,
+    complete_graph,
+    grid,
+    hypercube,
+    line,
+    random_connected,
+    ring,
+    star,
+    torus,
+)
+from repro.topology.properties import bfs_distances, diameter, eccentricity
+
+__all__ = [
+    "Topology",
+    "line",
+    "ring",
+    "star",
+    "complete_graph",
+    "grid",
+    "torus",
+    "binary_tree",
+    "hypercube",
+    "random_connected",
+    "barbell",
+    "caterpillar",
+    "circulant",
+    "bfs_distances",
+    "diameter",
+    "eccentricity",
+]

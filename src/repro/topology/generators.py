@@ -1,0 +1,316 @@
+"""Graph generators.
+
+The paper's bounds hold on arbitrary connected graphs and depend on the
+diameter ``D`` (and, for the gradient property, on pairwise distances).
+The *line* graph is the extremal topology for both lower bounds — the
+constructions of Theorems 7.2 and 7.7 operate on a shortest path between
+two nodes at distance ``D`` — so experiments default to lines, with the
+other generators providing the "typical case" coverage.
+
+Graphs are plain adjacency structures (:class:`Topology`); no external
+graph library is required, though :meth:`Topology.from_edges` accepts any
+edge iterable, including ``networkx.Graph.edges``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "Topology",
+    "line",
+    "ring",
+    "star",
+    "complete_graph",
+    "grid",
+    "torus",
+    "binary_tree",
+    "hypercube",
+    "random_connected",
+    "barbell",
+    "caterpillar",
+    "circulant",
+]
+
+NodeId = Hashable
+
+
+class Topology:
+    """An undirected connected graph given by its adjacency structure.
+
+    Nodes may be any hashable identifiers.  The node order given at
+    construction is preserved and used for deterministic iteration.
+    """
+
+    def __init__(self, adjacency: Dict[NodeId, Sequence[NodeId]], name: str = "graph"):
+        if not adjacency:
+            raise TopologyError("topology must contain at least one node")
+        self.name = name
+        self._nodes: Tuple[NodeId, ...] = tuple(adjacency)
+        node_set = set(self._nodes)
+        if len(node_set) != len(self._nodes):
+            raise TopologyError("duplicate node identifiers")
+        self._adjacency: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        for node, neighbors in adjacency.items():
+            seen = set()
+            cleaned = []
+            for nb in neighbors:
+                if nb == node:
+                    raise TopologyError(f"self-loop at node {node!r}")
+                if nb not in node_set:
+                    raise TopologyError(f"edge to unknown node {nb!r} from {node!r}")
+                if nb not in seen:
+                    seen.add(nb)
+                    cleaned.append(nb)
+            self._adjacency[node] = tuple(cleaned)
+        for node in self._nodes:
+            for nb in self._adjacency[node]:
+                if node not in self._adjacency[nb]:
+                    raise TopologyError(f"edge {node!r}-{nb!r} is not symmetric")
+        self._check_connected()
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[NodeId, NodeId]], name: str = "graph"
+    ) -> "Topology":
+        """Build from an iterable of undirected edges."""
+        adjacency: Dict[NodeId, List[NodeId]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, [])
+            adjacency.setdefault(v, [])
+            if v not in adjacency[u]:
+                adjacency[u].append(v)
+            if u not in adjacency[v]:
+                adjacency[v].append(u)
+        return cls(adjacency, name=name)
+
+    def _check_connected(self) -> None:
+        seen = {self._nodes[0]}
+        frontier = [self._nodes[0]]
+        while frontier:
+            node = frontier.pop()
+            for nb in self._adjacency[node]:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        if len(seen) != len(self._nodes):
+            missing = [n for n in self._nodes if n not in seen]
+            raise TopologyError(f"graph is disconnected; unreachable: {missing[:5]}")
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        return self._nodes
+
+    def neighbors(self, node: NodeId) -> Tuple[NodeId, ...]:
+        return self._adjacency[node]
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adjacency[node])
+
+    def max_degree(self) -> int:
+        return max(len(nbs) for nbs in self._adjacency.values())
+
+    def edges(self) -> List[Tuple[NodeId, NodeId]]:
+        """Each undirected edge once, in deterministic order."""
+        index = {node: i for i, node in enumerate(self._nodes)}
+        result = []
+        for node in self._nodes:
+            for nb in self._adjacency[node]:
+                if index[node] < index[nb]:
+                    result.append((node, nb))
+        return result
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._adjacency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology({self.name!r}, n={len(self)}, m={len(self.edges())})"
+
+
+def line(n: int) -> Topology:
+    """A path ``0 - 1 - ... - (n-1)`` of diameter ``n − 1``."""
+    if n < 1:
+        raise TopologyError(f"line needs at least 1 node, got {n}")
+    return Topology.from_edges(((i, i + 1) for i in range(n - 1)), name=f"line-{n}") \
+        if n > 1 else Topology({0: ()}, name="line-1")
+
+
+def ring(n: int) -> Topology:
+    """A cycle of ``n ≥ 3`` nodes, diameter ``⌊n/2⌋``."""
+    if n < 3:
+        raise TopologyError(f"ring needs at least 3 nodes, got {n}")
+    return Topology.from_edges(
+        itertools.chain(((i, i + 1) for i in range(n - 1)), [(n - 1, 0)]),
+        name=f"ring-{n}",
+    )
+
+
+def star(n: int) -> Topology:
+    """A hub node 0 connected to ``n − 1`` leaves, diameter 2."""
+    if n < 2:
+        raise TopologyError(f"star needs at least 2 nodes, got {n}")
+    return Topology.from_edges(((0, i) for i in range(1, n)), name=f"star-{n}")
+
+
+def complete_graph(n: int) -> Topology:
+    """All pairs connected, diameter 1."""
+    if n < 2:
+        raise TopologyError(f"complete graph needs at least 2 nodes, got {n}")
+    return Topology.from_edges(
+        itertools.combinations(range(n), 2), name=f"complete-{n}"
+    )
+
+
+def grid(width: int, height: int) -> Topology:
+    """A ``width × height`` grid; nodes are ``(x, y)`` tuples."""
+    if width < 1 or height < 1:
+        raise TopologyError(f"grid dimensions must be positive: {width}x{height}")
+    if width * height < 2:
+        raise TopologyError("grid needs at least 2 nodes")
+    edges = []
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append(((x, y), (x + 1, y)))
+            if y + 1 < height:
+                edges.append(((x, y), (x, y + 1)))
+    return Topology.from_edges(edges, name=f"grid-{width}x{height}")
+
+
+def torus(width: int, height: int) -> Topology:
+    """A grid with wrap-around edges in both dimensions."""
+    if width < 3 or height < 3:
+        raise TopologyError("torus needs both dimensions >= 3")
+    edges = []
+    for x in range(width):
+        for y in range(height):
+            edges.append(((x, y), ((x + 1) % width, y)))
+            edges.append(((x, y), (x, (y + 1) % height)))
+    return Topology.from_edges(edges, name=f"torus-{width}x{height}")
+
+
+def binary_tree(depth: int) -> Topology:
+    """A complete binary tree of the given depth (depth 0 = just the root).
+
+    Nodes are integers in heap order (root 1, children ``2i`` and
+    ``2i + 1``); diameter ``2 · depth``.
+    """
+    if depth < 1:
+        raise TopologyError(f"binary tree needs depth >= 1, got {depth}")
+    edges = []
+    for node in range(1, 2 ** depth):
+        edges.append((node, 2 * node))
+        edges.append((node, 2 * node + 1))
+    return Topology.from_edges(edges, name=f"tree-depth-{depth}")
+
+
+def hypercube(dimension: int) -> Topology:
+    """A ``dimension``-dimensional hypercube on ``2^dimension`` nodes."""
+    if dimension < 1:
+        raise TopologyError(f"hypercube dimension must be >= 1, got {dimension}")
+    edges = []
+    for node in range(2 ** dimension):
+        for bit in range(dimension):
+            other = node ^ (1 << bit)
+            if node < other:
+                edges.append((node, other))
+    return Topology.from_edges(edges, name=f"hypercube-{dimension}")
+
+
+def barbell(clique_size: int, path_length: int) -> Topology:
+    """Two cliques of ``clique_size`` joined by a path of ``path_length``.
+
+    An interesting gradient-property case: most pairs are either at
+    distance ≤ 1 (inside a clique) or at distance ≈ path_length + 2
+    (across the bar), so the skew-vs-distance curve is bimodal.  Nodes
+    are ``("a", i)``, ``("bar", j)``, ``("b", i)``.
+    """
+    if clique_size < 2:
+        raise TopologyError(f"clique_size must be >= 2, got {clique_size}")
+    if path_length < 1:
+        raise TopologyError(f"path_length must be >= 1, got {path_length}")
+    edges = []
+    for side in ("a", "b"):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append(((side, i), (side, j)))
+    bar = [("bar", j) for j in range(path_length)]
+    edges.append((("a", 0), bar[0]))
+    edges.extend((bar[j], bar[j + 1]) for j in range(path_length - 1))
+    edges.append((bar[-1], ("b", 0)))
+    return Topology.from_edges(
+        edges, name=f"barbell-{clique_size}-{path_length}"
+    )
+
+
+def caterpillar(spine: int, legs_per_node: int) -> Topology:
+    """A path of ``spine`` nodes, each with ``legs_per_node`` leaf legs.
+
+    High-degree low-diameter tree; spine nodes are integers, legs are
+    ``(i, k)`` tuples.
+    """
+    if spine < 2:
+        raise TopologyError(f"spine must be >= 2, got {spine}")
+    if legs_per_node < 0:
+        raise TopologyError(f"legs_per_node must be >= 0, got {legs_per_node}")
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    for i in range(spine):
+        for k in range(legs_per_node):
+            edges.append((i, (i, k)))
+    return Topology.from_edges(edges, name=f"caterpillar-{spine}x{legs_per_node}")
+
+
+def circulant(n: int, offsets: Sequence[int]) -> Topology:
+    """The circulant graph ``C_n(offsets)``: ``i ~ i ± o`` for each offset.
+
+    With offsets like ``(1, k)`` for ``k ≈ √n`` this gives a low-diameter
+    expander-like graph — a contrast case to the line for the local-skew
+    experiments.
+    """
+    if n < 3:
+        raise TopologyError(f"circulant needs at least 3 nodes, got {n}")
+    if not offsets:
+        raise TopologyError("circulant needs at least one offset")
+    for offset in offsets:
+        if not (1 <= offset <= n // 2):
+            raise TopologyError(
+                f"offsets must be in [1, n//2] = [1, {n // 2}], got {offset}"
+            )
+    edges = set()
+    for i in range(n):
+        for offset in offsets:
+            edges.add(tuple(sorted((i, (i + offset) % n))))
+    return Topology.from_edges(
+        sorted(edges), name=f"circulant-{n}-{'-'.join(map(str, offsets))}"
+    )
+
+
+def random_connected(n: int, p: float, seed: int = 0) -> Topology:
+    """An Erdős–Rényi ``G(n, p)`` graph made connected.
+
+    Edges are sampled with probability ``p``; a random spanning-path
+    backbone guarantees connectivity regardless of ``p``.  Deterministic
+    for a given seed.
+    """
+    if n < 2:
+        raise TopologyError(f"random graph needs at least 2 nodes, got {n}")
+    if not (0 <= p <= 1):
+        raise TopologyError(f"edge probability must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    order = list(range(n))
+    rng.shuffle(order)
+    edges = {tuple(sorted(pair)) for pair in zip(order, order[1:])}
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                edges.add((u, v))
+    return Topology.from_edges(sorted(edges), name=f"gnp-{n}-{p}-{seed}")

@@ -1,0 +1,86 @@
+"""Graph distance computations (BFS-based, exact).
+
+The paper's bounds are stated in terms of hop distances ``d(v, w)`` and
+the diameter ``D``; the legal-state condition (Definition 5.6) and the
+gradient experiments need all-pairs distances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.generators import Topology
+
+__all__ = [
+    "bfs_distances",
+    "all_pairs_distances",
+    "diameter",
+    "eccentricity",
+    "shortest_path",
+    "nodes_at_distance",
+]
+
+NodeId = Hashable
+
+
+def bfs_distances(topology: Topology, source: NodeId) -> Dict[NodeId, int]:
+    """Hop distance from ``source`` to every node."""
+    if source not in topology:
+        raise TopologyError(f"unknown source node {source!r}")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for nb in topology.neighbors(node):
+            if nb not in distances:
+                distances[nb] = distances[node] + 1
+                queue.append(nb)
+    return distances
+
+
+def all_pairs_distances(topology: Topology) -> Dict[NodeId, Dict[NodeId, int]]:
+    """All-pairs hop distances (one BFS per node)."""
+    return {node: bfs_distances(topology, node) for node in topology.nodes}
+
+
+def eccentricity(topology: Topology, node: NodeId) -> int:
+    """Maximum distance from ``node`` to any other node."""
+    return max(bfs_distances(topology, node).values())
+
+
+def diameter(topology: Topology) -> int:
+    """The graph diameter ``D`` (maximum pairwise hop distance)."""
+    return max(eccentricity(topology, node) for node in topology.nodes)
+
+
+def shortest_path(topology: Topology, source: NodeId, target: NodeId) -> List[NodeId]:
+    """One shortest path from ``source`` to ``target`` (inclusive)."""
+    if target not in topology:
+        raise TopologyError(f"unknown target node {target!r}")
+    parents: Dict[NodeId, Optional[NodeId]] = {source: None}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            break
+        for nb in topology.neighbors(node):
+            if nb not in parents:
+                parents[nb] = node
+                queue.append(nb)
+    if target not in parents:
+        raise TopologyError(f"no path from {source!r} to {target!r}")
+    path = [target]
+    while parents[path[-1]] is not None:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def nodes_at_distance(
+    topology: Topology, source: NodeId, distance: int
+) -> Tuple[NodeId, ...]:
+    """All nodes exactly ``distance`` hops from ``source``."""
+    dist = bfs_distances(topology, source)
+    return tuple(node for node in topology.nodes if dist.get(node) == distance)

@@ -1,0 +1,38 @@
+"""Model variants and protocol refinements (Sections 6 and 8).
+
+* :mod:`repro.variants.min_gap` — §6.1: bounded message frequency via a
+  minimum hardware-time gap between sends (trades global skew for it).
+* :mod:`repro.variants.bit_budget` — §6.2: constant-size messages via
+  progress deltas and capped ``L^max`` increments.
+* :mod:`repro.variants.bounded_delays` — §8.3: delays in ``[T1, T2]``
+  with known-minimum compensation.
+* :mod:`repro.variants.discrete` — §8.4: hardware clocks with tick
+  granularity ``1/f``.
+* :mod:`repro.variants.external` — §8.5: external synchronization to a
+  real-time source node.
+* :mod:`repro.variants.envelope` — §8.6: the hardware-clock envelope
+  condition.
+"""
+
+from repro.variants.adaptive_delay import AdaptiveDelayAoptAlgorithm
+from repro.variants.bit_budget import BitBudgetAoptAlgorithm, bit_budget_params
+from repro.variants.bounded_delays import BoundedDelayAoptAlgorithm, bounded_delay_params
+from repro.variants.discrete import DiscreteAoptAlgorithm, discrete_params
+from repro.variants.envelope import HardwareEnvelopeAoptAlgorithm
+from repro.variants.external import ExternalAoptAlgorithm
+from repro.variants.jump_aopt import JumpAoptAlgorithm
+from repro.variants.min_gap import MinGapAoptAlgorithm
+
+__all__ = [
+    "AdaptiveDelayAoptAlgorithm",
+    "MinGapAoptAlgorithm",
+    "BitBudgetAoptAlgorithm",
+    "bit_budget_params",
+    "BoundedDelayAoptAlgorithm",
+    "bounded_delay_params",
+    "DiscreteAoptAlgorithm",
+    "discrete_params",
+    "ExternalAoptAlgorithm",
+    "HardwareEnvelopeAoptAlgorithm",
+    "JumpAoptAlgorithm",
+]

@@ -1,0 +1,116 @@
+"""Ablations: removing individual design choices from A^opt.
+
+The paper motivates each ingredient of the algorithm; these ablations
+make the motivations measurable:
+
+* :class:`NoMaxCapAopt` — drops the ``L^max`` cap in Algorithm 3 line 2
+  (``R := min(..., L^max − L)``).  Without the cap, the "a skew of κ is
+  always tolerated" rule lets neighbors bootstrap each other: both stay
+  within κ of (over-extrapolated) estimates while their absolute values
+  run away at rate ``(1+ε)(1+μ)``, violating the real-time envelope
+  Condition (1).  This is why Corollary 5.2 needs ``L_v ≤ L^max_v``.
+
+* :class:`LazyForwardAopt` — drops the immediate forwarding of larger
+  ``L^max`` estimates (Algorithm 2 line 3); estimates only propagate with
+  the regular mark-triggered sends.  Information then travels one hop per
+  ``Θ(H0)`` instead of one hop per delay, and the global skew degrades by
+  ``Θ(ε·D·H0)`` — the reason Algorithm 2 forwards eagerly.
+
+Both are deliberately *broken* algorithms; they exist for the ablation
+benchmark (``benchmarks/bench_ablations.py``) and should not be used
+otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Sequence
+
+from repro.core.interfaces import Algorithm, NodeContext
+from repro.core.node import AoptNode
+from repro.core.params import SyncParams
+from repro.core.rate_rule import clamped_rate_increase
+
+__all__ = ["NoMaxCapAopt", "LazyForwardAopt"]
+
+NodeId = Hashable
+
+_INCREASE_EPS = 1e-12
+
+
+class _NoMaxCapNode(AoptNode):
+    def _set_clock_rate(self, ctx: NodeContext) -> None:
+        skews = self.skew_estimates(ctx)
+        if skews is None:
+            return
+        lambda_up, lambda_down = skews
+        # Ablated: headroom = infinity (no L^max cap on the increase).
+        increase = clamped_rate_increase(
+            lambda_up, lambda_down, self.params.kappa, math.inf
+        )
+        if increase > _INCREASE_EPS:
+            ctx.set_rate_multiplier(1 + self.params.mu)
+            if math.isfinite(increase):
+                ctx.set_alarm(
+                    "rate-reset", ctx.hardware() + increase / self.params.mu
+                )
+        else:
+            ctx.set_rate_multiplier(1.0)
+            ctx.cancel_alarm("rate-reset")
+
+
+class NoMaxCapAopt(Algorithm):
+    """A^opt without the ``L^max − L`` cap (envelope-breaking ablation)."""
+
+    allows_jumps = False
+
+    def __init__(self, params: SyncParams):
+        self.params = params
+        self.name = "aopt-no-max-cap"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]):
+        return _NoMaxCapNode(node_id, neighbors, self.params)
+
+
+class _LazyForwardNode(AoptNode):
+    def on_message(self, ctx: NodeContext, sender: NodeId, payload: Any) -> None:
+        their_logical, their_lmax = payload
+        hardware_now = ctx.hardware()
+        forced_send = self._needs_init_send
+        self._needs_init_send = False
+
+        lmax_now = self.l_max(hardware_now)
+        if their_lmax > lmax_now:
+            # Ablated: adopt, but do NOT forward; the next mark-triggered
+            # send (possibly a full H0 away) carries it onward.
+            self._lmax_value = their_lmax
+            self._lmax_anchor = hardware_now
+            self._next_mark = their_lmax + self.params.h0
+            self._arm_send_alarm(ctx, hardware_now)
+        if forced_send:
+            ctx.send_all((ctx.logical(), self.l_max(hardware_now)))
+            self._next_mark = max(
+                self._next_mark,
+                math.floor(self.l_max(hardware_now) / self.params.h0)
+                * self.params.h0
+                + self.params.h0,
+            )
+            self._arm_send_alarm(ctx, hardware_now)
+
+        if their_logical > self._raw_received.get(sender, -math.inf):
+            self._raw_received[sender] = their_logical
+            self._estimates[sender] = (their_logical, hardware_now)
+        self._set_clock_rate(ctx)
+
+
+class LazyForwardAopt(Algorithm):
+    """A^opt without eager ``L^max`` forwarding (slow-information ablation)."""
+
+    allows_jumps = False
+
+    def __init__(self, params: SyncParams):
+        self.params = params
+        self.name = "aopt-lazy-forward"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]):
+        return _LazyForwardNode(node_id, neighbors, self.params)

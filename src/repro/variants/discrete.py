@@ -1,0 +1,143 @@
+"""§8.4 — discrete hardware clocks with tick granularity ``1/f``.
+
+Real hardware clocks tick at a finite frequency ``f``: a node can only
+act on (and communicate) clock readings quantized to multiples of
+``1/f``.  The paper (citing the PODC'09 version) shows this effectively
+replaces ``T`` by ``max(1/f, T)`` in the bounds — negligible whenever
+``1/f < T``.
+
+Implementation: a context proxy rounds every alarm target *up* to the
+next tick (actions only happen on ticks) and every transmitted clock
+value *down* to a tick (readings are quantized), while the node's
+internal bookkeeping stays exact.  ``κ`` must absorb the extra
+uncertainty; :func:`discrete_params` sizes it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Sequence
+
+from repro.core.interfaces import NodeContext
+from repro.core.node import AoptAlgorithm, AoptNode
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+
+__all__ = ["DiscreteAoptAlgorithm", "discrete_params"]
+
+NodeId = Hashable
+
+
+def discrete_params(epsilon: float, delay_bound: float, frequency: float, **overrides) -> SyncParams:
+    """Parameters with ``κ`` enlarged for tick granularity ``1/f``.
+
+    One tick of quantization on each of the sender's value and the
+    receiver's reaction adds up to ``2·(1 + ε)(1 + μ)/f`` of extra
+    estimate error — the ``T → max(1/f, T)`` effect of §8.4.
+
+    ``H0`` is rounded *up* to a multiple of the tick: transmitted values
+    are floored to ticks, so a misaligned ``H0`` would make the announced
+    ``L^max`` marks fall below receivers' local estimates and stall the
+    estimate flood entirely.
+    """
+    if frequency <= 0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency}")
+    params = SyncParams.recommended(epsilon=epsilon, delay_bound=delay_bound, **overrides)
+    tick = 1.0 / frequency
+    aligned_h0 = math.ceil(params.h0 / tick - 1e-9) * tick
+    params = SyncParams.recommended(
+        epsilon=epsilon, delay_bound=delay_bound, h0=aligned_h0,
+        **{k: v for k, v in overrides.items() if k != "h0"},
+    )
+    extra = 2 * (1 + params.epsilon_hat) * (1 + params.mu) / frequency
+    return params.with_overrides(kappa=params.kappa + extra)
+
+
+class _TickContext(NodeContext):
+    """Proxy quantizing alarms up and outgoing values down to ticks."""
+
+    def __init__(self, inner: NodeContext, tick: float):
+        self._inner = inner
+        self._tick = tick
+        self.node_id = inner.node_id
+        self.neighbors = inner.neighbors
+
+    def _floor_tick(self, value: float) -> float:
+        return math.floor(value / self._tick + 1e-9) * self._tick
+
+    def _ceil_tick(self, value: float) -> float:
+        return math.ceil(value / self._tick - 1e-9) * self._tick
+
+    def hardware(self) -> float:
+        return self._inner.hardware()
+
+    def logical(self) -> float:
+        return self._inner.logical()
+
+    def set_rate_multiplier(self, rho: float) -> None:
+        self._inner.set_rate_multiplier(rho)
+
+    def rate_multiplier(self) -> float:
+        return self._inner.rate_multiplier()
+
+    def jump_logical(self, value: float) -> None:
+        self._inner.jump_logical(value)
+
+    def _quantize_payload(self, payload: Any) -> Any:
+        if isinstance(payload, tuple):
+            return tuple(
+                self._floor_tick(v) if isinstance(v, float) else v for v in payload
+            )
+        return payload
+
+    def send_to(self, neighbor: NodeId, payload: Any) -> None:
+        self._inner.send_to(neighbor, self._quantize_payload(payload))
+
+    def send_all(self, payload: Any) -> None:
+        self._inner.send_all(self._quantize_payload(payload))
+
+    def set_alarm(self, name: str, hardware_value: float) -> None:
+        self._inner.set_alarm(name, self._ceil_tick(hardware_value))
+
+    def cancel_alarm(self, name: str) -> None:
+        self._inner.cancel_alarm(name)
+
+    def probe(self, name: str, value: Any) -> None:
+        self._inner.probe(name, value)
+
+
+class _DiscreteNode(AoptNode):
+    def __init__(self, node_id, neighbors, params: SyncParams, tick: float):
+        super().__init__(node_id, neighbors, params)
+        self._tick = tick
+
+    def _wrap(self, ctx: NodeContext) -> _TickContext:
+        return _TickContext(ctx, self._tick)
+
+    def on_start(self, ctx: NodeContext) -> None:
+        super().on_start(self._wrap(ctx))
+
+    def on_message(self, ctx: NodeContext, sender, payload) -> None:
+        super().on_message(self._wrap(ctx), sender, payload)
+
+    def on_alarm(self, ctx: NodeContext, name: str) -> None:
+        super().on_alarm(self._wrap(ctx), name)
+
+
+class DiscreteAoptAlgorithm(AoptAlgorithm):
+    """A^opt on hardware that ticks at frequency ``f``.
+
+    Use :func:`discrete_params` for a ``κ`` that absorbs the granularity.
+    ``H0`` should be (close to) a multiple of the tick for exact
+    mark-based sending; small misalignment only costs extra slack.
+    """
+
+    def __init__(self, params: SyncParams, frequency: float):
+        super().__init__(params)
+        if frequency <= 0:
+            raise ConfigurationError(f"frequency must be positive, got {frequency}")
+        self.frequency = float(frequency)
+        self.name = "aopt-discrete"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]):
+        return _DiscreteNode(node_id, neighbors, self.params, 1.0 / self.frequency)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import SyncParams
+
+
+@pytest.fixture
+def params() -> SyncParams:
+    """A mid-drift compliant parameter set used across tests."""
+    return SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+
+
+@pytest.fixture
+def tight_params() -> SyncParams:
+    """Small drift: realistic clocks, long correction horizons."""
+    return SyncParams.recommended(epsilon=0.001, delay_bound=1.0)
+
+
+@pytest.fixture
+def aggressive_params() -> SyncParams:
+    """Large drift: fast-moving executions for short tests."""
+    return SyncParams.recommended(epsilon=0.1, delay_bound=1.0)

@@ -1,0 +1,94 @@
+"""Tests for the deliberately broken ablation variants (E16 backing)."""
+
+import pytest
+
+from repro.analysis.metrics import check_envelope
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.sim.delays import ConstantDelay, ZeroDelay
+from repro.sim.drift import PerNodeDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.variants.ablations import LazyForwardAopt, NoMaxCapAopt
+
+
+class TestNoMaxCap:
+    def test_envelope_breaks(self, params):
+        """Without the L^max cap, mutual chasing exceeds (1+eps)t."""
+        trace = run_execution(
+            line(5),
+            NoMaxCapAopt(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            ZeroDelay(max_delay=params.delay_bound),
+            100.0,
+        )
+        assert check_envelope(trace, params.epsilon) > 1.0
+
+    def test_violation_grows_with_time(self, params):
+        def margin(horizon):
+            trace = run_execution(
+                line(5),
+                NoMaxCapAopt(params),
+                TwoGroupDrift(params.epsilon, [0, 1]),
+                ZeroDelay(max_delay=params.delay_bound),
+                horizon,
+            )
+            return check_envelope(trace, params.epsilon)
+
+        assert margin(120.0) > 1.5 * margin(60.0)
+
+    def test_rate_bounds_still_respected(self, params):
+        """The ablation breaks the envelope, not Condition (2): clocks
+        still run within [alpha, beta]."""
+        from repro.analysis.metrics import check_rate_bounds
+
+        trace = run_execution(
+            line(4),
+            NoMaxCapAopt(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            ZeroDelay(max_delay=params.delay_bound),
+            80.0,
+        )
+        assert check_rate_bounds(trace, params.alpha, params.beta) <= 1e-7
+
+
+class TestLazyForward:
+    def test_envelope_still_holds(self, params):
+        """Lazy forwarding is slow, not unsafe."""
+        trace = run_execution(
+            line(5),
+            LazyForwardAopt(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            ConstantDelay(params.delay_bound),
+            150.0,
+        )
+        assert check_envelope(trace, params.epsilon) <= 1e-7
+
+    def test_worse_than_eager_on_steady_spread(self, params):
+        large_h0 = params.with_overrides(h0=params.h0 * 4)
+        drift = PerNodeDrift(
+            params.epsilon, {0: 1 + params.epsilon}, default=1 - params.epsilon
+        )
+        delay = ConstantDelay(params.delay_bound)
+        horizon = 300.0
+        eager = run_execution(
+            line(6), AoptAlgorithm(large_h0), drift, delay, horizon
+        )
+        lazy = run_execution(
+            line(6), LazyForwardAopt(large_h0), drift, delay, horizon
+        )
+        assert lazy.spread_at(horizon - 1) > eager.spread_at(horizon - 1)
+
+    def test_eager_within_bound_lazy_not(self, params):
+        """The G bound certifies eager forwarding; the ablation exceeds it."""
+        large_h0 = params.with_overrides(h0=params.h0 * 4)
+        drift = PerNodeDrift(
+            params.epsilon, {0: 1 + params.epsilon}, default=1 - params.epsilon
+        )
+        delay = ConstantDelay(params.delay_bound)
+        horizon = 300.0
+        bound = global_skew_bound(large_h0, 5)
+        lazy = run_execution(
+            line(6), LazyForwardAopt(large_h0), drift, delay, horizon
+        )
+        assert lazy.spread_at(horizon - 1) > bound

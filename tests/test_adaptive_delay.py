@@ -1,0 +1,97 @@
+"""Tests for the §8.1 adaptive delay-bound variant."""
+
+import pytest
+
+from repro.analysis.metrics import check_envelope
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import ConstantDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import line
+from repro.variants.adaptive_delay import AdaptiveDelayAoptAlgorithm
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+def run(delay_model, horizon=250.0, n=6, initial=0.01, drift=None):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    algo = AdaptiveDelayAoptAlgorithm(params, initial_estimate=initial)
+    engine = SimulationEngine(
+        line(n),
+        algo,
+        drift or TwoGroupDrift(EPSILON, list(range(n // 2))),
+        delay_model,
+        horizon,
+    )
+    return engine, engine.run()
+
+
+class TestEstimateConvergence:
+    def test_estimate_upper_bounds_true_delay(self):
+        engine, _ = run(UniformDelay(0.5, DELAY, seed=3))
+        for node in range(6):
+            state = engine.node_state(node)
+            # Round trips took at least 2*0.5; estimates bound one delay.
+            assert state._delay_estimate >= DELAY
+
+    def test_estimate_within_constant_of_true(self):
+        """§8.1: the estimate is in O(T) — at most the RTT measured by a
+        fast clock and discounted by a slow one: 2T(1+ε)/(1−ε̂) ≈ 2.21·T."""
+        engine, _ = run(ConstantDelay(DELAY))
+        bound = 2 * DELAY * (1 + EPSILON) / (1 - EPSILON)
+        for node in range(6):
+            state = engine.node_state(node)
+            assert state._delay_estimate <= bound + 1e-6
+
+    def test_announcements_double(self):
+        """Announced values at least double, bounding flood count."""
+        engine, trace = run(UniformDelay(0.0, DELAY, seed=1))
+        # Count distinct announced values seen in 'that' floods.
+        state = engine.node_state(0)
+        assert state._announced >= 0.02  # grew from 0.01 by doubling
+        # Flood overhead is logarithmic: few doublings from 0.01 to ~2.
+        # (2 / 0.01 = 200 -> at most ~8 doublings; each floods once per
+        # node per neighbor.)
+        assert trace.total_messages() < 20000
+
+    def test_estimates_flood_to_all_nodes(self):
+        engine, _ = run(ConstantDelay(DELAY))
+        announced = {engine.node_state(n)._announced for n in range(6)}
+        assert len(announced) == 1  # everyone converged to the same value
+
+
+class TestSafetyDuringAdaptation:
+    def test_envelope_holds_throughout(self):
+        _, trace = run(UniformDelay(0.0, DELAY, seed=5))
+        assert check_envelope(trace, EPSILON) <= 1e-7
+
+    def test_synchronizes_despite_unknown_t(self):
+        _, trace = run(ConstantDelay(DELAY), horizon=300.0)
+        free_running = 2 * EPSILON * 300.0
+        assert trace.global_skew().value < free_running
+
+    def test_underestimate_phase_is_harmless(self):
+        """With an absurdly small initial estimate, the early phase uses a
+        tiny kappa — which is *more* aggressive, not unsafe (the paper's
+        'skew bounds hold with respect to the smaller delays' remark)."""
+        _, trace = run(ConstantDelay(0.2, max_delay=DELAY), initial=1e-4)
+        assert check_envelope(trace, EPSILON) <= 1e-7
+
+    def test_kappa_tracks_estimate(self):
+        engine, _ = run(ConstantDelay(DELAY))
+        state = engine.node_state(2)
+        params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+        expected = 2 * (
+            (1 + EPSILON) * (1 + params.mu) * state._delay_estimate
+            + params.h_bar_0
+        )
+        assert state.current_kappa() == pytest.approx(expected)
+
+
+class TestConstruction:
+    def test_invalid_initial_estimate(self):
+        params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+        with pytest.raises(ConfigurationError):
+            AdaptiveDelayAoptAlgorithm(params, initial_estimate=0.0)

@@ -1,0 +1,125 @@
+"""Tests for the Theorem 7.2 adversary (global skew lower bound)."""
+
+import pytest
+
+from repro.adversary.global_bound import (
+    run_global_lower_bound,
+    theorem72_schedules,
+)
+from repro.adversary.shifting import patterns_match
+from repro.baselines import MaxForwardAlgorithm
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import ScheduleError
+from repro.sim.runner import run_execution
+from repro.topology.generators import line, ring
+
+EPSILON = 0.05
+DELAY = 1.0
+
+
+def aopt(**overrides):
+    return AoptAlgorithm(SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY, **overrides))
+
+
+class TestScheduleConstruction:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ScheduleError):
+            theorem72_schedules(line(4), 0, "E9", EPSILON, DELAY)
+
+    def test_invalid_eps_tilde_rejected(self):
+        with pytest.raises(ScheduleError):
+            theorem72_schedules(line(4), 0, "E3", EPSILON, DELAY, eps_tilde=1.0)
+
+    @pytest.mark.parametrize("variant", ["E1", "E2", "E3"])
+    def test_drift_within_model(self, variant):
+        schedules = theorem72_schedules(line(5), 0, variant, EPSILON, DELAY)
+        for node in range(5):
+            schedules.drift.validated_rate_function(node, 500.0)
+
+    @pytest.mark.parametrize("variant", ["E1", "E2", "E3"])
+    def test_delays_within_model(self, variant):
+        schedules = theorem72_schedules(line(5), 0, variant, EPSILON, DELAY)
+        for sender, receiver in ((1, 0), (0, 1), (3, 4), (4, 3)):
+            for t in (0.0, 10.0, 100.0):
+                value = schedules.delay.validated_delay(sender, receiver, t, 0)
+                assert 0.0 <= value <= DELAY
+
+    def test_rho_exact_knowledge_negative(self):
+        schedules = theorem72_schedules(line(5), 0, "E3", EPSILON, DELAY)
+        assert schedules.rho < 0
+        assert schedules.rho_sup == pytest.approx(-EPSILON)
+
+
+class TestIndistinguishability:
+    """E1, E2 and E3 must present identical local-time message patterns."""
+
+    @pytest.mark.parametrize("other", ["E2", "E3"])
+    def test_aopt_cannot_distinguish(self, other):
+        topology = line(4)
+        reference = theorem72_schedules(topology, 0, "E1", EPSILON, DELAY)
+        candidate = theorem72_schedules(topology, 0, other, EPSILON, DELAY)
+        horizon = min(reference.t0, candidate.t0) * 0.5
+        traces = []
+        for schedules in (reference, candidate):
+            traces.append(
+                run_execution(
+                    topology,
+                    aopt(),
+                    schedules.drift,
+                    schedules.delay,
+                    horizon,
+                    initiators=list(topology.nodes),
+                    record_messages=True,
+                )
+            )
+        ok, detail = patterns_match(
+            traces[0], traces[1], tolerance=1e-6, allow_prefix=True
+        )
+        assert ok, detail
+
+
+class TestForcedSkew:
+    def test_exact_knowledge_forces_one_minus_eps_dt(self):
+        """Corollary 7.3 second part: skew (1 − ε)·D·T is unavoidable."""
+        result = run_global_lower_bound(line(9), aopt(), EPSILON, DELAY)
+        assert result.forced_skew == pytest.approx(result.predicted, rel=1e-6)
+        assert result.predicted == pytest.approx(
+            (1 + result.rho) * 8 * DELAY, rel=1e-9
+        )
+
+    def test_inaccurate_delay_knowledge_forces_more(self):
+        """Theorem 7.2: with c1 < 1 the forced skew rises toward (1+ε)DT."""
+        loose = aopt(delay_bound_hat=DELAY / 0.6)
+        result = run_global_lower_bound(
+            line(9), loose, EPSILON, DELAY, delay_ratio=0.6
+        )
+        exact = run_global_lower_bound(line(9), aopt(), EPSILON, DELAY)
+        assert result.forced_skew > exact.forced_skew
+        assert result.forced_skew == pytest.approx(result.predicted, rel=1e-6)
+        assert result.theoretical == pytest.approx((1 + EPSILON) * 8 * DELAY)
+
+    def test_forced_skew_below_upper_bound(self, params):
+        """Consistency: the forced skew stays below Theorem 5.5's G."""
+        result = run_global_lower_bound(line(7), aopt(), EPSILON, DELAY)
+        upper = global_skew_bound(
+            SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY), 6
+        )
+        assert result.forced_skew <= upper + 1e-7
+
+    def test_works_on_rings(self):
+        result = run_global_lower_bound(ring(8), aopt(), EPSILON, DELAY)
+        # Ring diameter from v0 is 4.
+        assert result.predicted == pytest.approx((1 + result.rho) * 4 * DELAY)
+        assert result.forced_skew == pytest.approx(result.predicted, rel=1e-5)
+
+    def test_jump_algorithms_also_forced(self):
+        """The bound holds for any envelope-respecting algorithm, even with
+        unbounded rates (jumps)."""
+        result = run_global_lower_bound(
+            line(7), MaxForwardAlgorithm(send_period=2.0), EPSILON, DELAY
+        )
+        # Max-forward is not exactly envelope-optimal; it must still suffer
+        # a skew within a constant factor of the prediction.
+        assert result.forced_skew > 0.5 * result.predicted

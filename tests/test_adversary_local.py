@@ -1,0 +1,141 @@
+"""Tests for the Theorem 7.7 adversary (local skew amplification)."""
+
+import pytest
+
+from repro.adversary.local_bound import (
+    amplification_base,
+    run_skew_amplification,
+)
+from repro.baselines import MidpointAlgorithm
+from repro.core.bounds import local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import ScheduleError
+
+EPSILON = 0.1
+DELAY = 1.0
+
+
+def aopt_params():
+    return SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+
+
+class TestBase:
+    def test_amplification_base_formula(self):
+        assert amplification_base(0.9, 1.2, 0.1) == 7
+        assert amplification_base(1.0, 1.0, 0.1) == 2  # clamped
+
+    def test_n_too_small_rejected(self):
+        with pytest.raises(ScheduleError):
+            run_skew_amplification(
+                lambda: AoptAlgorithm(aopt_params()), n=3, epsilon=EPSILON,
+                delay_bound=DELAY, base=4,
+            )
+
+
+class TestAgainstAopt:
+    @pytest.fixture(scope="class")
+    def result(self):
+        params = aopt_params()
+        return run_skew_amplification(
+            lambda: AoptAlgorithm(params),
+            n=17,
+            epsilon=EPSILON,
+            delay_bound=DELAY,
+            base=4,
+            verify_indistinguishability=True,
+        )
+
+    def test_round_structure(self, result):
+        distances = [r.distance for r in result.rounds]
+        assert distances == [16, 4, 1]
+
+    def test_indistinguishable_every_round(self, result):
+        assert all(r.indistinguishable for r in result.rounds)
+
+    def test_shift_gains_at_least_alpha_d_t(self, result):
+        """Lemma 7.6: the shifted run gains ≥ α·d·T over the unshifted."""
+        alpha = 1 - EPSILON
+        for r in result.rounds:
+            gain = r.skew_after_shift - max(r.skew_before_shift, 0.0)
+            assert gain >= alpha * r.distance * DELAY - 1e-6
+
+    def test_final_neighbor_skew_at_least_alpha_t(self, result):
+        last = result.rounds[-1]
+        assert last.distance == 1
+        assert last.skew_after_shift >= (1 - EPSILON) * DELAY - 1e-6
+
+    def test_forced_skew_below_aopt_upper_bound(self, result):
+        params = aopt_params()
+        last = result.rounds[-1]
+        assert last.skew_after_shift <= local_skew_bound(params, 16) + 1e-6
+
+    def test_no_significant_delay_clamps(self, result):
+        assert result.rounds[-1].delay_clamps < 20
+
+
+class TestAgainstWeakCorrector:
+    def test_skew_accumulates_over_rounds(self):
+        """A corrector with small μ retains skew between rounds, so the
+        per-hop forced skew grows beyond one α·T — the log_b(D) effect."""
+        result = run_skew_amplification(
+            lambda: MidpointAlgorithm(send_period=1.0, mu=0.12),
+            n=17,
+            epsilon=EPSILON,
+            delay_bound=DELAY,
+            base=4,
+        )
+        last = result.rounds[-1]
+        assert last.distance == 1
+        # Strictly more than a single round's gain.
+        assert last.skew_after_shift > 1.5 * (1 - EPSILON) * DELAY
+
+    def test_retained_skew_visible_in_unshifted_runs(self):
+        result = run_skew_amplification(
+            lambda: MidpointAlgorithm(send_period=1.0, mu=0.12),
+            n=17,
+            epsilon=EPSILON,
+            delay_bound=DELAY,
+            base=4,
+        )
+        later_rounds = result.rounds[1:]
+        assert any(r.skew_before_shift > 0.5 for r in later_rounds)
+
+
+class TestRoundAccounting:
+    def test_rounds_limited_by_parameter(self):
+        result = run_skew_amplification(
+            lambda: AoptAlgorithm(aopt_params()),
+            n=17,
+            epsilon=EPSILON,
+            delay_bound=DELAY,
+            base=4,
+            rounds=2,
+        )
+        assert len(result.rounds) == 2
+
+    def test_eval_times_increase(self):
+        result = run_skew_amplification(
+            lambda: AoptAlgorithm(aopt_params()),
+            n=17,
+            epsilon=EPSILON,
+            delay_bound=DELAY,
+            base=4,
+        )
+        times = [r.t_eval for r in result.rounds]
+        assert times == sorted(times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_predicted_column_matches_theorem(self):
+        result = run_skew_amplification(
+            lambda: AoptAlgorithm(aopt_params()),
+            n=17,
+            epsilon=EPSILON,
+            delay_bound=DELAY,
+            base=4,
+        )
+        alpha = 1 - EPSILON
+        for r in result.rounds:
+            assert r.predicted == pytest.approx(
+                (r.index + 1) / 2 * alpha * r.distance * DELAY
+            )

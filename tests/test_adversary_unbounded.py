@@ -1,0 +1,154 @@
+"""Tests for the Section 7.3 machinery (Lemma 7.10, rate capture)."""
+
+import pytest
+
+from repro.adversary.unbounded_rates import (
+    find_largest_jump,
+    phi_for_epsilon,
+    run_rate_capture,
+    slowed_node_schedules,
+)
+from repro.baselines import MaxForwardAlgorithm
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import ScheduleError
+from repro.sim.rates import PiecewiseConstantRate
+from repro.topology.generators import line
+
+EPSILON = 0.1
+DELAY = 1.0
+N = 9
+
+
+def phi_framed_setup(t_switch=60.0):
+    """A φ-framed staleness-release schedule on a line of N nodes."""
+    phi = phi_for_epsilon(EPSILON)
+    blocked = N - 2
+
+    def base_delay(sender, receiver, send_time, seq):
+        low, high = phi * DELAY, (1 - phi) * DELAY
+        if receiver == sender + 1 and send_time >= t_switch and sender < blocked:
+            return low
+        return high
+
+    schedules = {
+        u: PiecewiseConstantRate.constant(1 + EPSILON if u == 0 else 1.0)
+        for u in range(N)
+    }
+    return schedules, base_delay, phi, blocked
+
+
+class TestPhi:
+    def test_phi_formula(self):
+        assert phi_for_epsilon(0.1) == pytest.approx(0.1 / 2.2)
+
+    def test_phi_invalid_epsilon(self):
+        with pytest.raises(ScheduleError):
+            phi_for_epsilon(0.0)
+
+
+class TestSlowedSchedules:
+    def test_victim_rate_reduced_then_restored(self):
+        schedules, base_delay, phi, _ = phi_framed_setup()
+        drift, _delay, t_prime = slowed_node_schedules(
+            schedules, 3, t_eval=50.0, phi=phi, delay_bound=DELAY,
+            epsilon=EPSILON, base_delay=base_delay,
+        )
+        rate = drift.rate_function(3, 100.0)
+        assert rate.rate_at(0.0) == pytest.approx(1.0 - EPSILON)
+        assert rate.rate_at(99.0) == pytest.approx(1.0)
+        assert t_prime == pytest.approx(50.0 - phi * DELAY / (1 + EPSILON))
+
+    def test_other_nodes_untouched(self):
+        schedules, base_delay, phi, _ = phi_framed_setup()
+        drift, _delay, _ = slowed_node_schedules(
+            schedules, 3, 50.0, phi, DELAY, EPSILON, base_delay
+        )
+        assert drift.rate_function(0, 100.0).rate_at(10.0) == pytest.approx(
+            1 + EPSILON
+        )
+
+    def test_too_early_t_eval_rejected(self):
+        schedules, base_delay, phi, _ = phi_framed_setup()
+        with pytest.raises(ScheduleError):
+            slowed_node_schedules(
+                schedules, 3, t_eval=1e-6, phi=phi, delay_bound=DELAY,
+                epsilon=EPSILON, base_delay=base_delay,
+            )
+
+
+class TestRateCapture:
+    def test_non_framed_delays_rejected(self):
+        schedules, _, phi, _ = phi_framed_setup()
+        with pytest.raises(ScheduleError):
+            run_rate_capture(
+                line(N),
+                lambda: MaxForwardAlgorithm(send_period=1.0),
+                schedules,
+                lambda s, r, t, q: 0.0,  # below phi*T
+                DELAY,
+                EPSILON,
+                victim=3,
+                t_eval=30.0,
+                verify_indistinguishability=False,
+            )
+
+    def test_indistinguishable_for_both_algorithm_kinds(self):
+        schedules, base_delay, phi, blocked = phi_framed_setup()
+        params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+        for factory in (
+            lambda: MaxForwardAlgorithm(send_period=params.h0),
+            lambda: AoptAlgorithm(params),
+        ):
+            result = run_rate_capture(
+                line(N), factory, schedules, base_delay, DELAY, EPSILON,
+                victim=blocked, t_eval=70.0,
+            )
+            assert result.indistinguishable
+
+    def test_jump_is_converted_into_neighbor_skew(self):
+        """Aim the lemma at max-forward's largest catch-up jump: the
+        exposed neighbor skew must cover the erased progress."""
+        schedules, base_delay, phi, blocked = phi_framed_setup(t_switch=60.0)
+        params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+        factory = lambda: MaxForwardAlgorithm(send_period=params.h0)
+        probe = run_rate_capture(
+            line(N), factory, schedules, base_delay, DELAY, EPSILON,
+            victim=blocked, t_eval=70.0, verify_indistinguishability=False,
+        )
+        victim, jump_time, jump_size = find_largest_jump(probe.base_trace, after=60.0)
+        assert victim is not None and jump_size > 1.0
+        t_eval = jump_time + phi * DELAY / (2 * (1 + EPSILON))
+        result = run_rate_capture(
+            line(N), factory, schedules, base_delay, DELAY, EPSILON,
+            victim=victim, t_eval=t_eval,
+        )
+        assert result.indistinguishable
+        assert result.base_progress >= jump_size - 1e-6
+        assert result.forced_skew >= jump_size * 0.8
+
+    def test_rate_bounded_algorithm_exposes_little(self):
+        """A^opt's exposure is capped by β·(t − t'): the smoothness pays."""
+        schedules, base_delay, phi, blocked = phi_framed_setup()
+        params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+        result = run_rate_capture(
+            line(N), lambda: AoptAlgorithm(params), schedules, base_delay,
+            DELAY, EPSILON, victim=blocked, t_eval=70.0,
+            verify_indistinguishability=False,
+        )
+        window = phi * DELAY / (1 + EPSILON)
+        assert result.base_progress <= params.beta * window + 1e-9
+
+
+class TestFindLargestJump:
+    def test_no_jumps(self, params):
+        from repro.sim.delays import ConstantDelay
+        from repro.sim.drift import ConstantDrift
+        from repro.sim.runner import run_execution
+
+        trace = run_execution(
+            line(3), AoptAlgorithm(params), ConstantDrift(params.epsilon),
+            ConstantDelay(params.delay_bound), 30.0,
+        )
+        node, t, size = find_largest_jump(trace)
+        assert node is None and size == 0.0

@@ -1,0 +1,176 @@
+"""Tests for the analysis package: metrics, complexity, tables, suites."""
+
+import pytest
+
+from repro.analysis.complexity import (
+    amortized_frequency_bound,
+    bit_stats,
+    message_stats,
+    space_estimate_bits,
+)
+from repro.analysis.experiments import (
+    default_horizon,
+    run_adversary_suite,
+    standard_adversaries,
+)
+from repro.analysis.metrics import summarize
+from repro.analysis.tables import format_table, format_value
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.topology.properties import diameter
+
+
+@pytest.fixture
+def trace(params):
+    return run_execution(
+        line(5),
+        AoptAlgorithm(params),
+        TwoGroupDrift(params.epsilon, [0, 1]),
+        ConstantDelay(params.delay_bound),
+        150.0,
+        record_messages=True,
+    )
+
+
+class TestComplexity:
+    def test_message_stats(self, trace):
+        stats = message_stats(trace)
+        assert stats.total == trace.total_messages()
+        assert stats.per_node_max >= stats.per_node_mean
+        assert stats.max_frequency >= stats.mean_frequency > 0
+
+    def test_frequency_within_amortized_bound(self, params, trace):
+        """§6.1: Θ(1/H0) amortized frequency (per neighbor link)."""
+        stats = message_stats(trace)
+        degree = 2  # line interior
+        bound = amortized_frequency_bound(params)
+        # Each send goes to all neighbors; allow the degree factor plus a
+        # burst allowance for forwarded estimates.
+        assert stats.mean_frequency <= 3 * degree * bound
+
+    def test_bit_stats(self, trace):
+        stats = bit_stats(trace)
+        assert stats.total_bits == trace.total_bits()
+        assert stats.mean_bits_per_message == pytest.approx(128.0)
+        assert stats.max_message_bits == 128
+
+    def test_bit_stats_without_log(self, params):
+        trace = run_execution(
+            line(3), AoptAlgorithm(params), TwoGroupDrift(params.epsilon, [0]),
+            ConstantDelay(params.delay_bound), 60.0,
+        )
+        assert bit_stats(trace).max_message_bits is None
+
+    def test_space_estimate_monotone_in_degree(self, params):
+        a = space_estimate_bits(params, diameter=32, degree=2, clock_frequency=100.0)
+        b = space_estimate_bits(params, diameter=32, degree=8, clock_frequency=100.0)
+        assert b > a
+
+    def test_space_estimate_logarithmic_in_diameter(self, params):
+        a = space_estimate_bits(params, 16, 2, 100.0)
+        b = space_estimate_bits(params, 16 ** 2, 2, 100.0)
+        c = space_estimate_bits(params, 16 ** 4, 2, 100.0)
+        # Squaring D adds a bounded number of bits (log growth): the
+        # increments stay within a small constant factor of each other.
+        assert 0 < b - a
+        assert b - a <= c - b <= 4 * (b - a)
+        assert c < 4 * a
+
+    def test_space_estimate_invalid_inputs(self, params):
+        with pytest.raises(ValueError):
+            space_estimate_bits(params, 0, 2, 100.0)
+        with pytest.raises(ValueError):
+            space_estimate_bits(params, 4, 0, 100.0)
+
+
+class TestSummarize:
+    def test_fields(self, params, trace):
+        summary = summarize(trace, params, 4)
+        assert summary["global_skew"] <= summary["global_bound"] + 1e-7
+        assert summary["local_skew"] <= summary["local_bound"] + 1e-7
+        assert summary["envelope_margin"] <= 1e-7
+        assert summary["rate_margin"] <= 1e-7
+        assert summary["messages"] > 0
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(1.23456789) == "1.2346"
+        assert format_value(1e-9) == "1e-09"
+        assert format_value("abc") == "abc"
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 22.5]], title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_latex_table(self):
+        from repro.analysis.tables import format_latex_table
+
+        text = format_latex_table(["D", "G"], [[4, 4.33], [8, 8.53]])
+        assert text.startswith("\\begin{tabular}")
+        assert "4 & 4.3300 \\\\" in text
+        assert "\\bottomrule" in text
+
+    def test_latex_table_escapes_and_wraps(self):
+        from repro.analysis.tables import format_latex_table
+
+        text = format_latex_table(
+            ["a_b", "c%"], [["x&y", 1]], caption="100% done", label="tab:t"
+        )
+        assert "a\\_b & c\\%" in text
+        assert "x\\&y" in text
+        assert "\\caption{100\\% done}" in text
+        assert "\\label{tab:t}" in text
+        assert text.startswith("\\begin{table}")
+
+    def test_latex_row_mismatch_rejected(self):
+        from repro.analysis.tables import format_latex_table
+
+        with pytest.raises(ValueError):
+            format_latex_table(["a", "b"], [[1]])
+
+
+class TestAdversarySuite:
+    def test_standard_cases_present(self, params):
+        cases = standard_adversaries(line(6), params)
+        names = {case.name for case in cases}
+        assert {"slow-delays", "two-group-drift", "antiphase-drift"} <= names
+        assert len(cases) == 6
+
+    def test_default_horizon_positive_and_scaling(self, params):
+        assert default_horizon(params, 4) > 0
+        assert default_horizon(params, 32) > default_horizon(params, 4)
+
+    def test_suite_respects_bounds(self, params):
+        topology = line(6)
+        result = run_adversary_suite(
+            topology, lambda: AoptAlgorithm(params), params, horizon=100.0
+        )
+        d = diameter(topology)
+        assert result.worst_global <= global_skew_bound(params, d) + 1e-7
+        assert result.worst_local <= local_skew_bound(params, d) + 1e-7
+        assert result.worst_global_case in result.per_case
+        assert len(result.per_case) == 6
+
+    def test_keep_traces(self, params):
+        result = run_adversary_suite(
+            line(4), lambda: AoptAlgorithm(params), params, horizon=60.0,
+            keep_traces=True,
+        )
+        assert set(result.traces) == set(result.per_case)

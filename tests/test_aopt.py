@@ -1,0 +1,241 @@
+"""Behavioural tests for the A^opt node (Algorithms 1-4 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.core.node import AoptAlgorithm, AoptNode
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, ZeroDelay
+from repro.sim.drift import ConstantDrift, PerNodeDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import simulate_aopt
+from repro.topology.generators import line, star
+
+
+def run_aopt(topology, params, drift=None, delay=None, horizon=100.0, **kwargs):
+    engine = SimulationEngine(
+        topology,
+        AoptAlgorithm(params, record_estimates=kwargs.pop("record_estimates", False)),
+        drift or ConstantDrift(params.epsilon),
+        delay or ConstantDelay(params.delay_bound),
+        horizon,
+        **kwargs,
+    )
+    return engine, engine.run()
+
+
+class TestInitialization:
+    def test_flood_starts_everyone(self, params):
+        _, trace = run_aopt(line(6), params)
+        for node in range(6):
+            assert trace.start_times[node] == pytest.approx(
+                node * params.delay_bound
+            )
+
+    def test_initiator_sends_zero_zero(self, params):
+        _, trace = run_aopt(line(2), params, horizon=50.0, record_messages=True)
+        first = trace.message_log[0]
+        assert first.sender == 0
+        assert first.payload == (0.0, 0.0)
+
+    def test_woken_node_triggers_sending_event(self, params):
+        """§4.2: the first received message triggers a sending event."""
+        _, trace = run_aopt(line(3), params, horizon=50.0, record_messages=True)
+        # Node 1 wakes at T and must send to both 0 and 2 at that instant.
+        wake = trace.start_times[1]
+        from_1 = [m for m in trace.message_log if m.sender == 1 and m.send_time == wake]
+        assert {m.receiver for m in from_1} == {0, 2}
+
+
+class TestAlgorithm1Sending:
+    def test_sends_at_multiples_of_h0(self, params):
+        """Messages carry L^max values that are integer multiples of H0."""
+        _, trace = run_aopt(line(3), params, horizon=80.0, record_messages=True)
+        for message in trace.message_log:
+            _, lmax = message.payload
+            remainder = (lmax / params.h0) % 1.0
+            assert min(remainder, 1 - remainder) < 1e-6
+
+    def test_amortized_frequency_theta_one_over_h0(self, params):
+        """§6.1: each node sends Θ(1/H0) messages per unit time."""
+        _, trace = run_aopt(line(4), params, horizon=300.0)
+        for node in range(4):
+            frequency = trace.amortized_message_frequency(node)
+            assert 0.5 / params.h0 <= frequency <= 3.0 / params.h0
+
+    def test_one_send_per_multiple(self, params):
+        """No node sends two messages for the same multiple of H0."""
+        _, trace = run_aopt(line(3), params, horizon=80.0, record_messages=True)
+        seen = set()
+        for message in trace.message_log:
+            _, lmax = message.payload
+            key = (message.sender, message.receiver, round(lmax / params.h0))
+            assert key not in seen, f"duplicate send for multiple {key}"
+            seen.add(key)
+
+
+class TestAlgorithm2Receive:
+    def test_larger_lmax_forwarded_immediately(self, params):
+        """A larger estimate is flooded at network speed, not at H0 pace."""
+        top = line(5)
+        drift = PerNodeDrift(params.epsilon, {0: 1 + params.epsilon}, default=1.0)
+        _, trace = run_aopt(top, params, drift=drift, horizon=60.0, record_messages=True)
+        # Node 0 runs fast, so its L^max marks lead; nodes 1..4 forward the
+        # estimate onward within a delay of receiving it.
+        forwards = [
+            m
+            for m in trace.message_log
+            if m.sender == 2 and m.receiver == 3 and m.send_time > 10
+        ]
+        assert forwards, "middle node should forward estimates"
+
+    def test_stale_value_does_not_regress_estimate(self, params):
+        """Algorithm 2 line 5: only values above ℓ_v^w update the estimate."""
+        engine, _ = run_aopt(line(2), params, horizon=30.0)
+        node = engine.node_state(1)
+        before = dict(node._raw_received)
+
+        class FakeCtx:
+            node_id = 1
+            neighbors = (0,)
+
+            def hardware(self):
+                return engine.hardware_value(1, 30.0)
+
+            def logical(self):
+                return engine.logical_value(1, 30.0)
+
+            def set_rate_multiplier(self, rho):
+                pass
+
+            def rate_multiplier(self):
+                return 1.0
+
+            def jump_logical(self, value):
+                pass
+
+            def send_to(self, *a):
+                pass
+
+            def send_all(self, *a):
+                pass
+
+            def set_alarm(self, *a):
+                pass
+
+            def cancel_alarm(self, *a):
+                pass
+
+            def probe(self, *a):
+                pass
+
+        stale_value = before[0] - 5.0
+        node.on_message(FakeCtx(), 0, (stale_value, 0.0))
+        assert node._raw_received[0] == before[0]
+
+    def test_estimates_tracked_per_neighbor(self, params):
+        engine, trace = run_aopt(star(4), params, horizon=60.0)
+        hub = engine.node_state(0)
+        hw = trace.hardware_value(0, 60.0)
+        for leaf in (1, 2, 3):
+            assert hub.estimate_of(leaf, hw) is not None
+
+    def test_estimate_of_unheard_neighbor_is_none(self, params):
+        algo = AoptAlgorithm(params)
+        node = algo.make_node(0, (1,))
+        assert node.estimate_of(1, 0.0) is None
+
+
+class TestAlgorithm3RateControl:
+    def test_laggard_keeps_up_via_boosts(self, params):
+        """Nodes chasing a fast leader must outrun their own hardware.
+
+        Node 0 runs at 1+ε while nodes 1, 2 run at 1; the only way they can
+        track the leader's L^max is through ρ = 1+μ boost periods, so their
+        logical clocks must end up strictly ahead of their hardware clocks
+        and close to the leader.
+        """
+        top = line(3)
+        drift = PerNodeDrift(params.epsilon, {0: 1 + params.epsilon}, default=1.0)
+        _, trace = run_aopt(top, params, drift=drift, horizon=100.0)
+        for node in (1, 2):
+            logical = trace.logical_value(node, 100.0)
+            hardware = trace.hardware_value(node, 100.0)
+            assert logical > hardware + 1.0  # boosts happened
+            assert trace.skew(0, node, 100.0) < params.kappa + 1e-6
+
+    def test_l_never_exceeds_lmax(self, params):
+        """Corollary 5.2 (i): L_v ≤ L^max_v at all times."""
+        engine, trace = run_aopt(
+            line(4),
+            params,
+            drift=TwoGroupDrift(params.epsilon, [0, 1]),
+            horizon=150.0,
+        )
+        for node in range(4):
+            state = engine.node_state(node)
+            for t in [10.0, 50.0, 100.0, 149.0]:
+                logical = trace.logical_value(node, t)
+                lmax = state.l_max(trace.hardware_value(node, t))
+                # State reflects horizon-time anchors; compare at horizon.
+            logical = trace.logical_value(node, trace.horizon)
+            lmax = state.l_max(trace.hardware_value(node, trace.horizon))
+            assert logical <= lmax + 1e-6
+
+    def test_multiplier_only_two_values(self, params):
+        """ρ_v ∈ {1, 1+μ} (Algorithm 3)."""
+        _, trace = run_aopt(
+            line(4),
+            params,
+            drift=TwoGroupDrift(params.epsilon, [0, 1]),
+            horizon=120.0,
+        )
+        allowed = {1.0, 1 + params.mu}
+        for node in range(4):
+            record = trace.logical[node]
+            for t in [13.0, 47.0, 88.0, 119.0]:
+                if t >= trace.start_times[node]:
+                    assert record.multiplier_at(t) in allowed
+
+
+class TestAlgorithm4Reset:
+    def test_boost_is_bounded(self, params):
+        """After H^R is reached the node returns to the hardware rate.
+
+        With drift-free clocks and equal constant delays, boosts are short
+        transients; at most of the probed instants, ρ must be 1.
+        """
+        _, trace = run_aopt(line(3), params, drift=ConstantDrift(params.epsilon),
+                            delay=ConstantDelay(params.delay_bound), horizon=200.0)
+        at_one = sum(
+            1
+            for t in range(60, 200, 10)
+            for n in range(3)
+            if trace.logical[n].multiplier_at(float(t)) == 1.0
+        )
+        assert at_one >= 30  # out of 42 probes
+
+
+class TestZeroDelayConvergence:
+    def test_perfect_conditions_yield_tiny_skew(self, params):
+        """Zero delays and no drift: skews collapse to (near) zero."""
+        _, trace = run_aopt(
+            line(5),
+            params,
+            drift=ConstantDrift(params.epsilon, rate=1.0),
+            delay=ZeroDelay(max_delay=params.delay_bound),
+            horizon=100.0,
+        )
+        assert trace.skew(0, 4, 100.0) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSimulateAoptHelper:
+    def test_returns_trace_with_monitors(self, params):
+        trace = simulate_aopt(line(4), params, horizon=60.0)
+        assert trace.horizon == 60.0
+        assert trace.total_messages() > 0
+
+    def test_default_horizon_positive(self, params):
+        trace = simulate_aopt(line(3), params)
+        assert trace.horizon > 0

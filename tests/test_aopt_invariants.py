@@ -1,0 +1,147 @@
+"""Theorem validation: A^opt's guarantees under randomized adversaries.
+
+These are the core reproduction tests.  For randomly drawn drift and delay
+schedules (within the model bounds) on several topologies, every execution
+must satisfy:
+
+* Condition (1) — the real-time envelope (Corollary 5.3);
+* Condition (2) — rate bounds α = 1−ε, β = (1+ε)(1+μ) (Corollary 5.3);
+* Theorem 5.5 — global skew ≤ G;
+* Theorem 5.10 — local skew ≤ κ(⌈log_σ(2G/κ)⌉ + ½);
+* Definition 5.6 — the system stays in the legal state;
+* Lemma 5.4 — neighbor estimates err by less than H̄0.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    check_envelope,
+    check_legal_state,
+    check_rate_bounds,
+    estimate_accuracy_errors,
+)
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import grid, line, ring
+from repro.topology.properties import all_pairs_distances, diameter
+
+
+def random_execution(seed: int, topology, params, horizon=120.0, record_estimates=False):
+    """One randomized-adversary execution of A^opt."""
+    rng = random.Random(seed)
+    if rng.random() < 0.5:
+        drift = RandomWalkDrift(
+            params.epsilon,
+            step_period=rng.uniform(2.0, 10.0),
+            step_size=params.epsilon,
+            seed=seed,
+        )
+    else:
+        nodes = list(topology.nodes)
+        drift = TwoGroupDrift(params.epsilon, nodes[: len(nodes) // 2])
+    if rng.random() < 0.5:
+        delay = UniformDelay(0.0, params.delay_bound, seed=seed)
+    else:
+        delay = ConstantDelay(
+            rng.uniform(0.0, params.delay_bound), max_delay=params.delay_bound
+        )
+    engine = SimulationEngine(
+        topology,
+        AoptAlgorithm(AoptParamsCache.get(params), record_estimates=record_estimates),
+        drift,
+        delay,
+        horizon,
+    )
+    return engine.run()
+
+
+class AoptParamsCache:
+    """Reuse the params object (hashable passthrough, avoids rebuilds)."""
+
+    @staticmethod
+    def get(params):
+        return params
+
+
+from repro.topology.generators import circulant, torus  # noqa: E402
+
+TOPOLOGIES = {
+    "line-8": line(8),
+    "ring-10": ring(10),
+    "grid-3x3": grid(3, 3),
+    "torus-3x3": torus(3, 3),
+    "circulant-10": circulant(10, [1, 3]),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestTheoremsUnderRandomAdversaries:
+    def test_envelope_condition(self, name, seed, params):
+        topology = TOPOLOGIES[name]
+        trace = random_execution(seed, topology, params)
+        assert check_envelope(trace, params.epsilon) <= 1e-7
+
+    def test_rate_bounds(self, name, seed, params):
+        topology = TOPOLOGIES[name]
+        trace = random_execution(seed, topology, params)
+        assert check_rate_bounds(trace, params.alpha, params.beta) <= 1e-7
+
+    def test_global_skew_theorem_5_5(self, name, seed, params):
+        topology = TOPOLOGIES[name]
+        trace = random_execution(seed, topology, params)
+        bound = global_skew_bound(params, diameter(topology))
+        assert trace.global_skew().value <= bound + 1e-7
+
+    def test_local_skew_theorem_5_10(self, name, seed, params):
+        topology = TOPOLOGIES[name]
+        trace = random_execution(seed, topology, params)
+        bound = local_skew_bound(params, diameter(topology))
+        assert trace.local_skew().value <= bound + 1e-7
+
+    def test_legal_state_definition_5_6(self, name, seed, params):
+        topology = TOPOLOGIES[name]
+        trace = random_execution(seed, topology, params)
+        report = check_legal_state(
+            trace, params, all_pairs_distances(topology), diameter(topology),
+            samples=25,
+        )
+        assert report.satisfied, (
+            f"legal state violated by {report.worst_margin} at t={report.worst_time} "
+            f"pair={report.worst_pair} level={report.worst_level}"
+        )
+
+
+class TestEstimateAccuracyLemma54:
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_estimates_within_h_bar(self, seed, params):
+        trace = random_execution(
+            seed, line(6), params, horizon=100.0, record_estimates=True
+        )
+        margins = estimate_accuracy_errors(trace, params, samples_per_edge=10)
+        assert margins, "expected estimate probes"
+        assert max(margins) < 0.0, (
+            f"Lemma 5.4 violated: estimate lagged the bound by {max(margins)}"
+        )
+
+
+class TestHypothesisRandomizedRuns:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_envelope_and_global_bound_fuzz(self, seed):
+        params = SyncParams.recommended(epsilon=0.08, delay_bound=1.0)
+        topology = line(5)
+        trace = random_execution(seed, topology, params, horizon=80.0)
+        assert check_envelope(trace, params.epsilon) <= 1e-7
+        assert (
+            trace.global_skew().value
+            <= global_skew_bound(params, diameter(topology)) + 1e-7
+        )

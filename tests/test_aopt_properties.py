@@ -1,0 +1,137 @@
+"""Further behavioural properties of A^opt (beyond test_aopt.py).
+
+Steady-state properties of the estimate machinery, parameter-regime edge
+cases, and degenerate inputs.
+"""
+
+import pytest
+
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, ZeroDelay
+from repro.sim.drift import ConstantDrift, PerNodeDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import complete_graph, line, star
+
+
+def run(topology, params, drift=None, delay=None, horizon=120.0):
+    engine = SimulationEngine(
+        topology,
+        AoptAlgorithm(params),
+        drift or ConstantDrift(params.epsilon),
+        delay or ConstantDelay(params.delay_bound),
+        horizon,
+    )
+    return engine, engine.run()
+
+
+class TestLmaxCoherence:
+    def test_lmax_values_agree_within_transit(self, params):
+        """Corollary 5.2-style: all L^max estimates track one maximum
+        within (information delay)·(max rate) + H0 staleness."""
+        engine, trace = run(
+            line(6), params, drift=TwoGroupDrift(params.epsilon, [0, 1, 2]),
+            horizon=200.0,
+        )
+        t = 200.0
+        lmax_values = [
+            engine.node_state(n).l_max(trace.hardware_value(n, t))
+            for n in range(6)
+        ]
+        d = 5
+        budget = (1 + params.epsilon) * (
+            d * params.delay_bound + params.h0 / (1 - params.epsilon)
+        )
+        assert max(lmax_values) - min(lmax_values) <= budget + 1e-6
+
+    def test_lmax_dominates_logical_everywhere(self, params):
+        engine, trace = run(
+            star(5), params, drift=TwoGroupDrift(params.epsilon, [0, 1]),
+            horizon=150.0,
+        )
+        for node in trace.topology.nodes:
+            hw = trace.hardware_value(node, 150.0)
+            assert (
+                trace.logical_value(node, 150.0)
+                <= engine.node_state(node).l_max(hw) + 1e-7
+            )
+
+    def test_lmax_never_exceeds_fastest_possible(self, params):
+        """Cor 5.2 (ii): L^max never outruns rate 1+eps from time 0."""
+        engine, trace = run(
+            line(5), params, drift=TwoGroupDrift(params.epsilon, [0, 1]),
+            horizon=150.0,
+        )
+        for node in trace.topology.nodes:
+            hw = trace.hardware_value(node, 150.0)
+            assert engine.node_state(node).l_max(hw) <= (
+                (1 + params.epsilon) * 150.0 + 1e-7
+            )
+
+
+class TestParameterRegimes:
+    def test_tiny_epsilon(self, tight_params):
+        """Realistic 0.1% drift: everything still works, skews tiny."""
+        _, trace = run(
+            line(4), tight_params,
+            drift=TwoGroupDrift(tight_params.epsilon, [0, 1]),
+            horizon=200.0,
+        )
+        bound = global_skew_bound(tight_params, 3)
+        assert trace.global_skew().value <= bound + 1e-9
+
+    def test_large_epsilon(self):
+        params = SyncParams.recommended(epsilon=0.3, delay_bound=1.0)
+        _, trace = run(
+            line(4), params, drift=TwoGroupDrift(0.3, [0, 1]), horizon=80.0
+        )
+        assert trace.global_skew().value <= global_skew_bound(params, 3) + 1e-7
+
+    def test_zero_true_delay_with_positive_bound(self, params):
+        """T may be 0 while T-hat is positive: instant channels."""
+        _, trace = run(
+            line(4), params,
+            drift=TwoGroupDrift(params.epsilon, [0, 1]),
+            delay=ZeroDelay(max_delay=params.delay_bound),
+            horizon=100.0,
+        )
+        # With instant delivery only H0 staleness separates clocks.
+        assert trace.global_skew(50.0, 100.0).value <= params.kappa + 1e-6
+
+    def test_huge_kappa_means_never_blocked(self, params):
+        """kappa far above any achievable skew: every laggard may chase."""
+        lax = params.with_overrides(kappa=1000.0)
+        drift = PerNodeDrift(params.epsilon, {0: 1 + params.epsilon}, default=1.0)
+        _, trace = run(line(4), lax, drift=drift, horizon=150.0)
+        # Followers keep up with the leader.
+        assert trace.skew(0, 3, 150.0) <= 1000.0
+        assert trace.logical_value(3, 150.0) > trace.hardware_value(3, 150.0)
+
+
+class TestDegenerateTopologies:
+    def test_two_nodes(self, params):
+        _, trace = run(line(2), params, drift=TwoGroupDrift(params.epsilon, [0]))
+        assert trace.global_skew().value <= global_skew_bound(params, 1) + 1e-7
+
+    def test_complete_graph_diameter_one(self, params):
+        _, trace = run(
+            complete_graph(5), params,
+            drift=TwoGroupDrift(params.epsilon, [0, 1]),
+        )
+        assert trace.global_skew().value <= global_skew_bound(params, 1) + 1e-7
+
+    def test_single_node(self, params):
+        """A single node: no neighbors, no messages, L = H forever."""
+        engine = SimulationEngine(
+            line(1),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon),
+            ConstantDelay(params.delay_bound),
+            50.0,
+        )
+        trace = engine.run()
+        assert trace.total_messages() == 0
+        assert trace.logical_value(0, 50.0) == pytest.approx(
+            trace.hardware_value(0, 50.0)
+        )

@@ -1,0 +1,155 @@
+"""Tests for the baseline algorithms and their characteristic behaviours."""
+
+import pytest
+
+from repro.baselines import (
+    FreeRunningAlgorithm,
+    MaxForwardAlgorithm,
+    MidpointAlgorithm,
+    ObliviousGradientAlgorithm,
+)
+from repro.baselines.oblivious_gradient import blocking_threshold
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, DistanceDirectedDelay
+from repro.sim.drift import ConstantDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line, ring
+from repro.topology.properties import bfs_distances
+
+
+def run(topology, algorithm, drift, delay, horizon=150.0):
+    return run_execution(topology, algorithm, drift, delay, horizon)
+
+
+class TestFreeRunning:
+    def test_skew_grows_linearly(self, params):
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2])
+        trace = run(line(6), FreeRunningAlgorithm(), drift, ConstantDelay(1.0))
+        # Node 0 runs fast from t=0; node 5 runs slow and only starts at
+        # t=5 (initialization flood): skew = (1+eps)*150 - (1-eps)*145.
+        expected = (1 + params.epsilon) * 150.0 - (1 - params.epsilon) * 145.0
+        assert trace.global_skew().value == pytest.approx(expected, rel=1e-6)
+
+    def test_sends_exactly_one_flood_message_per_node(self, params):
+        trace = run(
+            line(6), FreeRunningAlgorithm(), ConstantDrift(params.epsilon),
+            ConstantDelay(1.0),
+        )
+        for node in range(6):
+            assert trace.messages_sent[node] == len(line(6).neighbors(node))
+
+    def test_logical_equals_hardware(self, params):
+        trace = run(
+            line(4), FreeRunningAlgorithm(), TwoGroupDrift(params.epsilon, [0]),
+            ConstantDelay(1.0),
+        )
+        for node in range(4):
+            assert trace.logical_value(node, 100.0) == pytest.approx(
+                trace.hardware_value(node, 100.0)
+            )
+
+
+class TestMaxForward:
+    def test_global_skew_bounded(self, params):
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2])
+        trace = run(line(6), MaxForwardAlgorithm(send_period=2.0), drift,
+                    ConstantDelay(1.0), horizon=200.0)
+        # O(D T) global skew: far below the free-running 2*eps*t growth.
+        assert trace.global_skew().value < 2 * 6 * 1.0 + 2.0
+
+    def test_clocks_jump_to_maximum(self, params):
+        drift = TwoGroupDrift(params.epsilon, [0])
+        trace = run(line(3), MaxForwardAlgorithm(send_period=2.0), drift,
+                    ConstantDelay(0.5), horizon=100.0)
+        assert trace.logical[1].jump_times  # laggards jumped
+
+    def test_ring_local_skew_is_linear_in_d(self, params):
+        """The Θ(D) local-skew weakness (Section 2 of the paper).
+
+        On a ring with the fast node at 0 and slow delays, the antipodal
+        edge connects a node that learned the maximum over a short path
+        with one that learned it over a Θ(D)-hop path, so the edge skew
+        approaches the global skew.
+        """
+        n = 12
+        topology = ring(n)
+        drift = TwoGroupDrift(params.epsilon, [0])
+        delay = ConstantDelay(1.0)
+        trace = run(topology, MaxForwardAlgorithm(send_period=2.0), drift, delay,
+                    horizon=300.0)
+        local = trace.local_skew().value
+        # Local skew within a constant factor of the D/2-distance skew.
+        assert local > 0.3 * (n / 2) * params.epsilon * 2
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            MaxForwardAlgorithm(send_period=0.0)
+
+
+class TestMidpoint:
+    def test_keeps_connected_system_bounded(self, params):
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2])
+        trace = run(line(6), MidpointAlgorithm(send_period=1.0, mu=params.mu),
+                    drift, ConstantDelay(1.0), horizon=200.0)
+        free = 2 * params.epsilon * 200.0
+        assert trace.global_skew().value < free
+
+    def test_worse_than_aopt_under_same_adversary(self, params):
+        """The §4.2 remark: midpoint chasing is weaker than A^opt's rule."""
+        topology = line(10)
+        distances = bfs_distances(topology, 0)
+        drift = TwoGroupDrift(params.epsilon, list(range(5)))
+        delay = DistanceDirectedDelay(distances, toward=1.0, away=0.0)
+        horizon = 250.0
+        midpoint_trace = run(
+            topology, MidpointAlgorithm(send_period=params.h0, mu=params.mu),
+            drift, delay, horizon,
+        )
+        aopt_trace = run(
+            topology, AoptAlgorithm(params), drift, delay, horizon,
+        )
+        assert (
+            aopt_trace.global_skew().value
+            <= midpoint_trace.global_skew().value + 1e-9
+        )
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            MidpointAlgorithm(send_period=0.0, mu=0.5)
+        with pytest.raises(ValueError):
+            MidpointAlgorithm(send_period=1.0, mu=0.0)
+
+
+class TestObliviousGradient:
+    def test_tracks_leader(self, params):
+        threshold = blocking_threshold(params, 5)
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2])
+        trace = run(line(6), ObliviousGradientAlgorithm(params, threshold),
+                    drift, ConstantDelay(1.0), horizon=200.0)
+        assert trace.global_skew().value < 2 * params.epsilon * 200.0
+
+    def test_blocking_threshold_scales_with_sqrt_d(self, params):
+        """B ∈ Θ(√D) once the drift term dominates; saturates at κ below."""
+        assert blocking_threshold(params, 4) == pytest.approx(params.kappa)
+        small = blocking_threshold(params, 512)
+        large = blocking_threshold(params, 8192)
+        assert large > small > params.kappa
+        assert large / small == pytest.approx((8192 / 512) ** 0.5, rel=0.05)
+
+    def test_invalid_threshold_rejected(self, params):
+        with pytest.raises(ValueError):
+            ObliviousGradientAlgorithm(params, 0.0)
+
+    def test_blocking_threshold_invalid_diameter(self, params):
+        with pytest.raises(ValueError):
+            blocking_threshold(params, 0)
+
+    def test_respects_envelope(self, params):
+        from repro.analysis.metrics import check_envelope
+
+        threshold = blocking_threshold(params, 5)
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2])
+        trace = run(line(6), ObliviousGradientAlgorithm(params, threshold),
+                    drift, ConstantDelay(1.0), horizon=150.0)
+        assert check_envelope(trace, params.epsilon) <= 1e-7

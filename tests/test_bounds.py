@@ -1,0 +1,178 @@
+"""Unit tests for the closed-form bound formulas."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    global_skew_bound,
+    global_skew_lower_bound,
+    gradient_bound,
+    legal_state_distance,
+    legal_state_levels,
+    local_skew_bound,
+    local_skew_lower_bound,
+    local_skew_lower_bound_unbounded,
+    rho_accuracy_penalty,
+)
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+
+
+class TestGlobalBound:
+    def test_formula(self, params):
+        expected = (1 + params.epsilon) * 10 * params.delay_bound + (
+            2 * params.epsilon / (1 + params.epsilon)
+        ) * params.h0
+        assert global_skew_bound(params, 10) == pytest.approx(expected)
+
+    def test_linear_in_diameter(self, params):
+        g5 = global_skew_bound(params, 5)
+        g10 = global_skew_bound(params, 10)
+        slope = (g10 - g5) / 5
+        assert slope == pytest.approx((1 + params.epsilon) * params.delay_bound)
+
+    def test_negative_diameter_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            global_skew_bound(params, -1)
+
+
+class TestLocalBound:
+    def test_logarithmic_growth(self, params):
+        """Doubling D adds at most one level (log growth)."""
+        values = [local_skew_bound(params, 2 ** k) for k in range(2, 9)]
+        increments = [b - a for a, b in zip(values, values[1:])]
+        assert all(0 <= inc <= params.kappa + 1e-9 for inc in increments)
+
+    def test_levels_zero_for_tiny_systems(self, params):
+        small = params.with_overrides(kappa=10 * global_skew_bound(params, 1))
+        assert legal_state_levels(small, 1) == 0
+        assert local_skew_bound(small, 1) == pytest.approx(small.kappa / 2)
+
+    def test_levels_match_sigma_base(self, params):
+        d = 64
+        g = global_skew_bound(params, d)
+        expected = math.ceil(math.log(2 * g / params.kappa, params.sigma))
+        assert legal_state_levels(params, d) == expected
+
+    def test_legal_state_distance_decreasing_in_s(self, params):
+        d = 32
+        c = [legal_state_distance(params, d, s) for s in range(4)]
+        assert c[0] > c[1] > c[2] > c[3]
+        assert c[1] == pytest.approx(c[0] / params.sigma)
+
+    def test_negative_level_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            legal_state_distance(params, 8, -1)
+
+
+class TestGradientBound:
+    def test_neighbor_case_matches_local_bound(self, params):
+        assert gradient_bound(params, 64, 1) == pytest.approx(
+            local_skew_bound(params, 64)
+        )
+
+    def test_diameter_case_near_global(self, params):
+        d = 64
+        bound = gradient_bound(params, d, d)
+        assert bound >= global_skew_bound(params, d) - 1e-9
+
+    def test_shape_in_distance(self, params):
+        """The bound is d·(s(d)+½)·κ with the level s(d) non-increasing.
+
+        It is piecewise linear in d with small saw-tooth drops at level
+        boundaries (the binding Definition 5.6 constraint changes), but it
+        always dominates d·κ/2 and its per-distance slope never exceeds
+        the densest level.
+        """
+        d = 64
+        values = [gradient_bound(params, d, k) for k in range(1, d + 1)]
+        levels = [v / (k * params.kappa) - 0.5 for k, v in enumerate(values, start=1)]
+        assert all(b <= a + 1e-9 for a, b in zip(levels, levels[1:]))
+        assert all(v >= (k * params.kappa) / 2 - 1e-9
+                   for k, v in enumerate(values, start=1))
+
+    def test_invalid_distance_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            gradient_bound(params, 8, 0)
+
+
+class TestLowerBounds:
+    def test_rho_exact_knowledge(self):
+        # c1 = c2 = 1: rho = min(eps, -eps) = -eps.
+        assert rho_accuracy_penalty(0.1, 0.1, 1.0, 1.0) == pytest.approx(-0.1)
+
+    def test_rho_inaccurate_delay(self):
+        # Loose delay knowledge lets the adversary force (1 + eps) D T.
+        assert rho_accuracy_penalty(0.1, 0.1, 0.5, 1.0) == pytest.approx(0.1)
+
+    def test_rho_invalid_ratios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            rho_accuracy_penalty(0.1, 0.1, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            rho_accuracy_penalty(0.1, 0.1, 1.0, 1.5)
+
+    def test_global_lower_bound_exact(self):
+        assert global_skew_lower_bound(10, 1.0, 0.05) == pytest.approx(0.95 * 10)
+
+    def test_global_lower_bound_below_upper(self, params):
+        lower = global_skew_lower_bound(16, params.delay_bound, params.epsilon)
+        upper = global_skew_bound(params, 16)
+        assert lower <= upper
+
+    def test_local_lower_bound_log_growth(self):
+        alpha, beta, eps, delay = 0.9, 1.2, 0.1, 1.0
+        v = [
+            local_skew_lower_bound(d, delay, eps, alpha, beta)
+            for d in (4, 16, 64, 256, 1024)
+        ]
+        assert all(b >= a for a, b in zip(v, v[1:]))
+        assert v[-1] > v[0]
+
+    def test_local_lower_bound_below_aopt_upper(self, params):
+        """Consistency: the paper's lower bound must not exceed A^opt's upper."""
+        for d in (4, 16, 64, 256):
+            lower = local_skew_lower_bound(
+                d, params.delay_bound, params.epsilon, params.alpha, params.beta
+            )
+            assert lower <= local_skew_bound(params, d) + 1e-9
+
+    def test_local_lower_bound_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            local_skew_lower_bound(0, 1.0, 0.1, 0.9, 1.1)
+        with pytest.raises(ConfigurationError):
+            local_skew_lower_bound(8, 1.0, 0.1, 0.0, 1.1)
+
+    def test_unbounded_rate_lower_bound(self):
+        value = local_skew_lower_bound_unbounded(100, 1.0, 0.1, 0.9)
+        assert value == pytest.approx(0.9 * math.log(100, 10))
+
+    def test_unbounded_rate_diameter_one(self):
+        assert local_skew_lower_bound_unbounded(1, 1.0, 0.1, 0.9) == pytest.approx(
+            0.45
+        )
+
+    def test_unbounded_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            local_skew_lower_bound_unbounded(0, 1.0, 0.1, 0.9)
+        with pytest.raises(ConfigurationError):
+            local_skew_lower_bound_unbounded(8, 1.0, 1.5, 0.9)
+
+
+class TestCrossConsistency:
+    def test_upper_to_lower_gap_is_constant_factor(self):
+        """Cor 7.8: with kappa в O(T), A^opt is asymptotically optimal.
+
+        The ratio upper/lower should stay bounded as D grows (it tends to
+        roughly 2·kappa/T times a constant).
+        """
+        params = SyncParams.recommended(epsilon=0.01, delay_bound=1.0)
+        ratios = []
+        for d in (16, 256, 4096, 65536):
+            upper = local_skew_bound(params, d)
+            lower = local_skew_lower_bound(
+                d, params.delay_bound, params.epsilon, params.alpha, params.beta
+            )
+            ratios.append(upper / lower)
+        # Ratios settle rather than diverge.
+        assert ratios[-1] < 2 * ratios[0]

@@ -1,0 +1,118 @@
+"""Property-based tests of the bound formulas' parameter dependence.
+
+The paper's headline contribution is *how the bounds depend on the
+parameters* (abstract: "our techniques are optimal also with respect to
+the maximum clock drift, the uncertainty in message delays, and the
+imposed bounds on the clock rates").  These properties pin the
+dependencies down.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    global_skew_bound,
+    global_skew_lower_bound,
+    gradient_bound,
+    local_skew_bound,
+    local_skew_lower_bound,
+)
+from repro.core.params import SyncParams
+
+epsilons = st.sampled_from([0.005, 0.01, 0.02, 0.05, 0.1, 0.2])
+delays = st.sampled_from([0.1, 0.5, 1.0, 2.0, 10.0])
+diameters = st.sampled_from([1, 2, 4, 8, 16, 64, 256])
+
+
+def make_params(epsilon, delay):
+    return SyncParams.recommended(epsilon=epsilon, delay_bound=delay)
+
+
+class TestGlobalBoundDependence:
+    @given(epsilon=epsilons, delay=delays, d=diameters)
+    @settings(max_examples=60, deadline=None)
+    def test_linear_in_delay(self, epsilon, delay, d):
+        """G scales (essentially) linearly with T (footnote 2)."""
+        small = global_skew_bound(make_params(epsilon, delay), d)
+        double = global_skew_bound(make_params(epsilon, 2 * delay), d)
+        assert double == pytest.approx(2 * small, rel=1e-9)
+
+    @given(epsilon=epsilons, delay=delays)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_diameter(self, epsilon, delay):
+        params = make_params(epsilon, delay)
+        values = [global_skew_bound(params, d) for d in (1, 2, 4, 8, 16)]
+        assert values == sorted(values)
+
+    @given(delay=delays, d=diameters)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_epsilon(self, delay, d):
+        values = [
+            global_skew_bound(make_params(e, delay), d)
+            for e in (0.01, 0.05, 0.1, 0.2)
+        ]
+        assert values == sorted(values)
+
+    @given(epsilon=epsilons, delay=delays, d=diameters)
+    @settings(max_examples=60, deadline=None)
+    def test_upper_dominates_lower(self, epsilon, delay, d):
+        params = make_params(epsilon, delay)
+        assert global_skew_bound(params, d) >= global_skew_lower_bound(
+            d, delay, epsilon
+        )
+
+
+class TestLocalBoundDependence:
+    @given(epsilon=epsilons, delay=delays)
+    @settings(max_examples=30, deadline=None)
+    def test_log_growth_in_diameter(self, epsilon, delay):
+        """Each doubling of D adds between 0 and kappa to the bound."""
+        params = make_params(epsilon, delay)
+        values = [local_skew_bound(params, 2 ** k) for k in range(1, 11)]
+        for a, b in zip(values, values[1:]):
+            assert -1e-9 <= b - a <= params.kappa + 1e-9
+
+    @given(epsilon=epsilons, delay=delays, d=diameters)
+    @settings(max_examples=60, deadline=None)
+    def test_upper_dominates_lower(self, epsilon, delay, d):
+        params = make_params(epsilon, delay)
+        lower = local_skew_lower_bound(
+            d, delay, epsilon, params.alpha, params.beta
+        )
+        assert local_skew_bound(params, d) >= lower - 1e-9
+
+    @given(epsilon=epsilons, delay=delays, d=diameters)
+    @settings(max_examples=60, deadline=None)
+    def test_local_at_most_d_times_denser(self, epsilon, delay, d):
+        """The gradient bound at distance d never exceeds d x the
+        neighbor bound (per-hop budgets only shrink with distance)."""
+        params = make_params(epsilon, delay)
+        neighbor = gradient_bound(params, max(d, 2), 1)
+        at_d = gradient_bound(params, max(d, 2), max(d, 2))
+        assert at_d <= max(d, 2) * neighbor + 1e-9
+
+    @given(delay=delays)
+    @settings(max_examples=15, deadline=None)
+    def test_larger_sigma_target_shrinks_deep_bounds(self, delay):
+        """At large D, a larger base gives a smaller local bound."""
+        d = 4096
+        base2 = SyncParams.recommended(
+            epsilon=0.01, delay_bound=delay, sigma_target=2
+        )
+        base8 = SyncParams.recommended(
+            epsilon=0.01, delay_bound=delay, sigma_target=8
+        )
+        assert local_skew_bound(base8, d) < local_skew_bound(base2, d)
+
+
+class TestRateBoundDependence:
+    @given(epsilon=epsilons, delay=delays, d=st.sampled_from([64, 256, 4096]))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_shrinks_with_beta(self, epsilon, delay, d):
+        """Theorem 7.7: allowing faster clocks (larger beta) weakens the
+        lower bound — the b in log_b D grows."""
+        alpha = 1 - epsilon
+        tight = local_skew_lower_bound(d, delay, epsilon, alpha, 1 + 2 * epsilon)
+        loose = local_skew_lower_bound(d, delay, epsilon, alpha, 4.0)
+        assert loose <= tight + 1e-9

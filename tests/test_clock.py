@@ -1,0 +1,75 @@
+"""Unit tests for hardware clocks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.sim.clock import HardwareClock
+from repro.sim.rates import PiecewiseConstantRate
+
+
+class TestBasics:
+    def test_zero_before_start(self):
+        clock = HardwareClock(PiecewiseConstantRate.constant(1.0), start_time=5.0)
+        assert clock.value(0.0) == 0.0
+        assert clock.value(5.0) == 0.0
+        assert clock.value(7.0) == pytest.approx(2.0)
+
+    def test_rate_zero_before_start(self):
+        clock = HardwareClock(PiecewiseConstantRate.constant(1.1), start_time=5.0)
+        assert clock.rate_at(4.9) == 0.0
+        assert clock.rate_at(5.0) == 1.1
+
+    def test_start_before_domain_rejected(self):
+        rate = PiecewiseConstantRate([2.0], [1.0])
+        with pytest.raises(TraceError):
+            HardwareClock(rate, start_time=1.0)
+
+    def test_elapsed(self):
+        clock = HardwareClock(PiecewiseConstantRate.constant(0.5))
+        assert clock.elapsed(2.0, 6.0) == pytest.approx(2.0)
+
+    def test_drifting_value(self):
+        rate = PiecewiseConstantRate([0.0, 10.0], [0.9, 1.1])
+        clock = HardwareClock(rate)
+        assert clock.value(20.0) == pytest.approx(9.0 + 11.0)
+
+
+class TestInversion:
+    def test_time_at_value_simple(self):
+        clock = HardwareClock(PiecewiseConstantRate.constant(2.0), start_time=1.0)
+        assert clock.time_at_value(4.0) == pytest.approx(3.0)
+
+    def test_time_at_zero_is_start(self):
+        clock = HardwareClock(PiecewiseConstantRate.constant(1.0), start_time=3.0)
+        assert clock.time_at_value(0.0) == 3.0
+
+    def test_negative_value_rejected(self):
+        clock = HardwareClock(PiecewiseConstantRate.constant(1.0))
+        with pytest.raises(TraceError):
+            clock.time_at_value(-0.1)
+
+    @given(
+        rates=st.lists(st.floats(0.8, 1.2), min_size=1, max_size=5),
+        start=st.floats(0.0, 3.0),
+        target=st.floats(0.0, 30.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, rates, start, target):
+        times = [float(i) for i in range(len(rates))]
+        clock = HardwareClock(PiecewiseConstantRate(times, rates), start_time=start + times[-1])
+        t = clock.time_at_value(target)
+        assert clock.value(t) == pytest.approx(target, abs=1e-9)
+
+
+class TestBreakpoints:
+    def test_includes_start_time(self):
+        rate = PiecewiseConstantRate([0.0, 10.0], [1.0, 1.1])
+        clock = HardwareClock(rate, start_time=5.0)
+        assert list(clock.breakpoints_in(0.0, 20.0)) == [5.0, 10.0]
+
+    def test_excludes_outside_window(self):
+        rate = PiecewiseConstantRate([0.0, 10.0, 20.0], [1.0, 1.1, 0.9])
+        clock = HardwareClock(rate)
+        assert list(clock.breakpoints_in(12.0, 18.0)) == []

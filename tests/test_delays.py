@@ -1,0 +1,97 @@
+"""Unit tests for delay models."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim.delays import (
+    ConstantDelay,
+    DistanceDirectedDelay,
+    EdgeScheduleDelay,
+    FunctionDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+from repro.sim.rates import PiecewiseConstantRate
+
+
+class TestConstantDelay:
+    def test_value(self):
+        model = ConstantDelay(0.5)
+        assert model.delay("a", "b", 0.0, 0) == 0.5
+        assert model.max_delay == 0.5
+
+    def test_separate_max(self):
+        model = ConstantDelay(0.5, max_delay=1.0)
+        assert model.max_delay == 1.0
+
+    def test_value_above_max_rejected(self):
+        with pytest.raises(ScheduleError):
+            ConstantDelay(2.0, max_delay=1.0)
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ScheduleError):
+            ConstantDelay(-1.0)
+
+
+class TestZeroDelay:
+    def test_zero(self):
+        model = ZeroDelay(max_delay=1.0)
+        assert model.delay("a", "b", 5.0, 3) == 0.0
+        assert model.max_delay == 1.0
+
+
+class TestUniformDelay:
+    def test_within_range(self):
+        model = UniformDelay(0.2, 0.8, seed=1)
+        for i in range(100):
+            value = model.delay("a", "b", float(i), i)
+            assert 0.2 <= value <= 0.8
+
+    def test_deterministic_per_seed(self):
+        a = UniformDelay(0.0, 1.0, seed=7)
+        b = UniformDelay(0.0, 1.0, seed=7)
+        assert [a.delay("x", "y", 0, i) for i in range(5)] == [
+            b.delay("x", "y", 0, i) for i in range(5)
+        ]
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ScheduleError):
+            UniformDelay(0.5, 0.2)
+        with pytest.raises(ScheduleError):
+            UniformDelay(0.5, 2.0, max_delay=1.0)
+
+
+class TestFunctionDelay:
+    def test_delegates(self):
+        model = FunctionDelay(lambda s, r, t, q: 0.25, max_delay=1.0)
+        assert model.delay("a", "b", 0.0, 0) == 0.25
+
+    def test_validation_rejects_out_of_range(self):
+        model = FunctionDelay(lambda s, r, t, q: 2.0, max_delay=1.0)
+        with pytest.raises(ScheduleError):
+            model.validated_delay("a", "b", 0.0, 0)
+
+    def test_validation_clamps_float_noise(self):
+        model = FunctionDelay(lambda s, r, t, q: -1e-13, max_delay=1.0)
+        assert model.validated_delay("a", "b", 0.0, 0) == 0.0
+
+
+class TestEdgeScheduleDelay:
+    def test_per_edge_schedule(self):
+        schedule = PiecewiseConstantRate([0.0, 10.0], [0.1, 0.9])
+        model = EdgeScheduleDelay({("a", "b"): schedule}, max_delay=1.0, default=0.3)
+        assert model.delay("a", "b", 5.0, 0) == 0.1
+        assert model.delay("a", "b", 15.0, 0) == 0.9
+        assert model.delay("b", "a", 5.0, 0) == 0.3
+
+
+class TestDistanceDirectedDelay:
+    def test_direction(self):
+        distances = {"root": 0, "mid": 1, "leaf": 2}
+        model = DistanceDirectedDelay(distances, toward=1.0, away=0.0)
+        assert model.delay("leaf", "mid", 0.0, 0) == 1.0  # toward root
+        assert model.delay("mid", "leaf", 0.0, 0) == 0.0  # away from root
+
+    def test_max_delay_defaults_to_larger(self):
+        model = DistanceDirectedDelay({"a": 0, "b": 1}, toward=0.3, away=0.7)
+        assert model.max_delay == 0.7

@@ -1,0 +1,97 @@
+"""Unit tests for drift models."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.sim.drift import (
+    AlternatingDrift,
+    ConstantDrift,
+    ExplicitDrift,
+    PerNodeDrift,
+    RandomWalkDrift,
+    TwoGroupDrift,
+)
+from repro.sim.rates import PiecewiseConstantRate
+
+
+class TestConstantDrift:
+    def test_default_rate_one(self):
+        model = ConstantDrift(0.05)
+        assert model.rate_function("any", 100.0).rate_at(50.0) == 1.0
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ScheduleError):
+            ConstantDrift(1.0)
+        with pytest.raises(ScheduleError):
+            ConstantDrift(-0.1)
+
+    def test_validation_rejects_out_of_bounds_rate(self):
+        model = ConstantDrift(0.05, rate=1.2)
+        with pytest.raises(ScheduleError):
+            model.validated_rate_function("any", 100.0)
+
+
+class TestPerNodeDrift:
+    def test_mapping_and_default(self):
+        model = PerNodeDrift(0.1, {"a": 1.1}, default=0.95)
+        assert model.rate_function("a", 10.0).rate_at(0.0) == 1.1
+        assert model.rate_function("b", 10.0).rate_at(0.0) == 0.95
+
+
+class TestTwoGroupDrift:
+    def test_groups(self):
+        model = TwoGroupDrift(0.05, fast_nodes=["a", "b"])
+        assert model.rate_function("a", 10.0).rate_at(0.0) == 1.05
+        assert model.rate_function("c", 10.0).rate_at(0.0) == 0.95
+
+
+class TestAlternatingDrift:
+    def test_antiphase(self):
+        model = AlternatingDrift(0.1, period=2.0, phases={"even": 0, "odd": 1})
+        even = model.rate_function("even", 10.0)
+        odd = model.rate_function("odd", 10.0)
+        assert even.rate_at(0.5) == 1.1
+        assert odd.rate_at(0.5) == 0.9
+        assert even.rate_at(2.5) == 0.9
+        assert odd.rate_at(2.5) == 1.1
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ScheduleError):
+            AlternatingDrift(0.1, period=-1.0)
+
+    def test_within_bounds(self):
+        model = AlternatingDrift(0.07, period=1.0)
+        model.validated_rate_function("n", 50.0)
+
+
+class TestRandomWalkDrift:
+    def test_deterministic_per_node_and_seed(self):
+        a = RandomWalkDrift(0.1, step_period=1.0, step_size=0.02, seed=3)
+        b = RandomWalkDrift(0.1, step_period=1.0, step_size=0.02, seed=3)
+        assert (
+            a.rate_function("n1", 20.0).segments
+            == b.rate_function("n1", 20.0).segments
+        )
+
+    def test_different_nodes_differ(self):
+        model = RandomWalkDrift(0.1, step_period=1.0, step_size=0.02, seed=3)
+        assert (
+            model.rate_function("n1", 20.0).segments
+            != model.rate_function("n2", 20.0).segments
+        )
+
+    def test_stays_within_bounds(self):
+        model = RandomWalkDrift(0.05, step_period=0.5, step_size=0.5, seed=9)
+        model.validated_rate_function("n", 100.0)
+
+    def test_invalid_step_period_rejected(self):
+        with pytest.raises(ScheduleError):
+            RandomWalkDrift(0.1, step_period=0.0, step_size=0.1)
+
+
+class TestExplicitDrift:
+    def test_explicit_and_default(self):
+        schedule = PiecewiseConstantRate([0.0, 5.0], [1.05, 0.95])
+        model = ExplicitDrift(0.05, {"a": schedule})
+        assert model.rate_function("a", 10.0).rate_at(6.0) == 0.95
+        assert model.rate_function("b", 10.0).rate_at(6.0) == 1.0

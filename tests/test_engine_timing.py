@@ -1,0 +1,95 @@
+"""Exact-timing tests for hardware alarms under drifting clocks.
+
+The engine converts hardware-time alarm targets into real times by
+inverting the (fully known) rate schedule.  These tests pin down the
+exactness: alarms must fire at the exact real time the hardware clock
+reaches the target, even when the target lies beyond rate changes that
+happen after the alarm was armed.
+"""
+
+import pytest
+
+from repro.core.interfaces import Algorithm, AlgorithmNode
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import ExplicitDrift
+from repro.sim.engine import SimulationEngine
+from repro.sim.rates import PiecewiseConstantRate
+from repro.topology.generators import line
+
+
+class AlarmProbe(AlgorithmNode):
+    def __init__(self, targets):
+        self._targets = targets
+        self.fired = []
+
+    def on_start(self, ctx):
+        ctx.send_all(("wake",))
+        for index, target in enumerate(self._targets):
+            ctx.set_alarm(f"probe-{index}", target)
+
+    def on_alarm(self, ctx, name):
+        self.fired.append((name, ctx.hardware()))
+
+    def on_message(self, ctx, sender, payload):
+        pass
+
+
+class AlarmAlgorithm(Algorithm):
+    allows_jumps = False
+    name = "alarm-probe"
+
+    def __init__(self, targets):
+        self.targets = targets
+        self.nodes = {}
+
+    def make_node(self, node_id, neighbors):
+        node = AlarmProbe(self.targets)
+        self.nodes[node_id] = node
+        return node
+
+
+class TestAlarmExactness:
+    def test_alarm_across_rate_changes(self):
+        # Node 0's clock: rate 0.9 on [0, 10), 1.1 on [10, 20), 1.0 after.
+        schedule = PiecewiseConstantRate([0.0, 10.0, 20.0], [0.9, 1.1, 1.0])
+        drift = ExplicitDrift(0.11, {0: schedule}, default_rate=1.0)
+        targets = [5.0, 15.0, 25.0]
+        algo = AlarmAlgorithm(targets)
+        engine = SimulationEngine(
+            line(2), algo, drift, ConstantDelay(0.1), 60.0
+        )
+        trace = engine.run()
+        fired = dict(algo.nodes[0].fired)
+        # Fired hardware readings equal the targets exactly.
+        for index, target in enumerate(targets):
+            assert fired[f"probe-{index}"] == pytest.approx(target, abs=1e-9)
+        # And the real firing times match the analytic inverses:
+        # H(10) = 9; target 5 -> t = 5/0.9; target 15 -> 10 + 6/1.1;
+        # H(20) = 9 + 11 = 20; target 25 -> 20 + 5/1.0.
+        clock = trace.hardware[0]
+        assert clock.time_at_value(5.0) == pytest.approx(5.0 / 0.9)
+        assert clock.time_at_value(15.0) == pytest.approx(10 + 6.0 / 1.1)
+        assert clock.time_at_value(25.0) == pytest.approx(25.0)
+
+    def test_simultaneous_alarms_fire_in_arm_order(self):
+        schedule = PiecewiseConstantRate([0.0], [1.0])
+        drift = ExplicitDrift(0.01, {0: schedule}, default_rate=1.0)
+        algo = AlarmAlgorithm([3.0, 3.0, 3.0])
+        engine = SimulationEngine(line(2), algo, drift, ConstantDelay(0.1), 10.0)
+        engine.run()
+        names = [name for name, _ in algo.nodes[0].fired]
+        assert names == ["probe-0", "probe-1", "probe-2"]
+
+    def test_alarm_for_woken_node_uses_local_clock(self):
+        """A node started at t>0 measures alarm targets from its own zero."""
+        schedule = PiecewiseConstantRate([0.0], [1.0])
+        drift = ExplicitDrift(0.01, {}, default_rate=1.0)
+        algo = AlarmAlgorithm([2.0])
+        engine = SimulationEngine(
+            line(2), algo, drift, ConstantDelay(1.5, max_delay=2.0), 10.0
+        )
+        trace = engine.run()
+        # Node 1 starts at t=1.5; its probe-0 fires at H=2 i.e. t=3.5.
+        fired = dict(algo.nodes[1].fired)
+        assert fired["probe-0"] == pytest.approx(2.0)
+        assert trace.hardware[1].time_at_value(2.0) == pytest.approx(3.5)

@@ -1,0 +1,131 @@
+"""Unit tests of Algorithm 2's estimate-update semantics (lines 5-7).
+
+A fresher message may *lower* the extrapolated estimate L_v^w (fresh
+information is more accurate), while the raw guard ℓ_v^w rejects stale
+out-of-order values.  Tested at the node level with a scripted context.
+"""
+
+import pytest
+
+from repro.core.interfaces import NodeContext
+from repro.core.node import AoptNode
+from repro.core.params import SyncParams
+
+
+class ScriptedContext(NodeContext):
+    """Minimal driveable context for node-level unit tests."""
+
+    def __init__(self, node_id=0, neighbors=(1,)):
+        self.node_id = node_id
+        self.neighbors = tuple(neighbors)
+        self.hw = 0.0
+        self.lg = 0.0
+        self.rho = 1.0
+        self.sent = []
+        self.alarms = {}
+
+    def hardware(self):
+        return self.hw
+
+    def logical(self):
+        return self.lg
+
+    def set_rate_multiplier(self, rho):
+        self.rho = rho
+
+    def rate_multiplier(self):
+        return self.rho
+
+    def jump_logical(self, value):
+        self.lg = value
+
+    def send_to(self, neighbor, payload):
+        self.sent.append((neighbor, payload))
+
+    def send_all(self, payload):
+        self.sent.append(("all", payload))
+
+    def set_alarm(self, name, hardware_value):
+        self.alarms[name] = hardware_value
+
+    def cancel_alarm(self, name):
+        self.alarms.pop(name, None)
+
+    def probe(self, name, value):
+        pass
+
+    def advance(self, dt_hw, logical_rate=None):
+        self.hw += dt_hw
+        self.lg += dt_hw * (logical_rate if logical_rate is not None else self.rho)
+
+
+@pytest.fixture
+def node(params):
+    n = AoptNode(0, (1,), params)
+    ctx = ScriptedContext()
+    n.on_start(ctx)
+    return n, ctx
+
+
+class TestEstimateUpdates:
+    def test_fresh_larger_value_adopted(self, node):
+        n, ctx = node
+        n.on_message(ctx, 1, (5.0, 0.0))
+        assert n.estimate_of(1, ctx.hw) == pytest.approx(5.0)
+
+    def test_estimate_extrapolates_at_hardware_rate(self, node):
+        n, ctx = node
+        n.on_message(ctx, 1, (5.0, 0.0))
+        ctx.advance(3.0)
+        assert n.estimate_of(1, ctx.hw) == pytest.approx(8.0)
+
+    def test_fresher_message_can_lower_estimate(self, node):
+        """The extrapolation overshot a slow neighbor; fresh info corrects
+        the estimate downward (§4.2: 'more recent and thus more accurate')."""
+        n, ctx = node
+        n.on_message(ctx, 1, (5.0, 0.0))
+        ctx.advance(4.0)  # extrapolated estimate now 9.0
+        n.on_message(ctx, 1, (6.5, 0.0))  # neighbor actually ran slow
+        assert n.estimate_of(1, ctx.hw) == pytest.approx(6.5)
+
+    def test_stale_out_of_order_value_rejected(self, node):
+        """ℓ_v^w guards against reordered old messages: a value at or
+        below the largest *received* one never updates the estimate."""
+        n, ctx = node
+        n.on_message(ctx, 1, (5.0, 0.0))
+        ctx.advance(1.0)
+        n.on_message(ctx, 1, (4.0, 0.0))  # stale: below ℓ = 5.0
+        assert n.estimate_of(1, ctx.hw) == pytest.approx(6.0)  # 5.0 + 1.0
+
+    def test_raw_guard_is_strict(self, node):
+        n, ctx = node
+        n.on_message(ctx, 1, (5.0, 0.0))
+        ctx.advance(1.0)
+        n.on_message(ctx, 1, (5.0, 0.0))  # duplicate: not strictly larger
+        assert n.estimate_of(1, ctx.hw) == pytest.approx(6.0)
+
+
+class TestMarkBookkeeping:
+    def test_adopting_lmax_moves_next_mark(self, node, params):
+        n, ctx = node
+        mark = 3 * params.h0
+        n.on_message(ctx, 1, (0.5, mark))
+        assert n._next_mark == pytest.approx(mark + params.h0)
+        # The adoption triggered an immediate forward.
+        assert any(payload[1] == mark for _, payload in ctx.sent)
+
+    def test_send_alarm_targets_mark_gap(self, node, params):
+        n, ctx = node
+        mark = 2 * params.h0
+        n.on_message(ctx, 1, (0.5, mark))
+        from repro.core.node import SEND_ALARM
+
+        gap = n._next_mark - n.l_max(ctx.hw)
+        assert ctx.alarms[SEND_ALARM] == pytest.approx(ctx.hw + gap)
+
+    def test_smaller_lmax_not_adopted(self, node, params):
+        n, ctx = node
+        n.on_message(ctx, 1, (0.5, 3 * params.h0))
+        before = n.l_max(ctx.hw)
+        n.on_message(ctx, 1, (0.6, params.h0))
+        assert n.l_max(ctx.hw) == pytest.approx(before)

@@ -1,0 +1,78 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import AlarmEvent, DeliveryEvent, EventQueue, WakeEvent
+
+
+class TestOrdering:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(WakeEvent(2.0, "b"))
+        queue.push(WakeEvent(1.0, "a"))
+        assert queue.pop().node == "a"
+        assert queue.pop().node == "b"
+
+    def test_fifo_tie_break(self):
+        queue = EventQueue()
+        for name in ("first", "second", "third"):
+            queue.push(WakeEvent(1.0, name))
+        assert [queue.pop().node for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(WakeEvent(3.0, "x"))
+        assert queue.peek_time() == 3.0
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(WakeEvent(0.0, "x"))
+        assert queue
+        assert len(queue) == 1
+
+
+class TestSafety:
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_scheduling_in_past_rejected(self):
+        queue = EventQueue()
+        queue.push(WakeEvent(5.0, "x"))
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.push(WakeEvent(4.0, "y"))
+
+    def test_scheduling_at_current_time_allowed(self):
+        queue = EventQueue()
+        queue.push(WakeEvent(5.0, "x"))
+        queue.pop()
+        queue.push(WakeEvent(5.0, "y"))
+        assert queue.pop().node == "y"
+
+
+class TestDrain:
+    def test_drain_until(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            queue.push(WakeEvent(t, "n"))
+        kept, dropped = queue.drain_until(2.5)
+        assert (kept, dropped) == (2, 2)
+        assert queue.pop().time == 1.0
+
+
+class TestEventTypes:
+    def test_delivery_event_fields(self):
+        event = DeliveryEvent(
+            time=1.0, node="b", sender="a", payload=(1, 2), send_time=0.5, size_bits=8
+        )
+        assert event.sender == "a"
+        assert event.payload == (1, 2)
+
+    def test_alarm_event_fields(self):
+        event = AlarmEvent(time=1.0, node="a", name="send", generation=3)
+        assert event.name == "send"
+        assert event.generation == 3

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs and prints its report."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["paper bound", "global skew", "messages sent"],
+    "sensor_network_tdma.py": ["guard band", "A^opt", "no sync"],
+    "adversarial_lower_bounds.py": ["Theorem 7.2", "Theorem 7.7", "forced"],
+    "parameter_tuning.py": ["H0 sweep", "mu sweep"],
+    "external_time_source.py": ["GPS", "no clock ever ran ahead"],
+    "convergence_demo.py": ["recovery slope", "Lemma 5.7", "settled"],
+    "worst_case_gallery.py": ["panel 1", "panel 2", "panel 3", "Theorem 7.2"],
+    "unknown_delay_bound.py": ["oracle", "adaptive", "never needed to be configured"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    for snippet in EXPECTED_SNIPPETS[script]:
+        assert snippet in result.stdout, (
+            f"{script} output missing {snippet!r}:\n{result.stdout}"
+        )
+
+
+def test_all_examples_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

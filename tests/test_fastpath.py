@@ -1,0 +1,79 @@
+"""Equivalence tests for the numpy fast path."""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fastpath import global_skew_fast, spread_profile
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import UniformDelay
+from repro.sim.drift import RandomWalkDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line, ring
+from repro.variants import JumpAoptAlgorithm
+
+
+def randomized_trace(seed, topology, algorithm=None, horizon=50.0):
+    params = SyncParams.recommended(epsilon=0.08, delay_bound=1.0)
+    return run_execution(
+        topology,
+        algorithm or AoptAlgorithm(params),
+        RandomWalkDrift(0.08, step_period=3.0, step_size=0.05, seed=seed),
+        UniformDelay(0.0, 1.0, seed=seed),
+        horizon,
+    )
+
+
+class TestEquivalence:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_exact_path(self, seed):
+        trace = randomized_trace(seed, line(5))
+        slow = trace.global_skew()
+        fast = global_skew_fast(trace)
+        assert fast.value == pytest.approx(slow.value, abs=1e-9)
+        assert fast.time == pytest.approx(slow.time, abs=1e-9)
+
+    def test_windowed_queries(self):
+        trace = randomized_trace(3, ring(5))
+        slow = trace.global_skew(10.0, 40.0)
+        fast = global_skew_fast(trace, 10.0, 40.0)
+        assert fast.value == pytest.approx(slow.value, abs=1e-9)
+
+    def test_jump_traces_fall_back(self):
+        params = SyncParams.recommended(epsilon=0.08, delay_bound=1.0)
+        trace = randomized_trace(
+            2, line(4), algorithm=JumpAoptAlgorithm(params)
+        )
+        assert trace.logical[1].jump_times or trace.logical[2].jump_times
+        slow = trace.global_skew()
+        fast = global_skew_fast(trace)  # delegates internally
+        assert fast.value == pytest.approx(slow.value, abs=1e-9)
+
+
+class TestSpreadProfile:
+    def test_profile_matches_point_queries(self):
+        trace = randomized_trace(7, line(4))
+        times, spreads = spread_profile(trace)
+        assert len(times) == len(spreads)
+        for i in range(0, len(times), max(1, len(times) // 25)):
+            assert spreads[i] == pytest.approx(
+                trace.spread_at(float(times[i])), abs=1e-9
+            )
+
+    def test_profile_max_is_global_skew(self):
+        trace = randomized_trace(11, ring(5))
+        _, spreads = spread_profile(trace)
+        assert float(spreads.max()) == pytest.approx(
+            trace.global_skew().value, abs=1e-9
+        )
+
+    def test_jump_traces_rejected(self):
+        params = SyncParams.recommended(epsilon=0.08, delay_bound=1.0)
+        trace = randomized_trace(2, line(4), algorithm=JumpAoptAlgorithm(params))
+        with pytest.raises(NotImplementedError):
+            spread_profile(trace)

@@ -1,0 +1,100 @@
+"""Whole-stack fuzzing: random topologies × random schedules × invariants.
+
+Hypothesis draws a topology generator, a drift model, a delay model, a
+parameter regime and an initiator pattern; every resulting execution must
+satisfy the paper's invariants.  This is the broadest net in the suite —
+it has historically been the kind of test that finds event-ordering and
+anchoring bugs that targeted tests miss.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import check_envelope, check_rate_bounds
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, UniformDelay, ZeroDelay
+from repro.sim.drift import (
+    AlternatingDrift,
+    RandomWalkDrift,
+    SinusoidalDrift,
+    TwoGroupDrift,
+)
+from repro.sim.runner import run_execution
+from repro.topology.generators import (
+    binary_tree,
+    grid,
+    line,
+    random_connected,
+    ring,
+    star,
+)
+from repro.topology.properties import diameter
+
+
+def build_topology(choice: int, seed: int):
+    return [
+        lambda: line(6),
+        lambda: ring(7),
+        lambda: star(6),
+        lambda: grid(3, 3),
+        lambda: binary_tree(3),
+        lambda: random_connected(8, 0.25, seed=seed),
+    ][choice]()
+
+
+def build_drift(choice: int, epsilon: float, seed: int, nodes):
+    return [
+        lambda: TwoGroupDrift(epsilon, list(nodes)[: len(nodes) // 2]),
+        lambda: AlternatingDrift(
+            epsilon, period=7.0, phases={n: i % 2 for i, n in enumerate(nodes)}
+        ),
+        lambda: RandomWalkDrift(epsilon, step_period=4.0,
+                                step_size=epsilon / 2, seed=seed),
+        lambda: SinusoidalDrift(epsilon, period=23.0),
+    ][choice]()
+
+
+def build_delay(choice: int, delay_bound: float, seed: int):
+    return [
+        lambda: ConstantDelay(delay_bound),
+        lambda: UniformDelay(0.0, delay_bound, seed=seed),
+        lambda: ZeroDelay(max_delay=delay_bound),
+        lambda: ConstantDelay(delay_bound / 3, max_delay=delay_bound),
+    ][choice]()
+
+
+@given(
+    topology_choice=st.integers(0, 5),
+    drift_choice=st.integers(0, 3),
+    delay_choice=st.integers(0, 3),
+    epsilon=st.sampled_from([0.02, 0.05, 0.1]),
+    seed=st.integers(0, 100),
+    multi_initiator=st.booleans(),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_invariants_under_fuzzed_executions(
+    topology_choice, drift_choice, delay_choice, epsilon, seed, multi_initiator
+):
+    params = SyncParams.recommended(epsilon=epsilon, delay_bound=1.0)
+    topology = build_topology(topology_choice, seed)
+    drift = build_drift(drift_choice, epsilon, seed, topology.nodes)
+    delay = build_delay(delay_choice, 1.0, seed)
+    initiators = None
+    if multi_initiator:
+        initiators = [topology.nodes[0], topology.nodes[-1]]
+    trace = run_execution(
+        topology, AoptAlgorithm(params), drift, delay, horizon=70.0,
+        initiators=initiators,
+    )
+    d = diameter(topology)
+    assert check_envelope(trace, epsilon) <= 1e-7
+    assert check_rate_bounds(trace, params.alpha, params.beta) <= 1e-7
+    assert trace.global_skew().value <= global_skew_bound(params, d) + 1e-7
+    assert trace.local_skew().value <= local_skew_bound(params, d) + 1e-7

@@ -1,0 +1,86 @@
+"""§4.2 initialization scheme under non-standard wake patterns.
+
+The paper: "Any node waking up by itself simply sets L^max := 0 and sends
+⟨0, 0⟩ … This scheme also allows for initially unknown topologies as
+nodes are integrated by means of their first message."  These tests cover
+multiple spontaneous wake-ups, staggered wake times, and the resulting
+estimate reconciliation.
+"""
+
+import pytest
+
+from repro.analysis.metrics import check_envelope
+from repro.core.bounds import global_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import ConstantDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import line
+
+
+def run(topology, params, initiators, horizon=150.0, drift=None):
+    engine = SimulationEngine(
+        topology,
+        AoptAlgorithm(params),
+        drift or ConstantDrift(params.epsilon),
+        ConstantDelay(params.delay_bound),
+        horizon,
+        initiators=initiators,
+    )
+    return engine, engine.run()
+
+
+class TestMultipleInitiators:
+    def test_both_ends_wake_simultaneously(self, params):
+        _, trace = run(line(9), params, initiators=[0, 8])
+        # The floods meet in the middle: node 4 starts at ~4T, not 8T.
+        assert trace.start_times[4] == pytest.approx(4 * params.delay_bound)
+
+    def test_all_nodes_initiators(self, params):
+        _, trace = run(line(6), params, initiators=list(range(6)))
+        for node in range(6):
+            assert trace.start_times[node] == 0.0
+
+    def test_envelope_holds_with_many_initiators(self, params):
+        _, trace = run(
+            line(8), params, initiators=[0, 3, 7],
+            drift=TwoGroupDrift(params.epsilon, [0, 1, 2, 3]),
+        )
+        assert check_envelope(trace, params.epsilon) <= 1e-7
+
+    def test_estimates_reconcile_to_single_maximum(self, params):
+        """Competing L^max floods from different initiators must merge:
+        eventually all nodes track one maximum within the usual bound."""
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2, 3])
+        _, trace = run(line(8), params, initiators=[0, 7], drift=drift,
+                       horizon=200.0)
+        assert (
+            trace.global_skew(150.0, 200.0).value
+            <= global_skew_bound(params, 7) + 1e-7
+        )
+
+
+class TestStaggeredWakeTimes:
+    def test_late_spontaneous_wake(self, params):
+        """A node scheduled to wake late is woken earlier by the flood."""
+        engine, trace = run(
+            line(6), params, initiators={0: 0.0, 5: 100.0}, horizon=150.0
+        )
+        # The flood from node 0 reaches node 5 at ~5T << 100.
+        assert trace.start_times[5] == pytest.approx(5 * params.delay_bound)
+
+    def test_isolated_late_initiator(self, params):
+        """If the only initiator wakes late, everything shifts by its wake
+        time and the envelope (which is anchored at real time 0) still
+        holds because clocks stay at 0 until waking."""
+        _, trace = run(line(4), params, initiators={2: 30.0}, horizon=120.0)
+        assert trace.start_times[2] == 30.0
+        assert trace.start_times[0] == pytest.approx(30.0 + 2 * params.delay_bound)
+        assert check_envelope(trace, params.epsilon) <= 1e-7
+
+    def test_second_wake_event_ignored_if_already_started(self, params):
+        engine, trace = run(
+            line(4), params, initiators={0: 0.0, 1: 50.0}, horizon=100.0
+        )
+        # Node 1 was woken by node 0's flood long before its wake event.
+        assert trace.start_times[1] == pytest.approx(params.delay_bound)

@@ -1,0 +1,152 @@
+"""Cross-module integration tests.
+
+Longer scenarios exercising several subsystems together: topology sweeps,
+determinism, mixed-algorithm workflows, and the full experiment pipeline
+(suite → trace → metrics → table).
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_adversary_suite
+from repro.analysis.metrics import check_legal_state, summarize
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
+from repro.sim.runner import run_execution, simulate_aopt
+from repro.topology.generators import binary_tree, hypercube, random_connected, torus
+from repro.topology.properties import all_pairs_distances, diameter
+
+
+class TestTopologyBreadth:
+    """A^opt respects its bounds on every generator, not just lines."""
+
+    @pytest.mark.parametrize(
+        "topology",
+        [torus(4, 4), binary_tree(3), hypercube(4), random_connected(14, 0.15, seed=2)],
+        ids=lambda t: t.name,
+    )
+    def test_bounds_hold(self, topology, params):
+        d = diameter(topology)
+        trace = run_execution(
+            topology,
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, topology.nodes[: len(topology) // 2]),
+            ConstantDelay(params.delay_bound),
+            horizon=60.0 + 10.0 * d,
+        )
+        summary = summarize(trace, params, d)
+        assert summary["global_skew"] <= summary["global_bound"] + 1e-7
+        assert summary["local_skew"] <= summary["local_bound"] + 1e-7
+        assert summary["envelope_margin"] <= 1e-7
+
+    @pytest.mark.parametrize(
+        "topology",
+        [torus(4, 4), binary_tree(3)],
+        ids=lambda t: t.name,
+    )
+    def test_legal_state_everywhere(self, topology, params):
+        d = diameter(topology)
+        trace = run_execution(
+            topology,
+            AoptAlgorithm(params),
+            RandomWalkDrift(params.epsilon, 5.0, params.epsilon / 2, seed=4),
+            UniformDelay(0.0, params.delay_bound, seed=4),
+            horizon=120.0,
+        )
+        report = check_legal_state(
+            trace, params, all_pairs_distances(topology), d, samples=20
+        )
+        assert report.satisfied
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self, params):
+        def one():
+            return run_execution(
+                random_connected(10, 0.2, seed=1),
+                AoptAlgorithm(params),
+                RandomWalkDrift(params.epsilon, 4.0, params.epsilon / 2, seed=9),
+                UniformDelay(0.0, params.delay_bound, seed=9),
+                horizon=100.0,
+            )
+
+        a, b = one(), one()
+        assert a.events_processed == b.events_processed
+        assert a.total_messages() == b.total_messages()
+        for node in a.logical:
+            for t in (10.0, 50.0, 99.0):
+                assert a.logical_value(node, t) == b.logical_value(node, t)
+
+    def test_suite_is_deterministic(self, params):
+        from repro.topology.generators import line
+
+        first = run_adversary_suite(
+            line(6), lambda: AoptAlgorithm(params), params, horizon=60.0
+        )
+        second = run_adversary_suite(
+            line(6), lambda: AoptAlgorithm(params), params, horizon=60.0
+        )
+        assert first.per_case == second.per_case
+
+
+class TestEndToEndPipeline:
+    def test_suite_summary_table_renders(self, params):
+        from repro.topology.generators import line
+
+        suite = run_adversary_suite(
+            line(5), lambda: AoptAlgorithm(params), params, horizon=60.0
+        )
+        rows = [
+            [name, case["global_skew"], case["local_skew"], case["messages"]]
+            for name, case in sorted(suite.per_case.items())
+        ]
+        text = format_table(["case", "global", "local", "messages"], rows)
+        assert "two-group-drift" in text
+        assert len(text.splitlines()) == len(rows) + 2
+
+    def test_simulate_aopt_default_pipeline(self):
+        params = SyncParams.recommended(epsilon=0.02, delay_bound=0.5)
+        from repro.topology.generators import ring
+
+        trace = simulate_aopt(ring(8), params)
+        assert trace.global_skew().value <= global_skew_bound(params, 4) + 1e-7
+        assert trace.local_skew().value <= local_skew_bound(params, 4) + 1e-7
+
+
+class TestLongRunStability:
+    def test_long_horizon_remains_bounded(self):
+        """Skew does not creep over long horizons (no drift accumulation
+        bugs in the event-driven implementation)."""
+        params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+        from repro.topology.generators import line
+
+        trace = run_execution(
+            line(6),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0, 1, 2]),
+            ConstantDelay(params.delay_bound),
+            horizon=2000.0,
+        )
+        bound = global_skew_bound(params, 5)
+        # Probe late windows only: steady state, no transients.
+        for t0 in (500.0, 1000.0, 1500.0):
+            window = trace.global_skew(t0, t0 + 400.0)
+            assert window.value <= bound + 1e-7
+
+    def test_message_rate_stays_amortized(self):
+        params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+        from repro.topology.generators import line
+
+        trace = run_execution(
+            line(4),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            ConstantDelay(params.delay_bound),
+            horizon=1500.0,
+        )
+        for node in trace.topology.nodes:
+            frequency = trace.amortized_message_frequency(node)
+            assert frequency <= 3 * (1 + params.epsilon) / params.h0

@@ -1,0 +1,65 @@
+"""Tests for the algorithm interface layer and error types."""
+
+import pytest
+
+from repro.core.interfaces import DEFAULT_FIELD_BITS, Algorithm, AlgorithmNode
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+    TopologyError,
+    TraceError,
+)
+
+
+class MinimalAlgorithm(Algorithm):
+    def make_node(self, node_id, neighbors):
+        return AlgorithmNode()
+
+
+class TestPayloadBits:
+    def test_tuple_charged_per_field(self):
+        algorithm = MinimalAlgorithm()
+        assert algorithm.payload_bits((1.0, 2.0)) == 2 * DEFAULT_FIELD_BITS
+        assert algorithm.payload_bits((1.0,)) == DEFAULT_FIELD_BITS
+        assert algorithm.payload_bits([1.0, 2.0, 3.0]) == 3 * DEFAULT_FIELD_BITS
+
+    def test_scalar_charged_once(self):
+        assert MinimalAlgorithm().payload_bits(42.0) == DEFAULT_FIELD_BITS
+
+
+class TestAlgorithmNodeDefaults:
+    def test_default_callbacks_are_noops(self):
+        node = AlgorithmNode()
+        node.on_start(None)
+        node.on_message(None, "w", ())
+        node.on_alarm(None, "x")
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            ConfigurationError,
+            TopologyError,
+            SimulationError,
+            ScheduleError,
+            TraceError,
+            InvariantViolation,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_invariant_violation_carries_context(self):
+        violation = InvariantViolation("detail text", node=3, time=1.5)
+        assert violation.node == 3
+        assert violation.time == 1.5
+        assert violation.detail == "detail text"
+        assert "detail text" in str(violation)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise TopologyError("broken")

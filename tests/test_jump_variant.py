@@ -1,0 +1,67 @@
+"""Tests for the §5.3 instant-jump variant of A^opt."""
+
+import pytest
+
+from repro.analysis.metrics import check_envelope
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import PerNodeDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.topology.properties import diameter
+from repro.variants import JumpAoptAlgorithm
+
+
+class TestJumpAopt:
+    def test_clocks_jump(self, params):
+        drift = PerNodeDrift(params.epsilon, {0: 1 + params.epsilon}, default=1.0)
+        trace = run_execution(
+            line(4), JumpAoptAlgorithm(params), drift,
+            ConstantDelay(params.delay_bound), 100.0,
+        )
+        assert any(trace.logical[n].jump_times for n in range(1, 4))
+
+    def test_skew_bounds_still_hold(self, params):
+        """The remark after Theorem 5.10: the bounds survive jumping."""
+        topology = line(8)
+        d = diameter(topology)
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2, 3])
+        trace = run_execution(
+            topology, JumpAoptAlgorithm(params), drift,
+            ConstantDelay(params.delay_bound), 200.0,
+        )
+        assert trace.global_skew().value <= global_skew_bound(params, d) + 1e-7
+        assert trace.local_skew().value <= local_skew_bound(params, d) + 1e-7
+
+    def test_envelope_still_holds(self, params):
+        """Jumps are capped by L^max, so Condition (1) survives too."""
+        drift = TwoGroupDrift(params.epsilon, [0, 1])
+        trace = run_execution(
+            line(5), JumpAoptAlgorithm(params), drift,
+            ConstantDelay(params.delay_bound), 150.0,
+        )
+        assert check_envelope(trace, params.epsilon) <= 1e-7
+
+    def test_matches_rate_based_aopt_skew_closely(self, params):
+        """Same adversary: jumping converges at least as fast."""
+        drift = TwoGroupDrift(params.epsilon, [0, 1, 2])
+        delay = ConstantDelay(params.delay_bound)
+        jump = run_execution(
+            line(6), JumpAoptAlgorithm(params), drift, delay, 200.0
+        )
+        smooth = run_execution(
+            line(6), AoptAlgorithm(params), drift, delay, 200.0
+        )
+        # Steady-state spreads comparable (within one kappa).
+        assert jump.spread_at(199.0) <= smooth.spread_at(199.0) + params.kappa
+
+    def test_rate_multiplier_never_raised(self, params):
+        drift = TwoGroupDrift(params.epsilon, [0, 1])
+        trace = run_execution(
+            line(4), JumpAoptAlgorithm(params), drift,
+            ConstantDelay(params.delay_bound), 100.0,
+        )
+        for node in range(4):
+            for t in (20.0, 60.0, 99.0):
+                assert trace.logical[node].multiplier_at(t) == 1.0

@@ -1,0 +1,92 @@
+"""Tests for the lossy-channel robustness extension."""
+
+import pytest
+
+from repro.analysis.metrics import check_envelope
+from repro.core.node import AoptAlgorithm
+from repro.errors import ScheduleError
+from repro.sim.delays import DROP, ConstantDelay, LossyDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+
+
+class TestLossyDelayModel:
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ScheduleError):
+            LossyDelay(ConstantDelay(1.0), loss=1.0)
+        with pytest.raises(ScheduleError):
+            LossyDelay(ConstantDelay(1.0), loss=-0.1)
+
+    def test_zero_loss_is_transparent(self):
+        model = LossyDelay(ConstantDelay(0.5), loss=0.0, seed=1)
+        for i in range(50):
+            assert model.delay("a", "b", float(i), i) == 0.5
+
+    def test_drop_fraction_matches_loss_rate(self):
+        model = LossyDelay(ConstantDelay(0.5), loss=0.3, seed=7)
+        outcomes = [model.delay("a", "b", float(i), i) for i in range(2000)]
+        dropped = sum(1 for value in outcomes if value == DROP)
+        assert 0.25 < dropped / 2000 < 0.35
+
+    def test_deterministic_per_seed(self):
+        a = LossyDelay(ConstantDelay(0.5), loss=0.5, seed=3)
+        b = LossyDelay(ConstantDelay(0.5), loss=0.5, seed=3)
+        assert [a.delay("x", "y", 0, i) for i in range(30)] == [
+            b.delay("x", "y", 0, i) for i in range(30)
+        ]
+
+    def test_validated_delay_passes_drop_through(self):
+        model = LossyDelay(ConstantDelay(0.5), loss=0.9999999, seed=1)
+        # Practically every call drops; validated_delay must not reject it.
+        assert model.validated_delay("a", "b", 0.0, 0) == DROP
+
+
+class TestLossyExecution:
+    def test_dropped_messages_counted(self, params):
+        trace = run_execution(
+            line(5),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            LossyDelay(ConstantDelay(params.delay_bound), loss=0.2, seed=5),
+            150.0,
+        )
+        assert trace.messages_dropped > 0
+        total_deliveries = sum(trace.messages_received.values())
+        in_flight = trace.total_messages() - total_deliveries - trace.messages_dropped
+        # Every sent message is delivered, dropped, or still in flight at
+        # the horizon (at most one per directed edge per delay window).
+        assert 0 <= in_flight <= 4 * len(trace.topology.edges())
+
+    def test_aopt_still_synchronizes_under_loss(self, params):
+        lossless = run_execution(
+            line(5),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            ConstantDelay(params.delay_bound),
+            300.0,
+        )
+        lossy = run_execution(
+            line(5),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            LossyDelay(ConstantDelay(params.delay_bound), loss=0.3, seed=5),
+            300.0,
+        )
+        free_running = 2 * params.epsilon * 300.0
+        assert lossy.global_skew().value < free_running
+        # Degradation is graceful: within a few kappas of the lossless run.
+        assert (
+            lossy.global_skew().value
+            <= lossless.global_skew().value + 4 * params.kappa
+        )
+
+    def test_envelope_survives_loss(self, params):
+        trace = run_execution(
+            line(4),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0, 1]),
+            LossyDelay(ConstantDelay(params.delay_bound), loss=0.4, seed=9),
+            200.0,
+        )
+        assert check_envelope(trace, params.epsilon) <= 1e-7

@@ -1,0 +1,165 @@
+"""Tests for the Monte-Carlo harness and execution validation."""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    DistributionSummary,
+    run_monte_carlo,
+    summarize_samples,
+)
+from repro.core.node import AoptAlgorithm
+from repro.errors import ConfigurationError
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import ConstantDrift, RandomWalkDrift
+from repro.sim.runner import run_execution
+from repro.sim.validation import validate_execution
+from repro.topology.generators import line
+
+
+class TestDistributionSummary:
+    def test_statistics(self):
+        summary = DistributionSummary.of([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.median == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DistributionSummary.of([])
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def samples(self, request):
+        params_epsilon = 0.05
+        from repro.core.params import SyncParams
+
+        params = SyncParams.recommended(epsilon=params_epsilon, delay_bound=1.0)
+        return run_monte_carlo(
+            line(6),
+            lambda: AoptAlgorithm(params),
+            lambda seed: RandomWalkDrift(
+                params_epsilon, step_period=5.0, step_size=0.02, seed=seed
+            ),
+            lambda seed: UniformDelay(0.0, 1.0, seed=seed),
+            horizon=100.0,
+            runs=8,
+        )
+
+    def test_sample_count_and_determinism(self, samples):
+        assert len(samples) == 8
+        assert len({s.seed for s in samples}) == 8
+        # Distinct seeds genuinely vary the outcome.
+        assert len({round(s.global_skew, 9) for s in samples}) > 1
+
+    def test_summary_metrics(self, samples):
+        summary = summarize_samples(samples, "global_skew")
+        assert summary.count == 8
+        assert summary.minimum <= summary.median <= summary.p90 <= summary.maximum
+
+    def test_unknown_metric_rejected(self, samples):
+        with pytest.raises(ConfigurationError):
+            summarize_samples(samples, "nope")
+
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(
+                line(3), lambda: None, lambda s: None, lambda s: None,
+                horizon=10.0, runs=0,
+            )
+
+    def test_random_typically_below_worst_case(self, samples):
+        """Related-work §2: random delays are far more benign than
+        adversarial ones — the median random skew sits well below the
+        worst-case bound (which E1 shows is achieved adversarially)."""
+        from repro.core.bounds import global_skew_bound
+        from repro.core.params import SyncParams
+
+        params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+        summary = summarize_samples(samples, "global_skew")
+        assert summary.median < 0.8 * global_skew_bound(params, 5)
+
+
+class TestValidation:
+    def test_clean_execution_validates(self, params):
+        trace = run_execution(
+            line(4),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon),
+            ConstantDelay(params.delay_bound),
+            60.0,
+            record_messages=True,
+        )
+        report = validate_execution(trace, params.epsilon, params.delay_bound)
+        assert report.valid, report.problems
+
+    def test_rate_violation_detected(self, params):
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon),
+            ConstantDelay(params.delay_bound),
+            40.0,
+        )
+        # Validate against a *stricter* drift bound than was used.
+        report = validate_execution(trace, params.epsilon / 100, params.delay_bound)
+        # Rates were exactly 1.0 here, so shrink further via delay instead:
+        assert report.valid  # rate 1.0 is legal for any eps
+        from repro.sim.drift import TwoGroupDrift
+
+        drifty = run_execution(
+            line(3),
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [0]),
+            ConstantDelay(params.delay_bound),
+            40.0,
+        )
+        strict = validate_execution(drifty, params.epsilon / 2, params.delay_bound)
+        assert not strict.valid
+        assert any("hardware rate" in p for p in strict.problems)
+
+    def test_delay_violation_detected(self, params):
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon),
+            ConstantDelay(params.delay_bound),
+            40.0,
+            record_messages=True,
+        )
+        report = validate_execution(trace, params.epsilon, params.delay_bound / 2)
+        assert not report.valid
+        assert any("delay" in p for p in report.problems)
+
+    def test_adversary_constructions_are_legal(self):
+        """The Theorem 7.2 execution must pass independent validation."""
+        from repro.adversary.global_bound import run_global_lower_bound
+
+        epsilon, delay_bound = 0.05, 1.0
+        from repro.core.params import SyncParams
+
+        params = SyncParams.recommended(epsilon=epsilon, delay_bound=delay_bound)
+        result = run_global_lower_bound(
+            line(5), AoptAlgorithm(params), epsilon, delay_bound,
+            record_messages=True,
+        )
+        report = validate_execution(result.trace, epsilon, delay_bound)
+        assert report.valid, report.problems
+
+    def test_amplification_execution_is_legal(self):
+        """The Theorem 7.7 execution must pass independent validation."""
+        from repro.adversary.local_bound import run_skew_amplification
+
+        epsilon, delay_bound = 0.1, 1.0
+        from repro.core.params import SyncParams
+
+        params = SyncParams.recommended(epsilon=epsilon, delay_bound=delay_bound)
+        result = run_skew_amplification(
+            lambda: AoptAlgorithm(params), n=5, epsilon=epsilon,
+            delay_bound=delay_bound, base=4,
+            verify_indistinguishability=True,
+        )
+        report = validate_execution(result.trace, epsilon, delay_bound)
+        assert report.valid, report.problems

@@ -1,0 +1,156 @@
+"""Tests for the extended topology generators and drift models."""
+
+import pytest
+
+from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.core.node import AoptAlgorithm
+from repro.errors import ScheduleError, TopologyError
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import SinusoidalDrift
+from repro.sim.runner import run_execution
+from repro.topology import barbell, caterpillar, circulant, diameter
+
+
+class TestBarbell:
+    def test_structure(self):
+        top = barbell(4, 3)
+        assert len(top) == 2 * 4 + 3
+        # Clique nodes have degree clique_size-1 (+1 for the attachment).
+        assert top.degree(("a", 1)) == 3
+        assert top.degree(("a", 0)) == 4
+
+    def test_diameter(self):
+        top = barbell(4, 3)
+        # a_i -> a0 (1) -> bar0..bar2 (3) -> b0 (1) -> b_j (1) = 6 hops.
+        assert diameter(top) == 6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(TopologyError):
+            barbell(1, 3)
+        with pytest.raises(TopologyError):
+            barbell(3, 0)
+
+    def test_aopt_bounds_hold(self, params):
+        top = barbell(3, 4)
+        d = diameter(top)
+        from repro.sim.drift import TwoGroupDrift
+
+        trace = run_execution(
+            top,
+            AoptAlgorithm(params),
+            TwoGroupDrift(params.epsilon, [("a", i) for i in range(3)]),
+            ConstantDelay(params.delay_bound),
+            120.0,
+        )
+        assert trace.global_skew().value <= global_skew_bound(params, d) + 1e-7
+        assert trace.local_skew().value <= local_skew_bound(params, d) + 1e-7
+
+
+class TestCaterpillar:
+    def test_structure(self):
+        top = caterpillar(4, 2)
+        assert len(top) == 4 + 8
+        assert top.degree(0) == 3  # one spine neighbor + two legs
+        assert top.degree(1) == 4
+        assert top.degree((2, 0)) == 1
+
+    def test_no_legs_is_a_path(self):
+        top = caterpillar(5, 0)
+        assert len(top) == 5
+        assert diameter(top) == 4
+
+    def test_invalid_arguments(self):
+        with pytest.raises(TopologyError):
+            caterpillar(1, 2)
+        with pytest.raises(TopologyError):
+            caterpillar(3, -1)
+
+
+class TestCirculant:
+    def test_ring_special_case(self):
+        top = circulant(8, [1])
+        assert diameter(top) == 4
+        assert all(top.degree(v) == 2 for v in top.nodes)
+
+    def test_chords_shrink_diameter(self):
+        plain = circulant(16, [1])
+        chorded = circulant(16, [1, 4])
+        assert diameter(chorded) < diameter(plain)
+
+    def test_invalid_offsets(self):
+        with pytest.raises(TopologyError):
+            circulant(8, [])
+        with pytest.raises(TopologyError):
+            circulant(8, [5])  # > n//2
+        with pytest.raises(TopologyError):
+            circulant(2, [1])
+
+
+class TestSinusoidalDrift:
+    def test_within_bounds(self):
+        model = SinusoidalDrift(0.05, period=20.0, steps=8)
+        model.validated_rate_function("n", 100.0)
+
+    def test_oscillates(self):
+        model = SinusoidalDrift(0.05, period=20.0, steps=16,
+                                phases={"n": 0.0})
+        rate = model.rate_function("n", 40.0)
+        values = [rate.rate_at(t) for t in (2.0, 7.0, 12.0, 17.0)]
+        assert max(values) > 1.02
+        assert min(values) < 0.98
+
+    def test_phases_spread_automatically(self):
+        model = SinusoidalDrift(0.05, period=20.0)
+        a = model.rate_function("a", 40.0)
+        b = model.rate_function("b", 40.0)
+        assert a.segments != b.segments
+
+    def test_phase_stable_per_node(self):
+        model = SinusoidalDrift(0.05, period=20.0)
+        first = model.rate_function("a", 40.0).segments
+        second = model.rate_function("a", 40.0).segments
+        assert first == second
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ScheduleError):
+            SinusoidalDrift(0.05, period=0.0)
+        with pytest.raises(ScheduleError):
+            SinusoidalDrift(0.05, period=10.0, steps=1)
+        with pytest.raises(ScheduleError):
+            SinusoidalDrift(0.05, period=10.0, amplitude=0.2)
+
+    def test_aopt_bounds_hold_under_sinusoid(self, params):
+        from repro.topology import line
+
+        trace = run_execution(
+            line(6),
+            AoptAlgorithm(params),
+            SinusoidalDrift(params.epsilon, period=30.0),
+            ConstantDelay(params.delay_bound),
+            150.0,
+        )
+        assert trace.global_skew().value <= global_skew_bound(params, 5) + 1e-7
+
+
+class TestReportGeneration:
+    def test_quick_report_sections(self):
+        from repro.analysis.report import generate_report
+
+        text = generate_report(quick=True)
+        for section in (
+            "Closed-form bounds",
+            "Theorems 5.5, 5.10",
+            "Theorem 7.2",
+            "delay-switch adversary",
+            "Conditions (1) and (2)",
+        ):
+            assert section in text
+
+    def test_report_cli_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "report.md"
+        exit_code = main(["report", "--output", str(output)])
+        assert exit_code == 0
+        assert output.exists()
+        assert "Reproduction report" in output.read_text()

@@ -1,0 +1,86 @@
+"""Public-API surface tests: imports, exports, and version metadata.
+
+A downstream user's first contact with the library is ``import repro``
+and the documented entry points; these tests pin that surface so
+refactors cannot silently break it.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_quickstart_surface(self):
+        """The README quickstart's names all exist."""
+        from repro import (  # noqa: F401
+            SyncParams,
+            global_skew_bound,
+            local_skew_bound,
+            simulate_aopt,
+            topology,
+        )
+
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.sim",
+    "repro.topology",
+    "repro.baselines",
+    "repro.adversary",
+    "repro.variants",
+    "repro.analysis",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module_name", SUBPACKAGES)
+class TestSubpackages:
+    def test_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module is not None
+
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_module_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_public_callables_documented(self):
+        """Every exported callable/class carries a docstring."""
+        undocumented = []
+        for module_name in SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                item = getattr(module, name)
+                if callable(item) and not getattr(item, "__doc__", None):
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+class TestErrorExports:
+    def test_exception_hierarchy_exported_at_top_level(self):
+        from repro import (  # noqa: F401
+            ConfigurationError,
+            InvariantViolation,
+            ReproError,
+            ScheduleError,
+            SimulationError,
+            TopologyError,
+            TraceError,
+        )

@@ -1,0 +1,158 @@
+"""Unit and property tests for the Algorithm 3 rate rule.
+
+The closed form is verified against a brute-force oracle that scans a
+fine grid around the candidate supremum, and against the worked examples
+given in Section 4.2 of the paper.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rate_rule import clamped_rate_increase, integer_levels, raw_rate_increase
+from repro.errors import ConfigurationError
+
+
+def condition_holds(lambda_up: float, lambda_down: float, kappa: float, r: float) -> bool:
+    """The literal predicate of Algorithm 3 line 1."""
+    return math.floor((lambda_up - r) / kappa) >= math.floor((lambda_down + r) / kappa)
+
+
+def brute_force_sup(lambda_up: float, lambda_down: float, kappa: float) -> float:
+    """Oracle: scan a fine grid for the largest R satisfying the predicate.
+
+    The predicate is monotone (true below the sup, false above), so a grid
+    scan brackets the supremum to within the grid step.
+    """
+    lo, hi = -10 * kappa - abs(lambda_up) - abs(lambda_down), 10 * kappa + abs(
+        lambda_up
+    ) + abs(lambda_down)
+    step = kappa / 4096
+    best = lo
+    r = lo
+    while r <= hi:
+        if condition_holds(lambda_up, lambda_down, kappa, r):
+            best = r
+        r += step
+    return best
+
+
+class TestPaperExamples:
+    def test_symmetric_half_kappa(self):
+        """§4.2: Λ↑ = Λ↓ = (s + ½)κ gives R = κ/2 for any s."""
+        kappa = 2.0
+        for s in range(4):
+            value = (s + 0.5) * kappa
+            assert raw_rate_increase(value, value, kappa) == pytest.approx(kappa / 2)
+
+    def test_blocked_case_nonpositive(self):
+        """§4.2: Λ↑ ≤ sκ and Λ↓ ≥ sκ for some s ∈ N0 implies R ≤ 0."""
+        kappa = 1.0
+        for s in range(4):
+            for up_slack in (0.0, 0.3, 0.99):
+                for down_slack in (0.0, 0.4, 1.7):
+                    r = raw_rate_increase(
+                        s * kappa - up_slack, s * kappa + down_slack, kappa
+                    )
+                    assert r <= 1e-12
+
+    def test_far_behind_neighbor_blocks(self):
+        """A neighbor more than κ behind at the same level blocks progress."""
+        assert raw_rate_increase(0.0, 1.5, 1.0) <= 0.0
+
+    def test_far_ahead_neighbor_pulls(self):
+        """A neighbor far ahead with none behind yields a large increase."""
+        r = raw_rate_increase(5.0, -4.0, 1.0)
+        assert r > 4.0
+
+
+class TestClosedFormAgainstOracle:
+    @given(
+        lambda_up=st.floats(-5.0, 10.0),
+        lambda_down=st.floats(-5.0, 10.0),
+        kappa=st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, lambda_up, lambda_down, kappa):
+        exact = raw_rate_increase(lambda_up, lambda_down, kappa)
+        approx = brute_force_sup(lambda_up, lambda_down, kappa)
+        assert exact == pytest.approx(approx, abs=kappa / 2048)
+
+    @given(
+        lambda_up=st.floats(-5.0, 10.0),
+        lambda_down=st.floats(-5.0, 10.0),
+        kappa=st.floats(0.1, 3.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_predicate_holds_just_below_sup(self, lambda_up, lambda_down, kappa):
+        """The predicate must hold at R − δ and fail at R + δ."""
+        r = raw_rate_increase(lambda_up, lambda_down, kappa)
+        delta = kappa / 1000
+        assert condition_holds(lambda_up, lambda_down, kappa, r - delta)
+        assert not condition_holds(lambda_up, lambda_down, kappa, r + delta)
+
+
+class TestInvariances:
+    @given(
+        lambda_up=st.floats(-5.0, 10.0),
+        lambda_down=st.floats(-5.0, 10.0),
+        kappa=st.floats(0.1, 3.0),
+        shift=st.floats(-2.0, 2.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shift_equivariance(self, lambda_up, lambda_down, kappa, shift):
+        """Lemma 5.1's core: moving R between the two skews shifts the sup.
+
+        Increasing the clock by x decreases Λ↑ by x and increases Λ↓ by x;
+        the remaining admissible increase must drop by exactly x.
+        """
+        base = raw_rate_increase(lambda_up, lambda_down, kappa)
+        moved = raw_rate_increase(lambda_up - shift, lambda_down + shift, kappa)
+        assert moved == pytest.approx(base - shift, abs=1e-9)
+
+    @given(
+        lambda_up=st.floats(-5.0, 10.0),
+        lambda_down=st.floats(-5.0, 10.0),
+        kappa=st.floats(0.1, 3.0),
+        scale=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_scale_equivariance(self, lambda_up, lambda_down, kappa, scale):
+        base = raw_rate_increase(lambda_up, lambda_down, kappa)
+        scaled = raw_rate_increase(lambda_up * scale, lambda_down * scale, kappa * scale)
+        assert scaled == pytest.approx(base * scale, rel=1e-9, abs=1e-9)
+
+    def test_invalid_kappa_rejected(self):
+        with pytest.raises(ConfigurationError):
+            raw_rate_increase(1.0, 1.0, 0.0)
+
+    def test_integer_levels(self):
+        assert integer_levels(2.5, 2.5, 1.0) == 2
+
+
+class TestClamping:
+    def test_kappa_tolerance_floor(self):
+        """Line 2: a skew below κ is always tolerated (R ≥ κ − Λ↓)."""
+        # Raw rule would block (Λ↑ very negative) but Λ↓ < κ frees κ − Λ↓.
+        r = clamped_rate_increase(-5.0, 0.3, 1.0, headroom=10.0)
+        assert r == pytest.approx(0.7)
+
+    def test_headroom_cap(self):
+        """Line 2: never increase beyond L^max − L."""
+        r = clamped_rate_increase(5.0, -4.0, 1.0, headroom=0.25)
+        assert r == pytest.approx(0.25)
+
+    def test_zero_headroom_blocks(self):
+        assert clamped_rate_increase(5.0, -4.0, 1.0, headroom=0.0) == 0.0
+
+    @given(
+        lambda_up=st.floats(-5.0, 10.0),
+        lambda_down=st.floats(-5.0, 10.0),
+        kappa=st.floats(0.1, 3.0),
+        headroom=st.floats(0.0, 5.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_headroom(self, lambda_up, lambda_down, kappa, headroom):
+        assert clamped_rate_increase(lambda_up, lambda_down, kappa, headroom) <= headroom

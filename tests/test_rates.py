@@ -1,0 +1,169 @@
+"""Unit tests for piecewise-constant rate functions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.sim.rates import PiecewiseConstantRate, alternating_rate, constant_rate
+
+
+class TestConstruction:
+    def test_empty_segments_rejected(self):
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate([0.0, 1.0], [1.0])
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate([0.0, 2.0, 1.0], [1.0, 1.0, 1.0])
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate([0.0, 1.0, 1.0], [1.0, 1.0, 1.0])
+
+    def test_non_finite_rate_rejected(self):
+        with pytest.raises(ScheduleError):
+            PiecewiseConstantRate([0.0], [math.inf])
+
+    def test_constant_constructor(self):
+        rate = PiecewiseConstantRate.constant(1.5)
+        assert rate.rate_at(0.0) == 1.5
+        assert rate.rate_at(1000.0) == 1.5
+
+    def test_from_segments(self):
+        rate = PiecewiseConstantRate.from_segments([(0.0, 1.0), (5.0, 2.0)])
+        assert rate.segments == [(0.0, 1.0), (5.0, 2.0)]
+
+    def test_constant_rate_helper(self):
+        assert constant_rate(0.9).rate_at(3.0) == 0.9
+
+
+class TestQueries:
+    def test_rate_at_segment_boundaries(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert rate.rate_at(0.0) == 1.0
+        assert rate.rate_at(0.999) == 1.0
+        assert rate.rate_at(1.0) == 2.0  # right-continuous
+        assert rate.rate_at(2.0) == 3.0
+        assert rate.rate_at(100.0) == 3.0  # last rate extends
+
+    def test_rate_before_domain_rejected(self):
+        rate = PiecewiseConstantRate([1.0], [1.0])
+        with pytest.raises(ScheduleError):
+            rate.rate_at(0.5)
+
+    def test_min_max_rate(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [0.9, 1.1])
+        assert rate.min_rate() == 0.9
+        assert rate.max_rate() == 1.1
+
+    def test_domain_start(self):
+        assert PiecewiseConstantRate([3.0], [1.0]).domain_start == 3.0
+
+
+class TestIntegration:
+    def test_integral_single_segment(self):
+        rate = PiecewiseConstantRate.constant(2.0)
+        assert rate.integral(0.0, 3.0) == pytest.approx(6.0)
+
+    def test_integral_across_segments(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 2.0], [1.0, 2.0, 0.5])
+        # 1*1 + 2*1 + 0.5*2 = 4.0 over [0, 4]
+        assert rate.integral(0.0, 4.0) == pytest.approx(4.0)
+
+    def test_integral_partial_segments(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [1.0, 3.0])
+        assert rate.integral(0.5, 1.5) == pytest.approx(0.5 + 1.5)
+
+    def test_integral_zero_width(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [1.0, 3.0])
+        assert rate.integral(1.0, 1.0) == 0.0
+
+    def test_integral_reversed_bounds_rejected(self):
+        rate = PiecewiseConstantRate.constant(1.0)
+        with pytest.raises(ScheduleError):
+            rate.integral(2.0, 1.0)
+
+
+class TestAdvance:
+    def test_advance_simple(self):
+        rate = PiecewiseConstantRate.constant(2.0)
+        assert rate.advance(1.0, 4.0) == pytest.approx(3.0)
+
+    def test_advance_zero(self):
+        rate = PiecewiseConstantRate.constant(2.0)
+        assert rate.advance(5.0, 0.0) == 5.0
+
+    def test_advance_negative_rejected(self):
+        rate = PiecewiseConstantRate.constant(1.0)
+        with pytest.raises(ScheduleError):
+            rate.advance(0.0, -1.0)
+
+    def test_advance_across_segments(self):
+        rate = PiecewiseConstantRate([0.0, 2.0], [1.0, 4.0])
+        # From t=1: 1 unit at rate 1 until t=2, then 4 units at rate 4.
+        assert rate.advance(1.0, 5.0) == pytest.approx(3.0)
+
+    def test_advance_through_zero_rate_rejected(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [1.0, 0.0])
+        with pytest.raises(ScheduleError):
+            rate.advance(0.0, 2.0)
+
+    @given(
+        rates=st.lists(st.floats(0.5, 2.0), min_size=1, max_size=6),
+        t0=st.floats(0.0, 5.0),
+        amount=st.floats(0.0, 50.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_advance_inverts_integral(self, rates, t0, amount):
+        times = [float(i) for i in range(len(rates))]
+        rate = PiecewiseConstantRate(times, rates)
+        t1 = rate.advance(t0, amount)
+        assert t1 >= t0
+        assert rate.integral(t0, t1) == pytest.approx(amount, abs=1e-9)
+
+
+class TestStructure:
+    def test_breakpoints_in(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 2.0, 3.0], [1.0] * 4)
+        assert list(rate.breakpoints_in(0.5, 2.5)) == [1.0, 2.0]
+
+    def test_breakpoints_exclude_endpoints(self):
+        rate = PiecewiseConstantRate([0.0, 1.0, 2.0], [1.0] * 3)
+        assert list(rate.breakpoints_in(1.0, 2.0)) == []
+
+    def test_check_bounds_passes(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [0.95, 1.05])
+        rate.check_bounds(0.9, 1.1)
+
+    def test_check_bounds_fails(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [0.95, 1.2])
+        with pytest.raises(ScheduleError):
+            rate.check_bounds(0.9, 1.1)
+
+    def test_scaled(self):
+        rate = PiecewiseConstantRate([0.0, 1.0], [1.0, 2.0]).scaled(0.5)
+        assert rate.rate_at(0.0) == 0.5
+        assert rate.rate_at(1.5) == 1.0
+
+
+class TestAlternatingRate:
+    def test_alternates(self):
+        rate = alternating_rate(0.9, 1.1, period=1.0, horizon=3.0)
+        assert rate.rate_at(0.0) == 1.1
+        assert rate.rate_at(1.5) == 0.9
+        assert rate.rate_at(2.5) == 1.1
+
+    def test_settles_to_low_after_horizon(self):
+        rate = alternating_rate(0.9, 1.1, period=1.0, horizon=3.0)
+        assert rate.rate_at(100.0) == 0.9
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ScheduleError):
+            alternating_rate(0.9, 1.1, period=0.0, horizon=3.0)

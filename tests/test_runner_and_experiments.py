@@ -1,0 +1,110 @@
+"""Tests for the runner conveniences and experiment harness internals."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    AdversaryCase,
+    default_horizon,
+    run_adversary_suite,
+    standard_adversaries,
+)
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import ConstantDrift
+from repro.sim.runner import default_monitors, run_execution, simulate_aopt
+from repro.topology.generators import grid, line, ring
+
+
+class TestDefaultMonitors:
+    def test_three_monitors(self, params):
+        monitors = default_monitors(params)
+        names = {m.name for m in monitors}
+        assert names == {"envelope", "rate-bounds", "monotonicity"}
+
+    def test_non_strict_mode(self, params):
+        monitors = default_monitors(params, strict=False)
+        assert all(not m.strict for m in monitors)
+
+
+class TestSimulateAopt:
+    def test_invariants_enforced_by_default(self, params):
+        trace = simulate_aopt(line(4), params, horizon=50.0)
+        assert trace.horizon == 50.0
+
+    def test_invariant_checking_can_be_disabled(self, params):
+        trace = simulate_aopt(
+            line(4), params, horizon=50.0, check_invariants=False
+        )
+        assert trace.total_messages() > 0
+
+    def test_custom_models_accepted(self, params):
+        trace = simulate_aopt(
+            line(3),
+            params,
+            drift_model=ConstantDrift(params.epsilon, rate=1.0),
+            delay_model=ConstantDelay(0.2, max_delay=params.delay_bound),
+            horizon=40.0,
+        )
+        assert trace.start_times[2] == pytest.approx(0.4)
+
+    def test_default_horizon_scales_with_size(self, params):
+        small = simulate_aopt(line(3), params)
+        large = simulate_aopt(line(8), params)
+        assert large.horizon > small.horizon
+
+    def test_record_messages_flag(self, params):
+        trace = simulate_aopt(line(3), params, horizon=40.0, record_messages=True)
+        assert trace.message_log
+
+
+class TestStandardAdversaries:
+    def test_all_models_within_bounds(self, params):
+        """Every suite case must produce legal drift and delays."""
+        topology = grid(3, 3)
+        for case in standard_adversaries(topology, params, seed=1):
+            for node in topology.nodes:
+                case.drift.validated_rate_function(node, 200.0)
+            for sender in topology.nodes:
+                for receiver in topology.neighbors(sender):
+                    for t in (0.0, 33.3, 150.0):
+                        value = case.delay.validated_delay(sender, receiver, t, 0)
+                        assert 0.0 <= value <= params.delay_bound
+
+    def test_seeded_reproducibility(self, params):
+        a = standard_adversaries(line(5), params, seed=3)
+        b = standard_adversaries(line(5), params, seed=3)
+        drift_a = a[3].drift.rate_function(2, 50.0).segments
+        drift_b = b[3].drift.rate_function(2, 50.0).segments
+        assert drift_a == drift_b
+
+
+class TestRunAdversarySuite:
+    def test_custom_cases(self, params):
+        cases = [
+            AdversaryCase(
+                "only-case", ConstantDrift(params.epsilon),
+                ConstantDelay(params.delay_bound),
+            )
+        ]
+        result = run_adversary_suite(
+            ring(5), lambda: AoptAlgorithm(params), params, horizon=40.0,
+            cases=cases,
+        )
+        assert list(result.per_case) == ["only-case"]
+        assert result.worst_global_case == "only-case"
+
+    def test_initiators_forwarded(self, params):
+        result = run_adversary_suite(
+            line(5), lambda: AoptAlgorithm(params), params, horizon=40.0,
+            keep_traces=True, initiators=[4],
+        )
+        trace = next(iter(result.traces.values()))
+        assert trace.start_times[4] == 0.0
+
+    def test_default_horizon_used_when_none(self, params):
+        result = run_adversary_suite(
+            line(4), lambda: AoptAlgorithm(params), params, keep_traces=True
+        )
+        trace = next(iter(result.traces.values()))
+        assert trace.horizon == pytest.approx(default_horizon(params, 3))

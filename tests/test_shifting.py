@@ -1,0 +1,122 @@
+"""Tests for the shifting/indistinguishability machinery."""
+
+import pytest
+
+from repro.adversary.shifting import (
+    corrected_delay,
+    local_time_message_pattern,
+    patterns_match,
+)
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.clock import HardwareClock
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import ConstantDrift
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+
+
+def clock(segments, start=0.0):
+    return HardwareClock(PiecewiseConstantRate.from_segments(segments), start)
+
+
+class TestCorrectedDelay:
+    def test_identity_when_unshifted(self):
+        reference = clock([(0.0, 1.0)])
+        assert corrected_delay(
+            5.0, 0.7, reference, reference, reference, reference
+        ) == pytest.approx(0.7)
+
+    def test_shifted_receiver_absorbs_delay(self):
+        """If the receiver is ahead, the actual delay shrinks."""
+        reference = clock([(0.0, 1.0)])
+        shifted_receiver = clock([(0.0, 1.1)])  # 10% ahead
+        value = corrected_delay(
+            10.0, 1.0, reference, reference, reference, shifted_receiver
+        )
+        # Reference delivery at local time 11; shifted receiver reads 11 at
+        # real time 10: delay 0.
+        assert value == pytest.approx(0.0)
+
+    def test_shifted_sender_extends_delay(self):
+        """If the sender is ahead, the actual delay grows."""
+        reference = clock([(0.0, 1.0)])
+        shifted_sender = clock([(0.0, 1.1)])
+        value = corrected_delay(
+            10.0, 0.0, reference, reference, shifted_sender, reference
+        )
+        # Sender-local send time 11 -> reference send at t=11, delivery at
+        # receiver local 11 -> actual delivery at t=11: delay 1.
+        assert value == pytest.approx(1.0)
+
+
+class TestPatternExtraction:
+    def test_pattern_in_local_coordinates(self, params):
+        trace = run_execution(
+            line(2),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon, rate=1 - params.epsilon),
+            ConstantDelay(0.5, max_delay=params.delay_bound),
+            30.0,
+            record_messages=True,
+        )
+        pattern = local_time_message_pattern(trace)
+        assert pattern
+        sender, receiver, send_local, deliver_local, payload = pattern[0]
+        message = trace.message_log[0]
+        assert sender == message.sender
+        assert send_local == pytest.approx(
+            trace.hardware[message.sender].value(message.send_time)
+        )
+
+    def test_identical_runs_match(self, params):
+        def one_run():
+            return run_execution(
+                line(3),
+                AoptAlgorithm(params),
+                ConstantDrift(params.epsilon),
+                ConstantDelay(0.5, max_delay=params.delay_bound),
+                40.0,
+                record_messages=True,
+            )
+
+        ok, detail = patterns_match(one_run(), one_run())
+        assert ok, detail
+
+    def test_different_delays_mismatch(self, params):
+        def run_with_delay(delay):
+            return run_execution(
+                line(3),
+                AoptAlgorithm(params),
+                ConstantDrift(params.epsilon),
+                ConstantDelay(delay, max_delay=params.delay_bound),
+                40.0,
+                record_messages=True,
+            )
+
+        ok, _detail = patterns_match(run_with_delay(0.2), run_with_delay(0.8))
+        assert not ok
+
+    def test_rate_scaling_is_indistinguishable(self, params):
+        """The classic shift: scaling all rates and delays together is
+        invisible (the basis of Theorem 7.2's E1 vs E2)."""
+        slow = run_execution(
+            line(3),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon, rate=1 - params.epsilon),
+            ConstantDelay(0.5, max_delay=params.delay_bound),
+            60.0,
+            record_messages=True,
+        )
+        factor = (1 - params.epsilon) / (1 + params.epsilon)
+        fast = run_execution(
+            line(3),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon, rate=1 + params.epsilon),
+            ConstantDelay(0.5 * factor, max_delay=params.delay_bound),
+            60.0,
+            record_messages=True,
+        )
+        ok, detail = patterns_match(fast, slow, allow_prefix=True)
+        assert ok, detail

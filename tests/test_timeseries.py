@@ -1,0 +1,139 @@
+"""Tests for the time-series and convergence analysis helpers."""
+
+import pytest
+
+from repro.analysis.timeseries import (
+    ascii_chart,
+    convergence_time,
+    pair_skew_series,
+    recovery_rate,
+    series_to_csv,
+    spread_series,
+)
+from repro.core.node import AoptAlgorithm
+from repro.errors import TraceError
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+
+
+@pytest.fixture
+def trace(params):
+    return run_execution(
+        line(4),
+        AoptAlgorithm(params),
+        TwoGroupDrift(params.epsilon, [0, 1]),
+        ConstantDelay(params.delay_bound),
+        100.0,
+    )
+
+
+class TestSeriesExtraction:
+    def test_spread_series_shape(self, trace):
+        series = spread_series(trace, samples=50)
+        assert len(series) == 50
+        assert series[0][0] == 0.0
+        assert series[-1][0] == pytest.approx(trace.horizon)
+        assert all(value >= 0 for _, value in series)
+
+    def test_pair_series_signed(self, trace):
+        series = pair_skew_series(trace, 0, 3, samples=20)
+        assert len(series) == 20
+        assert any(value != 0 for _, value in series)
+
+    def test_invalid_grid_rejected(self, trace):
+        with pytest.raises(TraceError):
+            spread_series(trace, samples=1)
+        with pytest.raises(TraceError):
+            spread_series(trace, t0=10.0, t1=5.0)
+
+    def test_series_matches_trace_values(self, trace):
+        series = spread_series(trace, samples=11)
+        for t, value in series:
+            assert value == pytest.approx(trace.spread_at(t))
+
+
+class TestConvergenceTime:
+    def test_detects_settling(self):
+        series = [(float(t), 10.0 - t) for t in range(11)]  # decays to 0
+        settle = convergence_time(series, threshold=3.0, hold=3)
+        assert settle == pytest.approx(7.0)
+
+    def test_never_converges(self):
+        series = [(float(t), 10.0) for t in range(10)]
+        assert convergence_time(series, threshold=3.0) is None
+
+    def test_relapse_resets(self):
+        series = [(0.0, 1.0), (1.0, 0.5), (2.0, 5.0), (3.0, 0.5), (4.0, 0.4),
+                  (5.0, 0.3), (6.0, 0.2), (7.0, 0.1)]
+        settle = convergence_time(series, threshold=0.6, hold=3)
+        assert settle == pytest.approx(3.0)
+
+    def test_hold_requirement(self):
+        series = [(0.0, 1.0), (1.0, 0.1), (2.0, 0.1)]
+        assert convergence_time(series, threshold=0.5, hold=5) is None
+
+
+class TestRecoveryRate:
+    def test_linear_decay_slope(self):
+        # Peak 10 at t=5, decays at slope 2 down to 0 by t=10.
+        series = [(float(t), min(2.0 * t, 10.0)) for t in range(6)]
+        series += [(5.0 + t, 10.0 - 2.0 * t) for t in range(1, 6)]
+        slope = recovery_rate(series)
+        assert slope == pytest.approx(2.0, rel=0.1)
+
+    def test_never_recovers_raises(self):
+        series = [(float(t), float(t)) for t in range(10)]
+        with pytest.raises(TraceError):
+            recovery_rate(series)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(TraceError):
+            recovery_rate([])
+
+
+class TestTimeAbove:
+    def test_counts_interval_durations(self):
+        from repro.analysis.timeseries import time_above
+
+        series = [(0.0, 1.0), (1.0, 5.0), (2.0, 5.0), (3.0, 1.0), (4.0, 5.0)]
+        # Intervals [1,2] and [2,3] have left value >= 3; [4,...] has no
+        # right endpoint so contributes nothing.
+        assert time_above(series, 3.0) == pytest.approx(2.0)
+
+    def test_all_below(self):
+        from repro.analysis.timeseries import time_above
+
+        series = [(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]
+        assert time_above(series, 3.0) == 0.0
+
+    def test_too_short_rejected(self):
+        from repro.analysis.timeseries import time_above
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            time_above([(0.0, 1.0)], 0.5)
+
+
+class TestExport:
+    def test_csv(self):
+        text = series_to_csv([(0.0, 1.5), (1.0, 2.5)], header=("time", "skew"))
+        lines = text.strip().splitlines()
+        assert lines[0] == "time,skew"
+        assert len(lines) == 3
+
+    def test_ascii_chart_renders(self):
+        series = [(float(t), abs(5.0 - t)) for t in range(11)]
+        chart = ascii_chart(series, width=20, height=5, label="demo")
+        assert "demo" in chart
+        assert "max" in chart and "min" in chart
+        assert "█" in chart
+
+    def test_ascii_chart_empty_rejected(self):
+        with pytest.raises(TraceError):
+            ascii_chart([])
+
+    def test_ascii_chart_constant_series(self):
+        chart = ascii_chart([(0.0, 2.0), (1.0, 2.0)], width=4, height=3)
+        assert "max 2.0000" in chart

@@ -1,0 +1,173 @@
+"""Unit tests for topology generators and graph properties."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Topology,
+    binary_tree,
+    complete_graph,
+    diameter,
+    grid,
+    hypercube,
+    line,
+    random_connected,
+    ring,
+    star,
+    torus,
+)
+from repro.topology.properties import (
+    all_pairs_distances,
+    bfs_distances,
+    eccentricity,
+    nodes_at_distance,
+    shortest_path,
+)
+
+
+class TestTopologyClass:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (0,)})
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (1,)})
+
+    def test_asymmetric_edge_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (1,), 1: ()})
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology({0: (1,), 1: (0,), 2: (3,), 3: (2,)})
+
+    def test_duplicate_neighbors_deduped(self):
+        top = Topology({0: (1, 1), 1: (0,)})
+        assert top.neighbors(0) == (1,)
+
+    def test_edges_once_each(self):
+        top = ring(4)
+        assert len(top.edges()) == 4
+
+    def test_contains_and_len(self):
+        top = line(3)
+        assert 1 in top
+        assert 99 not in top
+        assert len(top) == 3
+
+    def test_from_edges(self):
+        top = Topology.from_edges([("a", "b"), ("b", "c")])
+        assert set(top.neighbors("b")) == {"a", "c"}
+
+    def test_degree(self):
+        top = star(5)
+        assert top.degree(0) == 4
+        assert top.max_degree() == 4
+
+
+class TestGenerators:
+    def test_line(self):
+        top = line(5)
+        assert len(top) == 5
+        assert diameter(top) == 4
+
+    def test_line_single_node(self):
+        assert len(line(1)) == 1
+
+    def test_line_invalid(self):
+        with pytest.raises(TopologyError):
+            line(0)
+
+    def test_ring(self):
+        top = ring(8)
+        assert len(top) == 8
+        assert diameter(top) == 4
+        assert all(top.degree(v) == 2 for v in top.nodes)
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star(self):
+        top = star(6)
+        assert diameter(top) == 2
+        assert top.degree(0) == 5
+
+    def test_complete(self):
+        top = complete_graph(5)
+        assert diameter(top) == 1
+        assert len(top.edges()) == 10
+
+    def test_grid(self):
+        top = grid(3, 4)
+        assert len(top) == 12
+        assert diameter(top) == 2 + 3
+
+    def test_torus(self):
+        top = torus(4, 4)
+        assert len(top) == 16
+        assert diameter(top) == 4
+        assert all(top.degree(v) == 4 for v in top.nodes)
+
+    def test_binary_tree(self):
+        top = binary_tree(3)
+        assert len(top) == 15
+        assert diameter(top) == 6
+
+    def test_hypercube(self):
+        top = hypercube(4)
+        assert len(top) == 16
+        assert diameter(top) == 4
+        assert all(top.degree(v) == 4 for v in top.nodes)
+
+    def test_random_connected_is_connected(self):
+        for seed in range(5):
+            top = random_connected(20, 0.05, seed=seed)
+            assert len(top) == 20  # constructor would raise if disconnected
+
+    def test_random_connected_deterministic(self):
+        a = random_connected(15, 0.2, seed=4)
+        b = random_connected(15, 0.2, seed=4)
+        assert a.edges() == b.edges()
+
+    def test_random_connected_invalid_p(self):
+        with pytest.raises(TopologyError):
+            random_connected(10, 1.5)
+
+
+class TestProperties:
+    def test_bfs_distances(self):
+        top = line(5)
+        distances = bfs_distances(top, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(TopologyError):
+            bfs_distances(line(3), 99)
+
+    def test_all_pairs(self):
+        top = ring(5)
+        distances = all_pairs_distances(top)
+        assert distances[0][2] == 2
+        assert distances[2][0] == 2
+
+    def test_eccentricity(self):
+        assert eccentricity(line(5), 2) == 2
+        assert eccentricity(line(5), 0) == 4
+
+    def test_shortest_path(self):
+        path = shortest_path(line(6), 1, 4)
+        assert path == [1, 2, 3, 4]
+
+    def test_shortest_path_self(self):
+        assert shortest_path(line(3), 1, 1) == [1]
+
+    def test_nodes_at_distance(self):
+        top = ring(6)
+        assert set(nodes_at_distance(top, 0, 3)) == {3}
+        assert set(nodes_at_distance(top, 0, 1)) == {1, 5}

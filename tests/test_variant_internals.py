@@ -1,0 +1,235 @@
+"""White-box tests of variant node mechanics."""
+
+import math
+
+import pytest
+
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import ConstantDrift, PerNodeDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import line
+from repro.variants import (
+    BitBudgetAoptAlgorithm,
+    ExternalAoptAlgorithm,
+    HardwareEnvelopeAoptAlgorithm,
+    MinGapAoptAlgorithm,
+    bit_budget_params,
+)
+from repro.variants.bit_budget import _BitBudgetNode
+from repro.variants.discrete import _TickContext
+from repro.variants.external import _ExternalNode, _SourceNode
+
+
+def run_engine(topology, algorithm, drift, delay, horizon):
+    engine = SimulationEngine(topology, algorithm, drift, delay, horizon)
+    trace = engine.run()
+    return engine, trace
+
+
+class TestExternalInternals:
+    def test_damped_lmax_growth(self, params):
+        node = _ExternalNode(1, (0,), params)
+        node._lmax_value = 10.0
+        node._lmax_anchor = 5.0
+        expected = 10.0 + (8.0 - 5.0) / (1 + params.epsilon_hat)
+        assert node.l_max(8.0) == pytest.approx(expected)
+
+    def test_source_never_boosts(self, params):
+        drift = PerNodeDrift(params.epsilon, {0: 1.0}, default=1 - params.epsilon)
+        engine, trace = run_engine(
+            line(3), ExternalAoptAlgorithm(params, source=0), drift,
+            ConstantDelay(params.delay_bound), 100.0,
+        )
+        assert isinstance(engine.node_state(0), _SourceNode)
+        for t in (10.0, 50.0, 99.0):
+            assert trace.logical[0].multiplier_at(t) == 1.0
+
+    def test_followers_enter_damped_tracking(self, params):
+        """Once caught up to the damped L^max, followers run at 1/(1+eps)."""
+        drift = PerNodeDrift(params.epsilon, {0: 1.0}, default=1.0)
+        engine, trace = run_engine(
+            line(2), ExternalAoptAlgorithm(params, source=0), drift,
+            ConstantDelay(0.01, max_delay=params.delay_bound), 200.0,
+        )
+        damped = 1 / (1 + params.epsilon_hat)
+        multipliers = {trace.logical[1].multiplier_at(t) for t in (150.0, 199.0)}
+        assert damped in multipliers
+
+
+class TestHardwareEnvelopeInternals:
+    def test_lmax_factor_switches(self, params):
+        drift = TwoGroupDrift(params.epsilon, [0, 1])
+        engine, _ = run_engine(
+            line(4), HardwareEnvelopeAoptAlgorithm(params), drift,
+            ConstantDelay(params.delay_bound), 100.0,
+        )
+        # The slow nodes received estimates above their hardware clocks at
+        # some point; their lmax factor must be valid either way.
+        for node in (2, 3):
+            state = engine.node_state(node)
+            assert state._lmax_factor in (1.0, state._damped)
+
+    def test_damped_factor_formula(self, params):
+        from repro.variants.envelope import _HardwareEnvelopeNode
+
+        node = _HardwareEnvelopeNode(0, (1,), params)
+        expected = (1 - params.epsilon_hat) / (1 + params.epsilon_hat)
+        assert node._damped == pytest.approx(expected)
+
+
+class TestBitBudgetInternals:
+    @pytest.fixture
+    def node(self):
+        params = bit_budget_params(0.05, 1.0)
+        return _BitBudgetNode(0, (1,), params)
+
+    def test_cap_units_formula(self, node):
+        params = node.params
+        expected = math.ceil(
+            (1 + params.epsilon_hat) * (1 + params.mu) / (1 - params.epsilon_hat)
+        )
+        assert node._cap_units == expected
+
+    def test_first_encode_is_full_init(self, node):
+        class Ctx:
+            def logical(self):
+                return 3.25
+
+            def hardware(self):
+                return 4.0
+
+        payload = node._encode(Ctx())
+        assert payload[0] == "init"
+        assert payload[1] == pytest.approx(3.25)
+
+    def test_delta_encoding_accumulates(self, node):
+        class Ctx:
+            def __init__(self):
+                self.t = 0.0
+
+            def logical(self):
+                return self.t
+
+            def hardware(self):
+                return self.t
+
+        ctx = Ctx()
+        node._encode(ctx)  # init at 0
+        ctx.t = 5.0
+        kind, delta_steps, _ = node._encode(ctx)
+        assert kind == "delta"
+        quantum = node._quantum
+        assert delta_steps == int(5.0 / quantum)
+        # The receiver-side reconstruction never overestimates.
+        assert node._sent_logical_base <= 5.0 + 1e-9
+
+    def test_lmax_increment_capped(self, node):
+        class Ctx:
+            def logical(self):
+                return 0.0
+
+            def hardware(self):
+                return 0.0
+
+        node._encode(Ctx())  # init
+        # Pretend L^max leapt by many multiples of H0.
+        node._lmax_value = 50 * node.params.h0
+        node._lmax_anchor = 0.0
+
+        class Ctx2(Ctx):
+            pass
+
+        _, _, lmax_step = node._encode(Ctx2())
+        assert lmax_step == node._cap_units  # capped, remainder carried
+        _, _, second_step = node._encode(Ctx2())
+        assert second_step == node._cap_units  # carry drains over messages
+
+    def test_payload_bits_accounting(self):
+        params = bit_budget_params(0.05, 1.0)
+        algo = BitBudgetAoptAlgorithm(params)
+        assert algo.payload_bits(("init", 0.0, 0)) == 129
+        assert algo.payload_bits(("delta", 3, 1)) == algo.steady_state_bits()
+        assert algo.steady_state_bits() < 20
+
+
+class TestDiscreteTickContext:
+    class FakeInner:
+        node_id = 0
+        neighbors = (1,)
+
+        def __init__(self):
+            self.alarms = {}
+            self.sent = []
+
+        def hardware(self):
+            return 1.03
+
+        def logical(self):
+            return 2.07
+
+        def set_rate_multiplier(self, rho):
+            self.rho = rho
+
+        def rate_multiplier(self):
+            return 1.0
+
+        def jump_logical(self, value):
+            self.jumped = value
+
+        def send_to(self, neighbor, payload):
+            self.sent.append((neighbor, payload))
+
+        def send_all(self, payload):
+            self.sent.append(("all", payload))
+
+        def set_alarm(self, name, value):
+            self.alarms[name] = value
+
+        def cancel_alarm(self, name):
+            self.alarms.pop(name, None)
+
+        def probe(self, name, value):
+            pass
+
+    def test_alarm_rounded_up(self):
+        inner = self.FakeInner()
+        ctx = _TickContext(inner, tick=0.25)
+        ctx.set_alarm("x", 1.01)
+        assert inner.alarms["x"] == pytest.approx(1.25)
+
+    def test_exact_tick_not_moved(self):
+        inner = self.FakeInner()
+        ctx = _TickContext(inner, tick=0.25)
+        ctx.set_alarm("x", 1.5)
+        assert inner.alarms["x"] == pytest.approx(1.5)
+
+    def test_payload_floored(self):
+        inner = self.FakeInner()
+        ctx = _TickContext(inner, tick=0.25)
+        ctx.send_all((1.93, 2.49))
+        _, payload = inner.sent[0]
+        assert payload == (1.75, 2.25)
+
+    def test_non_float_fields_passed_through(self):
+        inner = self.FakeInner()
+        ctx = _TickContext(inner, tick=0.25)
+        ctx.send_to(1, ("tag", 1.93))
+        _, payload = inner.sent[0]
+        assert payload == ("tag", 1.75)
+
+
+class TestMinGapInternals:
+    def test_pending_send_collapses_bursts(self, params):
+        """Many forwarded estimates inside one gap produce one deferred send."""
+        drift = PerNodeDrift(params.epsilon, {0: 1 + params.epsilon}, default=1.0)
+        engine, trace = run_engine(
+            line(3), MinGapAoptAlgorithm(params), drift,
+            ConstantDelay(0.01, max_delay=params.delay_bound), 150.0,
+        )
+        for node in range(3):
+            active_hw = trace.hardware_value(node, 150.0)
+            per_neighbor = trace.messages_sent[node] / len(
+                line(3).neighbors(node)
+            )
+            assert per_neighbor <= active_hw / params.h0 + 2

@@ -1,0 +1,61 @@
+"""Matrix test: every variant survives the full adversary suite.
+
+Each §6/§8 variant is run through the standard six-adversary suite on a
+small line; all must keep the system synchronized (global skew below the
+free-running growth) and — where they promise it — keep the envelope.
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_adversary_suite
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.topology.generators import line
+from repro.variants import (
+    BitBudgetAoptAlgorithm,
+    HardwareEnvelopeAoptAlgorithm,
+    JumpAoptAlgorithm,
+    MinGapAoptAlgorithm,
+    bit_budget_params,
+)
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 7
+HORIZON = 120.0
+
+
+def variant_factories():
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    budget = bit_budget_params(EPSILON, DELAY)
+    return {
+        "aopt": (params, lambda: AoptAlgorithm(params)),
+        "min-gap": (params, lambda: MinGapAoptAlgorithm(params)),
+        "bit-budget": (budget, lambda: BitBudgetAoptAlgorithm(budget)),
+        "hw-envelope": (params, lambda: HardwareEnvelopeAoptAlgorithm(params)),
+        "jump": (params, lambda: JumpAoptAlgorithm(params)),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(variant_factories()))
+class TestVariantSuite:
+    def test_synchronizes_under_all_adversaries(self, name):
+        params, factory = variant_factories()[name]
+        result = run_adversary_suite(
+            line(N), factory, params, horizon=HORIZON
+        )
+        free_running = 2 * EPSILON * HORIZON
+        assert result.worst_global < free_running
+        assert len(result.per_case) == 6
+
+    def test_envelope_where_promised(self, name):
+        if name == "hw-envelope":
+            pytest.skip("promises the hardware envelope instead (tested elsewhere)")
+        from repro.analysis.metrics import check_envelope
+
+        params, factory = variant_factories()[name]
+        result = run_adversary_suite(
+            line(N), factory, params, horizon=HORIZON, keep_traces=True
+        )
+        for trace in result.traces.values():
+            assert check_envelope(trace, EPSILON) <= 1e-7
