@@ -1,8 +1,9 @@
 # Convenience targets for the repro library.
 
 PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench examples report check clean
+.PHONY: install test test-slow bench examples report sweep-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -10,8 +11,19 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# The multi-worker stress tests skipped by tier-1 (`-m "not slow"` is the
+# configured default); CI opts in with this target.
+test-slow:
+	$(PYTHON) -m pytest tests/ benchmarks/ -m slow
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Quick end-to-end proof of the parallel sweep executor: a small diameter
+# grid through `python -m repro sweep` on every core, cache bypassed.
+sweep-smoke:
+	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
+		--workers auto --no-cache
 
 examples:
 	@for script in examples/*.py; do \

@@ -9,7 +9,7 @@ of Theorem 7.2).
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_workers, run_once
 from repro.analysis.experiments import run_adversary_suite
 from repro.analysis.tables import format_table
 from repro.core.bounds import global_skew_bound
@@ -31,7 +31,8 @@ def test_global_skew_vs_diameter_line(benchmark, report):
         for n in (5, 9, 17, 33):
             topology = line(n)
             result = run_adversary_suite(
-                topology, lambda: AoptAlgorithm(params), params
+                topology, lambda: AoptAlgorithm(params), params,
+                workers=bench_workers(),
             )
             bound = global_skew_bound(params, n - 1)
             rows.append(
@@ -68,7 +69,8 @@ def test_global_skew_other_topologies(benchmark, report):
         for topology in topologies:
             d = diameter(topology)
             result = run_adversary_suite(
-                topology, lambda: AoptAlgorithm(params), params
+                topology, lambda: AoptAlgorithm(params), params,
+                workers=bench_workers(),
             )
             bound = global_skew_bound(params, d)
             rows.append([topology.name, d, result.worst_global, bound])

@@ -13,7 +13,7 @@ Two views:
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_workers, run_once
 from repro.adversary.local_bound import run_skew_amplification
 from repro.analysis.experiments import run_adversary_suite
 from repro.analysis.tables import format_table
@@ -34,7 +34,8 @@ def test_local_skew_upper_bound_vs_diameter(benchmark, report):
         rows = []
         for n in (5, 9, 17, 33):
             result = run_adversary_suite(
-                line(n), lambda: AoptAlgorithm(params), params
+                line(n), lambda: AoptAlgorithm(params), params,
+                workers=bench_workers(),
             )
             bound = local_skew_bound(params, n - 1)
             rows.append([n - 1, result.worst_local, bound, result.worst_local_case])

@@ -5,18 +5,30 @@ checks that nothing changes at larger scale: the Theorem 5.5 equality
 persists at D = 64, Theorem 5.10's bound still holds with a widening
 measured-to-bound gap (log growth of the bound, flat measurements), and a
 100-node random graph behaves like its diameter predicts.
+
+Both scale checks run through the sweep executor (`repro.exec`), so
+``REPRO_BENCH_WORKERS=auto`` parallelizes them; the final benchmark
+measures that speedup directly (workers=1 vs workers=4 over the same
+spec batch) and asserts byte-identical results.  The ≥2× speedup
+assertion only applies on machines with at least 4 CPUs — on smaller
+runners the timing table is recorded as informational.
 """
+
+import os
+import pickle
+import time
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import bench_workers, run_once
+from repro.analysis.experiments import suite_specs
 from repro.analysis.tables import format_table
 from repro.core.bounds import global_skew_bound, local_skew_bound
 from repro.core.node import AoptAlgorithm
 from repro.core.params import SyncParams
+from repro.exec import ExecutionSpec, SweepExecutor
 from repro.sim.delays import ConstantDelay, UniformDelay
 from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
-from repro.sim.runner import run_execution
 from repro.topology.generators import line, random_connected
 from repro.topology.properties import diameter
 
@@ -31,21 +43,23 @@ def test_line_64(benchmark, report):
     d = n - 1
 
     def experiment():
-        trace = run_execution(
+        spec = ExecutionSpec(
             line(n),
             AoptAlgorithm(params),
             TwoGroupDrift(EPSILON, list(range(n // 2))),
             ConstantDelay(DELAY),
             horizon=500.0,
+            label="line-64/two-group",
         )
+        (summary,) = SweepExecutor(workers=bench_workers()).run_summaries([spec])
         return [
             [
                 d,
-                trace.global_skew().value,
+                summary.global_skew,
                 global_skew_bound(params, d),
-                trace.local_skew().value,
+                summary.local_skew,
                 local_skew_bound(params, d),
-                trace.total_messages(),
+                summary.total_messages,
             ]
         ]
 
@@ -69,21 +83,24 @@ def test_random_100_nodes(benchmark, report):
     d = diameter(topology)
 
     def experiment():
-        trace = run_execution(
+        spec = ExecutionSpec(
             topology,
             AoptAlgorithm(params),
             RandomWalkDrift(EPSILON, step_period=8.0, step_size=EPSILON / 2, seed=6),
             UniformDelay(0.0, DELAY, seed=6),
             horizon=300.0,
+            seed=6,
+            label="random-100",
         )
+        (summary,) = SweepExecutor(workers=bench_workers()).run_summaries([spec])
         return [
             [
                 topology.name,
                 len(topology),
                 d,
-                trace.global_skew().value,
+                summary.global_skew,
                 global_skew_bound(params, d),
-                trace.local_skew().value,
+                summary.local_skew,
                 local_skew_bound(params, d),
             ]
         ]
@@ -98,3 +115,46 @@ def test_random_100_nodes(benchmark, report):
     (row,) = rows
     assert row[3] <= row[4] + 1e-7
     assert row[5] <= row[6] + 1e-7
+
+
+@pytest.mark.slow
+@pytest.mark.benchmark(group="E26-scale")
+def test_parallel_sweep_speedup(benchmark, report):
+    """Acceptance check: the standard adversary sweep on line(33) runs
+    ≥2× faster with workers=4 than workers=1 on a ≥4-core runner, with
+    byte-identical summaries.  On smaller machines the speedup line is
+    recorded but not asserted (there is nothing to parallelize onto)."""
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    specs = suite_specs(line(33), lambda: AoptAlgorithm(params), params)
+    cpus = os.cpu_count() or 1
+
+    def timed_sweep(workers):
+        start = time.perf_counter()
+        summaries = SweepExecutor(workers=workers).run_summaries(specs)
+        return time.perf_counter() - start, summaries
+
+    def experiment():
+        serial_wall, serial = timed_sweep(1)
+        parallel_wall, parallel = timed_sweep(4)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+        return [
+            [
+                len(specs),
+                cpus,
+                round(serial_wall, 3),
+                round(parallel_wall, 3),
+                round(serial_wall / parallel_wall, 2),
+            ]
+        ]
+
+    rows = run_once(benchmark, experiment)
+    report(
+        "E26c: sweep executor speedup — workers=4 vs workers=1, line(33) "
+        "adversary suite (byte-identical results)",
+        format_table(
+            ["specs", "cpus", "serial s", "parallel s", "speedup"], rows
+        ),
+    )
+    (row,) = rows
+    if cpus >= 4:
+        assert row[4] >= 2.0, f"expected >=2x speedup on {cpus} cpus, got {row[4]}x"

@@ -11,11 +11,24 @@ produces the full paper-vs-measured report.
 
 from __future__ import annotations
 
+import os
 from typing import List, Tuple
 
 import pytest
 
 _REPORTS: List[Tuple[str, str]] = []
+
+
+def bench_workers():
+    """Worker count for benchmark sweeps.
+
+    Defaults to 1 (serial — timings comparable across machines); set
+    ``REPRO_BENCH_WORKERS=auto`` or ``=N`` to fan sweeps out across a
+    process pool.  Results are byte-identical either way.
+    """
+    from repro.exec import resolve_workers
+
+    return resolve_workers(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture

@@ -37,6 +37,7 @@ from repro.errors import (
     TopologyError,
     TraceError,
 )
+from repro.exec import ExecutionSpec, ResultCache, SweepExecutor
 from repro.sim.runner import run_execution, simulate_aopt
 
 __version__ = "1.0.0"
@@ -46,6 +47,9 @@ __all__ = [
     "AoptAlgorithm",
     "simulate_aopt",
     "run_execution",
+    "ExecutionSpec",
+    "SweepExecutor",
+    "ResultCache",
     "topology",
     "global_skew_bound",
     "local_skew_bound",

@@ -12,10 +12,14 @@ from below.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.interfaces import Algorithm
 from repro.core.params import SyncParams
+from repro.exec.cache import ResultCache
+from repro.exec.pool import SweepExecutor
+from repro.exec.spec import ExecutionSpec
+from repro.exec.summary import summarize_trace, to_suite_result
 from repro.sim.delays import (
     ConstantDelay,
     DelayModel,
@@ -30,7 +34,6 @@ from repro.sim.drift import (
     RandomWalkDrift,
     TwoGroupDrift,
 )
-from repro.sim.runner import run_execution
 from repro.sim.trace import ExecutionTrace
 from repro.topology.generators import Topology
 from repro.topology.properties import bfs_distances, diameter as graph_diameter
@@ -40,6 +43,7 @@ __all__ = [
     "standard_adversaries",
     "SuiteResult",
     "run_adversary_suite",
+    "suite_specs",
     "default_horizon",
 ]
 
@@ -135,6 +139,39 @@ def default_horizon(params: SyncParams, diameter: int) -> float:
     return 4 * diameter * base + 6 * correction + 20 * params.h0
 
 
+def suite_specs(
+    topology: Topology,
+    algorithm_factory: Callable[[], Algorithm],
+    params: SyncParams,
+    horizon: Optional[float] = None,
+    cases: Optional[Sequence[AdversaryCase]] = None,
+    initiators=None,
+) -> List[ExecutionSpec]:
+    """One :class:`ExecutionSpec` per adversary case, labeled by case name.
+
+    The factory is invoked here, in the calling process, once per case —
+    each spec ships a fresh algorithm *instance* to its worker, so the
+    factory itself need not be picklable (lambdas are fine).
+    """
+    d = graph_diameter(topology)
+    if horizon is None:
+        horizon = default_horizon(params, d)
+    if cases is None:
+        cases = standard_adversaries(topology, params)
+    return [
+        ExecutionSpec(
+            topology=topology,
+            algorithm=algorithm_factory(),
+            drift=case.drift,
+            delay=case.delay,
+            horizon=horizon,
+            initiators=initiators,
+            label=case.name,
+        )
+        for case in cases
+    ]
+
+
 def run_adversary_suite(
     topology: Topology,
     algorithm_factory: Callable[[], Algorithm],
@@ -143,44 +180,33 @@ def run_adversary_suite(
     cases: Optional[Sequence[AdversaryCase]] = None,
     keep_traces: bool = False,
     initiators=None,
+    workers: Union[int, str] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SuiteResult:
-    """Run every adversary case and aggregate the worst skews."""
-    d = graph_diameter(topology)
-    if horizon is None:
-        horizon = default_horizon(params, d)
-    if cases is None:
-        cases = standard_adversaries(topology, params)
-    per_case: Dict[str, Dict[str, float]] = {}
-    traces: Dict[str, ExecutionTrace] = {}
-    worst_global, worst_local = -1.0, -1.0
-    worst_global_case = worst_local_case = ""
-    for case in cases:
-        trace = run_execution(
-            topology,
-            algorithm_factory(),
-            case.drift,
-            case.delay,
-            horizon,
-            initiators=initiators,
-        )
-        global_skew = trace.global_skew().value
-        local_skew = trace.local_skew().value
-        per_case[case.name] = {
-            "global_skew": global_skew,
-            "local_skew": local_skew,
-            "messages": float(trace.total_messages()),
-        }
-        if keep_traces:
-            traces[case.name] = trace
-        if global_skew > worst_global:
-            worst_global, worst_global_case = global_skew, case.name
-        if local_skew > worst_local:
-            worst_local, worst_local_case = local_skew, case.name
-    return SuiteResult(
-        worst_global=worst_global,
-        worst_global_case=worst_global_case,
-        worst_local=worst_local,
-        worst_local_case=worst_local_case,
-        per_case=per_case,
-        traces=traces,
+    """Run every adversary case and aggregate the worst skews.
+
+    ``workers`` > 1 (or ``'auto'``) fans the cases out over a
+    :class:`~repro.exec.pool.SweepExecutor` process pool; results are
+    byte-identical to the serial path.  ``keep_traces=True`` forces the
+    in-process path regardless of ``workers`` (live traces cannot cross
+    the process boundary) and bypasses the cache.
+    """
+    specs = suite_specs(
+        topology, algorithm_factory, params,
+        horizon=horizon, cases=cases, initiators=initiators,
     )
+    if keep_traces:
+        traces: Dict[str, ExecutionTrace] = {}
+        summaries = []
+        for spec in specs:
+            trace, monitors = spec.run()
+            traces[spec.label] = trace
+            summaries.append(
+                summarize_trace(
+                    trace, digest=spec.digest(), label=spec.label, monitors=monitors
+                )
+            )
+        return to_suite_result(summaries, traces=traces)
+    executor = SweepExecutor(workers=workers, cache=cache)
+    summaries = executor.run_summaries(specs)
+    return to_suite_result(summaries)

@@ -16,13 +16,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Hashable, List, Optional, Sequence
+from typing import Callable, Hashable, List, Optional, Sequence, Union
 
 from repro.core.interfaces import Algorithm
 from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.exec.pool import SweepExecutor
+from repro.exec.spec import ExecutionSpec
+from repro.exec.summary import to_skew_samples
 from repro.sim.delays import DelayModel
 from repro.sim.drift import DriftModel
-from repro.sim.runner import run_execution
 from repro.topology.generators import Topology
 
 __all__ = ["SkewSample", "DistributionSummary", "run_monte_carlo", "summarize_samples"]
@@ -66,10 +69,25 @@ class DistributionSummary:
             mean=mean,
             std=math.sqrt(variance),
             minimum=ordered[0],
-            median=ordered[n // 2],
-            p90=ordered[min(n - 1, int(0.9 * n))],
+            median=_quantile(ordered, 0.5),
+            p90=_quantile(ordered, 0.9),
             maximum=ordered[-1],
         )
+
+
+def _quantile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of a pre-sorted sample.
+
+    The standard ``h = (n − 1)·q`` definition (numpy's default): the
+    median of an even-sized sample is the mean of the two middle values,
+    and p90 interpolates between the bracketing order statistics instead
+    of snapping to a biased nearest rank.
+    """
+    n = len(ordered)
+    h = (n - 1) * q
+    low = math.floor(h)
+    high = min(low + 1, n - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (h - low)
 
 
 def run_monte_carlo(
@@ -80,34 +98,35 @@ def run_monte_carlo(
     horizon: float,
     runs: int = 20,
     seeds: Optional[Sequence[int]] = None,
+    workers: Union[int, str] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[SkewSample]:
     """Run ``runs`` seeded executions and collect their skews.
 
     ``drift_factory`` / ``delay_factory`` receive the seed, so each run
-    draws fresh (but reproducible) randomness.
+    draws fresh (but reproducible) randomness.  The factories are called
+    in this process; only the built (picklable) models travel to workers
+    when ``workers`` > 1 or ``'auto'``.  Parallel sample sets are
+    byte-identical to serial ones.
     """
     if runs < 1:
         raise ConfigurationError(f"runs must be >= 1, got {runs}")
-    seeds = range(runs) if seeds is None else seeds
-    samples: List[SkewSample] = []
-    for seed in seeds:
-        trace = run_execution(
-            topology,
-            algorithm_factory(),
-            drift_factory(seed),
-            delay_factory(seed),
-            horizon,
+    seeds = list(range(runs)) if seeds is None else list(seeds)
+    specs = [
+        ExecutionSpec(
+            topology=topology,
+            algorithm=algorithm_factory(),
+            drift=drift_factory(seed),
+            delay=delay_factory(seed),
+            horizon=horizon,
+            seed=seed,
+            label=f"seed-{seed}",
         )
-        samples.append(
-            SkewSample(
-                seed=seed,
-                global_skew=trace.global_skew().value,
-                local_skew=trace.local_skew().value,
-                final_spread=trace.spread_at(horizon),
-                messages=trace.total_messages(),
-            )
-        )
-    return samples
+        for seed in seeds
+    ]
+    executor = SweepExecutor(workers=workers, cache=cache)
+    summaries = executor.run_summaries(specs)
+    return to_skew_samples(summaries, seeds)
 
 
 def summarize_samples(

@@ -45,10 +45,15 @@ def _bounds_section(params: SyncParams, diameters: List[int]) -> str:
     )
 
 
-def _upper_bounds_section(params: SyncParams, sizes: List[int]) -> str:
+def _upper_bounds_section(
+    params: SyncParams, sizes: List[int], workers=1, cache=None
+) -> str:
     rows = []
     for n in sizes:
-        suite = run_adversary_suite(line(n), lambda: AoptAlgorithm(params), params)
+        suite = run_adversary_suite(
+            line(n), lambda: AoptAlgorithm(params), params,
+            workers=workers, cache=cache,
+        )
         d = n - 1
         rows.append(
             [
@@ -121,8 +126,16 @@ def generate_report(
     epsilon: float = 0.05,
     delay_bound: float = 1.0,
     quick: bool = True,
+    workers=1,
+    cache=None,
 ) -> str:
-    """Build the markdown report text."""
+    """Build the markdown report text.
+
+    ``workers``/``cache`` are forwarded to the adversary-suite sections,
+    which fan out over a :class:`~repro.exec.pool.SweepExecutor` when
+    ``workers`` > 1 or ``'auto'`` (the conditions audit keeps traces and
+    therefore always runs in-process).
+    """
     params = SyncParams.recommended(epsilon=epsilon, delay_bound=delay_bound)
     sizes = [5, 9] if quick else [5, 9, 17, 33]
     lower_n = 7 if quick else 13
@@ -138,7 +151,7 @@ def generate_report(
     out.write("## Closed-form bounds\n\n```\n")
     out.write(_bounds_section(params, [d for d in (4, 8, 16, 32, 64)]))
     out.write("\n```\n\n## Upper bounds vs adversary suite (Theorems 5.5, 5.10)\n\n```\n")
-    out.write(_upper_bounds_section(params, sizes))
+    out.write(_upper_bounds_section(params, sizes, workers=workers, cache=cache))
     out.write("\n```\n\n## Forced global skew (Theorem 7.2)\n\n```\n")
     out.write(_lower_bound_section(params, lower_n))
     out.write("\n```\n\n## Baseline local skew under the delay-switch adversary\n\n```\n")

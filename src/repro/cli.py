@@ -10,6 +10,11 @@ Commands
     measured skews next to the bounds.
 ``suite``
     Run the standard adversary suite (worst over six schedules).
+``sweep``
+    Run the adversary suite across a whole diameter grid through the
+    parallel :class:`~repro.exec.pool.SweepExecutor`
+    (``--workers auto`` uses every core; results are byte-identical to
+    serial runs and cached on disk by spec digest unless ``--no-cache``).
 ``lower-bound global``
     Replay the Theorem 7.2 execution against A^opt.
 ``lower-bound local``
@@ -28,7 +33,11 @@ from typing import List, Optional
 
 from repro.adversary.global_bound import run_global_lower_bound
 from repro.adversary.local_bound import run_skew_amplification
-from repro.analysis.experiments import run_adversary_suite, standard_adversaries
+from repro.analysis.experiments import (
+    run_adversary_suite,
+    standard_adversaries,
+    suite_specs,
+)
 from repro.analysis.tables import format_table
 from repro.baselines import (
     FreeRunningAlgorithm,
@@ -211,16 +220,29 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def _executor_options(args):
+    """Resolve the shared ``--workers`` / ``--no-cache`` flags."""
+    from repro.exec.cache import ResultCache
+    from repro.exec.pool import resolve_workers
+
+    workers = resolve_workers(getattr(args, "workers", 1))
+    cache = None if getattr(args, "no_cache", False) else ResultCache()
+    return workers, cache
+
+
 def cmd_suite(args) -> int:
     params = _build_params(args)
     topology = _build_topology(args)
     d = graph_diameter(topology)
     algorithm_name = args.algorithm
+    workers, cache = _executor_options(args)
     result = run_adversary_suite(
         topology,
         lambda: _build_algorithm(algorithm_name, params, d),
         params,
         horizon=args.horizon,
+        workers=workers,
+        cache=cache,
     )
     rows = [
         [name, case["global_skew"], case["local_skew"], int(case["messages"])]
@@ -312,11 +334,95 @@ def cmd_lower_local(args) -> int:
     return 0 if last.skew_after_shift >= (1 - args.epsilon) * args.delay - 1e-6 else 1
 
 
+#: ``sweep`` builds one topology per requested diameter.
+SWEEP_TOPOLOGIES = {
+    "line": lambda d: generators.line(d + 1),
+    "ring": lambda d: generators.ring(max(3, 2 * d)),
+    "grid": lambda d: generators.grid(d // 2 + 1, d - d // 2 + 1),
+}
+
+
+def cmd_sweep(args) -> int:
+    import time
+
+    from repro.exec.pool import SweepExecutor
+
+    params = _build_params(args)
+    algorithm_name = args.algorithm
+    workers, cache = _executor_options(args)
+    build = SWEEP_TOPOLOGIES[args.topology]
+
+    # Flatten every (diameter × adversary case) pair into one batch so
+    # the pool stays saturated across the whole grid.
+    batches = []  # (diameter, bound info, specs)
+    all_specs = []
+    for d in args.diameters:
+        topology = build(d)
+        actual_d = graph_diameter(topology)
+        specs = suite_specs(
+            topology,
+            lambda: _build_algorithm(algorithm_name, params, actual_d),
+            params,
+            horizon=args.horizon,
+        )
+        batches.append((actual_d, specs))
+        all_specs.extend(specs)
+
+    started = time.perf_counter()
+    executor = SweepExecutor(workers=workers, cache=cache, timeout=args.timeout)
+    summaries = executor.run_summaries(all_specs)
+    elapsed = time.perf_counter() - started
+
+    from repro.exec.summary import to_suite_result
+
+    rows, ok = [], True
+    cursor = 0
+    for actual_d, specs in batches:
+        result = to_suite_result(summaries[cursor:cursor + len(specs)])
+        cursor += len(specs)
+        g_bound = global_skew_bound(params, actual_d)
+        l_bound = local_skew_bound(params, actual_d)
+        rows.append(
+            [
+                actual_d,
+                result.worst_global,
+                g_bound,
+                result.worst_local,
+                l_bound,
+                result.worst_global_case,
+            ]
+        )
+        if algorithm_name in ("aopt", "aopt-jump"):
+            ok = ok and (
+                result.worst_global <= g_bound + 1e-7
+                and result.worst_local <= l_bound + 1e-7
+            )
+    print(
+        format_table(
+            ["D", "worst global", "bound G", "worst local", "local bound",
+             "worst case"],
+            rows,
+            title=(
+                f"{algorithm_name} {args.topology} sweep, "
+                f"{len(all_specs)} executions"
+            ),
+        )
+    )
+    cache_note = "off" if cache is None else str(cache.root)
+    print(
+        f"executions: {len(all_specs)}  workers: {workers}  "
+        f"wall: {elapsed:.2f}s  cache: {cache_note}"
+    )
+    return 0 if ok else 1
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
+    workers, cache = _executor_options(args)
     text = generate_report(
-        epsilon=args.epsilon, delay_bound=args.delay, quick=not args.full
+        epsilon=args.epsilon, delay_bound=args.delay, quick=not args.full,
+        workers=workers, cache=cache,
     )
     if args.output:
         with open(args.output, "w") as handle:
@@ -358,6 +464,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nodes", type=int, default=16)
         p.add_argument("--seed", type=int, default=0)
 
+    def workers_argument(value):
+        if value != "auto":
+            try:
+                count = int(value)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"expected a positive integer or 'auto', got {value!r}"
+                )
+            if count < 1:
+                raise argparse.ArgumentTypeError(
+                    f"expected a positive integer or 'auto', got {value!r}"
+                )
+        return value
+
+    def add_executor_arguments(p):
+        p.add_argument("--workers", default="1", metavar="N|auto",
+                       type=workers_argument,
+                       help="parallel worker processes (default 1 = serial; "
+                            "'auto' = CPU count); results are byte-identical "
+                            "either way")
+        p.add_argument("--no-cache", dest="no_cache", action="store_true",
+                       help="bypass the on-disk result cache "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro-sweeps)")
+
     bounds_parser = subparsers.add_parser(
         "bounds", help="print the closed-form bounds"
     )
@@ -388,7 +518,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", default="aopt", choices=ALGORITHM_CHOICES
     )
     suite_parser.add_argument("--horizon", type=float, default=None)
+    add_executor_arguments(suite_parser)
     suite_parser.set_defaults(handler=cmd_suite)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run the adversary suite over a diameter grid, in parallel",
+    )
+    add_model_arguments(sweep_parser, include_knowledge=True)
+    sweep_parser.add_argument(
+        "--topology", default="line", choices=sorted(SWEEP_TOPOLOGIES),
+        help="topology family; one instance is built per diameter"
+    )
+    sweep_parser.add_argument(
+        "--diameters", type=int, nargs="+", default=[4, 8, 16, 32],
+        help="target diameters to sweep (default: 4 8 16 32)"
+    )
+    sweep_parser.add_argument(
+        "--algorithm", default="aopt", choices=ALGORITHM_CHOICES
+    )
+    sweep_parser.add_argument("--horizon", type=float, default=None)
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-execution timeout in seconds (parallel runs only)"
+    )
+    add_executor_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=cmd_sweep)
 
     lower_parser = subparsers.add_parser(
         "lower-bound", help="replay a Section 7 lower-bound construction"
@@ -419,6 +574,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="larger sweeps (slower)")
     report_parser.add_argument("--output", default=None,
                                help="write to a file instead of stdout")
+    add_executor_arguments(report_parser)
     report_parser.set_defaults(handler=cmd_report)
 
     return parser

@@ -1,0 +1,46 @@
+"""Parallel experiment execution: specs, pools, caching, summaries.
+
+The sweep stack decouples *describing* an execution from *running* it:
+
+* :mod:`repro.exec.spec` — :class:`ExecutionSpec`, a picklable, hashable
+  value object with a canonical digest over every execution-relevant
+  parameter;
+* :mod:`repro.exec.pool` — :class:`SweepExecutor`, which runs spec
+  batches serially (``workers=1``, in-process, debuggable) or across a
+  crash-isolated process pool (``workers=N|'auto'``) with byte-identical
+  results;
+* :mod:`repro.exec.cache` — :class:`ResultCache`, a digest-keyed on-disk
+  store with versioned invalidation;
+* :mod:`repro.exec.summary` — :class:`ExecutionSummary`, the picklable
+  per-execution reduction, plus folds into the analysis-layer shapes.
+
+The experiment harnesses (:func:`repro.analysis.experiments.run_adversary_suite`,
+:func:`repro.analysis.montecarlo.run_monte_carlo`), the report generator,
+and the CLI ``sweep``/``suite`` commands all route through this package.
+"""
+
+from repro.exec.cache import CACHE_VERSION, ResultCache, default_cache_root
+from repro.exec.pool import SweepExecutor, SweepOutcome, resolve_workers
+from repro.exec.spec import SPEC_DIGEST_VERSION, ExecutionSpec, canonical_encoding
+from repro.exec.summary import (
+    ExecutionSummary,
+    summarize_trace,
+    to_skew_samples,
+    to_suite_result,
+)
+
+__all__ = [
+    "ExecutionSpec",
+    "SweepExecutor",
+    "SweepOutcome",
+    "ExecutionSummary",
+    "ResultCache",
+    "resolve_workers",
+    "summarize_trace",
+    "to_suite_result",
+    "to_skew_samples",
+    "canonical_encoding",
+    "default_cache_root",
+    "SPEC_DIGEST_VERSION",
+    "CACHE_VERSION",
+]

@@ -1,0 +1,108 @@
+"""On-disk result cache keyed by execution-spec digest.
+
+Sweeps over large grids re-run many identical executions (the same
+``D ∈ {4..128}`` suite under different report sections, repeated CLI
+invocations, CI re-runs).  Because an :class:`~repro.exec.spec.ExecutionSpec`
+digest pins *every* execution-relevant parameter, a digest hit is safe to
+reuse verbatim — the cached summary is byte-identical to what a fresh run
+would produce.
+
+Layout and invalidation
+-----------------------
+Entries live under ``<root>/v<CACHE_VERSION>/<digest[:2]>/<digest>.pkl``.
+The root defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-sweeps``.
+Invalidation is versioned twice over:
+
+* ``CACHE_VERSION`` (this module) — bumped when the on-disk entry format
+  or the :class:`~repro.exec.summary.ExecutionSummary` shape changes;
+  old entries are simply orphaned in their ``v<N>`` directory.
+* ``SPEC_DIGEST_VERSION`` (:mod:`repro.exec.spec`) — bumped when the
+  canonical encoding changes, so stale digests can never alias.
+
+Every entry also embeds its version and digest; a mismatched, truncated,
+or unreadable entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exec.summary import ExecutionSummary
+
+__all__ = ["ResultCache", "CACHE_VERSION", "default_cache_root"]
+
+#: On-disk entry format version; see module docstring.
+CACHE_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sweeps``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sweeps"
+
+
+class ResultCache:
+    """Digest-keyed persistent store of :class:`ExecutionSummary` objects."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        base = Path(root) if root is not None else default_cache_root()
+        self.root = base / f"v{CACHE_VERSION}"
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[ExecutionSummary]:
+        """The stored summary for ``digest``, or None on any miss/corruption."""
+        path = self.path_for(digest)
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("version") != CACHE_VERSION or entry.get("digest") != digest:
+            return None
+        summary = entry.get("summary")
+        return summary if isinstance(summary, ExecutionSummary) else None
+
+    def put(self, digest: str, summary: ExecutionSummary) -> None:
+        """Store ``summary`` atomically (tmp file + rename)."""
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"version": CACHE_VERSION, "digest": digest, "summary": summary}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry of the current version; returns the count."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

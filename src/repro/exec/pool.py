@@ -1,0 +1,314 @@
+"""Process-pool sweep execution with crash isolation and a serial twin.
+
+:class:`SweepExecutor` runs a batch of :class:`~repro.exec.spec.ExecutionSpec`
+objects and returns one :class:`SweepOutcome` per spec, in input order.
+
+Execution paths
+---------------
+``workers=1``
+    Everything runs in the calling process — no pickling, breakpoints and
+    debuggers work, and any exception is captured per spec.  This is the
+    reference path the equivalence tests compare the pool against.
+``workers=N`` / ``workers='auto'``
+    A :class:`concurrent.futures.ProcessPoolExecutor` dispatches specs in
+    chunks (``chunk_size`` specs per task, default 1).  Failure handling
+    is layered:
+
+    * a Python exception inside a worker is caught *in* the worker and
+      returned as that spec's failure — the sweep continues;
+    * a worker process dying outright (segfault, ``os._exit``) breaks the
+      pool; the executor rebuilds it and quarantines the chunks that were
+      in flight — each suspect is retried alone in a single-worker pool,
+      so a second crash implicates exactly one chunk.  A chunk is marked
+      failed once it has been involved in more than ``max_crash_retries``
+      breakages; innocent chunks caught in a shared breakage succeed on
+      their isolated retry and one poisonous spec cannot take down the
+      sweep;
+    * a chunk exceeding its ``timeout`` budget (``timeout`` seconds per
+      spec) is marked failed and its worker terminated best-effort.
+
+Determinism: specs are independent and fully seeded, so scheduling order
+cannot influence results — the parallel path returns byte-identical
+summaries to the serial path, and the test suite enforces it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.exec.cache import ResultCache
+from repro.exec.spec import ExecutionSpec
+from repro.exec.summary import ExecutionSummary
+
+__all__ = ["SweepExecutor", "SweepOutcome", "resolve_workers"]
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalize a ``--workers`` value: ``'auto'``/None → CPU count."""
+    if workers is None or workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    count = int(workers)
+    if count < 1:
+        raise SimulationError(f"workers must be >= 1 or 'auto', got {workers}")
+    return count
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """Result slot for one spec: a summary, or an error string."""
+
+    index: int
+    spec: ExecutionSpec
+    summary: Optional[ExecutionSummary]
+    error: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.summary is not None
+
+
+def _format_error(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _run_spec_guarded(spec: ExecutionSpec) -> Tuple[Optional[ExecutionSummary], Optional[str]]:
+    """Run one spec, trapping Python-level failures (shared by both paths)."""
+    try:
+        return spec.run_summary(), None
+    except Exception as exc:  # noqa: BLE001 — failure isolation by design
+        return None, _format_error(exc)
+
+
+def _run_chunk(
+    specs: Sequence[ExecutionSpec],
+) -> List[Tuple[Optional[ExecutionSummary], Optional[str]]]:
+    """Worker entry point: run a chunk of specs, never raising."""
+    return [_run_spec_guarded(spec) for spec in specs]
+
+
+class SweepExecutor:
+    """Run spec batches serially or across a process pool; see module doc.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (serial, in-process), an integer ≥ 2, or ``'auto'`` for the
+        CPU count.
+    timeout:
+        Optional per-spec wall-clock budget in seconds (parallel path
+        only; the serial path runs to completion for debuggability).
+    cache:
+        Optional :class:`~repro.exec.cache.ResultCache`; hits skip
+        execution entirely and successful runs are stored back.
+    chunk_size:
+        Specs per worker task.  Larger chunks amortize IPC for many tiny
+        specs at the cost of coarser crash/timeout isolation.
+    max_crash_retries:
+        How many pool breakages a chunk may be involved in before it is
+        marked failed.
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g. ``'spawn'``) for
+        the pool; default is the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: Union[int, str] = 1,
+        timeout: Optional[float] = None,
+        cache: Optional[ResultCache] = None,
+        chunk_size: int = 1,
+        max_crash_retries: int = 2,
+        mp_context=None,
+    ):
+        self.workers = resolve_workers(workers)
+        if timeout is not None and timeout <= 0:
+            raise SimulationError(f"timeout must be positive, got {timeout}")
+        if chunk_size < 1:
+            raise SimulationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.timeout = timeout
+        self.cache = cache
+        self.chunk_size = chunk_size
+        self.max_crash_retries = max_crash_retries
+        self.mp_context = mp_context
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, specs: Sequence[ExecutionSpec]) -> List[SweepOutcome]:
+        """Run every spec; outcomes are returned in input order."""
+        specs = list(specs)
+        outcomes: List[Optional[SweepOutcome]] = [None] * len(specs)
+        pending: List[int] = []
+        for index, spec in enumerate(specs):
+            hit = self.cache.get(spec.digest()) if self.cache is not None else None
+            if hit is not None:
+                outcomes[index] = SweepOutcome(index, spec, hit, cached=True)
+            else:
+                pending.append(index)
+        if pending:
+            if self.workers == 1:
+                self._run_serial(specs, pending, outcomes)
+            else:
+                self._run_parallel(specs, pending, outcomes)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def run_summaries(self, specs: Sequence[ExecutionSpec]) -> List[ExecutionSummary]:
+        """Like :meth:`run`, but raise on the first failed spec."""
+        outcomes = self.run(specs)
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise SimulationError(
+                    f"sweep spec {outcome.index} "
+                    f"({outcome.spec.label or outcome.spec.digest()[:12]}) "
+                    f"failed: {outcome.error}"
+                )
+        return [outcome.summary for outcome in outcomes]
+
+    # -- serial path -----------------------------------------------------------
+
+    def _finish(
+        self,
+        outcomes: List[Optional[SweepOutcome]],
+        index: int,
+        spec: ExecutionSpec,
+        summary: Optional[ExecutionSummary],
+        error: Optional[str],
+    ) -> None:
+        outcomes[index] = SweepOutcome(index, spec, summary, error)
+        if error is None and summary is not None and self.cache is not None:
+            self.cache.put(spec.digest(), summary)
+
+    def _run_serial(
+        self,
+        specs: Sequence[ExecutionSpec],
+        pending: Sequence[int],
+        outcomes: List[Optional[SweepOutcome]],
+    ) -> None:
+        for index in pending:
+            summary, error = _run_spec_guarded(specs[index])
+            self._finish(outcomes, index, specs[index], summary, error)
+
+    # -- parallel path ---------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        specs: Sequence[ExecutionSpec],
+        pending: Sequence[int],
+        outcomes: List[Optional[SweepOutcome]],
+    ) -> None:
+        dispatchable: List[int] = []
+        for index in pending:
+            try:
+                pickle.dumps(specs[index], protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:  # noqa: BLE001 — report, don't abort
+                self._finish(
+                    outcomes, index, specs[index], None,
+                    f"spec not picklable for worker dispatch ({_format_error(exc)})",
+                )
+                continue
+            dispatchable.append(index)
+
+        chunks: Dict[int, List[int]] = {
+            cid: list(dispatchable[start:start + self.chunk_size])
+            for cid, start in enumerate(range(0, len(dispatchable), self.chunk_size))
+        }
+        attempts: Dict[int, int] = {cid: 0 for cid in chunks}
+
+        def crashed(cid: int) -> None:
+            attempts[cid] += 1
+            if attempts[cid] > self.max_crash_retries:
+                for i in chunks[cid]:
+                    self._finish(
+                        outcomes, i, specs[i], None,
+                        f"worker process crashed (after {attempts[cid]} attempts)",
+                    )
+                del chunks[cid]
+
+        while chunks:
+            # Quarantine: a chunk implicated in a breakage is retried alone
+            # in a single-worker pool so a repeat crash implicates exactly
+            # that chunk — innocent chunks swept up in a shared breakage
+            # clear their name on the isolated retry.
+            suspects = [cid for cid in chunks if attempts[cid] > 0]
+            batch = suspects[:1] if suspects else list(chunks)
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(batch)),
+                mp_context=self.mp_context,
+            )
+            rebuild = False
+            try:
+                futures = {}
+                try:
+                    for cid in batch:
+                        futures[cid] = pool.submit(
+                            _run_chunk, [specs[i] for i in chunks[cid]]
+                        )
+                except (BrokenProcessPool, RuntimeError):
+                    # Pool died during submission: count a breakage against
+                    # every chunk in this round and rebuild.
+                    rebuild = True
+                    for cid in batch:
+                        if cid in chunks:
+                            crashed(cid)
+                    continue
+                for cid, future in futures.items():
+                    members = chunks.get(cid)
+                    if members is None:
+                        continue
+                    budget = (
+                        None if self.timeout is None
+                        else self.timeout * len(members)
+                    )
+                    try:
+                        results = future.result(timeout=budget)
+                    except FuturesTimeoutError:
+                        for i in members:
+                            self._finish(
+                                outcomes, i, specs[i], None,
+                                f"timed out after {budget:.3g}s "
+                                f"({self.timeout:.3g}s/spec)",
+                            )
+                        del chunks[cid]
+                        self._terminate_pool(pool)
+                        rebuild = True
+                        break
+                    except BrokenProcessPool:
+                        crashed(cid)
+                        rebuild = True
+                        continue  # drain remaining broken futures
+                    except CancelledError:
+                        continue  # stays pending; retried next round
+                    except Exception as exc:  # noqa: BLE001 — dispatch failure
+                        for i in members:
+                            self._finish(outcomes, i, specs[i], None, _format_error(exc))
+                        del chunks[cid]
+                        continue
+                    for i, (summary, error) in zip(members, results):
+                        self._finish(outcomes, i, specs[i], summary, error)
+                    del chunks[cid]
+            finally:
+                if rebuild:
+                    self._terminate_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Best-effort hard stop of a pool with stuck or dead workers."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # pragma: no cover - cancel_futures is 3.9+
+            pool.shutdown(wait=False)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # noqa: BLE001 - already dead
+                pass

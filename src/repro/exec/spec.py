@@ -1,0 +1,304 @@
+"""Picklable execution specifications with canonical digests.
+
+An :class:`ExecutionSpec` freezes everything that determines one
+execution — topology, algorithm, drift and delay models, horizon, seed,
+initiators, monitoring — into a value object that can cross a process
+boundary (pickle) and key an on-disk result cache (digest).
+
+The digest is a SHA-256 over a *canonical encoding* of the spec: every
+contributing object is reduced to its class identity plus its attribute
+values, dictionaries and sets are serialized in sorted order (so two
+specs that differ only in dict insertion order collide, as they must —
+model lookups are order-independent), and seeded ``random.Random``
+instances are encoded via their deterministic ``getstate()`` tuples.
+Any change to a model parameter — an epsilon, a delay value, a seed, a
+rate schedule breakpoint — therefore changes the digest, which is the
+cache-poisoning guard: a cached result can only ever be returned for a
+spec that would reproduce it bit-for-bit.
+
+Determinism contract: :meth:`ExecutionSpec.run` deep-copies the
+algorithm and the models before building the engine, because several
+models (e.g. :class:`~repro.sim.delays.UniformDelay`) carry *stateful*
+RNGs that a run would otherwise advance.  Running the same spec twice —
+in this process or any other — yields byte-identical results.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import random
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Tuple, Union
+
+from repro.core.interfaces import Algorithm
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+from repro.sim.delays import DelayModel
+from repro.sim.drift import DriftModel
+from repro.sim.trace import ExecutionTrace
+from repro.topology.generators import Topology
+
+__all__ = ["ExecutionSpec", "SPEC_DIGEST_VERSION", "canonical_encoding"]
+
+NodeId = Hashable
+
+#: Bumped whenever the canonical encoding scheme changes, so digests from
+#: older library versions can never alias current ones.
+SPEC_DIGEST_VERSION = 1
+
+_PRIMITIVES = (type(None), bool, int)
+
+
+def _encode(obj: Any, out: list, memo: set) -> None:
+    """Append the canonical token stream of ``obj`` to ``out``.
+
+    The encoding is injective on the object graphs specs are built from:
+    every token is length- or type-prefixed, containers keep (or sort
+    into) a deterministic order, and arbitrary objects contribute their
+    class identity plus their attribute mapping.
+    """
+    if isinstance(obj, _PRIMITIVES):
+        out.append(f"{type(obj).__name__}:{obj!r};")
+        return
+    if isinstance(obj, float):
+        # repr() is the shortest round-trip representation — identical
+        # across processes and platforms for the same IEEE-754 value.
+        out.append(f"float:{obj!r};")
+        return
+    if isinstance(obj, str):
+        out.append(f"str:{len(obj)}:{obj};")
+        return
+    if isinstance(obj, bytes):
+        out.append(f"bytes:{obj.hex()};")
+        return
+    if isinstance(obj, random.Random):
+        out.append("rng:")
+        _encode(obj.getstate(), out, memo)
+        return
+    if isinstance(obj, (tuple, list)):
+        out.append("seq[")
+        for item in obj:
+            _encode(item, out, memo)
+        out.append("];")
+        return
+    if isinstance(obj, (set, frozenset)):
+        out.append("set[")
+        for token in sorted(_tokens_of(item, memo) for item in obj):
+            out.append(token)
+        out.append("];")
+        return
+    if isinstance(obj, Mapping):
+        out.append("map{")
+        items = [
+            (_tokens_of(key, memo), _tokens_of(value, memo))
+            for key, value in obj.items()
+        ]
+        for key_token, value_token in sorted(items):
+            out.append(key_token)
+            out.append("=>")
+            out.append(value_token)
+        out.append("};")
+        return
+    if isinstance(obj, type):
+        out.append(f"class:{obj.__module__}.{obj.__qualname__};")
+        return
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        qualname = obj.__qualname__
+        if "<locals>" in qualname or "<lambda>" in qualname:
+            raise ConfigurationError(
+                f"cannot canonically encode local callable {qualname!r}; "
+                "use a module-level function, a functools.partial of one, "
+                "or a model object instead"
+            )
+        out.append(f"callable:{obj.__module__}.{qualname};")
+        return
+    # Generic object: class identity + attribute mapping.  Cycles cannot
+    # occur in well-formed specs; guard anyway so a pathological model
+    # fails loudly instead of recursing forever.
+    key = id(obj)
+    if key in memo:
+        raise ConfigurationError(
+            f"cyclic reference via {type(obj).__name__} while encoding spec"
+        )
+    memo.add(key)
+    try:
+        state = _attribute_state(obj)
+        out.append(f"obj:{type(obj).__module__}.{type(obj).__qualname__}{{")
+        for name in sorted(state):
+            out.append(f"str:{len(name)}:{name};")
+            out.append("=>")
+            _encode(state[name], out, memo)
+        out.append("};")
+    finally:
+        memo.discard(key)
+
+
+def _attribute_state(obj: Any) -> Dict[str, Any]:
+    """The attribute mapping that defines an object's identity."""
+    if isinstance(obj, Topology):
+        return {
+            "name": obj.name,
+            "nodes": obj.nodes,
+            "adjacency": {node: obj.neighbors(node) for node in obj.nodes},
+        }
+    state: Dict[str, Any] = {}
+    if hasattr(obj, "__dict__"):
+        state.update(obj.__dict__)
+    for klass in type(obj).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            if hasattr(obj, slot):
+                state[slot] = getattr(obj, slot)
+    if not state and hasattr(obj, "__reduce_ex__"):
+        raise ConfigurationError(
+            f"cannot canonically encode {type(obj).__name__}: no accessible "
+            "attribute state"
+        )
+    return state
+
+
+def _tokens_of(obj: Any, memo: set) -> str:
+    chunk: list = []
+    _encode(obj, chunk, memo)
+    return "".join(chunk)
+
+
+def canonical_encoding(obj: Any) -> str:
+    """The canonical token stream for any spec component (public for tests)."""
+    return _tokens_of(obj, set())
+
+
+def _normalize_initiators(
+    initiators: Optional[Union[Iterable[NodeId], Mapping[NodeId, float]]]
+) -> Optional[Tuple[Tuple[NodeId, float], ...]]:
+    """Normalize to an *ordered* tuple of ``(node, wake_time)`` pairs.
+
+    Order is preserved, not sorted: the engine pushes wake events in the
+    given order, and same-time events are processed in push order, so
+    initiator order is execution-relevant and must reach the digest.
+    """
+    if initiators is None:
+        return None
+    if isinstance(initiators, Mapping):
+        return tuple((node, float(t)) for node, t in initiators.items())
+    return tuple((node, 0.0) for node in initiators)
+
+
+@dataclass(frozen=True, eq=False)
+class ExecutionSpec:
+    """One execution, fully specified and ready to ship to a worker.
+
+    Parameters
+    ----------
+    topology, algorithm, drift, delay, horizon:
+        As for :func:`repro.sim.runner.run_execution`.  ``algorithm`` is
+        a fresh, not-yet-run :class:`~repro.core.interfaces.Algorithm`
+        *instance* (not a factory): instances pickle, lambdas do not.
+    seed:
+        The seed this spec was derived from (informational for sweep
+        bookkeeping; the models carry their own seeds).  Part of the
+        digest.
+    initiators:
+        Optional initiator nodes or ``node → wake_time`` mapping,
+        normalized to an ordered tuple.
+    check_invariants:
+        Attach the standard non-strict monitors (requires ``params``);
+        violations are reported in the result summary instead of
+        aborting the run.
+    params:
+        The :class:`~repro.core.params.SyncParams` used for monitoring.
+    label:
+        Presentation-only name (e.g. the adversary case name).  Included
+        in summaries but *excluded* from the digest, so relabeling a
+        sweep does not invalidate its cache.
+    """
+
+    topology: Topology
+    algorithm: Algorithm
+    drift: DriftModel
+    delay: DelayModel
+    horizon: float
+    seed: int = 0
+    initiators: Optional[Tuple[Tuple[NodeId, float], ...]] = None
+    check_invariants: bool = False
+    params: Optional[SyncParams] = None
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "initiators", _normalize_initiators(self.initiators)
+        )
+        object.__setattr__(self, "horizon", float(self.horizon))
+
+    # -- identity ------------------------------------------------------------
+
+    def digest(self) -> str:
+        """The canonical SHA-256 hex digest of this spec (cached)."""
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
+        out: list = [f"spec-digest-v{SPEC_DIGEST_VERSION}:"]
+        memo: set = set()
+        for f in fields(self):
+            if f.name == "label":
+                continue
+            out.append(f"field:{f.name}=")
+            _encode(getattr(self, f.name), out, memo)
+        digest = hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_digest", digest)
+        return digest
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ExecutionSpec):
+            return NotImplemented
+        return self.digest() == other.digest()
+
+    def __hash__(self) -> int:
+        return int(self.digest()[:16], 16)
+
+    # -- execution -------------------------------------------------------------
+
+    def _monitors(self):
+        if not self.check_invariants:
+            return ()
+        if self.params is None:
+            raise ConfigurationError(
+                "check_invariants=True requires the spec to carry params"
+            )
+        from repro.sim.runner import default_monitors
+
+        return default_monitors(self.params, strict=False)
+
+    def run(self, record_messages: bool = False) -> Tuple[ExecutionTrace, tuple]:
+        """Execute this spec in-process; returns ``(trace, monitors)``.
+
+        The algorithm and both models are deep-copied first so stateful
+        components (per-model RNG streams, per-node caches) never leak
+        between runs — replaying a spec is deterministic by construction.
+        """
+        from repro.sim.runner import run_execution
+
+        algorithm, drift, delay = copy.deepcopy(
+            (self.algorithm, self.drift, self.delay)
+        )
+        monitors = self._monitors()
+        trace = run_execution(
+            self.topology,
+            algorithm,
+            drift,
+            delay,
+            self.horizon,
+            initiators=dict(self.initiators) if self.initiators else None,
+            record_messages=record_messages,
+            monitors=monitors,
+        )
+        return trace, monitors
+
+    def run_summary(self):
+        """Execute and reduce to a picklable summary (the worker path)."""
+        from repro.exec.summary import summarize_trace
+
+        trace, monitors = self.run()
+        return summarize_trace(
+            trace, digest=self.digest(), label=self.label, monitors=monitors
+        )

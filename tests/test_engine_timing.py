@@ -93,3 +93,88 @@ class TestAlarmExactness:
         fired = dict(algo.nodes[1].fired)
         assert fired["probe-0"] == pytest.approx(2.0)
         assert trace.hardware[1].time_at_value(2.0) == pytest.approx(3.5)
+
+
+class TestDeterministicReplay:
+    """Regression guard for event-queue determinism.
+
+    The parallel sweep executor's byte-identical-replay guarantee rests
+    on the engine resolving simultaneous events in a stable order (the
+    heap breaks timestamp ties by insertion sequence, never by object
+    id).  These tests run the same execution twice back to back —
+    constructed so that many events share exact timestamps — and require
+    the *entire* message log and event count to be identical, not merely
+    the end-state skews.
+    """
+
+    def _run_once(self):
+        from repro.core.node import AoptAlgorithm
+        from repro.core.params import SyncParams
+        from repro.sim.drift import TwoGroupDrift
+        from repro.sim.runner import run_execution
+        from repro.topology.generators import ring
+
+        params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+        # ConstantDelay + a ring + synchronized send periods ⇒ every round
+        # of messages arrives in simultaneous bursts: maximal tie pressure
+        # on the event queue.
+        return run_execution(
+            ring(6),
+            AoptAlgorithm(params),
+            TwoGroupDrift(0.05, [0, 1, 2]),
+            ConstantDelay(1.0),
+            horizon=30.0,
+            record_messages=True,
+        )
+
+    def test_back_to_back_runs_produce_identical_event_orderings(self):
+        first = self._run_once()
+        second = self._run_once()
+        assert first.events_processed == second.events_processed
+        assert len(first.message_log) == len(second.message_log)
+        # The logs must match record for record *in order* — equal
+        # multisets with different interleavings would already be a
+        # determinism failure.
+        assert first.message_log == second.message_log
+
+    def test_back_to_back_runs_produce_identical_traces(self):
+        from repro.exec.summary import summarize_trace
+
+        first = self._run_once()
+        second = self._run_once()
+        # Exact float equality throughout — the summaries fold in the
+        # global/local skew extrema, their witness times and node pairs,
+        # final spread, and message/bit counters.
+        assert summarize_trace(first) == summarize_trace(second)
+        assert first.start_times == second.start_times
+        assert first.messages_sent == second.messages_sent
+        assert first.messages_received == second.messages_received
+        for node in first.topology.nodes:
+            probe_times = [0.0, 7.5, 15.0, 22.5, 30.0]
+            for t in probe_times:
+                assert first.logical_value(node, t) == second.logical_value(node, t)
+
+    def test_spec_replay_matches_direct_run(self):
+        """ExecutionSpec.run() twice ⇒ identical traces, even though the
+        delay model carries live RNG state (the spec must replay from a
+        pristine copy every time)."""
+        from repro.core.node import AoptAlgorithm
+        from repro.core.params import SyncParams
+        from repro.exec import ExecutionSpec
+        from repro.sim.delays import UniformDelay
+        from repro.sim.drift import TwoGroupDrift
+
+        params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+        spec = ExecutionSpec(
+            line(5),
+            AoptAlgorithm(params),
+            TwoGroupDrift(0.05, [0, 1]),
+            UniformDelay(0.0, 1.0, seed=11),
+            horizon=30.0,
+            seed=11,
+        )
+        first, _ = spec.run(record_messages=True)
+        second, _ = spec.run(record_messages=True)
+        assert first.message_log == second.message_log
+        assert first.events_processed == second.events_processed
+        assert spec.run_summary() == spec.run_summary()

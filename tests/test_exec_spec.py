@@ -1,0 +1,269 @@
+"""ExecutionSpec identity tests: pickling, digest stability, cache guard.
+
+The digest is the key of the on-disk result cache, so these tests pin the
+three properties that make caching safe:
+
+* stability — the digest of an identically-constructed spec is the same
+  in this process, after a pickle round-trip, and in a *fresh* Python
+  process (no dependence on PYTHONHASHSEED or id()s);
+* dict-order insensitivity — semantically unordered model parameters
+  (per-node rate maps, phase maps) hash the same regardless of insertion
+  order;
+* sensitivity — changing *any* model parameter changes the digest (the
+  cache-poisoning guard: a stale entry can never be returned for a spec
+  that would compute something else).
+"""
+
+from __future__ import annotations
+
+import pickle
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+from repro.exec import ExecutionSpec, ResultCache, canonical_encoding
+from repro.exec.summary import ExecutionSummary
+from repro.sim.delays import ConstantDelay, UniformDelay
+from repro.sim.drift import AlternatingDrift, PerNodeDrift, TwoGroupDrift
+from repro.topology.generators import line, ring
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PARAMS = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+
+
+def _make_reference_spec() -> ExecutionSpec:
+    """One representative spec, constructed identically everywhere."""
+    return ExecutionSpec(
+        topology=line(5),
+        algorithm=AoptAlgorithm(PARAMS),
+        drift=TwoGroupDrift(0.05, [0, 1]),
+        delay=UniformDelay(0.0, 1.0, seed=7),
+        horizon=60.0,
+        seed=7,
+        label="reference",
+    )
+
+
+class TestPickleRoundTrip:
+    def test_digest_survives_pickle(self):
+        spec = _make_reference_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.digest() == spec.digest()
+        assert clone == spec
+        assert hash(clone) == hash(spec)
+
+    def test_roundtripped_spec_runs_identically(self):
+        spec = _make_reference_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert pickle.dumps(spec.run_summary()) == pickle.dumps(clone.run_summary())
+
+    def test_replay_is_deterministic_despite_stateful_rng(self):
+        """UniformDelay carries a live RNG; spec.run must not advance it."""
+        spec = _make_reference_spec()
+        first = spec.run_summary()
+        second = spec.run_summary()
+        assert first == second
+
+
+class TestDigestStability:
+    def test_identical_construction_same_digest(self):
+        assert _make_reference_spec().digest() == _make_reference_spec().digest()
+
+    def test_stable_across_processes(self):
+        """A fresh interpreter (fresh hash seed) computes the same digest."""
+        script = (
+            "import sys; "
+            f"sys.path.insert(0, {str(REPO_ROOT / 'src')!r}); "
+            f"sys.path.insert(0, {str(REPO_ROOT)!r}); "
+            "from tests.test_exec_spec import _make_reference_spec; "
+            "print(_make_reference_spec().digest())"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, cwd=REPO_ROOT,
+        )
+        assert completed.stdout.strip() == _make_reference_spec().digest()
+
+    def test_dict_order_insensitive(self):
+        """Unordered model maps hash identically under reordering."""
+        forward = {0: 1.04, 1: 0.96, 2: 1.0, 3: 0.97}
+        backward = dict(reversed(list(forward.items())))
+        assert list(forward) != list(backward)  # genuinely different order
+
+        def spec_with(rates):
+            return ExecutionSpec(
+                topology=line(4),
+                algorithm=AoptAlgorithm(PARAMS),
+                drift=PerNodeDrift(0.05, rates),
+                delay=ConstantDelay(1.0),
+                horizon=40.0,
+            )
+
+        assert spec_with(forward).digest() == spec_with(backward).digest()
+
+        phases_fwd = {0: 0, 1: 1, 2: 0, 3: 1}
+        phases_bwd = dict(reversed(list(phases_fwd.items())))
+
+        def spec_with_phases(phases):
+            return ExecutionSpec(
+                topology=line(4),
+                algorithm=AoptAlgorithm(PARAMS),
+                drift=AlternatingDrift(0.05, 10.0, phases),
+                delay=ConstantDelay(1.0),
+                horizon=40.0,
+            )
+
+        assert (
+            spec_with_phases(phases_fwd).digest()
+            == spec_with_phases(phases_bwd).digest()
+        )
+
+    def test_label_excluded_from_digest(self):
+        a = _make_reference_spec()
+        b = ExecutionSpec(
+            topology=line(5),
+            algorithm=AoptAlgorithm(PARAMS),
+            drift=TwoGroupDrift(0.05, [0, 1]),
+            delay=UniformDelay(0.0, 1.0, seed=7),
+            horizon=60.0,
+            seed=7,
+            label="renamed",
+        )
+        assert a.digest() == b.digest()
+
+
+class TestDigestSensitivity:
+    """Every execution-relevant knob must perturb the digest."""
+
+    def _variants(self):
+        base = dict(
+            topology=line(5),
+            algorithm=AoptAlgorithm(PARAMS),
+            drift=TwoGroupDrift(0.05, [0, 1]),
+            delay=UniformDelay(0.0, 1.0, seed=7),
+            horizon=60.0,
+            seed=7,
+        )
+        other_params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0, mu=0.9)
+        yield "topology", dict(base, topology=ring(5))
+        yield "topology-size", dict(base, topology=line(6))
+        yield "algorithm-params", dict(base, algorithm=AoptAlgorithm(other_params))
+        yield "drift-groups", dict(base, drift=TwoGroupDrift(0.05, [0, 2]))
+        yield "drift-epsilon", dict(base, drift=TwoGroupDrift(0.06, [0, 1]))
+        yield "delay-seed", dict(base, delay=UniformDelay(0.0, 1.0, seed=8))
+        yield "delay-range", dict(base, delay=UniformDelay(0.0, 0.9, seed=7))
+        yield "horizon", dict(base, horizon=61.0)
+        yield "seed", dict(base, seed=8)
+        yield "initiators", dict(base, initiators=[4])
+        yield "check-invariants", dict(
+            base, check_invariants=True, params=PARAMS
+        )
+
+    def test_every_parameter_perturbs_digest(self):
+        reference = _make_reference_spec().digest()
+        seen = {reference}
+        for name, kwargs in self._variants():
+            digest = ExecutionSpec(**kwargs).digest()
+            assert digest != reference, f"variant {name!r} did not change digest"
+            assert digest not in seen, f"variant {name!r} collided"
+            seen.add(digest)
+
+    def test_initiator_order_is_execution_relevant(self):
+        """Initiators are ordered (wake push order) — NOT order-insensitive."""
+        base = dict(
+            topology=line(5),
+            algorithm=AoptAlgorithm(PARAMS),
+            drift=TwoGroupDrift(0.05, [0, 1]),
+            delay=ConstantDelay(1.0),
+            horizon=40.0,
+        )
+        a = ExecutionSpec(**base, initiators={0: 0.0, 4: 0.0})
+        b = ExecutionSpec(**base, initiators={4: 0.0, 0: 0.0})
+        assert a.digest() != b.digest()
+
+    def test_local_callables_rejected(self):
+        from repro.sim.delays import FunctionDelay
+
+        spec = ExecutionSpec(
+            topology=line(3),
+            algorithm=AoptAlgorithm(PARAMS),
+            drift=TwoGroupDrift(0.05, [0]),
+            delay=FunctionDelay(lambda s, r, t, q: 0.5, max_delay=1.0),
+            horizon=20.0,
+        )
+        with pytest.raises(ConfigurationError):
+            spec.digest()
+
+
+class TestCanonicalEncoding:
+    def test_float_int_distinguished(self):
+        assert canonical_encoding(1) != canonical_encoding(1.0)
+
+    def test_string_prefix_injective(self):
+        assert canonical_encoding(("ab", "c")) != canonical_encoding(("a", "bc"))
+
+
+class TestResultCache:
+    def _summary(self, digest: str) -> ExecutionSummary:
+        return ExecutionSummary(
+            label="case", spec_digest=digest,
+            global_skew=1.5, global_skew_time=10.0, global_skew_pair=(0, 4),
+            local_skew=0.5, local_skew_time=12.0, local_skew_pair=(1, 2),
+            final_spread=0.25, total_messages=100, total_bits=6400,
+            events_processed=500, messages_dropped=0,
+        )
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = "ab" + "0" * 62
+        assert cache.get(digest) is None
+        cache.put(digest, self._summary(digest))
+        assert cache.get(digest) == self._summary(digest)
+        assert len(cache) == 1
+
+    def test_wrong_digest_misses(self, tmp_path):
+        """A changed spec digest can never see another spec's entry."""
+        cache = ResultCache(tmp_path)
+        digest = "cd" + "0" * 62
+        cache.put(digest, self._summary(digest))
+        assert cache.get("cd" + "1" * 62) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = "ef" + "0" * 62
+        cache.put(digest, self._summary(digest))
+        cache.path_for(digest).write_bytes(b"not a pickle")
+        assert cache.get(digest) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        digest = "01" + "0" * 62
+        cache.put(digest, self._summary(digest))
+        entry = pickle.loads(cache.path_for(digest).read_bytes())
+        entry["version"] = -1
+        cache.path_for(digest).write_bytes(pickle.dumps(entry))
+        assert cache.get(digest) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for prefix in ("aa", "bb"):
+            digest = prefix + "0" * 62
+            cache.put(digest, self._summary(digest))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_executor_round_trips_through_cache(self, tmp_path):
+        from repro.exec import SweepExecutor
+
+        cache = ResultCache(tmp_path)
+        spec = _make_reference_spec()
+        first = SweepExecutor(workers=1, cache=cache).run([spec])
+        second = SweepExecutor(workers=1, cache=cache).run([spec])
+        assert not first[0].cached and second[0].cached
+        assert pickle.dumps(first[0].summary) == pickle.dumps(second[0].summary)

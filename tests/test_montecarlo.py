@@ -29,6 +29,42 @@ class TestDistributionSummary:
         with pytest.raises(ConfigurationError):
             DistributionSummary.of([])
 
+    # Interpolated quantiles (linear, the numpy default): h = (n-1)·q,
+    # value = x[⌊h⌋] + (x[⌊h⌋+1] − x[⌊h⌋])·(h − ⌊h⌋).  Nearest-rank
+    # picking — the old behaviour — is wrong for even n (median) and
+    # systematically biased for p90; these cases pin the exact values.
+
+    def test_quantiles_n1(self):
+        summary = DistributionSummary.of([7.0])
+        assert summary.median == 7.0
+        assert summary.p90 == 7.0
+
+    def test_quantiles_n2(self):
+        summary = DistributionSummary.of([4.0, 2.0])
+        # Even n: the median is the midpoint, not either element.
+        assert summary.median == 3.0
+        # h = 0.9 ⇒ 2 + (4−2)·0.9 = 3.8.
+        assert summary.p90 == pytest.approx(3.8)
+
+    def test_quantiles_n4(self):
+        summary = DistributionSummary.of([4.0, 1.0, 3.0, 2.0])
+        assert summary.median == 2.5
+        # h = 3·0.9 = 2.7 ⇒ 3 + (4−3)·0.7 = 3.7.
+        assert summary.p90 == pytest.approx(3.7)
+
+    def test_quantiles_n5(self):
+        summary = DistributionSummary.of([5.0, 3.0, 1.0, 2.0, 4.0])
+        # Odd n: the median is the middle element exactly.
+        assert summary.median == 3.0
+        # h = 4·0.9 = 3.6 ⇒ 4 + (5−4)·0.6 = 4.6.
+        assert summary.p90 == pytest.approx(4.6)
+
+    def test_quantiles_n10(self):
+        summary = DistributionSummary.of([float(k) for k in range(10, 0, -1)])
+        assert summary.median == 5.5
+        # h = 9·0.9 = 8.1 ⇒ 9 + (10−9)·0.1 = 9.1.
+        assert summary.p90 == pytest.approx(9.1)
+
 
 class TestMonteCarlo:
     @pytest.fixture(scope="class")

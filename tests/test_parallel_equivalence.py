@@ -1,0 +1,270 @@
+"""Equivalence suite: the parallel sweep executor is bit-for-bit serial.
+
+A parallel executor only earns trust if its results are *indistinguishable*
+from the serial path.  For a grid of (topology, adversary, algorithm)
+cases these tests assert that ``SweepExecutor(workers=4)`` and
+``workers=1`` produce byte-identical result summaries — skews compared
+exactly (``==`` on floats, and equality of the pickled bytes), never
+approximately — including when a spec fails inside a worker, and that the
+harness-level entry points (``run_adversary_suite``, ``run_monte_carlo``)
+inherit the property.
+
+The multi-worker crash/stress cases are marked ``slow`` and excluded from
+tier-1 runs (see pyproject ``addopts``); CI opts in with ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.baselines import MidpointAlgorithm
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import SimulationError
+from repro.exec import ExecutionSpec, SweepExecutor
+from repro.sim.delays import ConstantDelay, DelayModel, UniformDelay
+from repro.sim.drift import AlternatingDrift, RandomWalkDrift, TwoGroupDrift
+from repro.topology.generators import grid, line, ring
+from repro.variants import JumpAoptAlgorithm
+
+PARAMS = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+HORIZON = 40.0
+
+
+class ExplodingDelay(DelayModel):
+    """Delay model that raises once messages start flowing — the injected
+    worker failure.  Module-level so it pickles into worker processes."""
+
+    def __init__(self, detonate_after: int = 3):
+        super().__init__(1.0)
+        self.detonate_after = detonate_after
+        self._calls = 0
+
+    def delay(self, sender, receiver, send_time, seq) -> float:
+        self._calls += 1
+        if self._calls > self.detonate_after:
+            raise RuntimeError(f"injected failure after {self.detonate_after} sends")
+        return 0.5
+
+
+class CrashingDelay(DelayModel):
+    """Kills the worker process outright (no Python unwind) — simulates a
+    segfault for the crash-isolation tests."""
+
+    def __init__(self, detonate_after: int = 3):
+        super().__init__(1.0)
+        self.detonate_after = detonate_after
+        self._calls = 0
+
+    def delay(self, sender, receiver, send_time, seq) -> float:
+        self._calls += 1
+        if self._calls > self.detonate_after:
+            os._exit(13)
+        return 0.5
+
+
+def _case_grid():
+    """(topology, adversary models, algorithm) grid for the equivalence runs."""
+    n = 5
+    half = list(range(n // 2))
+    return [
+        ExecutionSpec(
+            line(n), AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, half), ConstantDelay(1.0),
+            HORIZON, label="line/two-group/aopt",
+        ),
+        ExecutionSpec(
+            line(n), AoptAlgorithm(PARAMS),
+            RandomWalkDrift(0.05, step_period=5.0, step_size=0.02, seed=3),
+            UniformDelay(0.0, 1.0, seed=3),
+            HORIZON, seed=3, label="line/random/aopt",
+        ),
+        ExecutionSpec(
+            ring(6), JumpAoptAlgorithm(PARAMS),
+            AlternatingDrift(0.05, 12.0, {i: i % 2 for i in range(6)}),
+            ConstantDelay(1.0),
+            HORIZON, label="ring/antiphase/aopt-jump",
+        ),
+        ExecutionSpec(
+            grid(3, 3), MidpointAlgorithm(send_period=PARAMS.h0, mu=PARAMS.mu),
+            TwoGroupDrift(0.05, [(0, 0), (0, 1), (0, 2), (1, 0)]),
+            UniformDelay(0.0, 1.0, seed=5),
+            HORIZON, seed=5, label="grid/two-group/midpoint",
+        ),
+        ExecutionSpec(
+            ring(6), AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0, 1, 2]), ConstantDelay(1.0),
+            HORIZON, check_invariants=True, params=PARAMS,
+            label="ring/two-group/aopt+monitors",
+        ),
+    ]
+
+
+def _assert_outcomes_byte_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for s, p in zip(serial, parallel):
+        assert s.index == p.index
+        assert s.error == p.error
+        # Byte-identical, not approximately equal: the pickled summaries
+        # (every float bit pattern included) must match exactly.
+        assert pickle.dumps(s.summary) == pickle.dumps(p.summary), (
+            f"summary mismatch for {s.spec.label}"
+        )
+
+
+class TestParallelEquivalence:
+    def test_grid_workers4_equals_workers1(self):
+        specs = _case_grid()
+        serial = SweepExecutor(workers=1).run(specs)
+        parallel = SweepExecutor(workers=4).run(specs)
+        assert all(outcome.ok for outcome in serial)
+        _assert_outcomes_byte_identical(serial, parallel)
+        # Skews are compared exactly — spot-check the float equality too.
+        for s, p in zip(serial, parallel):
+            assert s.summary.global_skew == p.summary.global_skew
+            assert s.summary.local_skew == p.summary.local_skew
+
+    def test_equivalence_under_injected_worker_failure(self):
+        specs = _case_grid()
+        specs.insert(
+            2,
+            ExecutionSpec(
+                line(4), AoptAlgorithm(PARAMS),
+                TwoGroupDrift(0.05, [0, 1]), ExplodingDelay(detonate_after=3),
+                HORIZON, label="injected-failure",
+            ),
+        )
+        serial = SweepExecutor(workers=1).run(specs)
+        parallel = SweepExecutor(workers=4).run(specs)
+        _assert_outcomes_byte_identical(serial, parallel)
+        failed = [o for o in serial if not o.ok]
+        assert len(failed) == 1 and failed[0].spec.label == "injected-failure"
+        assert "injected failure" in failed[0].error
+        # The failure did not poison any healthy case.
+        assert sum(o.ok for o in parallel) == len(specs) - 1
+
+    def test_run_summaries_raises_on_failure(self):
+        spec = ExecutionSpec(
+            line(4), AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0, 1]), ExplodingDelay(detonate_after=0),
+            HORIZON, label="always-fails",
+        )
+        with pytest.raises(SimulationError, match="always-fails"):
+            SweepExecutor(workers=1).run_summaries([spec])
+
+    def test_chunked_dispatch_equivalence(self):
+        specs = _case_grid()
+        serial = SweepExecutor(workers=1).run(specs)
+        chunked = SweepExecutor(workers=2, chunk_size=2).run(specs)
+        _assert_outcomes_byte_identical(serial, chunked)
+
+    def test_auto_workers_resolves(self):
+        from repro.exec import resolve_workers
+
+        assert resolve_workers("auto") >= 1
+        assert resolve_workers(3) == 3
+        with pytest.raises(SimulationError):
+            resolve_workers(0)
+
+
+class TestHarnessEquivalence:
+    """The analysis-layer entry points inherit byte-identical parallelism."""
+
+    def test_adversary_suite_workers(self):
+        from repro.analysis.experiments import run_adversary_suite
+
+        serial = run_adversary_suite(
+            line(5), lambda: AoptAlgorithm(PARAMS), PARAMS,
+            horizon=HORIZON, workers=1,
+        )
+        parallel = run_adversary_suite(
+            line(5), lambda: AoptAlgorithm(PARAMS), PARAMS,
+            horizon=HORIZON, workers=4,
+        )
+        assert serial.per_case == parallel.per_case  # exact float equality
+        assert serial.worst_global == parallel.worst_global
+        assert serial.worst_global_case == parallel.worst_global_case
+        assert serial.worst_local == parallel.worst_local
+        assert serial.worst_local_case == parallel.worst_local_case
+
+    def test_monte_carlo_workers(self):
+        from repro.analysis.montecarlo import run_monte_carlo
+
+        kwargs = dict(
+            topology=line(5),
+            algorithm_factory=lambda: AoptAlgorithm(PARAMS),
+            drift_factory=lambda seed: RandomWalkDrift(
+                0.05, step_period=5.0, step_size=0.02, seed=seed
+            ),
+            delay_factory=lambda seed: UniformDelay(0.0, 1.0, seed=seed),
+            horizon=HORIZON,
+            runs=6,
+        )
+        serial = run_monte_carlo(workers=1, **kwargs)
+        parallel = run_monte_carlo(workers=4, **kwargs)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+    def test_suite_keep_traces_matches_executor_path(self):
+        """The in-process keep_traces path reports the same numbers."""
+        from repro.analysis.experiments import run_adversary_suite
+
+        with_traces = run_adversary_suite(
+            line(5), lambda: AoptAlgorithm(PARAMS), PARAMS,
+            horizon=HORIZON, keep_traces=True,
+        )
+        without = run_adversary_suite(
+            line(5), lambda: AoptAlgorithm(PARAMS), PARAMS,
+            horizon=HORIZON, workers=2,
+        )
+        assert with_traces.per_case == without.per_case
+        assert set(with_traces.traces) == set(with_traces.per_case)
+        assert without.traces == {}
+
+
+@pytest.mark.slow
+class TestCrashIsolationSlow:
+    """Hard worker deaths (os._exit) must not take down the sweep."""
+
+    def test_worker_crash_marks_only_that_spec_failed(self):
+        specs = _case_grid()
+        specs.insert(
+            1,
+            ExecutionSpec(
+                line(4), AoptAlgorithm(PARAMS),
+                TwoGroupDrift(0.05, [0, 1]), CrashingDelay(detonate_after=3),
+                HORIZON, label="crasher",
+            ),
+        )
+        outcomes = SweepExecutor(workers=2, max_crash_retries=2).run(specs)
+        by_label = {o.spec.label: o for o in outcomes}
+        assert not by_label["crasher"].ok
+        assert "crash" in by_label["crasher"].error
+        healthy = [o for o in outcomes if o.spec.label != "crasher"]
+        assert all(o.ok for o in healthy), [o.error for o in healthy]
+        # And the survivors still match the serial reference bit-for-bit.
+        serial = {
+            o.spec.label: o for o in SweepExecutor(workers=1).run(_case_grid())
+        }
+        for outcome in healthy:
+            assert pickle.dumps(outcome.summary) == pickle.dumps(
+                serial[outcome.spec.label].summary
+            )
+
+    def test_timeout_marks_spec_failed(self):
+        slow_spec = ExecutionSpec(
+            line(9), AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, list(range(4))), ConstantDelay(1.0),
+            3000.0, label="slow-horizon",
+        )
+        quick = ExecutionSpec(
+            line(4), AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0, 1]), ConstantDelay(1.0),
+            HORIZON, label="quick",
+        )
+        outcomes = SweepExecutor(workers=2, timeout=0.05).run([slow_spec, quick])
+        by_label = {o.spec.label: o for o in outcomes}
+        assert not by_label["slow-horizon"].ok
+        assert "timed out" in by_label["slow-horizon"].error
