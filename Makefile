@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow bench examples report sweep-smoke check clean
+.PHONY: install test test-slow test-faults bench examples report sweep-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,11 @@ test:
 test-slow:
 	$(PYTHON) -m pytest tests/ benchmarks/ -m slow
 
+# The fault-injection subsystem end to end: unit/equivalence tests plus
+# the E27 degradation benchmarks.
+test-faults:
+	$(PYTHON) -m pytest tests/ benchmarks/ -m faults
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -23,6 +28,8 @@ bench:
 # grid through `python -m repro sweep` on every core, cache bypassed.
 sweep-smoke:
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
+		--workers auto --no-cache
+	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
 		--workers auto --no-cache
 
 examples:

@@ -38,13 +38,18 @@ from repro.errors import (
     TraceError,
 )
 from repro.exec import ExecutionSpec, ResultCache, SweepExecutor
+from repro.faults import FaultInjector, FaultSchedule
 from repro.sim.runner import run_execution, simulate_aopt
+from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm
 
 __version__ = "1.0.0"
 
 __all__ = [
     "SyncParams",
     "AoptAlgorithm",
+    "FaultTolerantAoptAlgorithm",
+    "FaultSchedule",
+    "FaultInjector",
     "simulate_aopt",
     "run_execution",
     "ExecutionSpec",

@@ -15,6 +15,13 @@ Commands
     parallel :class:`~repro.exec.pool.SweepExecutor`
     (``--workers auto`` uses every core; results are byte-identical to
     serial runs and cached on disk by spec digest unless ``--no-cache``).
+    Failed or timed-out specs are reported (count + digest) instead of
+    aborting the whole sweep.
+``faults``
+    Run a fault-injection scenario (``partition``/``crashes``/``flaky``)
+    and report per-fault-epoch skews, message-loss accounting, and the
+    time-to-resynchronize after the last fault clears (see
+    ``docs/FAULTS.md``).
 ``lower-bound global``
     Replay the Theorem 7.2 execution against A^opt.
 ``lower-bound local``
@@ -59,6 +66,7 @@ from repro.topology.properties import diameter as graph_diameter
 from repro.variants import (
     AdaptiveDelayAoptAlgorithm,
     BitBudgetAoptAlgorithm,
+    FaultTolerantAoptAlgorithm,
     JumpAoptAlgorithm,
     MinGapAoptAlgorithm,
     bit_budget_params,
@@ -108,6 +116,7 @@ def _build_params(args) -> SyncParams:
 
 ALGORITHM_CHOICES = [
     "aopt",
+    "aopt-ft",
     "aopt-jump",
     "aopt-min-gap",
     "aopt-bit-budget",
@@ -122,6 +131,8 @@ ALGORITHM_CHOICES = [
 def _build_algorithm(name: str, params: SyncParams, diameter: int):
     if name == "aopt":
         return AoptAlgorithm(params)
+    if name == "aopt-ft":
+        return FaultTolerantAoptAlgorithm(params)
     if name == "aopt-jump":
         return JumpAoptAlgorithm(params)
     if name == "aopt-min-gap":
@@ -370,16 +381,25 @@ def cmd_sweep(args) -> int:
 
     started = time.perf_counter()
     executor = SweepExecutor(workers=workers, cache=cache, timeout=args.timeout)
-    summaries = executor.run_summaries(all_specs)
+    outcomes = executor.run(all_specs)
     elapsed = time.perf_counter() - started
 
     from repro.exec.summary import to_suite_result
 
-    rows, ok = [], True
+    # Failed / quarantined / timed-out specs are surfaced instead of
+    # aborting: the rest of the grid still reports, the failures are
+    # listed by digest (stable across relabeling), and the exit code
+    # flags the run.
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+
+    rows, ok = [], not failed
     cursor = 0
     for actual_d, specs in batches:
-        result = to_suite_result(summaries[cursor:cursor + len(specs)])
+        batch = outcomes[cursor:cursor + len(specs)]
         cursor += len(specs)
+        result = to_suite_result(
+            [outcome.summary for outcome in batch if outcome.ok]
+        )
         g_bound = global_skew_bound(params, actual_d)
         l_bound = local_skew_bound(params, actual_d)
         rows.append(
@@ -413,7 +433,191 @@ def cmd_sweep(args) -> int:
         f"executions: {len(all_specs)}  workers: {workers}  "
         f"wall: {elapsed:.2f}s  cache: {cache_note}"
     )
+    if failed:
+        print(f"FAILED specs: {len(failed)} of {len(all_specs)}")
+        for outcome in failed:
+            label = outcome.spec.label or "(unlabeled)"
+            print(
+                f"  [{outcome.spec.digest()[:12]}] {label}: {outcome.error}"
+            )
     return 0 if ok else 1
+
+
+FAULT_SCENARIOS = ["partition", "crashes", "flaky"]
+
+
+def _halves_and_cut(topology):
+    """Split the graph at the median BFS level from the first node.
+
+    Returns ``(near, far, cut_edges)`` where ``cut_edges`` (each listed
+    once) are exactly the edges between the halves — taking them down
+    partitions the network.
+    """
+    from repro.topology.properties import bfs_distances
+
+    distances = bfs_distances(topology, topology.nodes[0])
+    median = sorted(distances.values())[len(topology.nodes) // 2]
+    near = {node for node, dist in distances.items() if dist < median}
+    if not near:  # degenerate (diameter 0/1): isolate the root instead
+        near = {topology.nodes[0]}
+    cut = [
+        (u, v)
+        for u in topology.nodes
+        if u in near
+        for v in topology.neighbors(u)
+        if v not in near
+    ]
+    far = [node for node in topology.nodes if node not in near]
+    return [node for node in topology.nodes if node in near], far, cut
+
+
+def _fault_scenario(args, topology, params, horizon):
+    """Build ``(schedule, drift, description)`` for a named scenario."""
+    from repro.faults import FaultSchedule
+    from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
+
+    start = args.fault_start if args.fault_start is not None else 0.25 * horizon
+    duration = (
+        args.fault_duration if args.fault_duration is not None else 0.3 * horizon
+    )
+    if args.scenario == "partition":
+        near, _far, cut = _halves_and_cut(topology)
+        # The halves drift apart while separated — the worst case for a
+        # partition, and the one Theorem 5.5 must re-bound after it heals.
+        drift = TwoGroupDrift(params.epsilon, near)
+        schedule = FaultSchedule(seed=args.seed).partition(
+            cut, at=start, until=start + duration
+        )
+        return schedule, drift, (
+            f"partition: {len(cut)} cut edges down on "
+            f"[{start:g}, {start + duration:g})"
+        )
+    drift = RandomWalkDrift(
+        params.epsilon, step_period=5 * params.h0, step_size=params.epsilon / 4,
+        seed=args.seed,
+    )
+    if args.scenario == "crashes":
+        schedule = FaultSchedule.random_crash_cycles(
+            topology.nodes,
+            crash_rate=args.crash_rate,
+            mean_downtime=args.mean_downtime * params.h0,
+            horizon=start + duration,
+            start=start,
+            seed=args.seed,
+        )
+        crashes = sum(1 for _, _, kind in schedule.node_events if kind == "crash")
+        return schedule, drift, (
+            f"crashes: {crashes} crash/recover cycles on "
+            f"[{start:g}, {start + duration:g})"
+        )
+    if args.scenario == "flaky":
+        schedule = FaultSchedule(
+            drop_probability=args.drop,
+            duplicate_probability=args.duplicate,
+            spike_probability=args.spike,
+            spike_delay=2 * params.delay_bound if args.spike > 0 else 0.0,
+            seed=args.seed,
+        )
+        return schedule, drift, (
+            f"flaky links: drop={args.drop} dup={args.duplicate} "
+            f"spike={args.spike}"
+        )
+    raise SystemExit(f"unknown fault scenario {args.scenario!r}")
+
+
+def cmd_faults(args) -> int:
+    from repro.exec.pool import SweepExecutor
+    from repro.exec.spec import ExecutionSpec
+    from repro.faults import loss_accounting, per_epoch_skew, time_to_resync
+    from repro.sim.delays import ConstantDelay
+
+    params = _build_params(args)
+    topology = _build_topology(args)
+    d = graph_diameter(topology)
+    horizon = args.horizon if args.horizon is not None else 40 * d * params.delay_bound
+    schedule, drift, description = _fault_scenario(args, topology, params, horizon)
+    algorithm = _build_algorithm(args.algorithm, params, d)
+
+    spec = ExecutionSpec(
+        topology=topology,
+        algorithm=algorithm,
+        drift=drift,
+        delay=ConstantDelay(params.delay_bound, max_delay=params.delay_bound),
+        horizon=horizon,
+        seed=args.seed,
+        check_invariants=True,
+        params=params,
+        faults=schedule,
+        label=f"faults:{args.scenario}:{args.algorithm}",
+    )
+
+    # The summary goes through the executor so fault scenarios share the
+    # sweep cache (and replay byte-identically from it); the trace for the
+    # epoch/resync metrics is always computed locally.
+    workers, cache = _executor_options(args)
+    executor = SweepExecutor(workers=workers, cache=cache)
+    summary = executor.run_summaries([spec])[0]
+    trace, _monitors = spec.run()
+
+    g_bound = global_skew_bound(params, d)
+    epoch_rows = [
+        [f"[{e.start:g}, {e.end:g})", e.global_skew, e.local_skew]
+        for e in per_epoch_skew(trace, schedule)
+    ]
+    print(
+        format_table(
+            ["fault epoch", "global skew", "local skew"],
+            epoch_rows,
+            title=(
+                f"{algorithm.name} on {topology.name} (D={d}), {description}, "
+                f"horizon {horizon:g}"
+            ),
+        )
+    )
+    losses = loss_accounting(trace)
+    print(
+        "messages: sent {sent}  delivered {delivered}  dropped {dropped}  "
+        "lost-link {lost_link}  lost-crash {lost_crash}  "
+        "duplicated {duplicated}".format(**losses)
+    )
+    # The tight drift+delay combination makes the steady-state spread brush
+    # the bound G exactly, so resynchronization is judged against a hair of
+    # relative slack to keep the metric well conditioned.  Probabilistic
+    # message faults never clear, so the ``flaky`` scenario is judged
+    # against the retry-stretched bound instead (expected effective delay
+    # T/(1−p); see benchmarks/bench_message_loss.py) plus a 2κ allowance
+    # for duplicate/spike noise.
+    if args.scenario == "flaky":
+        stretched = params.delay_bound / (1 - args.drop)
+        resync_bound = (
+            global_skew_bound(
+                params.with_overrides(
+                    delay_bound=stretched, delay_bound_hat=stretched
+                ),
+                d,
+            )
+            + 2 * params.kappa
+        )
+    else:
+        resync_bound = g_bound * (1 + 1e-6)
+    ttr = time_to_resync(trace, resync_bound, schedule=schedule)
+    cleared = schedule.cleared_time()
+    print(
+        f"bound G (Theorem 5.5): {g_bound:.4f}  resync bound: "
+        f"{resync_bound:.4f}  faults cleared at t={cleared:g}"
+    )
+    if ttr is None:
+        print("time-to-resync: NOT resynchronized within the horizon")
+    else:
+        print(
+            f"time-to-resync: {ttr:.4f} "
+            f"(back within the resync bound at t={cleared + ttr:g})"
+        )
+    if summary.monitor_violations:
+        print(f"monitor violations: {len(summary.monitor_violations)}")
+        for violation in summary.monitor_violations[:5]:
+            print(f"  {violation}")
+    return 0 if ttr is not None else 1
 
 
 def cmd_report(args) -> int:
@@ -544,6 +748,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_executor_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=cmd_sweep)
+
+    faults_parser = subparsers.add_parser(
+        "faults",
+        help="run a fault-injection scenario and report recovery metrics",
+    )
+    add_model_arguments(faults_parser, include_knowledge=True)
+    add_topology_arguments(faults_parser)
+    faults_parser.add_argument(
+        "--algorithm", default="aopt-ft", choices=ALGORITHM_CHOICES,
+        help="algorithm under test (default: the recovery-aware aopt-ft)"
+    )
+    faults_parser.add_argument(
+        "--scenario", default="partition", choices=FAULT_SCENARIOS,
+        help="partition: median cut goes down; crashes: random "
+             "crash/recover cycles; flaky: per-message drop/dup/spike"
+    )
+    faults_parser.add_argument("--horizon", type=float, default=None,
+                               help="real-time horizon (default: 40*D*T)")
+    faults_parser.add_argument(
+        "--fault-start", dest="fault_start", type=float, default=None,
+        help="first fault time (default: 25%% of the horizon, leaving the "
+             "initialization flood intact)"
+    )
+    faults_parser.add_argument(
+        "--fault-duration", dest="fault_duration", type=float, default=None,
+        help="fault window length (default: 30%% of the horizon)"
+    )
+    faults_parser.add_argument("--crash-rate", dest="crash_rate", type=float,
+                               default=0.01,
+                               help="crashes: per-node crash rate (1/time)")
+    faults_parser.add_argument("--mean-downtime", dest="mean_downtime",
+                               type=float, default=6.0,
+                               help="crashes: mean downtime in units of H0")
+    faults_parser.add_argument("--drop", type=float, default=0.2,
+                               help="flaky: per-message drop probability")
+    faults_parser.add_argument("--duplicate", type=float, default=0.05,
+                               help="flaky: per-message duplicate probability")
+    faults_parser.add_argument("--spike", type=float, default=0.05,
+                               help="flaky: per-message delay-spike "
+                                    "probability (spike adds 2T)")
+    add_executor_arguments(faults_parser)
+    faults_parser.set_defaults(handler=cmd_faults)
 
     lower_parser = subparsers.add_parser(
         "lower-bound", help="replay a Section 7 lower-bound construction"

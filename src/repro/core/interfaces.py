@@ -103,6 +103,21 @@ class AlgorithmNode(abc.ABC):
     def on_alarm(self, ctx: NodeContext, name: str) -> None:
         """A previously armed hardware-time alarm fires."""
 
+    def on_recover(self, ctx: NodeContext) -> None:
+        """The node resumes after a crash (fault model, beyond the paper).
+
+        Only invoked when an execution runs under a
+        :class:`~repro.faults.schedule.FaultSchedule`.  The node re-enters
+        with whatever state it held at the crash; clocks kept running
+        (hardware at its drift rate, logical at multiplier 1), so all
+        neighbor information is stale by the outage duration.  Alarms that
+        would have fired during the outage fire once immediately after
+        this callback unless re-armed or cancelled here.  The default
+        does nothing — the algorithm simply resumes; recovery-aware
+        algorithms override this to discard stale state (see
+        :class:`~repro.variants.fault_tolerant.FaultTolerantAoptAlgorithm`).
+        """
+
 
 class Algorithm(abc.ABC):
     """Factory for algorithm nodes plus algorithm-level metadata."""

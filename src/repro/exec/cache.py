@@ -36,7 +36,8 @@ from repro.exec.summary import ExecutionSummary
 __all__ = ["ResultCache", "CACHE_VERSION", "default_cache_root"]
 
 #: On-disk entry format version; see module docstring.
-CACHE_VERSION = 1
+#: v2: ExecutionSummary gained fault-accounting fields.
+CACHE_VERSION = 2
 
 
 def default_cache_root() -> Path:

@@ -34,6 +34,7 @@ from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Tuple, Unio
 from repro.core.interfaces import Algorithm
 from repro.core.params import SyncParams
 from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultSchedule
 from repro.sim.delays import DelayModel
 from repro.sim.drift import DriftModel
 from repro.sim.trace import ExecutionTrace
@@ -45,7 +46,8 @@ NodeId = Hashable
 
 #: Bumped whenever the canonical encoding scheme changes, so digests from
 #: older library versions can never alias current ones.
-SPEC_DIGEST_VERSION = 1
+#: v2: added the ``faults`` field (fault-injection subsystem).
+SPEC_DIGEST_VERSION = 2
 
 _PRIMITIVES = (type(None), bool, int)
 
@@ -207,6 +209,11 @@ class ExecutionSpec:
         aborting the run.
     params:
         The :class:`~repro.core.params.SyncParams` used for monitoring.
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule`.  Pure
+        data, so it digests canonically like every other model: any
+        change to a fault time, target, or probability changes the
+        digest and invalidates cached results.
     label:
         Presentation-only name (e.g. the adversary case name).  Included
         in summaries but *excluded* from the digest, so relabeling a
@@ -222,6 +229,7 @@ class ExecutionSpec:
     initiators: Optional[Tuple[Tuple[NodeId, float], ...]] = None
     check_invariants: bool = False
     params: Optional[SyncParams] = None
+    faults: Optional[FaultSchedule] = None
     label: str = ""
 
     def __post_init__(self):
@@ -291,6 +299,7 @@ class ExecutionSpec:
             initiators=dict(self.initiators) if self.initiators else None,
             record_messages=record_messages,
             monitors=monitors,
+            faults=self.faults,
         )
         return trace, monitors
 

@@ -43,6 +43,9 @@ class ExecutionSummary:
     events_processed: int
     messages_dropped: int
     monitor_violations: Tuple[str, ...] = ()
+    messages_lost_link: int = 0
+    messages_lost_crash: int = 0
+    messages_duplicated: int = 0
 
     @property
     def clean(self) -> bool:
@@ -79,6 +82,9 @@ def summarize_trace(
         events_processed=trace.events_processed,
         messages_dropped=trace.messages_dropped,
         monitor_violations=violations,
+        messages_lost_link=trace.messages_lost_link,
+        messages_lost_crash=trace.messages_lost_crash,
+        messages_duplicated=trace.messages_duplicated,
     )
 
 

@@ -1,0 +1,45 @@
+"""Fault injection: node crashes, link failures, message faults.
+
+The paper's model (Section 3) assumes reliable links and ever-live
+nodes; this package is the robustness extension that drops both
+assumptions while keeping every run deterministic and replayable:
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule`, the declarative,
+  digest-stable timeline of node crash/recover and link down/up events
+  plus per-message drop/duplicate/delay-spike probabilities;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the compiled
+  runtime form the engine consults on every send and event;
+* :mod:`repro.faults.metrics` — exact per-fault-epoch skews, the
+  time-to-resynchronize metric, and message-loss accounting;
+* :mod:`repro.faults.hashing` — order-independent per-message randomness
+  (:func:`stable_uniform`), also the basis of
+  :class:`~repro.sim.delays.LossyDelay`.
+
+See ``docs/FAULTS.md`` for the fault model's semantics and its relation
+to the paper's assumptions, and
+:class:`~repro.variants.fault_tolerant.FaultTolerantAoptAlgorithm` for
+the recovery-aware A^opt variant built on top.
+"""
+
+from repro.faults.hashing import stable_uniform
+from repro.faults.injector import FaultInjector, MessageFate
+from repro.faults.metrics import (
+    EpochSkew,
+    fault_epochs,
+    loss_accounting,
+    per_epoch_skew,
+    time_to_resync,
+)
+from repro.faults.schedule import FaultSchedule
+
+__all__ = [
+    "FaultSchedule",
+    "FaultInjector",
+    "MessageFate",
+    "EpochSkew",
+    "fault_epochs",
+    "per_epoch_skew",
+    "time_to_resync",
+    "loss_accounting",
+    "stable_uniform",
+]

@@ -1,0 +1,39 @@
+"""Order-independent per-message randomness.
+
+Probabilistic fault decisions (drop / duplicate / delay spike) must be a
+pure function of *which message* is affected, never of how many random
+draws happened before — otherwise adding an unrelated fault, reordering a
+sweep, or replaying a cached spec would change which messages are lost
+and break byte-identical replay (the :class:`~repro.exec.pool.SweepExecutor`
+determinism contract).
+
+:func:`stable_uniform` therefore derives a uniform variate in ``[0, 1)``
+from a SHA-256 of the decision key ``(seed, *parts)``.  It is stable
+across processes and platforms (unlike ``hash()``, which is salted by
+``PYTHONHASHSEED``) and independent of global call order (unlike a shared
+``random.Random`` stream).  Keys are built from ``repr``, which is a
+round-trip representation for the hashables used as node ids and for
+IEEE-754 floats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_uniform"]
+
+#: 2**64, the scale of the 8-byte hash prefix.
+_SCALE = float(1 << 64)
+
+
+def stable_uniform(seed: int, *parts: object) -> float:
+    """A deterministic uniform variate in ``[0, 1)`` keyed by the arguments.
+
+    >>> stable_uniform(0, "a", "b", 1.5, 3) == stable_uniform(0, "a", "b", 1.5, 3)
+    True
+    >>> stable_uniform(0, "x") != stable_uniform(1, "x")
+    True
+    """
+    token = repr((seed,) + parts).encode("utf-8")
+    prefix = hashlib.sha256(token).digest()[:8]
+    return int.from_bytes(prefix, "big") / _SCALE

@@ -1,0 +1,219 @@
+"""Runtime fault decisions for the simulation engine.
+
+A :class:`FaultInjector` compiles a declarative
+:class:`~repro.faults.schedule.FaultSchedule` into fast interval lookups
+and per-message fate decisions.  The engine consults it on every send
+(link state, message faults) and keeps per-node crash state via the
+crash/recover events it derives from :meth:`node_timeline`.
+
+The injector is engine-side *runtime* state — it never enters a spec
+digest (the schedule does) and may therefore precompute freely.
+
+Message fates are decided by :func:`~repro.faults.hashing.stable_uniform`
+over ``(seed, kind, sender, receiver, send_time, seq)``: a pure function
+of the message identity, so fault decisions are independent of event
+processing order and replay byte-identically across processes, worker
+counts, and cache states.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.errors import ScheduleError
+from repro.faults.hashing import stable_uniform
+from repro.faults.schedule import (
+    LINK_DOWN,
+    LINK_UP,
+    NODE_CRASH,
+    NODE_RECOVER,
+    FaultSchedule,
+)
+
+__all__ = ["FaultInjector", "MessageFate"]
+
+NodeId = Hashable
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """The injector's verdict on one message send."""
+
+    drop: bool = False
+    duplicate: bool = False
+    extra_delay: float = 0.0
+
+
+_CLEAN = MessageFate()
+
+
+def _compile_intervals(
+    events: List[Tuple[float, str]], down_kind: str, up_kind: str, subject: str
+) -> List[Tuple[float, float]]:
+    """Alternating down/up events → sorted ``[start, end)`` intervals."""
+    events = sorted(events, key=lambda pair: pair[0])
+    intervals: List[Tuple[float, float]] = []
+    down_since: Optional[float] = None
+    for time, kind in events:
+        if kind == down_kind:
+            if down_since is not None:
+                raise ScheduleError(
+                    f"{subject}: {down_kind!r} at t={time} while already down "
+                    f"since t={down_since}"
+                )
+            down_since = time
+        elif kind == up_kind:
+            if down_since is None:
+                raise ScheduleError(
+                    f"{subject}: {up_kind!r} at t={time} without a prior "
+                    f"{down_kind!r}"
+                )
+            if time < down_since:
+                raise ScheduleError(
+                    f"{subject}: {up_kind!r} at t={time} precedes "
+                    f"{down_kind!r} at t={down_since}"
+                )
+            intervals.append((down_since, time))
+            down_since = None
+        else:  # pragma: no cover - defensive
+            raise ScheduleError(f"{subject}: unknown fault kind {kind!r}")
+    if down_since is not None:
+        intervals.append((down_since, _INFINITY))
+    return intervals
+
+
+def _is_down(intervals: List[Tuple[float, float]], t: float) -> bool:
+    """Whether ``t`` falls inside any ``[start, end)`` interval."""
+    i = bisect_right(intervals, (t, _INFINITY)) - 1
+    return i >= 0 and t < intervals[i][1]
+
+
+class FaultInjector:
+    """Compiled fault state; see module docstring.
+
+    Parameters
+    ----------
+    schedule:
+        The declarative timeline.
+    topology:
+        Optional :class:`~repro.topology.generators.Topology`; when given,
+        node and link events are validated against it so a typo'd fault
+        target fails loudly instead of silently never firing.
+    """
+
+    def __init__(self, schedule: FaultSchedule, topology=None):
+        self.schedule = schedule
+        per_node: Dict[NodeId, List[Tuple[float, str]]] = {}
+        for time, node, kind in schedule.node_events:
+            per_node.setdefault(node, []).append((time, kind))
+        per_link: Dict[Tuple[NodeId, NodeId], List[Tuple[float, str]]] = {}
+        link_keys: Dict[Tuple[NodeId, NodeId], Tuple[NodeId, NodeId]] = {}
+        for time, (u, v), kind in schedule.link_events:
+            # Normalize to whichever orientation was seen first.
+            key = link_keys.get((u, v)) or link_keys.get((v, u)) or (u, v)
+            link_keys[(u, v)] = link_keys[(v, u)] = key
+            per_link.setdefault(key, []).append((time, kind))
+
+        if topology is not None:
+            known = set(topology.nodes)
+            for node in per_node:
+                if node not in known:
+                    raise ScheduleError(
+                        f"fault schedule names unknown node {node!r}"
+                    )
+            for u, v in per_link:
+                if v not in topology.neighbors(u):
+                    raise ScheduleError(
+                        f"fault schedule names unknown link ({u!r}, {v!r})"
+                    )
+
+        self._node_intervals: Dict[NodeId, List[Tuple[float, float]]] = {
+            node: _compile_intervals(
+                events, NODE_CRASH, NODE_RECOVER, f"node {node!r}"
+            )
+            for node, events in per_node.items()
+        }
+        both_ways: Dict[Tuple[NodeId, NodeId], List[Tuple[float, float]]] = {}
+        for (u, v), events in per_link.items():
+            intervals = _compile_intervals(
+                events, LINK_DOWN, LINK_UP, f"link ({u!r}, {v!r})"
+            )
+            both_ways[(u, v)] = both_ways[(v, u)] = intervals
+        self._link_intervals = both_ways
+
+    # -- node state ----------------------------------------------------------
+
+    def node_timeline(self) -> List[Tuple[float, NodeId, str]]:
+        """All node crash/recover transitions, time-sorted.
+
+        The engine turns these into queue events; recover transitions at
+        infinity (never-recovering crashes) are not included.
+        """
+        timeline: List[Tuple[float, NodeId, str]] = []
+        for node, intervals in self._node_intervals.items():
+            for start, end in intervals:
+                timeline.append((start, node, NODE_CRASH))
+                if end != _INFINITY:
+                    timeline.append((end, node, NODE_RECOVER))
+        timeline.sort(key=lambda item: item[0])
+        return timeline
+
+    def is_node_down(self, node: NodeId, t: float) -> bool:
+        intervals = self._node_intervals.get(node)
+        return intervals is not None and _is_down(intervals, t)
+
+    def next_recovery(self, node: NodeId, t: float) -> Optional[float]:
+        """The end of the down interval covering ``t``, or None.
+
+        ``None`` means the node is either up at ``t`` or down forever.
+        """
+        intervals = self._node_intervals.get(node)
+        if not intervals:
+            return None
+        i = bisect_right(intervals, (t, _INFINITY)) - 1
+        if i < 0 or t >= intervals[i][1]:
+            return None
+        end = intervals[i][1]
+        return None if end == _INFINITY else end
+
+    def faulted_nodes(self) -> Tuple[NodeId, ...]:
+        return tuple(self._node_intervals)
+
+    # -- link state ----------------------------------------------------------
+
+    def is_link_down(self, u: NodeId, v: NodeId, t: float) -> bool:
+        intervals = self._link_intervals.get((u, v))
+        return intervals is not None and _is_down(intervals, t)
+
+    # -- per-message faults ---------------------------------------------------
+
+    def message_fate(
+        self, sender: NodeId, receiver: NodeId, send_time: float, seq: int
+    ) -> MessageFate:
+        """Drop / duplicate / delay-spike verdict for one message."""
+        schedule = self.schedule
+        if not schedule.has_message_faults:
+            return _CLEAN
+        seed = schedule.seed
+        if schedule.drop_probability > 0 and (
+            stable_uniform(seed, "drop", sender, receiver, send_time, seq)
+            < schedule.drop_probability
+        ):
+            return MessageFate(drop=True)
+        duplicate = schedule.duplicate_probability > 0 and (
+            stable_uniform(seed, "dup", sender, receiver, send_time, seq)
+            < schedule.duplicate_probability
+        )
+        extra = 0.0
+        if schedule.spike_probability > 0 and (
+            stable_uniform(seed, "spike", sender, receiver, send_time, seq)
+            < schedule.spike_probability
+        ):
+            extra = schedule.spike_delay
+        if not duplicate and extra == 0.0:
+            return _CLEAN
+        return MessageFate(duplicate=duplicate, extra_delay=extra)

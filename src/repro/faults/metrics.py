@@ -1,0 +1,140 @@
+"""Recovery-oriented metrics over fault-injected executions.
+
+All metrics are *exact*: clocks are piecewise-linear and the spread
+``max_v L_v − min_v L_v`` is convex on each common linearity interval
+(see :mod:`repro.sim.trace`), so evaluating at breakpoints is free of
+sampling error — including the time-to-resynchronize instant, which is
+the last breakpoint at which the spread still exceeds its bound.
+
+* :func:`fault_epochs` — maximal intervals of constant fault state;
+* :func:`per_epoch_skew` — exact global/local skew per epoch, showing
+  where skew is built (during a partition) and burned off (after);
+* :func:`time_to_resync` — how long after the last fault clears the
+  global skew needs to re-enter a bound (e.g. Theorem 5.5's ``G``);
+* :func:`loss_accounting` — where sent messages went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.schedule import FaultSchedule
+from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "EpochSkew",
+    "fault_epochs",
+    "per_epoch_skew",
+    "time_to_resync",
+    "loss_accounting",
+]
+
+
+@dataclass(frozen=True)
+class EpochSkew:
+    """Exact worst-case skews inside one fault epoch ``[start, end]``."""
+
+    start: float
+    end: float
+    global_skew: float
+    local_skew: float
+
+
+def fault_epochs(
+    schedule: FaultSchedule, horizon: float
+) -> List[Tuple[float, float]]:
+    """Split ``[0, horizon]`` at every fault event into epochs.
+
+    On each returned interval the set of downed nodes and links is
+    constant (probabilistic message faults remain active throughout).
+    """
+    cuts = [t for t in schedule.boundaries(horizon) if 0.0 < t < horizon]
+    times = [0.0] + cuts + [horizon]
+    return [
+        (times[i], times[i + 1])
+        for i in range(len(times) - 1)
+        if times[i + 1] > times[i]
+    ]
+
+
+def per_epoch_skew(
+    trace: ExecutionTrace, schedule: FaultSchedule
+) -> List[EpochSkew]:
+    """Exact global and local skew extrema within each fault epoch."""
+    return [
+        EpochSkew(
+            start=t0,
+            end=t1,
+            global_skew=trace.global_skew(t0, t1).value,
+            local_skew=trace.local_skew(t0, t1).value,
+        )
+        for t0, t1 in fault_epochs(schedule, trace.horizon)
+    ]
+
+
+def time_to_resync(
+    trace: ExecutionTrace,
+    bound: float,
+    clear_time: Optional[float] = None,
+    schedule: Optional[FaultSchedule] = None,
+) -> Optional[float]:
+    """Time after ``clear_time`` until the spread re-enters ``bound`` for good.
+
+    ``clear_time`` defaults to ``schedule.cleared_time()``.  Returns the
+    exact duration from ``clear_time`` to the last instant at which
+    ``max_v L_v − min_v L_v > bound`` (0.0 if the spread never exceeds the
+    bound after the clear), or ``None`` if the execution ends before the
+    system resynchronizes — the horizon was too short to observe recovery.
+
+    The spread is convex on each common linearity interval, so its
+    maximum over any interval is attained at the interval's endpoints;
+    checking every breakpoint (both one-sided limits) is therefore exact.
+    """
+    if clear_time is None:
+        if schedule is None:
+            raise ValueError("time_to_resync needs clear_time or schedule")
+        clear_time = schedule.cleared_time()
+    clear_time = min(max(clear_time, 0.0), trace.horizon)
+
+    points = {clear_time, trace.horizon}
+    for record in trace.logical.values():
+        points.update(record.breakpoints_in(clear_time, trace.horizon))
+    nodes = list(trace.logical)
+
+    def spread(t: float, left: bool) -> float:
+        values = [
+            trace.logical[n].value_left(t) if left else trace.logical[n].value(t)
+            for n in nodes
+        ]
+        return max(values) - min(values)
+
+    last_violation: Optional[float] = None
+    for t in sorted(points):
+        if spread(t, left=False) > bound or spread(t, left=True) > bound:
+            last_violation = t
+    if last_violation is None:
+        return 0.0
+    if last_violation >= trace.horizon:
+        return None  # still out of bound at the horizon
+    return last_violation - clear_time
+
+
+def loss_accounting(trace: ExecutionTrace) -> Dict[str, int]:
+    """Where the sent messages went, as a plain dict for reports."""
+    delivered = sum(trace.messages_received.values())
+    sent = trace.total_messages()
+    lost = (
+        trace.messages_dropped
+        + trace.messages_lost_link
+        + trace.messages_lost_crash
+    )
+    return {
+        "sent": sent,
+        "delivered": delivered,
+        "dropped": trace.messages_dropped,
+        "lost_link": trace.messages_lost_link,
+        "lost_crash": trace.messages_lost_crash,
+        "duplicated": trace.messages_duplicated,
+        "in_flight": sent + trace.messages_duplicated - delivered - lost,
+    }

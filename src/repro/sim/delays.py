@@ -247,7 +247,15 @@ class LossyDelay(DelayModel):
     refreshed by later messages — only the *effective* information delay
     grows, inflating skews roughly by the expected number of retries.
 
-    Deterministic per seed and per message (edge sequence number).
+    A thin adapter over the fault subsystem's per-message hashing
+    (:func:`repro.faults.hashing.stable_uniform`): each drop decision is a
+    pure function of ``(seed, edge, send_time, seq)``, so it is
+    independent of the order in which the engine asks — replays are
+    byte-identical across processes, worker counts, and cache states even
+    when unrelated model changes reorder sends.  For combined drop /
+    duplicate / delay-spike faults use a
+    :class:`~repro.faults.schedule.FaultSchedule` instead; this class
+    remains for delay-model composition (wrapping an arbitrary ``inner``).
     """
 
     def __init__(self, inner: DelayModel, loss: float, seed: int = 0):
@@ -256,9 +264,11 @@ class LossyDelay(DelayModel):
             raise ScheduleError(f"loss probability must be in [0, 1), got {loss}")
         self.inner = inner
         self.loss = float(loss)
-        self._rng = random.Random(seed)
+        self.seed = int(seed)
 
     def delay(self, sender, receiver, send_time, seq) -> float:
-        if self._rng.random() < self.loss:
+        from repro.faults.hashing import stable_uniform
+
+        if stable_uniform(self.seed, "loss", sender, receiver, send_time, seq) < self.loss:
             return DROP
         return self.inner.validated_delay(sender, receiver, send_time, seq)

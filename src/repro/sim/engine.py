@@ -17,11 +17,28 @@ Responsibilities:
   clock reaches the target value (possible because the adversary's rate
   schedule is fixed up front);
 * run invariant monitors after every event and return an
-  :class:`~repro.sim.trace.ExecutionTrace`.
+  :class:`~repro.sim.trace.ExecutionTrace`;
+* when a :class:`~repro.faults.schedule.FaultSchedule` is attached,
+  consult its compiled :class:`~repro.faults.injector.FaultInjector` on
+  every send and event (see "Fault semantics" below).
 
 Determinism: simultaneous events are processed in schedule order, so a
-given (topology, drift, delays, algorithm) tuple always reproduces the
-identical execution.
+given (topology, drift, delays, algorithm, faults) tuple always
+reproduces the identical execution.
+
+Fault semantics (robustness extension; docs/FAULTS.md)
+------------------------------------------------------
+* A *crashed* node processes no events.  Its hardware oscillator keeps
+  running; its logical clock free-runs at multiplier 1 from the crash
+  instant (both clocks therefore still satisfy Conditions (1)/(2)).
+* Messages delivered to a downed node are lost (``messages_lost_crash``);
+  messages sent over a downed link are lost (``messages_lost_link``).
+* Alarms and wake-ups that come due during an outage are *deferred*: they
+  fire once at the recovery instant (hardware timers survive the outage),
+  after :meth:`~repro.core.interfaces.AlgorithmNode.on_recover` — which
+  may re-arm them, superseding the deferred firing by generation.
+* Per-message drop / duplicate / delay-spike faults are decided by a
+  stable per-message hash, so they are independent of event order.
 """
 
 from __future__ import annotations
@@ -30,10 +47,19 @@ from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tupl
 
 from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
 from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import NODE_CRASH, FaultSchedule
 from repro.sim.clock import HardwareClock
 from repro.sim.delays import DROP, DelayModel
 from repro.sim.drift import DriftModel
-from repro.sim.events import AlarmEvent, DeliveryEvent, EventQueue, WakeEvent
+from repro.sim.events import (
+    AlarmEvent,
+    CrashEvent,
+    DeliveryEvent,
+    EventQueue,
+    RecoverEvent,
+    WakeEvent,
+)
 from repro.sim.trace import (
     ExecutionTrace,
     LogicalClockRecord,
@@ -59,6 +85,7 @@ class _NodeRuntime:
         "neighbors",
         "algorithm_node",
         "started",
+        "crashed",
         "hardware",
         "record",
         "rho",
@@ -73,6 +100,7 @@ class _NodeRuntime:
         self.neighbors = neighbors
         self.algorithm_node = algorithm_node
         self.started = False
+        self.crashed = False
         self.hardware: Optional[HardwareClock] = None
         self.record: Optional[LogicalClockRecord] = None
         self.rho = 1.0
@@ -162,6 +190,9 @@ class SimulationEngine:
     monitors:
         Objects with ``check(engine, node_id, time)`` called after every
         event (see :mod:`repro.sim.monitors`).
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule`; see the
+        module docstring's "Fault semantics".
     """
 
     def __init__(
@@ -175,6 +206,7 @@ class SimulationEngine:
         record_messages: bool = False,
         monitors: Sequence[Any] = (),
         max_events: int = DEFAULT_MAX_EVENTS,
+        faults: Optional[FaultSchedule] = None,
     ):
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
@@ -204,7 +236,23 @@ class SimulationEngine:
         self._probes: List[ProbeRecord] = []
         self._events_processed = 0
         self._messages_dropped = 0
+        self._messages_lost_link = 0
+        self._messages_lost_crash = 0
+        self._messages_duplicated = 0
         self._finished = False
+
+        self._injector: Optional[FaultInjector] = None
+        if faults is not None:
+            self._injector = FaultInjector(faults, topology)
+            # Fault transitions are pushed before wake events so a crash at
+            # time t is processed before a same-time wake (FIFO tie-break).
+            for time, node, kind in self._injector.node_timeline():
+                if time > self.horizon:
+                    continue
+                if kind == NODE_CRASH:
+                    self._queue.push(CrashEvent(time, node))
+                else:
+                    self._queue.push(RecoverEvent(time, node))
 
         if initiators is None:
             wake_times: Dict[NodeId, float] = {topology.nodes[0]: 0.0}
@@ -245,6 +293,10 @@ class SimulationEngine:
         """The algorithm's node object (for white-box assertions in tests)."""
         return self._runtimes[node].algorithm_node
 
+    def is_down(self, node: NodeId) -> bool:
+        """Whether the node is currently crashed (fault executions only)."""
+        return self._runtimes[node].crashed
+
     # -- internals ------------------------------------------------------------
 
     def _start_node(self, runtime: _NodeRuntime) -> None:
@@ -261,29 +313,48 @@ class SimulationEngine:
             )
         seq = runtime.edge_seq.get(neighbor, 0)
         runtime.edge_seq[neighbor] = seq + 1
-        delay = self.delay_model.validated_delay(
-            runtime.node_id, neighbor, self.now, seq
-        )
         bits = self.algorithm.payload_bits(payload)
         self._messages_sent[runtime.node_id] += 1
         self._bits_sent[runtime.node_id] += bits
+        injector = self._injector
+        if injector is not None and injector.is_link_down(
+            runtime.node_id, neighbor, self.now
+        ):
+            self._messages_lost_link += 1
+            return
+        delay = self.delay_model.validated_delay(
+            runtime.node_id, neighbor, self.now, seq
+        )
         if delay == DROP:
             self._messages_dropped += 1
             return
+        copies = 1
+        if injector is not None:
+            fate = injector.message_fate(runtime.node_id, neighbor, self.now, seq)
+            if fate.drop:
+                self._messages_dropped += 1
+                return
+            # A delay spike is applied after validation: exceeding T is the
+            # point — it violates the paper's timing assumption on purpose.
+            delay += fate.extra_delay
+            if fate.duplicate:
+                copies = 2
+                self._messages_duplicated += 1
         if self.record_messages:
             self._message_log.append(
                 MessageRecord(runtime.node_id, neighbor, self.now, delay, payload, bits)
             )
-        self._queue.push(
-            DeliveryEvent(
-                time=self.now + delay,
-                node=neighbor,
-                sender=runtime.node_id,
-                payload=payload,
-                send_time=self.now,
-                size_bits=bits,
+        for _ in range(copies):
+            self._queue.push(
+                DeliveryEvent(
+                    time=self.now + delay,
+                    node=neighbor,
+                    sender=runtime.node_id,
+                    payload=payload,
+                    send_time=self.now,
+                    size_bits=bits,
+                )
             )
-        )
 
     def _set_alarm(self, runtime: _NodeRuntime, name: str, hardware_value: float) -> None:
         if runtime.hardware is None:
@@ -306,10 +377,62 @@ class SimulationEngine:
             )
         )
 
+    def _apply_crash(self, runtime: _NodeRuntime) -> None:
+        runtime.crashed = True
+        if runtime.started and runtime.rho != 1.0:
+            # The logical clock free-runs at multiplier 1 during the outage,
+            # keeping it inside the Condition (2) envelope (α = 1 − ε ≤ 1).
+            runtime.record.checkpoint(self.now, 1.0)
+            runtime.rho = 1.0
+
+    def _apply_recovery(self, runtime: _NodeRuntime) -> None:
+        runtime.crashed = False
+        if runtime.started:
+            runtime.algorithm_node.on_recover(self._contexts[runtime.node_id])
+
+    def _defer_to_recovery(self, event) -> None:
+        """Re-queue a wake/alarm that came due during an outage.
+
+        It fires at the recovery instant (after ``on_recover``, which was
+        queued earlier and therefore pops first at equal time); if the node
+        never recovers, the event is dropped.
+        """
+        recovery = self._injector.next_recovery(event.node, self.now)
+        if recovery is None or recovery > self.horizon:
+            return
+        if isinstance(event, AlarmEvent):
+            self._queue.push(
+                AlarmEvent(
+                    time=recovery,
+                    node=event.node,
+                    name=event.name,
+                    generation=event.generation,
+                    hardware_value=event.hardware_value,
+                )
+            )
+        else:
+            self._queue.push(WakeEvent(recovery, event.node))
+
     def _process_event(self, event) -> None:
         runtime = self._runtimes[event.node]
         ctx = self._contexts[event.node]
-        if isinstance(event, WakeEvent):
+        if isinstance(event, CrashEvent):
+            self._apply_crash(runtime)
+        elif isinstance(event, RecoverEvent):
+            self._apply_recovery(runtime)
+        elif runtime.crashed:
+            if isinstance(event, DeliveryEvent):
+                self._messages_lost_crash += 1
+            elif isinstance(event, AlarmEvent):
+                if runtime.alarm_generations.get(event.name, 0) == event.generation:
+                    self._defer_to_recovery(event)
+            elif isinstance(event, WakeEvent):
+                if not runtime.started:
+                    self._defer_to_recovery(event)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event type {type(event).__name__}")
+            return
+        elif isinstance(event, WakeEvent):
             if not runtime.started:
                 self._start_node(runtime)
         elif isinstance(event, DeliveryEvent):
@@ -371,4 +494,7 @@ class SimulationEngine:
             probes=self._probes,
             events_processed=self._events_processed,
             messages_dropped=self._messages_dropped,
+            messages_lost_link=self._messages_lost_link,
+            messages_lost_crash=self._messages_lost_crash,
+            messages_duplicated=self._messages_duplicated,
         )

@@ -3,7 +3,9 @@
 The paper's model is fully asynchronous: node actions are triggered either
 by message receipt (Algorithm 2) or by the local hardware clock reaching a
 target value (Algorithms 1 and 4).  The simulation therefore needs exactly
-three event kinds — node wake-up, message delivery, and hardware alarm.
+three event kinds — node wake-up, message delivery, and hardware alarm —
+plus two *fault* transitions (node crash and node recovery) for the
+robustness extension of :mod:`repro.faults`.
 
 Determinism matters for reproducibility of adversarial executions:
 simultaneous events are ordered by a monotone sequence number, so a given
@@ -19,7 +21,15 @@ from typing import Any, Hashable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["Event", "WakeEvent", "DeliveryEvent", "AlarmEvent", "EventQueue"]
+__all__ = [
+    "Event",
+    "WakeEvent",
+    "DeliveryEvent",
+    "AlarmEvent",
+    "CrashEvent",
+    "RecoverEvent",
+    "EventQueue",
+]
 
 NodeId = Hashable
 
@@ -59,6 +69,21 @@ class AlarmEvent(Event):
     name: str = ""
     generation: int = 0
     hardware_value: float = 0.0
+
+
+@dataclass(frozen=True)
+class CrashEvent(Event):
+    """``node`` crashes: it stops processing events until it recovers.
+
+    Derived from a :class:`~repro.faults.schedule.FaultSchedule`; pushed
+    at engine construction so a crash at time ``t`` is processed before
+    any same-time wake, delivery, or alarm pushed later.
+    """
+
+
+@dataclass(frozen=True)
+class RecoverEvent(Event):
+    """``node`` recovers from a crash and resumes processing (stale state)."""
 
 
 @dataclass(order=True)

@@ -14,6 +14,7 @@ from typing import Hashable, Iterable, Optional, Sequence
 from repro.core.interfaces import Algorithm
 from repro.core.node import AoptAlgorithm
 from repro.core.params import SyncParams
+from repro.faults.schedule import FaultSchedule
 from repro.sim.delays import ConstantDelay, DelayModel
 from repro.sim.drift import ConstantDrift, DriftModel
 from repro.sim.engine import SimulationEngine
@@ -44,6 +45,7 @@ def run_execution(
     initiators: Optional[Iterable[NodeId]] = None,
     record_messages: bool = False,
     monitors: Sequence = (),
+    faults: Optional[FaultSchedule] = None,
 ) -> ExecutionTrace:
     """Build a :class:`SimulationEngine`, run it, and return the trace."""
     engine = SimulationEngine(
@@ -55,6 +57,7 @@ def run_execution(
         initiators=initiators,
         record_messages=record_messages,
         monitors=monitors,
+        faults=faults,
     )
     return engine.run()
 

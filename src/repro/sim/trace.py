@@ -215,6 +215,9 @@ class ExecutionTrace:
     probes: List[ProbeRecord] = field(default_factory=list)
     events_processed: int = 0
     messages_dropped: int = 0
+    messages_lost_link: int = 0
+    messages_lost_crash: int = 0
+    messages_duplicated: int = 0
 
     # -- point queries -------------------------------------------------------
 

@@ -12,6 +12,9 @@
   real-time source node.
 * :mod:`repro.variants.envelope` — §8.6: the hardware-clock envelope
   condition.
+* :mod:`repro.variants.fault_tolerant` — robustness extension: estimate
+  expiry and recovery re-initialization for fault-injected executions
+  (see :mod:`repro.faults` and ``docs/FAULTS.md``).
 """
 
 from repro.variants.adaptive_delay import AdaptiveDelayAoptAlgorithm
@@ -20,11 +23,13 @@ from repro.variants.bounded_delays import BoundedDelayAoptAlgorithm, bounded_del
 from repro.variants.discrete import DiscreteAoptAlgorithm, discrete_params
 from repro.variants.envelope import HardwareEnvelopeAoptAlgorithm
 from repro.variants.external import ExternalAoptAlgorithm
+from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm
 from repro.variants.jump_aopt import JumpAoptAlgorithm
 from repro.variants.min_gap import MinGapAoptAlgorithm
 
 __all__ = [
     "AdaptiveDelayAoptAlgorithm",
+    "FaultTolerantAoptAlgorithm",
     "MinGapAoptAlgorithm",
     "BitBudgetAoptAlgorithm",
     "bit_budget_params",

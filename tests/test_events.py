@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.events import AlarmEvent, DeliveryEvent, EventQueue, WakeEvent
+from repro.sim.events import (
+    AlarmEvent,
+    CrashEvent,
+    DeliveryEvent,
+    EventQueue,
+    RecoverEvent,
+    WakeEvent,
+)
 
 
 class TestOrdering:
@@ -63,6 +70,30 @@ class TestDrain:
         assert (kept, dropped) == (2, 2)
         assert queue.pop().time == 1.0
 
+    def test_event_exactly_at_horizon_kept(self):
+        # The horizon is inclusive: an event due exactly at the horizon
+        # still happens (the engine's last instant is simulated).
+        queue = EventQueue()
+        for t in (1.0, 3.0, 3.0000000001):
+            queue.push(WakeEvent(t, "n"))
+        kept, dropped = queue.drain_until(3.0)
+        assert (kept, dropped) == (2, 1)
+        times = [queue.pop().time for _ in range(2)]
+        assert times == [1.0, 3.0]
+
+    def test_drain_preserves_order_of_survivors(self):
+        queue = EventQueue()
+        queue.push(WakeEvent(2.0, "late"))
+        queue.push(WakeEvent(1.0, "a"))
+        queue.push(WakeEvent(1.0, "b"))  # FIFO tie with "a"
+        queue.push(WakeEvent(9.0, "dropped"))
+        kept, dropped = queue.drain_until(5.0)
+        assert (kept, dropped) == (3, 1)
+        assert [queue.pop().node for _ in range(3)] == ["a", "b", "late"]
+
+    def test_drain_empty_queue(self):
+        assert EventQueue().drain_until(10.0) == (0, 0)
+
 
 class TestEventTypes:
     def test_delivery_event_fields(self):
@@ -76,3 +107,15 @@ class TestEventTypes:
         event = AlarmEvent(time=1.0, node="a", name="send", generation=3)
         assert event.name == "send"
         assert event.generation == 3
+
+    @pytest.mark.faults
+    def test_fault_events_queue_like_any_other(self):
+        queue = EventQueue()
+        queue.push(WakeEvent(2.0, "a"))
+        queue.push(CrashEvent(2.0, "a"))
+        queue.push(RecoverEvent(5.0, "a"))
+        # Same-time crash pushed after the wake pops after it (FIFO); the
+        # engine avoids this by pushing fault transitions first.
+        assert isinstance(queue.pop(), WakeEvent)
+        assert isinstance(queue.pop(), CrashEvent)
+        assert isinstance(queue.pop(), RecoverEvent)

@@ -1,0 +1,717 @@
+"""Tests for the fault-injection subsystem.
+
+Covers the declarative :class:`FaultSchedule`, the compiled
+:class:`FaultInjector`, the engine's crash/link/message-fault semantics,
+the recovery metrics, the recovery-aware ``aopt-ft`` variant, and — the
+acceptance criterion for the subsystem — that a fault-injected spec
+replays byte-identically through the :class:`SweepExecutor` across
+worker counts and cache states.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError, ScheduleError
+from repro.exec import ExecutionSpec, ResultCache, SweepExecutor
+from repro.faults import (
+    FaultInjector,
+    FaultSchedule,
+    fault_epochs,
+    loss_accounting,
+    per_epoch_skew,
+    stable_uniform,
+    time_to_resync,
+)
+from repro.sim.delays import ConstantDelay, LossyDelay
+from repro.sim.drift import ConstantDrift, TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import run_execution
+from repro.topology.generators import line
+from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm
+
+from tests.test_engine import ScriptedAlgorithm
+
+pytestmark = pytest.mark.faults
+
+PARAMS = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+HORIZON = 40.0
+
+
+# ---------------------------------------------------------------------------
+# per-message hashing
+# ---------------------------------------------------------------------------
+
+
+class TestStableUniform:
+    def test_deterministic(self):
+        assert stable_uniform(7, "drop", 0, 1, 2.5, 3) == stable_uniform(
+            7, "drop", 0, 1, 2.5, 3
+        )
+
+    def test_range_and_spread(self):
+        values = [stable_uniform(0, "x", i) for i in range(2000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55  # roughly uniform
+
+    def test_key_sensitivity(self):
+        base = stable_uniform(0, "drop", 0, 1, 2.0, 5)
+        assert base != stable_uniform(1, "drop", 0, 1, 2.0, 5)  # seed
+        assert base != stable_uniform(0, "dup", 0, 1, 2.0, 5)  # kind
+        assert base != stable_uniform(0, "drop", 1, 0, 2.0, 5)  # direction
+        assert base != stable_uniform(0, "drop", 0, 1, 2.5, 5)  # send time
+        assert base != stable_uniform(0, "drop", 0, 1, 2.0, 6)  # seq
+
+    def test_order_independent(self):
+        # The variate depends only on its own key — evaluating other keys
+        # first (in any order) cannot change it, unlike a shared RNG stream.
+        alone = stable_uniform(3, "drop", 4, 5, 1.0, 0)
+        for i in range(50):
+            stable_uniform(3, "drop", i, i + 1, float(i), i)
+        assert stable_uniform(3, "drop", 4, 5, 1.0, 0) == alone
+
+
+# ---------------------------------------------------------------------------
+# schedule validation and queries
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSchedule:
+    def test_probabilities_validated(self):
+        with pytest.raises(ScheduleError, match="drop_probability"):
+            FaultSchedule(drop_probability=1.0)
+        with pytest.raises(ScheduleError, match="duplicate_probability"):
+            FaultSchedule(duplicate_probability=-0.1)
+        with pytest.raises(ScheduleError, match="spike_delay"):
+            FaultSchedule(spike_probability=0.5)  # no spike_delay
+        with pytest.raises(ScheduleError, match="non-negative"):
+            FaultSchedule().crash(0, at=-1.0)
+
+    def test_builders_chain(self):
+        schedule = (
+            FaultSchedule()
+            .crash(3, at=5.0, until=8.0)
+            .link_down(0, 1, at=2.0, until=4.0)
+        )
+        assert (5.0, 3, "crash") in schedule.node_events
+        assert (8.0, 3, "recover") in schedule.node_events
+        assert (2.0, (0, 1), "link-down") in schedule.link_events
+        assert (4.0, (0, 1), "link-up") in schedule.link_events
+
+    def test_partition_takes_down_every_cut_edge(self):
+        schedule = FaultSchedule().partition([(0, 1), (2, 3)], at=1.0, until=2.0)
+        assert len(schedule.link_events) == 4
+
+    def test_boundaries_and_cleared_time(self):
+        schedule = (
+            FaultSchedule()
+            .crash(0, at=5.0, until=8.0)
+            .link_down(1, 2, at=5.0, until=50.0)
+        )
+        assert schedule.boundaries(20.0) == [5.0, 8.0]  # 50 beyond horizon
+        assert schedule.cleared_time() == 50.0
+        assert FaultSchedule().cleared_time() == 0.0
+
+    def test_has_message_faults(self):
+        assert not FaultSchedule().has_message_faults
+        assert not FaultSchedule().crash(0, at=1.0).has_message_faults
+        assert FaultSchedule(drop_probability=0.1).has_message_faults
+        assert FaultSchedule(
+            spike_probability=0.1, spike_delay=1.0
+        ).has_message_faults
+
+    def test_random_crash_cycles_deterministic(self):
+        nodes = list(range(5))
+        a = FaultSchedule.random_crash_cycles(
+            nodes, crash_rate=0.05, mean_downtime=3.0, horizon=200.0, seed=9
+        )
+        b = FaultSchedule.random_crash_cycles(
+            list(reversed(nodes)),  # iteration order must not matter
+            crash_rate=0.05,
+            mean_downtime=3.0,
+            horizon=200.0,
+            seed=9,
+        )
+        assert sorted(a.node_events) == sorted(b.node_events)
+        assert a.node_events  # rate high enough to fire within the horizon
+        c = FaultSchedule.random_crash_cycles(
+            nodes, crash_rate=0.05, mean_downtime=3.0, horizon=200.0, seed=10
+        )
+        assert sorted(a.node_events) != sorted(c.node_events)
+
+    def test_random_crash_cycles_validation(self):
+        with pytest.raises(ScheduleError, match="crash_rate"):
+            FaultSchedule.random_crash_cycles([0], 0.0, 1.0, 10.0)
+        with pytest.raises(ScheduleError, match="mean_downtime"):
+            FaultSchedule.random_crash_cycles([0], 0.1, 0.0, 10.0)
+
+
+# ---------------------------------------------------------------------------
+# injector compilation and lookups
+# ---------------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_half_open_interval_semantics(self):
+        injector = FaultInjector(FaultSchedule().crash(0, at=2.0, until=5.0))
+        assert not injector.is_node_down(0, 1.999)
+        assert injector.is_node_down(0, 2.0)  # down at the crash instant
+        assert injector.is_node_down(0, 4.999)
+        assert not injector.is_node_down(0, 5.0)  # up at the recovery instant
+        assert not injector.is_node_down(1, 2.0)  # unfaulted node
+
+    def test_crash_forever(self):
+        injector = FaultInjector(FaultSchedule().crash(0, at=2.0))
+        assert injector.is_node_down(0, 1e9)
+        assert injector.next_recovery(0, 3.0) is None  # down forever
+
+    def test_next_recovery(self):
+        injector = FaultInjector(
+            FaultSchedule().crash(0, at=2.0, until=5.0).crash(0, at=8.0, until=9.0)
+        )
+        assert injector.next_recovery(0, 3.0) == 5.0
+        assert injector.next_recovery(0, 8.5) == 9.0
+        assert injector.next_recovery(0, 6.0) is None  # currently up
+        assert injector.next_recovery(1, 3.0) is None  # never faulted
+
+    def test_link_down_both_orientations(self):
+        injector = FaultInjector(FaultSchedule().link_down(0, 1, at=1.0, until=2.0))
+        assert injector.is_link_down(0, 1, 1.5)
+        assert injector.is_link_down(1, 0, 1.5)  # undirected
+        assert not injector.is_link_down(0, 1, 2.0)
+        # Mixed orientations in the schedule pair up.
+        mixed = FaultInjector(
+            FaultSchedule().link_down(0, 1, at=1.0).link_up(1, 0, at=3.0)
+        )
+        assert mixed.is_link_down(0, 1, 2.0)
+        assert not mixed.is_link_down(1, 0, 3.0)
+
+    def test_alternation_violations_rejected(self):
+        with pytest.raises(ScheduleError, match="already down"):
+            FaultInjector(FaultSchedule().crash(0, at=1.0).crash(0, at=2.0))
+        with pytest.raises(ScheduleError, match="without a prior"):
+            FaultInjector(FaultSchedule().recover(0, at=2.0))
+        with pytest.raises(ScheduleError, match="without a prior"):
+            # Events are time-sorted before compiling, so an out-of-order
+            # recover surfaces as a recover with no crash before it.
+            FaultInjector(FaultSchedule().crash(0, at=5.0).recover(0, at=1.0))
+
+    def test_topology_validation(self):
+        topology = line(3)
+        FaultInjector(FaultSchedule().crash(2, at=1.0), topology)  # fine
+        with pytest.raises(ScheduleError, match="unknown node"):
+            FaultInjector(FaultSchedule().crash(99, at=1.0), topology)
+        with pytest.raises(ScheduleError, match="unknown link"):
+            # 0 and 2 are both real nodes but not adjacent on a line.
+            FaultInjector(FaultSchedule().link_down(0, 2, at=1.0), topology)
+
+    def test_node_timeline_sorted_without_infinity(self):
+        injector = FaultInjector(
+            FaultSchedule().crash(1, at=5.0, until=7.0).crash(0, at=2.0)
+        )
+        timeline = injector.node_timeline()
+        assert timeline == [
+            (2.0, 0, "crash"),
+            (5.0, 1, "crash"),
+            (7.0, 1, "recover"),
+        ]
+
+    def test_message_fate_clean_without_message_faults(self):
+        injector = FaultInjector(FaultSchedule().crash(0, at=1.0))
+        fate = injector.message_fate(0, 1, 2.0, 0)
+        assert not fate.drop and not fate.duplicate and fate.extra_delay == 0.0
+
+    def test_message_fate_thresholds(self):
+        # Pick probabilities that straddle the known hash value of one
+        # message key, making each verdict deterministic.
+        u_drop = stable_uniform(11, "drop", 0, 1, 2.0, 3)
+        dropping = FaultInjector(
+            FaultSchedule(drop_probability=min(u_drop * 1.01, 0.999), seed=11)
+        )
+        sparing = FaultInjector(
+            FaultSchedule(drop_probability=u_drop * 0.99, seed=11)
+        )
+        assert dropping.message_fate(0, 1, 2.0, 3).drop
+        assert not sparing.message_fate(0, 1, 2.0, 3).drop
+
+        u_dup = stable_uniform(11, "dup", 0, 1, 2.0, 3)
+        u_spike = stable_uniform(11, "spike", 0, 1, 2.0, 3)
+        both = FaultInjector(
+            FaultSchedule(
+                duplicate_probability=min(u_dup * 1.01, 0.999),
+                spike_probability=min(u_spike * 1.01, 0.999),
+                spike_delay=4.0,
+                seed=11,
+            )
+        )
+        fate = both.message_fate(0, 1, 2.0, 3)
+        assert fate.duplicate and fate.extra_delay == 4.0 and not fate.drop
+
+
+# ---------------------------------------------------------------------------
+# engine semantics
+# ---------------------------------------------------------------------------
+
+
+def _run_engine(topology, algorithm, faults, horizon=10.0, **kwargs):
+    engine = SimulationEngine(
+        topology,
+        algorithm,
+        ConstantDrift(0.01),
+        ConstantDelay(0.5),
+        horizon,
+        faults=faults,
+        **kwargs,
+    )
+    return engine, engine.run()
+
+
+class TestEngineFaults:
+    def test_link_down_loses_sends_exactly(self):
+        # Both nodes start at t=0 and broadcast once; the only link is down.
+        algo = ScriptedAlgorithm(on_start=lambda node, ctx: ctx.send_all(("x",)))
+        _, trace = _run_engine(
+            line(2),
+            algo,
+            FaultSchedule().link_down(0, 1, at=0.0),
+            initiators={0: 0.0, 1: 0.0},
+        )
+        assert trace.messages_lost_link == 2
+        assert sum(trace.messages_sent.values()) == 2  # sends still counted
+        assert sum(trace.messages_received.values()) == 0
+        assert trace.messages_dropped == 0
+
+    def test_delivery_to_crashed_node_lost_exactly(self):
+        algo = ScriptedAlgorithm(
+            on_start=lambda node, ctx: (
+                ctx.send_all(("x",)) if ctx.node_id == 0 else None
+            )
+        )
+        engine, trace = _run_engine(
+            line(2),
+            algo,
+            FaultSchedule().crash(1, at=0.25, until=5.0),
+            initiators={0: 0.0, 1: 0.0},
+        )
+        # Sent at t=0 over a healthy link, due at t=0.5 while node 1 is down.
+        assert trace.messages_lost_crash == 1
+        assert sum(trace.messages_received.values()) == 0
+        assert not engine.is_down(1)  # recovered by the horizon
+
+    def test_crashed_node_free_runs_at_rate_one(self):
+        def on_start(node, ctx):
+            ctx.set_rate_multiplier(2.0)
+
+        algo = ScriptedAlgorithm(on_start=on_start)
+        engine, trace = _run_engine(
+            line(2),
+            algo,
+            FaultSchedule().crash(0, at=1.0),  # down forever
+            initiators={0: 0.0, 1: 0.0},
+        )
+        assert engine.is_down(0)
+        # Before the crash the logical clock runs at 2x hardware; after, 1x.
+        hw = trace.hardware[0]
+        lg = trace.logical[0]
+        assert lg.value(0.9) == pytest.approx(2 * hw.value(0.9))
+        assert lg.value(3.0) - lg.value(2.0) == pytest.approx(
+            hw.value(3.0) - hw.value(2.0)
+        )
+
+    def test_alarm_due_during_outage_fires_at_recovery(self):
+        def on_start(node, ctx):
+            if ctx.node_id == 0:
+                ctx.set_alarm("ping", 2.0)
+
+        algo = ScriptedAlgorithm(on_start=on_start)
+        _run_engine(
+            line(2),
+            algo,
+            FaultSchedule().crash(0, at=1.0, until=5.0),
+            initiators={0: 0.0, 1: 0.0},
+        )
+        fired = [e for e in algo.nodes[0].events if e[0] == "alarm"]
+        # Due at hardware 2.0 (wall ~2), swallowed by the outage, fired
+        # exactly once at the recovery instant (wall 5).
+        assert len(fired) == 1
+        _, name, hardware = fired[0]
+        assert name == "ping"
+        assert 4.9 < hardware < 5.2
+
+    def test_alarm_deferred_into_never_recovering_crash_is_dropped(self):
+        def on_start(node, ctx):
+            if ctx.node_id == 0:
+                ctx.set_alarm("ping", 2.0)
+
+        algo = ScriptedAlgorithm(on_start=on_start)
+        _run_engine(
+            line(2),
+            algo,
+            FaultSchedule().crash(0, at=1.0),
+            initiators={0: 0.0, 1: 0.0},
+        )
+        assert not [e for e in algo.nodes[0].events if e[0] == "alarm"]
+
+    def test_wake_during_outage_defers_start_to_recovery(self):
+        algo = ScriptedAlgorithm()  # sends nothing
+        _, trace = _run_engine(
+            line(2),
+            algo,
+            FaultSchedule().crash(1, at=1.0, until=4.0),
+            initiators={0: 0.0, 1: 2.0},
+        )
+        assert trace.start_times[0] == 0.0
+        assert trace.start_times[1] == 4.0  # deferred from 2.0
+
+    def test_on_recover_invoked_with_context(self):
+        recovered = []
+
+        class _Algo(ScriptedAlgorithm):
+            def make_node(self, node_id, neighbors):
+                node = super().make_node(node_id, neighbors)
+                node.on_recover = lambda ctx: recovered.append(
+                    (ctx.node_id, ctx.hardware())
+                )
+                return node
+
+        _run_engine(
+            line(2),
+            _Algo(),
+            FaultSchedule().crash(0, at=1.0, until=3.0),
+            initiators={0: 0.0, 1: 0.0},
+        )
+        assert len(recovered) == 1
+        node_id, hardware = recovered[0]
+        assert node_id == 0
+        assert 2.9 < hardware < 3.1  # hardware kept running through the outage
+
+    def test_crash_before_start_does_not_invoke_on_recover(self):
+        recovered = []
+
+        class _Algo(ScriptedAlgorithm):
+            def make_node(self, node_id, neighbors):
+                node = super().make_node(node_id, neighbors)
+                node.on_recover = lambda ctx: recovered.append(ctx.node_id)
+                return node
+
+        # Node 1 wakes at 2.0 but is down [0.5, 1.5): never started while
+        # crashed, so recovery has no state to re-initialize.
+        _, trace = _run_engine(
+            line(2),
+            _Algo(),
+            FaultSchedule().crash(1, at=0.5, until=1.5),
+            initiators={0: 0.0, 1: 2.0},
+        )
+        assert recovered == []
+        assert trace.start_times[1] == 2.0
+
+    def test_duplicate_and_spike_accounting(self):
+        # High probabilities over a real A^opt run: duplicates add copies
+        # and spikes may exceed the delay bound without tripping validation.
+        schedule = FaultSchedule(
+            duplicate_probability=0.5,
+            spike_probability=0.3,
+            spike_delay=3.0,  # 6x the delay bound — deliberate violation
+            seed=4,
+        )
+        engine = SimulationEngine(
+            line(3),
+            AoptAlgorithm(PARAMS),
+            ConstantDrift(0.01),
+            ConstantDelay(0.5),
+            30.0,
+            faults=schedule,
+            record_messages=True,
+        )
+        trace = engine.run()
+        assert trace.messages_duplicated > 0
+        spiked = [m for m in trace.message_log if m.delay > 0.5]
+        assert spiked and max(m.delay for m in spiked) == pytest.approx(3.5)
+        accounting = loss_accounting(trace)
+        assert accounting["delivered"] == (
+            accounting["sent"]
+            + accounting["duplicated"]
+            - accounting["dropped"]
+            - accounting["lost_link"]
+            - accounting["lost_crash"]
+            - accounting["in_flight"]
+        )
+
+    def test_fault_run_is_deterministic(self):
+        schedule = FaultSchedule(
+            drop_probability=0.2, duplicate_probability=0.1, seed=3
+        ).crash(1, at=5.0, until=12.0)
+        spec = ExecutionSpec(
+            line(3),
+            AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0]),
+            ConstantDelay(1.0),
+            HORIZON,
+            faults=schedule,
+        )
+        assert pickle.dumps(spec.run_summary()) == pickle.dumps(spec.run_summary())
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_fault_epochs(self):
+        schedule = FaultSchedule().crash(0, at=3.0, until=7.0).link_down(
+            0, 1, at=7.0, until=50.0
+        )
+        assert fault_epochs(schedule, 10.0) == [(0.0, 3.0), (3.0, 7.0), (7.0, 10.0)]
+        assert fault_epochs(FaultSchedule(), 10.0) == [(0.0, 10.0)]
+
+    def test_per_epoch_skew_covers_horizon(self):
+        schedule = FaultSchedule().link_down(1, 2, at=10.0, until=20.0)
+        trace = run_execution(
+            line(4),
+            AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0, 1]),
+            ConstantDelay(1.0),
+            HORIZON,
+            faults=schedule,
+        )
+        epochs = per_epoch_skew(trace, schedule)
+        assert [e.start for e in epochs] == [0.0, 10.0, 20.0]
+        assert epochs[-1].end == HORIZON
+        # Skew builds while partitioned, beyond the clean first epoch.
+        assert epochs[1].global_skew > epochs[0].global_skew
+        for epoch in epochs:
+            assert epoch.global_skew >= epoch.local_skew >= 0.0
+
+    def test_time_to_resync_clean_run_is_zero(self):
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0]),
+            ConstantDelay(1.0),
+            HORIZON,
+        )
+        huge = 1e9
+        assert time_to_resync(trace, huge, clear_time=0.0) == 0.0
+
+    def test_time_to_resync_never_recovering_is_none(self):
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0]),
+            ConstantDelay(1.0),
+            HORIZON,
+        )
+        # An unattainable bound: the spread is still "violating" at the
+        # horizon, so recovery was not observed.
+        assert time_to_resync(trace, -1.0, clear_time=0.0) is None
+
+    def test_time_to_resync_requires_anchor(self):
+        trace = run_execution(
+            line(2), AoptAlgorithm(PARAMS), ConstantDrift(0.01),
+            ConstantDelay(1.0), 10.0,
+        )
+        with pytest.raises(ValueError, match="clear_time or schedule"):
+            time_to_resync(trace, 1.0)
+
+    def test_time_to_resync_measures_recovery_window(self):
+        schedule = FaultSchedule().link_down(1, 2, at=10.0, until=20.0)
+        trace = run_execution(
+            line(4),
+            AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0, 1]),
+            ConstantDelay(1.0),
+            120.0,
+            faults=schedule,
+        )
+        peak = trace.global_skew(10.0, 30.0).value
+        steady = trace.global_skew(80.0, 120.0).value
+        assert peak > steady  # the partition did damage that healed
+        bound = (peak + steady) / 2
+        ttr = time_to_resync(trace, bound, schedule=schedule)
+        assert ttr is not None and 0.0 < ttr < 60.0
+
+
+# ---------------------------------------------------------------------------
+# recovery-aware variant
+# ---------------------------------------------------------------------------
+
+
+class TestFaultTolerantVariant:
+    def test_staleness_timeout_validated(self):
+        with pytest.raises(ConfigurationError, match="staleness_timeout"):
+            FaultTolerantAoptAlgorithm(PARAMS, staleness_timeout=PARAMS.h0)
+        algo = FaultTolerantAoptAlgorithm(PARAMS)
+        assert algo.staleness_timeout == pytest.approx(4 * PARAMS.h0)
+        assert algo.name == "aopt-ft"
+
+    def test_estimates_of_dead_neighbor_expire(self):
+        horizon = 15.0 + 8 * PARAMS.h0
+        engine = SimulationEngine(
+            line(2),
+            FaultTolerantAoptAlgorithm(PARAMS),
+            ConstantDrift(0.01),
+            ConstantDelay(0.5),
+            horizon,
+            faults=FaultSchedule().crash(1, at=10.0),  # down forever
+        )
+        engine.run()
+        survivor = engine.node_state(0)
+        assert survivor._estimates == {}  # the dead neighbor was forgotten
+        assert survivor._raw_received == {}
+
+    def test_plain_aopt_keeps_stale_estimates(self):
+        # The contrast that motivates the variant: without expiry the
+        # survivor keeps chasing a ghost.
+        horizon = 15.0 + 8 * PARAMS.h0
+        engine = SimulationEngine(
+            line(2),
+            AoptAlgorithm(PARAMS),
+            ConstantDrift(0.01),
+            ConstantDelay(0.5),
+            horizon,
+            faults=FaultSchedule().crash(1, at=10.0),
+        )
+        engine.run()
+        assert 1 in engine.node_state(0)._estimates
+
+    def test_recovery_rebroadcast_reintegrates_node(self):
+        # A node that crashes mid-run rejoins and the spread returns under
+        # the steady-state level within the horizon.
+        schedule = FaultSchedule().crash(2, at=12.0, until=12.0 + 5 * PARAMS.h0)
+        trace = run_execution(
+            line(4),
+            FaultTolerantAoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0, 1]),
+            ConstantDelay(1.0),
+            120.0,
+            faults=schedule,
+        )
+        steady = trace.global_skew(90.0, 120.0).value
+        ttr = time_to_resync(trace, steady * 1.5, schedule=schedule)
+        assert ttr is not None
+
+
+# ---------------------------------------------------------------------------
+# spec digests and byte-identical replay (acceptance)
+# ---------------------------------------------------------------------------
+
+
+def _fault_spec(**overrides):
+    schedule = (
+        FaultSchedule(
+            drop_probability=0.1,
+            duplicate_probability=0.05,
+            spike_probability=0.05,
+            spike_delay=2.0,
+            seed=7,
+        )
+        .crash(2, at=8.0, until=16.0)
+        .link_down(0, 1, at=10.0, until=20.0)
+    )
+    settings = dict(
+        topology=line(5),
+        algorithm=FaultTolerantAoptAlgorithm(PARAMS),
+        drift=TwoGroupDrift(0.05, [0, 1]),
+        delay=ConstantDelay(1.0),
+        horizon=HORIZON,
+        check_invariants=True,
+        params=PARAMS,
+        faults=schedule,
+        label="faulted/line/aopt-ft",
+    )
+    settings.update(overrides)
+    return ExecutionSpec(**settings)
+
+
+class TestSpecDigest:
+    def test_faults_enter_the_digest(self):
+        assert _fault_spec().digest() != _fault_spec(faults=None).digest()
+        moved = (
+            FaultSchedule(
+                drop_probability=0.1,
+                duplicate_probability=0.05,
+                spike_probability=0.05,
+                spike_delay=2.0,
+                seed=7,
+            )
+            .crash(2, at=8.5, until=16.0)  # one fault time nudged
+            .link_down(0, 1, at=10.0, until=20.0)
+        )
+        assert _fault_spec().digest() != _fault_spec(faults=moved).digest()
+
+    def test_same_schedule_same_digest(self):
+        assert _fault_spec().digest() == _fault_spec().digest()
+        relabeled = _fault_spec(label="other-name")
+        assert _fault_spec().digest() == relabeled.digest()
+
+    def test_probability_change_changes_digest(self):
+        other = FaultSchedule(drop_probability=0.2, seed=7)
+        base = FaultSchedule(drop_probability=0.1, seed=7)
+        assert _fault_spec(faults=base).digest() != _fault_spec(faults=other).digest()
+
+
+def _assert_byte_identical(reference, candidates):
+    for outcomes in candidates:
+        assert len(outcomes) == len(reference)
+        for r, o in zip(reference, outcomes):
+            assert r.index == o.index
+            assert r.error == o.error
+            assert pickle.dumps(r.summary) == pickle.dumps(o.summary), (
+                f"summary mismatch for {r.spec.label}"
+            )
+
+
+class TestFaultReplayAcceptance:
+    """A fault-injected execution replays byte-identically (ISSUE acceptance)."""
+
+    def test_workers_and_cache_states_agree(self, tmp_path):
+        specs = [
+            _fault_spec(),
+            _fault_spec(algorithm=AoptAlgorithm(PARAMS), label="faulted/plain"),
+        ]
+        serial = SweepExecutor(workers=1).run(specs)
+        assert all(o.ok for o in serial)
+        for outcome in serial:
+            assert outcome.summary.messages_dropped > 0  # faults really fired
+            assert outcome.summary.messages_lost_link > 0
+
+        parallel = SweepExecutor(workers=4).run(specs)
+
+        cache = ResultCache(tmp_path)
+        cold = SweepExecutor(workers=1, cache=cache).run(specs)
+        warm = SweepExecutor(workers=4, cache=cache).run(
+            [_fault_spec(), _fault_spec(algorithm=AoptAlgorithm(PARAMS))]
+        )  # rebuilt specs: digest equality is what finds the cache entries
+        assert all(o.cached for o in warm)
+
+        _assert_byte_identical(serial, [parallel, cold, warm])
+
+
+# ---------------------------------------------------------------------------
+# LossyDelay adapter
+# ---------------------------------------------------------------------------
+
+
+class TestLossyDelayHashing:
+    def test_order_independent_drops(self):
+        lossy = LossyDelay(ConstantDelay(1.0), loss=0.5, seed=2)
+        fresh = LossyDelay(ConstantDelay(1.0), loss=0.5, seed=2)
+        keys = [(0, 1, float(i), i) for i in range(40)]
+        forward = [lossy.delay(*key) for key in keys]
+        backward = [fresh.delay(*key) for key in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    def test_matches_stable_uniform_threshold(self):
+        u = stable_uniform(5, "loss", 0, 1, 3.0, 2)
+        dropping = LossyDelay(ConstantDelay(1.0), loss=min(u * 1.01, 0.999), seed=5)
+        sparing = LossyDelay(ConstantDelay(1.0), loss=u * 0.99, seed=5)
+        from repro.sim.delays import DROP
+
+        assert dropping.delay(0, 1, 3.0, 2) == DROP
+        assert sparing.delay(0, 1, 3.0, 2) == 1.0
