@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults bench examples report sweep-smoke check clean
+.PHONY: install test test-slow test-faults test-obs bench examples report sweep-smoke profile-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,16 +21,26 @@ test-slow:
 test-faults:
 	$(PYTHON) -m pytest tests/ benchmarks/ -m faults
 
+# The observability layer: metrics/export/profile units plus the cache
+# accounting and hygiene regressions.
+test-obs:
+	$(PYTHON) -m pytest tests/ -m obs
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Quick end-to-end proof of the parallel sweep executor: a small diameter
 # grid through `python -m repro sweep` on every core, cache bypassed.
-sweep-smoke:
+sweep-smoke: profile-smoke
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
-		--workers auto --no-cache
+		--workers auto --no-cache --metrics table
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
 		--workers auto --no-cache
+
+# Quick end-to-end proof of the telemetry layer: profile one small spec
+# suite and print the hot-spec / hot-phase ranking.
+profile-smoke:
+	$(PYTHON) -m repro profile --topology line --nodes 5 --horizon 40 --top 3
 
 examples:
 	@for script in examples/*.py; do \

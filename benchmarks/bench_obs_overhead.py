@@ -1,0 +1,60 @@
+"""E22 — observability overhead: metrics collection vs the bare engine.
+
+Not a paper claim — a harness property the telemetry layer promises: with
+``collect_metrics``/``record_events`` disabled the engine pays one ``is
+None`` check per event, and enabling metrics only adds counter bumps (no
+allocation per event beyond the event log when requested).  These
+benchmarks pin the three modes side by side so a regression that drags
+collection into the hot path shows up as a diverging group.
+"""
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import line
+
+EPSILON = 0.05
+DELAY = 1.0
+HORIZON = 150.0
+
+
+def build_and_run(collect_metrics=False, record_events=False):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    engine = SimulationEngine(
+        line(16),
+        AoptAlgorithm(params),
+        TwoGroupDrift(EPSILON, list(range(8))),
+        ConstantDelay(DELAY),
+        HORIZON,
+        collect_metrics=collect_metrics,
+        record_events=record_events,
+    )
+    return engine.run()
+
+
+@pytest.mark.benchmark(group="E22-obs-overhead", min_rounds=3)
+def test_metrics_off_baseline(benchmark):
+    trace = benchmark(build_and_run)
+    assert trace.metrics is None and trace.event_log is None
+    benchmark.extra_info["events"] = trace.events_processed
+
+
+@pytest.mark.benchmark(group="E22-obs-overhead", min_rounds=3)
+def test_metrics_on(benchmark):
+    trace = benchmark(lambda: build_and_run(collect_metrics=True))
+    assert trace.metrics.events_processed == trace.events_processed
+    benchmark.extra_info["events"] = trace.events_processed
+
+
+@pytest.mark.benchmark(group="E22-obs-overhead", min_rounds=3)
+def test_metrics_and_event_log(benchmark):
+    trace = benchmark(
+        lambda: build_and_run(collect_metrics=True, record_events=True)
+    )
+    assert len(trace.event_log) > 0
+    benchmark.extra_info["events"] = trace.events_processed
+    benchmark.extra_info["log_records"] = len(trace.event_log)

@@ -11,7 +11,9 @@ Sections:
 2. Theorem 5.5 / 5.10 upper bounds vs the adversary suite (E1/E2);
 3. Theorem 7.2 forced global skew (E5);
 4. baseline comparison under the delay-switch adversary (E8, small);
-5. conditions audit (E9).
+5. conditions audit (E9);
+6. run telemetry for the small suite (hot specs and phases; see
+   ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -122,6 +124,29 @@ def _conditions_section(params: SyncParams, n: int) -> str:
     )
 
 
+def _telemetry_section(params: SyncParams, n: int) -> str:
+    # Lazy import: repro.obs.profile pulls in the exec layer.
+    from repro.analysis.experiments import suite_specs
+    from repro.obs.profile import profile_specs
+
+    specs = suite_specs(line(n), lambda: AoptAlgorithm(params), params)
+    report = profile_specs(specs)
+    spec_rows = [
+        [profile.label, f"{profile.seconds:.4f}",
+         profile.metrics.events_processed, f"{profile.events_per_second:,.0f}"]
+        for profile in report.hot_specs(3)
+    ]
+    phase_rows = [
+        [phase, f"{seconds:.4f}"]
+        for phase, seconds in report.phase_totals().items()
+    ]
+    return (
+        format_table(["spec (top 3)", "wall s", "events", "events/s"], spec_rows)
+        + "\n"
+        + format_table(["phase", "wall s"], phase_rows)
+    )
+
+
 def generate_report(
     epsilon: float = 0.05,
     delay_bound: float = 1.0,
@@ -158,6 +183,8 @@ def generate_report(
     out.write(_baseline_section(params, baseline_n))
     out.write("\n```\n\n## Conditions (1) and (2) audit\n\n```\n")
     out.write(_conditions_section(params, sizes[0]))
+    out.write("\n```\n\n## Run telemetry (small suite)\n\n```\n")
+    out.write(_telemetry_section(params, sizes[0]))
     out.write(
         "\n```\n\nFull tables: `pytest benchmarks/ --benchmark-only` "
         "(experiments E1-E21; see EXPERIMENTS.md).\n"

@@ -22,6 +22,14 @@ Commands
     and report per-fault-epoch skews, message-loss accounting, and the
     time-to-resynchronize after the last fault clears (see
     ``docs/FAULTS.md``).
+``profile``
+    Run the adversary suite serially with engine metrics enabled and
+    rank hot specs and hot phases (see ``docs/OBSERVABILITY.md``).
+
+``sweep`` and ``faults`` accept ``--metrics json|table`` to report the
+batch's :class:`~repro.obs.metrics.SweepMetrics` (cache hit-rate,
+per-spec wall time, utilization); ``sweep --cache-stats`` additionally
+surfaces on-disk cache state including orphaned temp files.
 ``lower-bound global``
     Replay the Theorem 7.2 execution against A^opt.
 ``lower-bound local``
@@ -241,6 +249,25 @@ def _executor_options(args):
     return workers, cache
 
 
+def _print_sweep_metrics(metrics, outcomes, fmt: str) -> None:
+    """Print a :class:`~repro.obs.metrics.SweepMetrics` as JSON or tables."""
+    if metrics is None:
+        return
+    if fmt == "json":
+        print(metrics.to_json())
+        return
+    print(format_table(["metric", "value"], metrics.summary_rows(),
+                       title="sweep metrics"))
+    executed = [o for o in outcomes if not o.cached]
+    if executed:
+        rows = [
+            [o.index, o.spec.label or o.spec.digest()[:12], f"{o.seconds:.4f}"]
+            for o in sorted(executed, key=lambda o: -o.seconds)
+        ]
+        print(format_table(["#", "spec", "wall s"], rows,
+                           title="per-spec wall time (executed specs)"))
+
+
 def cmd_suite(args) -> int:
     params = _build_params(args)
     topology = _build_topology(args)
@@ -380,7 +407,10 @@ def cmd_sweep(args) -> int:
         all_specs.extend(specs)
 
     started = time.perf_counter()
-    executor = SweepExecutor(workers=workers, cache=cache, timeout=args.timeout)
+    executor = SweepExecutor(
+        workers=workers, cache=cache, timeout=args.timeout,
+        collect_metrics=bool(args.metrics),
+    )
     outcomes = executor.run(all_specs)
     elapsed = time.perf_counter() - started
 
@@ -433,6 +463,21 @@ def cmd_sweep(args) -> int:
         f"executions: {len(all_specs)}  workers: {workers}  "
         f"wall: {elapsed:.2f}s  cache: {cache_note}"
     )
+    if args.metrics:
+        _print_sweep_metrics(executor.last_metrics, outcomes, args.metrics)
+    if args.cache_stats and cache is not None:
+        stats = cache.stats()
+        print(
+            "cache stats: entries {entries}  orphan-tmp {orphan_tmp}  "
+            "hits {hits}  misses {misses}  corrupt {corrupt}".format(**stats)
+        )
+        if stats["orphan_tmp"]:
+            print(
+                "  (orphaned *.tmp files come from workers killed "
+                "mid-write; 'clear()' removes them)"
+            )
+    elif args.cache_stats:
+        print("cache stats: cache disabled (--no-cache)")
     if failed:
         print(f"FAILED specs: {len(failed)} of {len(all_specs)}")
         for outcome in failed:
@@ -555,7 +600,9 @@ def cmd_faults(args) -> int:
     # sweep cache (and replay byte-identically from it); the trace for the
     # epoch/resync metrics is always computed locally.
     workers, cache = _executor_options(args)
-    executor = SweepExecutor(workers=workers, cache=cache)
+    executor = SweepExecutor(
+        workers=workers, cache=cache, collect_metrics=bool(args.metrics)
+    )
     summary = executor.run_summaries([spec])[0]
     trace, _monitors = spec.run()
 
@@ -617,7 +664,66 @@ def cmd_faults(args) -> int:
         print(f"monitor violations: {len(summary.monitor_violations)}")
         for violation in summary.monitor_violations[:5]:
             print(f"  {violation}")
+    if args.metrics:
+        if summary.run_metrics is not None:
+            print(format_table(
+                ["counter", "value"], summary.run_metrics.counter_rows(),
+                title="engine counters",
+            ))
+        _print_sweep_metrics(executor.last_metrics, [], args.metrics)
     return 0 if ttr is not None else 1
+
+
+def cmd_profile(args) -> int:
+    # Lazy import: repro.obs.profile pulls in the exec layer.
+    from repro.obs.profile import profile_specs
+
+    params = _build_params(args)
+    topology = _build_topology(args)
+    d = graph_diameter(topology)
+    algorithm_name = args.algorithm
+    specs = suite_specs(
+        topology,
+        lambda: _build_algorithm(algorithm_name, params, d),
+        params,
+        horizon=args.horizon,
+    )
+    report = profile_specs(specs)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            profile.label,
+            f"{profile.seconds:.4f}",
+            profile.metrics.events_processed,
+            f"{profile.events_per_second:,.0f}",
+        ]
+        for profile in report.hot_specs(args.top)
+    ]
+    print(
+        format_table(
+            ["spec", "wall s", "events", "events/s"],
+            rows,
+            title=(
+                f"hot specs: {algorithm_name} on {topology.name} (D={d}), "
+                f"total {report.total_seconds:.3f}s"
+            ),
+        )
+    )
+    phase_rows = [
+        [phase, f"{seconds:.4f}"]
+        for phase, seconds in report.phase_totals().items()
+    ]
+    print(format_table(["phase", "wall s"], phase_rows, title="hot phases"))
+    counter_rows = [
+        [name, value] for name, value in sorted(report.counter_totals().items())
+    ]
+    print(format_table(["counter", "total"], counter_rows,
+                       title="counter totals"))
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -692,6 +798,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bypass the on-disk result cache "
                             "(default: $REPRO_CACHE_DIR or ~/.cache/repro-sweeps)")
 
+    def add_metrics_argument(p):
+        p.add_argument("--metrics", choices=["json", "table"], default=None,
+                       help="collect engine/sweep metrics and report them "
+                            "in the given format (see docs/OBSERVABILITY.md)")
+
     bounds_parser = subparsers.add_parser(
         "bounds", help="print the closed-form bounds"
     )
@@ -747,6 +858,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-execution timeout in seconds (parallel runs only)"
     )
     add_executor_arguments(sweep_parser)
+    add_metrics_argument(sweep_parser)
+    sweep_parser.add_argument(
+        "--cache-stats", dest="cache_stats", action="store_true",
+        help="report on-disk cache state (entries, orphaned temp files, "
+             "hit/miss/corrupt counts) after the sweep"
+    )
     sweep_parser.set_defaults(handler=cmd_sweep)
 
     faults_parser = subparsers.add_parser(
@@ -789,7 +906,27 @@ def build_parser() -> argparse.ArgumentParser:
                                help="flaky: per-message delay-spike "
                                     "probability (spike adds 2T)")
     add_executor_arguments(faults_parser)
+    add_metrics_argument(faults_parser)
     faults_parser.set_defaults(handler=cmd_faults)
+
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="rank hot specs and hot phases of the adversary suite",
+    )
+    add_model_arguments(profile_parser, include_knowledge=True)
+    add_topology_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--algorithm", default="aopt", choices=ALGORITHM_CHOICES
+    )
+    profile_parser.add_argument("--horizon", type=float, default=None)
+    profile_parser.add_argument(
+        "--top", type=int, default=0,
+        help="show only the N slowest specs (default: all)"
+    )
+    profile_parser.add_argument(
+        "--format", choices=["json", "table"], default="table"
+    )
+    profile_parser.set_defaults(handler=cmd_profile)
 
     lower_parser = subparsers.add_parser(
         "lower-bound", help="replay a Section 7 lower-bound construction"

@@ -21,6 +21,17 @@ Invalidation is versioned twice over:
 
 Every entry also embeds its version and digest; a mismatched, truncated,
 or unreadable entry is treated as a miss, never an error.
+
+Hygiene and accounting
+----------------------
+:meth:`ResultCache.put` writes atomically (tmp file + rename), but a
+worker killed mid-``put`` — pool breakage, timeout, SIGKILL — leaves the
+``*.tmp`` file behind.  :meth:`ResultCache.clear` removes those orphans
+along with the entries, and :meth:`ResultCache.orphan_tmp_files` lists
+them for ``repro sweep --cache-stats``.  Each instance also counts its
+``hits`` / ``misses`` / ``corrupt`` lookups (a *miss* is an absent entry;
+*corrupt* is an entry that exists but fails to load or validate), which
+the sweep layer folds into :class:`~repro.obs.metrics.SweepMetrics`.
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.exec.summary import ExecutionSummary
 
@@ -37,7 +48,8 @@ __all__ = ["ResultCache", "CACHE_VERSION", "default_cache_root"]
 
 #: On-disk entry format version; see module docstring.
 #: v2: ExecutionSummary gained fault-accounting fields.
-CACHE_VERSION = 2
+#: v3: ExecutionSummary gained the ``run_metrics`` field.
+CACHE_VERSION = 3
 
 
 def default_cache_root() -> Path:
@@ -54,6 +66,9 @@ class ResultCache:
     def __init__(self, root: Optional[Union[str, Path]] = None):
         base = Path(root) if root is not None else default_cache_root()
         self.root = base / f"v{CACHE_VERSION}"
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
 
     def path_for(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.pkl"
@@ -64,14 +79,23 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 entry = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.corrupt += 1
             return None
-        if not isinstance(entry, dict):
+        summary = entry.get("summary") if isinstance(entry, dict) else None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != CACHE_VERSION
+            or entry.get("digest") != digest
+            or not isinstance(summary, ExecutionSummary)
+        ):
+            self.corrupt += 1
             return None
-        if entry.get("version") != CACHE_VERSION or entry.get("digest") != digest:
-            return None
-        summary = entry.get("summary")
-        return summary if isinstance(summary, ExecutionSummary) else None
+        self.hits += 1
+        return summary
 
     def put(self, digest: str, summary: ExecutionSummary) -> None:
         """Store ``summary`` atomically (tmp file + rename)."""
@@ -90,8 +114,20 @@ class ResultCache:
                 pass
             raise
 
+    def orphan_tmp_files(self) -> List[Path]:
+        """``*.tmp`` leftovers from interrupted :meth:`put` calls."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/*.tmp"))
+
     def clear(self) -> int:
-        """Delete every entry of the current version; returns the count."""
+        """Delete every entry of the current version; returns the entry count.
+
+        Also removes orphaned ``*.tmp`` files left behind by workers
+        killed mid-write — previously these accumulated forever because
+        only ``*.pkl`` files were matched.  Orphans do not count toward
+        the returned total (they were never entries).
+        """
         removed = 0
         if not self.root.exists():
             return removed
@@ -101,7 +137,22 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        for path in self.root.glob("*/*.tmp"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Lookup counters plus on-disk state, for ``--cache-stats``."""
+        return {
+            "entries": len(self),
+            "orphan_tmp": len(self.orphan_tmp_files()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
 
     def __len__(self) -> int:
         if not self.root.exists():

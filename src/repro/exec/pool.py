@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -46,6 +47,7 @@ from repro.errors import SimulationError
 from repro.exec.cache import ResultCache
 from repro.exec.spec import ExecutionSpec
 from repro.exec.summary import ExecutionSummary
+from repro.obs.metrics import SweepMetrics
 
 __all__ = ["SweepExecutor", "SweepOutcome", "resolve_workers"]
 
@@ -62,13 +64,19 @@ def resolve_workers(workers: Union[int, str, None]) -> int:
 
 @dataclass(frozen=True)
 class SweepOutcome:
-    """Result slot for one spec: a summary, or an error string."""
+    """Result slot for one spec: a summary, or an error string.
+
+    ``seconds`` is the worker-measured wall time of the execution itself
+    (0.0 for cache hits and undispatchable specs) — observability data,
+    deliberately excluded from the summary so results stay deterministic.
+    """
 
     index: int
     spec: ExecutionSpec
     summary: Optional[ExecutionSummary]
     error: Optional[str] = None
     cached: bool = False
+    seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -79,19 +87,23 @@ def _format_error(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {exc}"
 
 
-def _run_spec_guarded(spec: ExecutionSpec) -> Tuple[Optional[ExecutionSummary], Optional[str]]:
+def _run_spec_guarded(
+    spec: ExecutionSpec, collect_metrics: bool = False
+) -> Tuple[Optional[ExecutionSummary], Optional[str], float]:
     """Run one spec, trapping Python-level failures (shared by both paths)."""
+    started = time.perf_counter()
     try:
-        return spec.run_summary(), None
+        summary = spec.run_summary(collect_metrics=collect_metrics)
+        return summary, None, time.perf_counter() - started
     except Exception as exc:  # noqa: BLE001 — failure isolation by design
-        return None, _format_error(exc)
+        return None, _format_error(exc), time.perf_counter() - started
 
 
 def _run_chunk(
-    specs: Sequence[ExecutionSpec],
-) -> List[Tuple[Optional[ExecutionSummary], Optional[str]]]:
+    specs: Sequence[ExecutionSpec], collect_metrics: bool = False
+) -> List[Tuple[Optional[ExecutionSummary], Optional[str], float]]:
     """Worker entry point: run a chunk of specs, never raising."""
-    return [_run_spec_guarded(spec) for spec in specs]
+    return [_run_spec_guarded(spec, collect_metrics) for spec in specs]
 
 
 class SweepExecutor:
@@ -117,6 +129,15 @@ class SweepExecutor:
     mp_context:
         Optional :mod:`multiprocessing` context (e.g. ``'spawn'``) for
         the pool; default is the platform default.
+    collect_metrics:
+        Run every spec with engine metrics collection; summaries carry
+        the deterministic counters (``summary.run_metrics``).  Metrics-on
+        summaries are cached under a distinct key (digest + ``"-obs"``)
+        so a metrics-off hit is never served where counters are expected.
+
+    After each :meth:`run`, :attr:`last_metrics` holds the batch's
+    :class:`~repro.obs.metrics.SweepMetrics` — cache hit/miss/corrupt
+    counts, per-spec wall time, utilization, quarantine accounting.
     """
 
     def __init__(
@@ -127,6 +148,7 @@ class SweepExecutor:
         chunk_size: int = 1,
         max_crash_retries: int = 2,
         mp_context=None,
+        collect_metrics: bool = False,
     ):
         self.workers = resolve_workers(workers)
         if timeout is not None and timeout <= 0:
@@ -138,26 +160,56 @@ class SweepExecutor:
         self.chunk_size = chunk_size
         self.max_crash_retries = max_crash_retries
         self.mp_context = mp_context
+        self.collect_metrics = collect_metrics
+        self.last_metrics: Optional[SweepMetrics] = None
 
     # -- public API ------------------------------------------------------------
 
+    def _cache_key(self, spec: ExecutionSpec) -> str:
+        """Digest-derived cache key; metrics-on results key separately."""
+        return spec.digest() + ("-obs" if self.collect_metrics else "")
+
     def run(self, specs: Sequence[ExecutionSpec]) -> List[SweepOutcome]:
-        """Run every spec; outcomes are returned in input order."""
+        """Run every spec; outcomes are returned in input order.
+
+        Batch accounting lands on :attr:`last_metrics`.
+        """
+        started = time.perf_counter()
         specs = list(specs)
+        metrics = SweepMetrics(total_specs=len(specs), workers=self.workers)
+        self.last_metrics = metrics
+        cache = self.cache
+        before = (
+            (cache.hits, cache.misses, cache.corrupt)
+            if cache is not None
+            else (0, 0, 0)
+        )
         outcomes: List[Optional[SweepOutcome]] = [None] * len(specs)
         pending: List[int] = []
         for index, spec in enumerate(specs):
-            hit = self.cache.get(spec.digest()) if self.cache is not None else None
+            hit = cache.get(self._cache_key(spec)) if cache is not None else None
             if hit is not None:
                 outcomes[index] = SweepOutcome(index, spec, hit, cached=True)
             else:
                 pending.append(index)
+        if cache is not None:
+            metrics.cache_hits = cache.hits - before[0]
+            metrics.cache_misses = cache.misses - before[1]
+            metrics.cache_corrupt = cache.corrupt - before[2]
         if pending:
             if self.workers == 1:
                 self._run_serial(specs, pending, outcomes)
             else:
                 self._run_parallel(specs, pending, outcomes)
-        return [outcome for outcome in outcomes if outcome is not None]
+        results = [outcome for outcome in outcomes if outcome is not None]
+        for outcome in results:
+            if not outcome.cached:
+                metrics.executed += 1
+                metrics.per_spec_seconds[outcome.index] = outcome.seconds
+            if not outcome.ok:
+                metrics.failed += 1
+        metrics.wall_seconds = time.perf_counter() - started
+        return results
 
     def run_summaries(self, specs: Sequence[ExecutionSpec]) -> List[ExecutionSummary]:
         """Like :meth:`run`, but raise on the first failed spec."""
@@ -180,10 +232,11 @@ class SweepExecutor:
         spec: ExecutionSpec,
         summary: Optional[ExecutionSummary],
         error: Optional[str],
+        seconds: float = 0.0,
     ) -> None:
-        outcomes[index] = SweepOutcome(index, spec, summary, error)
+        outcomes[index] = SweepOutcome(index, spec, summary, error, seconds=seconds)
         if error is None and summary is not None and self.cache is not None:
-            self.cache.put(spec.digest(), summary)
+            self.cache.put(self._cache_key(spec), summary)
 
     def _run_serial(
         self,
@@ -192,8 +245,10 @@ class SweepExecutor:
         outcomes: List[Optional[SweepOutcome]],
     ) -> None:
         for index in pending:
-            summary, error = _run_spec_guarded(specs[index])
-            self._finish(outcomes, index, specs[index], summary, error)
+            summary, error, seconds = _run_spec_guarded(
+                specs[index], self.collect_metrics
+            )
+            self._finish(outcomes, index, specs[index], summary, error, seconds)
 
     # -- parallel path ---------------------------------------------------------
 
@@ -203,6 +258,7 @@ class SweepExecutor:
         pending: Sequence[int],
         outcomes: List[Optional[SweepOutcome]],
     ) -> None:
+        metrics = self.last_metrics
         dispatchable: List[int] = []
         for index in pending:
             try:
@@ -212,6 +268,8 @@ class SweepExecutor:
                     outcomes, index, specs[index], None,
                     f"spec not picklable for worker dispatch ({_format_error(exc)})",
                 )
+                if metrics is not None:
+                    metrics.note("unpicklable")
                 continue
             dispatchable.append(index)
 
@@ -223,12 +281,16 @@ class SweepExecutor:
 
         def crashed(cid: int) -> None:
             attempts[cid] += 1
+            if metrics is not None:
+                metrics.note("pool-breakage")
             if attempts[cid] > self.max_crash_retries:
                 for i in chunks[cid]:
                     self._finish(
                         outcomes, i, specs[i], None,
                         f"worker process crashed (after {attempts[cid]} attempts)",
                     )
+                if metrics is not None:
+                    metrics.note("crash-failed", len(chunks[cid]))
                 del chunks[cid]
 
         while chunks:
@@ -238,6 +300,8 @@ class SweepExecutor:
             # clear their name on the isolated retry.
             suspects = [cid for cid in chunks if attempts[cid] > 0]
             batch = suspects[:1] if suspects else list(chunks)
+            if suspects and metrics is not None:
+                metrics.note("isolated-retry")
             pool = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(batch)),
                 mp_context=self.mp_context,
@@ -248,7 +312,9 @@ class SweepExecutor:
                 try:
                     for cid in batch:
                         futures[cid] = pool.submit(
-                            _run_chunk, [specs[i] for i in chunks[cid]]
+                            _run_chunk,
+                            [specs[i] for i in chunks[cid]],
+                            self.collect_metrics,
                         )
                 except (BrokenProcessPool, RuntimeError):
                     # Pool died during submission: count a breakage against
@@ -275,6 +341,8 @@ class SweepExecutor:
                                 f"timed out after {budget:.3g}s "
                                 f"({self.timeout:.3g}s/spec)",
                             )
+                        if metrics is not None:
+                            metrics.note("timeout", len(members))
                         del chunks[cid]
                         self._terminate_pool(pool)
                         rebuild = True
@@ -290,8 +358,8 @@ class SweepExecutor:
                             self._finish(outcomes, i, specs[i], None, _format_error(exc))
                         del chunks[cid]
                         continue
-                    for i, (summary, error) in zip(members, results):
-                        self._finish(outcomes, i, specs[i], summary, error)
+                    for i, (summary, error, seconds) in zip(members, results):
+                        self._finish(outcomes, i, specs[i], summary, error, seconds)
                     del chunks[cid]
             finally:
                 if rebuild:

@@ -277,12 +277,19 @@ class ExecutionSpec:
 
         return default_monitors(self.params, strict=False)
 
-    def run(self, record_messages: bool = False) -> Tuple[ExecutionTrace, tuple]:
+    def run(
+        self,
+        record_messages: bool = False,
+        collect_metrics: bool = False,
+        record_events: bool = False,
+    ) -> Tuple[ExecutionTrace, tuple]:
         """Execute this spec in-process; returns ``(trace, monitors)``.
 
         The algorithm and both models are deep-copied first so stateful
         components (per-model RNG streams, per-node caches) never leak
         between runs — replaying a spec is deterministic by construction.
+        ``collect_metrics``/``record_events`` opt in to the observability
+        layer (:mod:`repro.obs`); neither affects the execution itself.
         """
         from repro.sim.runner import run_execution
 
@@ -300,14 +307,16 @@ class ExecutionSpec:
             record_messages=record_messages,
             monitors=monitors,
             faults=self.faults,
+            collect_metrics=collect_metrics,
+            record_events=record_events,
         )
         return trace, monitors
 
-    def run_summary(self):
+    def run_summary(self, collect_metrics: bool = False):
         """Execute and reduce to a picklable summary (the worker path)."""
         from repro.exec.summary import summarize_trace
 
-        trace, monitors = self.run()
+        trace, monitors = self.run(collect_metrics=collect_metrics)
         return summarize_trace(
             trace, digest=self.digest(), label=self.label, monitors=monitors
         )

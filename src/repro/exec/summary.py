@@ -15,9 +15,11 @@ for the same spec — the property the equivalence test suite pins down.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import RunMetrics
 from repro.sim.trace import ExecutionTrace
 
 __all__ = ["ExecutionSummary", "summarize_trace", "to_suite_result", "to_skew_samples"]
@@ -46,6 +48,11 @@ class ExecutionSummary:
     messages_lost_link: int = 0
     messages_lost_crash: int = 0
     messages_duplicated: int = 0
+    #: Deterministic engine counters, present when the execution ran with
+    #: ``collect_metrics=True``.  Wall-clock phase timings are *stripped*
+    #: before attachment (:meth:`RunMetrics.stripped`) so summaries stay
+    #: byte-identical across processes, worker counts, and machines.
+    run_metrics: Optional[RunMetrics] = None
 
     @property
     def clean(self) -> bool:
@@ -59,9 +66,23 @@ def summarize_trace(
     label: str = "",
     monitors: Sequence = (),
 ) -> ExecutionSummary:
-    """Reduce a trace (plus any non-strict monitors) to a summary."""
+    """Reduce a trace (plus any non-strict monitors) to a summary.
+
+    When the trace carries :class:`RunMetrics`, the exact-extremum
+    evaluation below is timed into its ``skew-eval`` phase (usually the
+    hot phase for dense traces) and the *stripped* metrics — counters
+    only, no wall-clock timings — are attached to the summary.
+    """
+    metrics = trace.metrics
+    skew_started = time.perf_counter() if metrics is not None else 0.0
     global_extremum = trace.global_skew()
     local_extremum = trace.local_skew()
+    if metrics is not None:
+        metrics.phase_seconds["skew-eval"] = (
+            metrics.phase_seconds.get("skew-eval", 0.0)
+            + time.perf_counter()
+            - skew_started
+        )
     violations = tuple(
         f"{v.monitor}@{v.node!r}/t={v.time}: {v.detail}"
         for monitor in monitors
@@ -85,6 +106,7 @@ def summarize_trace(
         messages_lost_link=trace.messages_lost_link,
         messages_lost_crash=trace.messages_lost_crash,
         messages_duplicated=trace.messages_duplicated,
+        run_metrics=metrics.stripped() if metrics is not None else None,
     )
 
 

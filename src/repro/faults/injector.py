@@ -180,6 +180,20 @@ class FaultInjector:
         end = intervals[i][1]
         return None if end == _INFINITY else end
 
+    def downtime_in(self, node: NodeId, a: float, b: float) -> float:
+        """Total scheduled downtime of ``node`` overlapping ``[a, b]``.
+
+        Open-ended crashes (no recovery) count until ``b``.  Used by the
+        engine to report per-node downtime on the trace, so activity
+        rates (e.g. amortized message frequency) can exclude outages.
+        """
+        total = 0.0
+        for start, end in self._node_intervals.get(node, ()):
+            overlap = min(end, b) - max(start, a)
+            if overlap > 0.0:
+                total += overlap
+        return total
+
     def faulted_nodes(self) -> Tuple[NodeId, ...]:
         return tuple(self._node_intervals)
 

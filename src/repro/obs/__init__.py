@@ -1,0 +1,37 @@
+"""Observability for executions and sweeps (``repro.obs``).
+
+The reproduction's claims rest on *exact* per-execution accounting; this
+package makes the execution substrate itself observable:
+
+* :mod:`repro.obs.metrics` — :class:`RunMetrics` (engine counters and
+  phase timers, collected when ``collect_metrics=True``) and
+  :class:`SweepMetrics` (cache hit/miss/corrupt counts, per-spec wall
+  time, worker utilization, quarantine accounting for a
+  :class:`~repro.exec.pool.SweepExecutor` batch);
+* :mod:`repro.obs.export` — JSONL event-log export
+  (:meth:`~repro.sim.trace.ExecutionTrace.export_events`) with content
+  digests for offline replay and diffing;
+* :mod:`repro.obs.profile` — the ``repro profile`` harness ranking hot
+  specs and hot phases.
+
+Collection is strictly opt-in and off the hot path: with metrics and
+event recording disabled (the default) the engine performs one ``is
+None`` check per event, and results are byte-identical either way —
+deterministic counters are embedded in summaries while wall-clock
+timings are stripped (see :meth:`RunMetrics.stripped`).  See
+``docs/OBSERVABILITY.md``.
+
+:mod:`repro.obs.profile` pulls in the exec layer, so it is imported
+lazily by its call sites rather than here.
+"""
+
+from repro.obs.export import EXPORT_VERSION, event_log_digest, export_events
+from repro.obs.metrics import RunMetrics, SweepMetrics
+
+__all__ = [
+    "RunMetrics",
+    "SweepMetrics",
+    "export_events",
+    "event_log_digest",
+    "EXPORT_VERSION",
+]

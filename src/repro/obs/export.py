@@ -1,0 +1,100 @@
+"""Structured JSONL export of execution event logs.
+
+An engine run with ``record_events=True`` accumulates a chronological
+event log — sends, deliveries, drops (with the reason), logical-clock
+jumps, alarms, and crash/recover transitions — on the returned
+:class:`~repro.sim.trace.ExecutionTrace`.  :func:`export_events` writes
+that log as JSON Lines so an anomalous run can be archived, replayed,
+and diffed offline with standard tools (``diff``, ``jq``).
+
+File format (one JSON object per line):
+
+* a **header**: ``{"kind": "header", "version": 1, "spec_digest": ...,
+  "horizon": ..., "events": N}``;
+* one **record** per event, e.g.
+  ``{"kind": "send", "t": 3.5, "node": 2, "to": 3, "seq": 7,
+  "delay": 1.0, "bits": 96}`` — keys are sorted and separators are
+  canonical, so equal executions export byte-identical record lines;
+* a **footer**: ``{"kind": "footer", "events": N, "sha256": ...}``
+  where ``sha256`` digests exactly the record lines (newline-separated).
+
+Two exports agree on their footer digest iff they describe the same
+event sequence, which is the offline analogue of the in-process
+byte-identical replay guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Tuple, Union
+
+from repro.errors import TraceError
+
+__all__ = ["export_events", "event_log_digest", "EXPORT_VERSION"]
+
+#: Schema version of the JSONL export; see module docstring.
+EXPORT_VERSION = 1
+
+#: ``(kind, time, node, data)`` — how the engine stores one log entry.
+EventRecord = Tuple[str, float, Any, Dict[str, Any]]
+
+
+def _record_line(record: EventRecord) -> str:
+    kind, time, node, data = record
+    payload = {"kind": kind, "t": time, "node": node}
+    payload.update(data)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def event_log_digest(event_log: Iterable[EventRecord]) -> str:
+    """SHA-256 over the canonical record lines (what the footer stores)."""
+    hasher = hashlib.sha256()
+    for record in event_log:
+        hasher.update(_record_line(record).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def export_events(
+    trace, path: Union[str, Path], spec_digest: str = ""
+) -> str:
+    """Write ``trace``'s event log to ``path`` as JSONL; returns the digest.
+
+    Raises :class:`~repro.errors.TraceError` if the trace was produced
+    without ``record_events=True`` (an *empty* log from a recording run
+    exports normally — header and footer only).
+    """
+    if trace.event_log is None:
+        raise TraceError(
+            "trace has no event log; run the engine (or spec) with "
+            "record_events=True to record one"
+        )
+    path = Path(path)
+    hasher = hashlib.sha256()
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "kind": "header",
+            "version": EXPORT_VERSION,
+            "spec_digest": spec_digest,
+            "horizon": trace.horizon,
+            "events": len(trace.event_log),
+        }
+        handle.write(json.dumps(header, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
+        for record in trace.event_log:
+            line = _record_line(record)
+            hasher.update(line.encode("utf-8"))
+            hasher.update(b"\n")
+            handle.write(line)
+            handle.write("\n")
+        digest = hasher.hexdigest()
+        footer = {
+            "kind": "footer",
+            "events": len(trace.event_log),
+            "sha256": digest,
+        }
+        handle.write(json.dumps(footer, sort_keys=True, separators=(",", ":")))
+        handle.write("\n")
+    return digest

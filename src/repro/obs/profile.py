@@ -1,0 +1,124 @@
+"""In-process profiling of execution specs: hot specs and hot phases.
+
+``python -m repro profile`` (and :func:`profile_specs`) runs a batch of
+:class:`~repro.exec.spec.ExecutionSpec` objects serially with engine
+metrics enabled, times each end to end, and ranks where the wall time
+goes — across specs (which adversary case dominates a suite?) and across
+phases (``setup`` — engine construction; ``run`` — the event loop;
+``trace`` — trace assembly; ``skew-eval`` — the exact piecewise-linear
+extremum evaluation, typically the hot phase for long horizons).
+
+Profiling always runs in the calling process and never touches the
+result cache: the point is to measure real execution, not replay it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.exec.summary import ExecutionSummary, summarize_trace
+from repro.obs.metrics import RunMetrics
+
+__all__ = ["SpecProfile", "ProfileReport", "profile_specs"]
+
+
+@dataclass
+class SpecProfile:
+    """One profiled spec: its wall time, metrics, and summary."""
+
+    label: str
+    digest: str
+    seconds: float
+    metrics: RunMetrics
+    summary: ExecutionSummary
+
+    @property
+    def events_per_second(self) -> float:
+        events = self.metrics.events_processed
+        return events / self.seconds if self.seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "digest": self.digest,
+            "seconds": self.seconds,
+            "events": self.metrics.events_processed,
+            "events_per_second": self.events_per_second,
+            "phase_seconds": dict(self.metrics.phase_seconds),
+            "counters": self.metrics.as_dict(),
+        }
+
+
+@dataclass
+class ProfileReport:
+    """Aggregated view over a batch of :class:`SpecProfile` results."""
+
+    specs: List[SpecProfile]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(profile.seconds for profile in self.specs)
+
+    def hot_specs(self, top: int = 0) -> List[SpecProfile]:
+        """Specs ranked by wall time, slowest first (all when ``top<=0``)."""
+        ranked = sorted(self.specs, key=lambda p: -p.seconds)
+        return ranked[:top] if top > 0 else ranked
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Wall seconds per phase, summed across specs, hottest first."""
+        totals: Dict[str, float] = {}
+        for profile in self.specs:
+            for phase, seconds in profile.metrics.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+    def counter_totals(self) -> Dict[str, int]:
+        """Deterministic counters summed across specs."""
+        totals: Dict[str, int] = {}
+        for profile in self.specs:
+            for key, value in profile.metrics.as_dict().items():
+                if isinstance(value, int):
+                    totals[key] = totals.get(key, 0) + value
+        # The high-water mark aggregates by max, not sum.
+        if self.specs:
+            totals["queue_depth_hwm"] = max(
+                profile.metrics.queue_depth_hwm for profile in self.specs
+            )
+        return totals
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total_seconds": self.total_seconds,
+            "specs": [profile.as_dict() for profile in self.hot_specs()],
+            "phase_totals": self.phase_totals(),
+            "counter_totals": self.counter_totals(),
+        }
+
+
+def profile_specs(specs: Sequence[Any]) -> ProfileReport:
+    """Run every spec in-process with metrics enabled and time it.
+
+    Each spec's wall time covers the full worker-equivalent path
+    (engine construction, event loop, trace assembly, and summary
+    skew evaluation), so ranking matches what a sweep would pay.
+    """
+    profiles: List[SpecProfile] = []
+    for spec in specs:
+        started = time.perf_counter()
+        trace, monitors = spec.run(collect_metrics=True)
+        summary = summarize_trace(
+            trace, digest=spec.digest(), label=spec.label, monitors=monitors
+        )
+        seconds = time.perf_counter() - started
+        profiles.append(
+            SpecProfile(
+                label=spec.label or spec.digest()[:12],
+                digest=spec.digest(),
+                seconds=seconds,
+                metrics=trace.metrics,
+                summary=summary,
+            )
+        )
+    return ProfileReport(specs=profiles)

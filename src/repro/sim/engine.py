@@ -43,12 +43,14 @@ Fault semantics (robustness extension; docs/FAULTS.md)
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
 from repro.errors import SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.schedule import NODE_CRASH, FaultSchedule
+from repro.obs.metrics import RunMetrics
 from repro.sim.clock import HardwareClock
 from repro.sim.delays import DROP, DelayModel
 from repro.sim.drift import DriftModel
@@ -75,6 +77,15 @@ NodeId = Hashable
 #: Hard cap on processed events; a correct experiment stays far below it,
 #: so hitting the cap indicates a message storm or alarm loop.
 DEFAULT_MAX_EVENTS = 20_000_000
+
+#: Event-class → metrics/event-log kind name.
+_EVENT_KINDS = {
+    WakeEvent: "wake",
+    DeliveryEvent: "delivery",
+    AlarmEvent: "alarm",
+    CrashEvent: "crash",
+    RecoverEvent: "recover",
+}
 
 
 class _NodeRuntime:
@@ -139,12 +150,23 @@ class _EngineContext(NodeContext):
             runtime.rho = rho
 
     def jump_logical(self, value: float) -> None:
-        if not self._engine.algorithm.allows_jumps:
+        engine = self._engine
+        if not engine.algorithm.allows_jumps:
             raise SimulationError(
-                f"algorithm {self._engine.algorithm.name!r} did not declare "
+                f"algorithm {engine.algorithm.name!r} did not declare "
                 "allows_jumps but attempted a discontinuous clock jump"
             )
-        self._runtime.record.jump(self._engine.now, value)
+        if engine._event_log is not None:
+            engine._event_log.append(
+                (
+                    "jump",
+                    engine.now,
+                    self.node_id,
+                    {"value_from": self._runtime.record.value(engine.now),
+                     "value_to": value},
+                )
+            )
+        self._runtime.record.jump(engine.now, value)
 
     def send_to(self, neighbor: NodeId, payload: Any) -> None:
         self._engine._send(self._runtime, neighbor, payload)
@@ -193,6 +215,16 @@ class SimulationEngine:
     faults:
         Optional :class:`~repro.faults.schedule.FaultSchedule`; see the
         module docstring's "Fault semantics".
+    collect_metrics:
+        Collect :class:`~repro.obs.metrics.RunMetrics` (event counters,
+        queue high-water mark, phase wall times) onto the trace.  Off by
+        default; when off the engine pays one ``is None`` check per
+        event and results are byte-identical either way.
+    record_events:
+        Keep a structured event log (sends, deliveries, drops with
+        reasons, jumps, crash/recover transitions) on the trace for
+        :meth:`~repro.sim.trace.ExecutionTrace.export_events`.
+        Memory-proportional to the event count; off by default.
     """
 
     def __init__(
@@ -207,7 +239,10 @@ class SimulationEngine:
         monitors: Sequence[Any] = (),
         max_events: int = DEFAULT_MAX_EVENTS,
         faults: Optional[FaultSchedule] = None,
+        collect_metrics: bool = False,
+        record_events: bool = False,
     ):
+        setup_started = time.perf_counter() if collect_metrics else 0.0
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
         self.topology = topology
@@ -240,19 +275,23 @@ class SimulationEngine:
         self._messages_lost_crash = 0
         self._messages_duplicated = 0
         self._finished = False
+        self._metrics: Optional[RunMetrics] = RunMetrics() if collect_metrics else None
+        self._event_log: Optional[List[Tuple[str, float, NodeId, dict]]] = (
+            [] if record_events else None
+        )
 
         self._injector: Optional[FaultInjector] = None
         if faults is not None:
             self._injector = FaultInjector(faults, topology)
             # Fault transitions are pushed before wake events so a crash at
             # time t is processed before a same-time wake (FIFO tie-break).
-            for time, node, kind in self._injector.node_timeline():
-                if time > self.horizon:
+            for fault_time, node, kind in self._injector.node_timeline():
+                if fault_time > self.horizon:
                     continue
                 if kind == NODE_CRASH:
-                    self._queue.push(CrashEvent(time, node))
+                    self._queue.push(CrashEvent(fault_time, node))
                 else:
-                    self._queue.push(RecoverEvent(time, node))
+                    self._queue.push(RecoverEvent(fault_time, node))
 
         if initiators is None:
             wake_times: Dict[NodeId, float] = {topology.nodes[0]: 0.0}
@@ -264,6 +303,10 @@ class SimulationEngine:
             raise SimulationError("at least one initiator node is required")
         for node, wake_time in wake_times.items():
             self._queue.push(WakeEvent(wake_time, node))
+        if self._metrics is not None:
+            self._metrics.phase_seconds["setup"] = (
+                time.perf_counter() - setup_started
+            )
 
     # -- read API used by monitors and algorithms-by-proxy -------------------
 
@@ -316,23 +359,35 @@ class SimulationEngine:
         bits = self.algorithm.payload_bits(payload)
         self._messages_sent[runtime.node_id] += 1
         self._bits_sent[runtime.node_id] += bits
+        if self._metrics is not None:
+            self._metrics.sends += 1
+        log = self._event_log
         injector = self._injector
         if injector is not None and injector.is_link_down(
             runtime.node_id, neighbor, self.now
         ):
             self._messages_lost_link += 1
+            if log is not None:
+                log.append(("drop", self.now, runtime.node_id,
+                            {"to": neighbor, "seq": seq, "reason": "link-down"}))
             return
         delay = self.delay_model.validated_delay(
             runtime.node_id, neighbor, self.now, seq
         )
         if delay == DROP:
             self._messages_dropped += 1
+            if log is not None:
+                log.append(("drop", self.now, runtime.node_id,
+                            {"to": neighbor, "seq": seq, "reason": "delay-model"}))
             return
         copies = 1
         if injector is not None:
             fate = injector.message_fate(runtime.node_id, neighbor, self.now, seq)
             if fate.drop:
                 self._messages_dropped += 1
+                if log is not None:
+                    log.append(("drop", self.now, runtime.node_id,
+                                {"to": neighbor, "seq": seq, "reason": "fault"}))
                 return
             # A delay spike is applied after validation: exceeding T is the
             # point — it violates the paper's timing assumption on purpose.
@@ -340,6 +395,10 @@ class SimulationEngine:
             if fate.duplicate:
                 copies = 2
                 self._messages_duplicated += 1
+        if log is not None:
+            log.append(("send", self.now, runtime.node_id,
+                        {"to": neighbor, "seq": seq, "delay": delay,
+                         "bits": bits, "copies": copies}))
         if self.record_messages:
             self._message_log.append(
                 MessageRecord(runtime.node_id, neighbor, self.now, delay, payload, bits)
@@ -363,6 +422,8 @@ class SimulationEngine:
             )
         generation = runtime.alarm_generations.get(name, 0) + 1
         runtime.alarm_generations[name] = generation
+        if self._metrics is not None:
+            self._metrics.alarms_set += 1
         fire_time = runtime.hardware.time_at_value(max(hardware_value, 0.0))
         # An alarm for an already-reached value fires immediately after the
         # current callback (same timestamp, later sequence number).
@@ -400,6 +461,11 @@ class SimulationEngine:
         recovery = self._injector.next_recovery(event.node, self.now)
         if recovery is None or recovery > self.horizon:
             return
+        if self._metrics is not None:
+            if isinstance(event, AlarmEvent):
+                self._metrics.alarms_deferred += 1
+            else:
+                self._metrics.wakes_deferred += 1
         if isinstance(event, AlarmEvent):
             self._queue.push(
                 AlarmEvent(
@@ -416,13 +482,23 @@ class SimulationEngine:
     def _process_event(self, event) -> None:
         runtime = self._runtimes[event.node]
         ctx = self._contexts[event.node]
+        log = self._event_log
         if isinstance(event, CrashEvent):
             self._apply_crash(runtime)
+            if log is not None:
+                log.append(("crash", self.now, event.node, {}))
         elif isinstance(event, RecoverEvent):
             self._apply_recovery(runtime)
+            if log is not None:
+                log.append(("recover", self.now, event.node, {}))
         elif runtime.crashed:
             if isinstance(event, DeliveryEvent):
                 self._messages_lost_crash += 1
+                if log is not None:
+                    log.append(("drop", self.now, event.node,
+                                {"from": event.sender,
+                                 "send_time": event.send_time,
+                                 "reason": "crash"}))
             elif isinstance(event, AlarmEvent):
                 if runtime.alarm_generations.get(event.name, 0) == event.generation:
                     self._defer_to_recovery(event)
@@ -437,14 +513,23 @@ class SimulationEngine:
                 self._start_node(runtime)
         elif isinstance(event, DeliveryEvent):
             self._messages_received[event.node] += 1
+            if log is not None:
+                log.append(("deliver", self.now, event.node,
+                            {"from": event.sender,
+                             "send_time": event.send_time,
+                             "bits": event.size_bits}))
             if not runtime.started:
                 self._start_node(runtime)
             runtime.algorithm_node.on_message(ctx, event.sender, event.payload)
         elif isinstance(event, AlarmEvent):
             if runtime.alarm_generations.get(event.name, 0) != event.generation:
+                if self._metrics is not None:
+                    self._metrics.alarms_superseded += 1
                 return  # superseded or cancelled
             if not runtime.started:  # pragma: no cover - defensive
                 raise SimulationError(f"alarm at unstarted node {event.node!r}")
+            if self._metrics is not None:
+                self._metrics.alarms_fired += 1
             runtime.algorithm_node.on_alarm(ctx, event.name)
         else:  # pragma: no cover - defensive
             raise SimulationError(f"unknown event type {type(event).__name__}")
@@ -457,6 +542,8 @@ class SimulationEngine:
         """Run until the horizon and return the execution trace."""
         if self._finished:
             raise SimulationError("engine instances are single-use; build a new one")
+        metrics = self._metrics
+        run_started = time.perf_counter() if metrics is not None else 0.0
         while self._queue:
             next_time = self._queue.peek_time()
             if next_time > self.horizon:
@@ -465,6 +552,14 @@ class SimulationEngine:
             self.now = event.time
             self._process_event(event)
             self._events_processed += 1
+            if metrics is not None:
+                kind = _EVENT_KINDS[type(event)]
+                metrics.events_by_type[kind] = (
+                    metrics.events_by_type.get(kind, 0) + 1
+                )
+                depth = len(self._queue)
+                if depth > metrics.queue_depth_hwm:
+                    metrics.queue_depth_hwm = depth
             if self._events_processed > self.max_events:
                 raise SimulationError(
                     f"exceeded {self.max_events} events at t={self.now}; "
@@ -472,6 +567,8 @@ class SimulationEngine:
                 )
         self.now = self.horizon
         self._finished = True
+        if metrics is not None:
+            metrics.phase_seconds["run"] = time.perf_counter() - run_started
         return self._build_trace()
 
     def _build_trace(self) -> ExecutionTrace:
@@ -481,6 +578,27 @@ class SimulationEngine:
                 f"{len(unstarted)} nodes never initialized within the horizon "
                 f"(first few: {unstarted[:5]}); extend the horizon"
             )
+        metrics = self._metrics
+        trace_started = time.perf_counter() if metrics is not None else 0.0
+        # Per-node scheduled downtime overlapping the node's active window
+        # [start, horizon]; deterministic, so summaries stay byte-identical.
+        downtime: Dict[NodeId, float] = {}
+        if self._injector is not None:
+            for node, runtime in self._runtimes.items():
+                down = self._injector.downtime_in(
+                    node, runtime.hardware.start_time, self.horizon
+                )
+                if down > 0.0:
+                    downtime[node] = down
+        if metrics is not None:
+            for node, runtime in self._runtimes.items():
+                metrics.checkpoints_by_node[node] = runtime.record.checkpoint_count
+                metrics.breakpoints_by_node[node] = len(
+                    runtime.record.breakpoints_in(
+                        runtime.hardware.start_time, self.horizon
+                    )
+                )
+            metrics.phase_seconds["trace"] = time.perf_counter() - trace_started
         return ExecutionTrace(
             topology=self.topology,
             horizon=self.horizon,
@@ -497,4 +615,7 @@ class SimulationEngine:
             messages_lost_link=self._messages_lost_link,
             messages_lost_crash=self._messages_lost_crash,
             messages_duplicated=self._messages_duplicated,
+            downtime=downtime,
+            metrics=metrics,
+            event_log=self._event_log,
         )

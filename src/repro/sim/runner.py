@@ -46,8 +46,15 @@ def run_execution(
     record_messages: bool = False,
     monitors: Sequence = (),
     faults: Optional[FaultSchedule] = None,
+    collect_metrics: bool = False,
+    record_events: bool = False,
 ) -> ExecutionTrace:
-    """Build a :class:`SimulationEngine`, run it, and return the trace."""
+    """Build a :class:`SimulationEngine`, run it, and return the trace.
+
+    ``collect_metrics``/``record_events`` opt in to the observability
+    layer (see :mod:`repro.obs`): run metrics and the structured event
+    log land on the returned trace.
+    """
     engine = SimulationEngine(
         topology=topology,
         algorithm=algorithm,
@@ -58,6 +65,8 @@ def run_execution(
         record_messages=record_messages,
         monitors=monitors,
         faults=faults,
+        collect_metrics=collect_metrics,
+        record_events=record_events,
     )
     return engine.run()
 

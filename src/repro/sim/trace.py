@@ -23,9 +23,11 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import TraceError
+from repro.obs.metrics import RunMetrics
 from repro.sim.clock import HardwareClock
 from repro.topology.generators import Topology
 
@@ -147,12 +149,15 @@ class LogicalClockRecord:
         """All linearity breakpoints of this clock in the closed ``[a, b]``.
 
         Includes checkpoint times, hardware rate changes, and the clock
-        start (before which the value is the constant 0); sorted.
+        start (before which the value is the constant 0); sorted and
+        *unique* — a checkpoint coinciding with a hardware rate change
+        (e.g. a rate-rule update triggered at a drift breakpoint) is one
+        breakpoint, not two, so skew evaluation never evaluates the same
+        instant twice.
         """
-        points = [t for t in self._times if a <= t <= b]
-        points.extend(t for t in self._hardware.breakpoints_in(a, b))
-        points.sort()
-        return points
+        points = set(t for t in self._times if a <= t <= b)
+        points.update(self._hardware.breakpoints_in(a, b))
+        return sorted(points)
 
     @property
     def jump_times(self) -> Tuple[float, ...]:
@@ -218,6 +223,15 @@ class ExecutionTrace:
     messages_lost_link: int = 0
     messages_lost_crash: int = 0
     messages_duplicated: int = 0
+    #: Per-node scheduled crash downtime overlapping the node's active
+    #: window (fault executions only; empty otherwise).
+    downtime: Dict[NodeId, float] = field(default_factory=dict)
+    #: Engine counters and phase timers; ``None`` unless the engine ran
+    #: with ``collect_metrics=True``.
+    metrics: Optional[RunMetrics] = None
+    #: Structured event log ``(kind, time, node, data)``; ``None`` unless
+    #: the engine ran with ``record_events=True``.
+    event_log: Optional[List[Tuple[str, float, NodeId, dict]]] = None
 
     # -- point queries -------------------------------------------------------
 
@@ -352,11 +366,36 @@ class ExecutionTrace:
         return sum(self.bits_sent.values())
 
     def amortized_message_frequency(self, node: NodeId) -> float:
-        """Messages per unit real time at ``node`` over its active period."""
-        active = self.horizon - self.start_times[node]
+        """Messages per unit real time at ``node`` over its *active* period.
+
+        Active time is the span from the node's start to the horizon
+        minus any scheduled crash downtime (:attr:`downtime`): a crashed
+        node sends nothing, so counting its outage as active time would
+        understate the message frequency of recovered nodes.  Returns
+        0.0 when the node was never active.
+        """
+        active = (
+            self.horizon - self.start_times[node] - self.downtime.get(node, 0.0)
+        )
         if active <= 0:
             return 0.0
         return self.messages_sent[node] / active
 
     def probes_named(self, name: str) -> List[ProbeRecord]:
         return [p for p in self.probes if p.name == name]
+
+    # -- observability ----------------------------------------------------------
+
+    def export_events(
+        self, path: Union[str, Path], spec_digest: str = ""
+    ) -> str:
+        """Write the structured event log to ``path`` as JSONL.
+
+        Requires the engine to have run with ``record_events=True``.
+        Returns the SHA-256 content digest of the record lines (also
+        stored in the file footer), so two exports can be diffed by
+        digest alone.  See :mod:`repro.obs.export` for the schema.
+        """
+        from repro.obs.export import export_events
+
+        return export_events(self, path, spec_digest=spec_digest)

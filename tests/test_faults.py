@@ -519,6 +519,52 @@ class TestMetrics:
         with pytest.raises(ValueError, match="clear_time or schedule"):
             time_to_resync(trace, 1.0)
 
+    def test_amortized_frequency_excludes_crash_downtime(self):
+        """Regression: the amortized message frequency used to divide by
+        the full ``horizon − start_time`` span, counting scheduled crash
+        downtime as active time and understating a recovered node's
+        actual send rate."""
+        schedule = FaultSchedule().crash(1, at=10.0, until=30.0)
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(PARAMS),
+            ConstantDrift(0.05),
+            ConstantDelay(1.0),
+            HORIZON,
+            faults=schedule,
+        )
+        assert trace.downtime == {1: pytest.approx(20.0)}
+        active = HORIZON - trace.start_times[1] - 20.0
+        assert trace.amortized_message_frequency(1) == pytest.approx(
+            trace.messages_sent[1] / active
+        )
+        # An unfaulted node divides by its full span, as before.
+        assert trace.amortized_message_frequency(0) == pytest.approx(
+            trace.messages_sent[0] / (HORIZON - trace.start_times[0])
+        )
+        # And the crashed node really does send at a *higher* amortized
+        # rate than the naive full-span division would claim.
+        naive = trace.messages_sent[1] / (HORIZON - trace.start_times[1])
+        assert trace.amortized_message_frequency(1) > naive
+
+    def test_downtime_reported_for_open_ended_crash(self):
+        """A node that crashes after initializing and never recovers has
+        its downtime counted up to the horizon."""
+        schedule = FaultSchedule().crash(0, at=5.0)  # never recovers
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(PARAMS),
+            ConstantDrift(0.05),
+            ConstantDelay(1.0),
+            HORIZON,
+            faults=schedule,
+        )
+        assert trace.downtime[0] == pytest.approx(HORIZON - 5.0)
+        active = HORIZON - trace.start_times[0] - (HORIZON - 5.0)
+        assert trace.amortized_message_frequency(0) == pytest.approx(
+            trace.messages_sent[0] / active
+        )
+
     def test_time_to_resync_measures_recovery_window(self):
         schedule = FaultSchedule().link_down(1, 2, at=10.0, until=20.0)
         trace = run_execution(

@@ -127,6 +127,35 @@ class TestParallelEquivalence:
             assert s.summary.global_skew == p.summary.global_skew
             assert s.summary.local_skew == p.summary.local_skew
 
+    def test_grid_workers4_equals_workers1_with_metrics(self):
+        """Metrics collection must not perturb results: summaries with the
+        deterministic engine counters attached stay byte-identical across
+        worker counts (wall-clock timings are stripped before attachment)."""
+        specs = _case_grid()
+        serial = SweepExecutor(workers=1, collect_metrics=True).run(specs)
+        parallel = SweepExecutor(workers=4, collect_metrics=True).run(specs)
+        assert all(outcome.ok for outcome in serial)
+        _assert_outcomes_byte_identical(serial, parallel)
+        for outcome in serial:
+            metrics = outcome.summary.run_metrics
+            assert metrics is not None
+            assert metrics.phase_seconds == {}
+            assert metrics.events_processed == outcome.summary.events_processed
+
+    def test_metrics_on_equals_metrics_off_results(self):
+        """The same grid run with and without metrics agrees on every
+        result field — collection is observability only."""
+        import dataclasses
+
+        plain = SweepExecutor(workers=1).run(_case_grid())
+        with_metrics = SweepExecutor(workers=1, collect_metrics=True).run(
+            _case_grid()
+        )
+        for p, m in zip(plain, with_metrics):
+            assert pickle.dumps(p.summary) == pickle.dumps(
+                dataclasses.replace(m.summary, run_metrics=None)
+            )
+
     def test_equivalence_under_injected_worker_failure(self):
         specs = _case_grid()
         specs.insert(

@@ -84,6 +84,20 @@ class TestLogicalClockRecord:
         points = record.breakpoints_in(0.0, 10.0)
         assert 2.0 in points and 4.0 in points and 0.0 in points
 
+    def test_breakpoints_unique_when_checkpoint_meets_rate_change(self):
+        """Regression: a checkpoint coinciding with a hardware rate change
+        used to yield the same time point twice, so skew evaluation
+        evaluated (and paid for) duplicated instants."""
+        record = make_record([(0.0, 1.0), (4.0, 1.1), (7.0, 0.9)])
+        record.checkpoint(4.0, 1.5)  # same instant as the rate change
+        record.checkpoint(7.0, 1.2)  # and again
+        points = record.breakpoints_in(0.0, 10.0)
+        assert points == sorted(set(points))  # sorted and duplicate-free
+        assert points.count(4.0) == 1
+        assert points.count(7.0) == 1
+        # Evaluation count: one evaluation per distinct instant.
+        assert len(points) == len({0.0, 4.0, 7.0})
+
     def test_multiplier_at(self):
         record = make_record([(0.0, 1.0)])
         record.checkpoint(3.0, 1.5)
@@ -209,6 +223,26 @@ class TestCounters:
         trace = build_trace([record, make_record([(0.0, 1.0)])], 10.0, line(2))
         trace.messages_sent[0] = 20
         assert trace.amortized_message_frequency(0) == pytest.approx(2.0)
+
+    def test_amortized_frequency_subtracts_downtime(self):
+        """Regression: scheduled crash downtime must not count as active
+        time when amortizing the message rate."""
+        record = make_record([(0.0, 1.0)])
+        trace = build_trace([record, make_record([(0.0, 1.0)])], 10.0, line(2))
+        trace.messages_sent[0] = 20
+        trace.downtime[0] = 6.0
+        assert trace.amortized_message_frequency(0) == pytest.approx(5.0)
+
+    def test_amortized_frequency_zero_when_never_active(self):
+        """Downtime covering the whole span yields 0.0, not a division by
+        zero (or a negative-denominator artifact)."""
+        record = make_record([(0.0, 1.0)])
+        trace = build_trace([record, make_record([(0.0, 1.0)])], 10.0, line(2))
+        trace.messages_sent[0] = 3
+        trace.downtime[0] = 10.0
+        assert trace.amortized_message_frequency(0) == 0.0
+        trace.downtime[0] = 12.0  # defensive: over-counted downtime
+        assert trace.amortized_message_frequency(0) == 0.0
 
     def test_totals(self):
         records = [make_record([(0.0, 1.0)]) for _ in range(2)]
