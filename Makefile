@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs bench examples report sweep-smoke profile-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint lint bench examples report sweep-smoke profile-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -26,12 +26,21 @@ test-faults:
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs
 
+# The reprolint self-tests plus the golden-digest pins that back R004.
+test-lint:
+	$(PYTHON) -m pytest tests/ -m lint
+
+# Determinism & digest-safety gate: the tree must lint clean (modulo the
+# committed baseline) before anything ships.
+lint:
+	$(PYTHON) -m repro lint src benchmarks
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Quick end-to-end proof of the parallel sweep executor: a small diameter
 # grid through `python -m repro sweep` on every core, cache bypassed.
-sweep-smoke: profile-smoke
+sweep-smoke: lint profile-smoke
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
 		--workers auto --no-cache --metrics table
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
@@ -51,7 +60,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: test bench
+check: lint test bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

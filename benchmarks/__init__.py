@@ -1,0 +1,8 @@
+"""Benchmark suite (pytest-benchmark) for the repro library.
+
+Each ``bench_*.py`` module is a runnable experiment (see
+``EXPERIMENTS.md``); this package file only exists so shared fixtures in
+``conftest.py`` resolve.  There is no public API here.
+"""
+
+__all__ = []

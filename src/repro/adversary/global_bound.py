@@ -42,7 +42,12 @@ from repro.sim.trace import ExecutionTrace
 from repro.topology.generators import Topology
 from repro.topology.properties import bfs_distances
 
-__all__ = ["theorem72_schedules", "run_global_lower_bound", "GlobalLowerBoundResult"]
+__all__ = [
+    "theorem72_schedules",
+    "run_global_lower_bound",
+    "GlobalLowerBoundResult",
+    "Theorem72Schedules",
+]
 
 NodeId = Hashable
 

@@ -80,10 +80,13 @@ def patterns_match(
     per_edge_a = _per_edge(local_time_message_pattern(trace_a), local_horizon)
     per_edge_b = _per_edge(local_time_message_pattern(trace_b), local_horizon)
     if not allow_prefix and set(per_edge_a) != set(per_edge_b):
-        only_a = set(per_edge_a) - set(per_edge_b)
-        only_b = set(per_edge_b) - set(per_edge_a)
+        # Sorted so the verdict's diagnostic is deterministic: str hashes
+        # are randomised per process, so formatting the raw sets would
+        # order the edges differently on every run (reprolint R003).
+        only_a = sorted(set(per_edge_a) - set(per_edge_b))
+        only_b = sorted(set(per_edge_b) - set(per_edge_a))
         return False, f"edge sets differ (only_a={only_a}, only_b={only_b})"
-    for edge in set(per_edge_a) & set(per_edge_b):
+    for edge in sorted(set(per_edge_a) & set(per_edge_b)):
         entries_a, entries_b = per_edge_a[edge], per_edge_b[edge]
         if not allow_prefix and len(entries_a) != len(entries_b):
             return False, (

@@ -25,6 +25,10 @@ Commands
 ``profile``
     Run the adversary suite serially with engine metrics enabled and
     rank hot specs and hot phases (see ``docs/OBSERVABILITY.md``).
+``lint``
+    Run the reprolint static-analysis pass (determinism & digest-safety
+    rules R001–R005) over the given paths; exit 0 clean, 1 findings,
+    2 usage error (see ``docs/LINT.md``).
 
 ``sweep`` and ``faults`` accept ``--metrics json|table`` to report the
 batch's :class:`~repro.obs.metrics.SweepMetrics` (cache hit-rate,
@@ -165,7 +169,7 @@ def _build_algorithm(name: str, params: SyncParams, diameter: int):
     raise SystemExit(f"unknown algorithm {name!r}")
 
 
-def cmd_bounds(args) -> int:
+def _cmd_bounds(args) -> int:
     params = _build_params(args)
     rows = []
     for d in args.diameters:
@@ -193,7 +197,7 @@ def cmd_bounds(args) -> int:
     return 0
 
 
-def cmd_simulate(args) -> int:
+def _cmd_simulate(args) -> int:
     params = _build_params(args)
     topology = _build_topology(args)
     d = graph_diameter(topology)
@@ -268,7 +272,7 @@ def _print_sweep_metrics(metrics, outcomes, fmt: str) -> None:
                            title="per-spec wall time (executed specs)"))
 
 
-def cmd_suite(args) -> int:
+def _cmd_suite(args) -> int:
     params = _build_params(args)
     topology = _build_topology(args)
     d = graph_diameter(topology)
@@ -310,7 +314,7 @@ def cmd_suite(args) -> int:
     return 0
 
 
-def cmd_lower_global(args) -> int:
+def _cmd_lower_global(args) -> int:
     params = _build_params(args)
     topology = _build_topology(args)
     result = run_global_lower_bound(
@@ -339,7 +343,7 @@ def cmd_lower_global(args) -> int:
     return 0 if result.forced_skew >= result.predicted * 0.999 else 1
 
 
-def cmd_lower_local(args) -> int:
+def _cmd_lower_local(args) -> int:
     params = _build_params(args)
     result = run_skew_amplification(
         lambda: AoptAlgorithm(params),
@@ -380,7 +384,7 @@ SWEEP_TOPOLOGIES = {
 }
 
 
-def cmd_sweep(args) -> int:
+def _cmd_sweep(args) -> int:
     import time
 
     from repro.exec.pool import SweepExecutor
@@ -570,7 +574,7 @@ def _fault_scenario(args, topology, params, horizon):
     raise SystemExit(f"unknown fault scenario {args.scenario!r}")
 
 
-def cmd_faults(args) -> int:
+def _cmd_faults(args) -> int:
     from repro.exec.pool import SweepExecutor
     from repro.exec.spec import ExecutionSpec
     from repro.faults import loss_accounting, per_epoch_skew, time_to_resync
@@ -674,7 +678,7 @@ def cmd_faults(args) -> int:
     return 0 if ttr is not None else 1
 
 
-def cmd_profile(args) -> int:
+def _cmd_profile(args) -> int:
     # Lazy import: repro.obs.profile pulls in the exec layer.
     from repro.obs.profile import profile_specs
 
@@ -726,7 +730,71 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_report(args) -> int:
+def _cmd_lint(args) -> int:
+    # Lazy import: the linter is pure stdlib but irrelevant to sim runs.
+    import json
+    import os
+
+    from repro.errors import LintError
+    from repro.lint import (
+        DEFAULT_BASELINE_NAME,
+        RULES,
+        lint_paths,
+        load_baseline,
+        write_baseline,
+    )
+
+    if args.list_rules:
+        rows = [
+            [rule.id, rule.summary]
+            for rule in sorted(RULES.values(), key=lambda rule: rule.id)
+        ]
+        print(format_table(["rule", "enforces"], rows, title="reprolint rules"))
+        print("catalog with rationale and examples: docs/LINT.md")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [
+            token.strip().upper()
+            for token in args.rules.split(",")
+            if token.strip()
+        ]
+
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if os.path.exists(args.baseline):
+            baseline = load_baseline(args.baseline)
+        elif args.baseline != DEFAULT_BASELINE_NAME:
+            print(f"repro lint: baseline not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        written = write_baseline(args.baseline, report.findings)
+        print(
+            f"wrote {len(written.entries)} baseline entr"
+            f"{'y' if len(written.entries) == 1 else 'ies'} "
+            f"to {args.baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.format_text())
+        print(report.summary_line())
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
     workers, cache = _executor_options(args)
@@ -810,7 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     bounds_parser.add_argument(
         "--diameters", type=int, nargs="+", default=[4, 8, 16, 32, 64, 128]
     )
-    bounds_parser.set_defaults(handler=cmd_bounds)
+    bounds_parser.set_defaults(handler=_cmd_bounds)
 
     simulate_parser = subparsers.add_parser(
         "simulate", help="run one algorithm under one adversary"
@@ -822,7 +890,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate_parser.add_argument("--adversary", default="two-group-drift")
     simulate_parser.add_argument("--horizon", type=float, default=300.0)
-    simulate_parser.set_defaults(handler=cmd_simulate)
+    simulate_parser.set_defaults(handler=_cmd_simulate)
 
     suite_parser = subparsers.add_parser(
         "suite", help="run the standard adversary suite"
@@ -834,7 +902,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite_parser.add_argument("--horizon", type=float, default=None)
     add_executor_arguments(suite_parser)
-    suite_parser.set_defaults(handler=cmd_suite)
+    suite_parser.set_defaults(handler=_cmd_suite)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -864,7 +932,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="report on-disk cache state (entries, orphaned temp files, "
              "hit/miss/corrupt counts) after the sweep"
     )
-    sweep_parser.set_defaults(handler=cmd_sweep)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
 
     faults_parser = subparsers.add_parser(
         "faults",
@@ -907,7 +975,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "probability (spike adds 2T)")
     add_executor_arguments(faults_parser)
     add_metrics_argument(faults_parser)
-    faults_parser.set_defaults(handler=cmd_faults)
+    faults_parser.set_defaults(handler=_cmd_faults)
 
     profile_parser = subparsers.add_parser(
         "profile",
@@ -926,7 +994,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--format", choices=["json", "table"], default="table"
     )
-    profile_parser.set_defaults(handler=cmd_profile)
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     lower_parser = subparsers.add_parser(
         "lower-bound", help="replay a Section 7 lower-bound construction"
@@ -938,7 +1006,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_topology_arguments(lower_global)
     lower_global.add_argument("--c1", type=float, default=1.0,
                               help="delay knowledge accuracy T/T_hat")
-    lower_global.set_defaults(handler=cmd_lower_global)
+    lower_global.set_defaults(handler=_cmd_lower_global)
 
     lower_local = lower_subparsers.add_parser("local", help="Theorem 7.7")
     add_model_arguments(lower_local)
@@ -946,7 +1014,41 @@ def build_parser() -> argparse.ArgumentParser:
     lower_local.add_argument("--base", type=int, default=4)
     lower_local.add_argument("--verify", action="store_true",
                              help="verify indistinguishability (slower)")
-    lower_local.set_defaults(handler=cmd_lower_local)
+    lower_local.set_defaults(handler=_cmd_lower_local)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the reprolint determinism/digest-safety checks "
+             "(see docs/LINT.md)",
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files/directories to lint (default: src benchmarks)"
+    )
+    lint_parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    lint_parser.add_argument(
+        "--rules", default=None, metavar="R001,R003",
+        help="comma-separated rule subset (default: all rules)"
+    )
+    lint_parser.add_argument(
+        "--baseline", default=".reprolint-baseline.json",
+        help="committed baseline of accepted (path, rule) findings"
+    )
+    lint_parser.add_argument(
+        "--no-baseline", dest="no_baseline", action="store_true",
+        help="ignore the baseline file and report everything"
+    )
+    lint_parser.add_argument(
+        "--write-baseline", dest="write_baseline", action="store_true",
+        help="accept all current findings into the baseline file"
+    )
+    lint_parser.add_argument(
+        "--list-rules", dest="list_rules", action="store_true",
+        help="print the rule catalog and exit"
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     report_parser = subparsers.add_parser(
         "report", help="run a compact experiment subset and emit a markdown report"
@@ -958,7 +1060,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--output", default=None,
                                help="write to a file instead of stdout")
     add_executor_arguments(report_parser)
-    report_parser.set_defaults(handler=cmd_report)
+    report_parser.set_defaults(handler=_cmd_report)
 
     return parser
 

@@ -8,6 +8,17 @@ offending node, time, and values attached for post-mortem inspection.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "SimulationError",
+    "ScheduleError",
+    "TraceError",
+    "LintError",
+    "InvariantViolation",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -36,6 +47,15 @@ class ScheduleError(ReproError):
 
 class TraceError(ReproError):
     """A trace query is invalid (e.g. evaluating a clock before its start)."""
+
+
+class LintError(ReproError):
+    """A reprolint invocation is unusable (bad path, rule id, or baseline).
+
+    Raised for *usage* problems only; findings in linted code are
+    reported as data (see :class:`repro.lint.findings.Finding`), never
+    as exceptions.
+    """
 
 
 class InvariantViolation(ReproError):

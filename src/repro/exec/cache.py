@@ -54,7 +54,9 @@ CACHE_VERSION = 3
 
 def default_cache_root() -> Path:
     """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-sweeps``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    # Cache *placement* is environment-dependent by design — entries are
+    # keyed by spec digest, so where they live cannot affect results.
+    env = os.environ.get("REPRO_CACHE_DIR")  # reprolint: disable=R002
     if env:
         return Path(env)
     return Path.home() / ".cache" / "repro-sweeps"

@@ -230,7 +230,7 @@ class ExecutionSpec:
     check_invariants: bool = False
     params: Optional[SyncParams] = None
     faults: Optional[FaultSchedule] = None
-    label: str = ""
+    label: str = ""  # reprolint: digest-exempt (presentation-only, see docstring)
 
     def __post_init__(self):
         object.__setattr__(

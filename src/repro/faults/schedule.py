@@ -55,7 +55,7 @@ def _check_time(name: str, value: float) -> float:
     return value
 
 
-class FaultSchedule:
+class FaultSchedule:  # reprolint: digest-critical
     """A timeline of node/link faults plus per-message fault probabilities.
 
     Parameters

@@ -1,0 +1,60 @@
+"""reprolint — AST-based determinism and digest-safety linter.
+
+The reproduction's correctness rests on byte-identical replay: execution
+specs are cached by canonical digest, parallel sweeps must match serial
+runs exactly, and the lower-bound adversaries compare indistinguishable
+executions message-for-message.  One unordered set iteration or unseeded
+RNG silently breaks all of it, so this package machine-checks the
+project's determinism invariants as named, suppressible rules (R001 —
+R005; catalog in ``docs/LINT.md``).
+
+Usage::
+
+    from repro.lint import lint_paths
+
+    report = lint_paths(["src", "benchmarks"])
+    assert report.ok, [f.format_text() for f in report.findings]
+
+or from the command line (exit 0 clean, 1 findings, 2 usage error)::
+
+    python -m repro lint src benchmarks
+    python -m repro lint --list-rules
+    python -m repro lint --format json --no-baseline src
+
+Suppress one finding inline with ``# reprolint: disable=RXXX`` on the
+offending line; accept a whole ``(path, rule)`` pair in the committed
+``.reprolint-baseline.json`` (see :mod:`repro.lint.baseline`).
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    LintReport,
+    PARSE_ERROR_RULE,
+    iter_python_files,
+    lint_paths,
+)
+from repro.lint.findings import Finding, ModuleInfo
+from repro.lint.rules import RULES, Rule, register
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "PARSE_ERROR_RULE",
+    "RULES",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "load_baseline",
+    "register",
+    "write_baseline",
+]

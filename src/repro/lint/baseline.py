@@ -1,0 +1,117 @@
+"""Committed lint baselines: accepted findings that do not fail the build.
+
+A baseline entry waives one ``(path, rule)`` pair — coarse on purpose.
+Line numbers drift with every edit, so line-keyed baselines rot; a
+path+rule waiver instead says "this module is exempt from this rule",
+which is the only kind of exception the project wants to commit (e.g.
+``__main__.py`` is a runner stub with no public API, so it carries an
+R005 waiver).  Point fixes belong inline as
+``# reprolint: disable=RXXX`` next to the offending line, where review
+sees them.
+
+The file is JSON (``.reprolint-baseline.json`` at the repo root by
+convention), with entries sorted on write so regeneration is
+diff-stable::
+
+    {
+      "version": 1,
+      "entries": [
+        {"path": "src/repro/__main__.py", "rule": "R005",
+         "reason": "module runner stub; no public API"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Set, Tuple, Union
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "write_baseline",
+]
+
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted ``(path, rule)`` waiver with a human-readable reason."""
+
+    path: str
+    rule: str
+    reason: str = ""
+
+    def as_dict(self) -> dict:
+        return {"path": self.path, "rule": self.rule, "reason": self.reason}
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings loaded from a committed baseline file."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+
+    def __post_init__(self):
+        self._index: Set[Tuple[str, str]] = {
+            (entry.path, entry.rule) for entry in self.entries
+        }
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.path, finding.rule) in self._index
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Load and validate a baseline file; raises :class:`LintError`."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise LintError(f"baseline {path} must be an object with 'entries'")
+    entries: List[BaselineEntry] = []
+    for raw in data["entries"]:
+        if not isinstance(raw, dict) or "path" not in raw or "rule" not in raw:
+            raise LintError(
+                f"baseline {path}: every entry needs 'path' and 'rule' keys"
+            )
+        entries.append(
+            BaselineEntry(
+                path=str(raw["path"]),
+                rule=str(raw["rule"]),
+                reason=str(raw.get("reason", "")),
+            )
+        )
+    return Baseline(entries=tuple(entries))
+
+
+def write_baseline(
+    path: Union[str, Path],
+    findings: Iterable[Finding],
+    reason: str = "accepted by --write-baseline",
+) -> Baseline:
+    """Write a baseline accepting ``findings`` (one entry per path+rule)."""
+    unique = sorted({(finding.path, finding.rule) for finding in findings})
+    entries = tuple(
+        BaselineEntry(path=p, rule=r, reason=reason) for p, r in unique
+    )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [entry.as_dict() for entry in entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return Baseline(entries=entries)

@@ -1,0 +1,183 @@
+"""The reprolint engine: file traversal, rule dispatch, reporting.
+
+:func:`lint_paths` walks the given files/directories in sorted order,
+parses each module once, runs every applicable rule, applies inline
+``# reprolint: disable=RXXX`` suppressions and the committed baseline,
+and returns a :class:`LintReport` whose findings are sorted by
+``(path, line, col, rule)`` — lint output is deterministic by
+construction, like everything else in this repository.
+
+Unparseable files are reported as rule ``E001`` findings rather than
+aborting the run, so one syntax error does not hide every other finding.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding, ModuleInfo
+from repro.lint.rules import RULES, Rule
+
+__all__ = ["LintReport", "iter_python_files", "lint_paths", "PARSE_ERROR_RULE"]
+
+#: Pseudo-rule id for files that fail to parse; not suppressible inline.
+PARSE_ERROR_RULE = "E001"
+
+_SKIP_DIRS = frozenset(
+    {
+        "__pycache__",
+        "build",
+        "dist",
+        ".git",
+        ".hypothesis",
+        ".pytest_cache",
+        ".benchmarks",
+    }
+)
+
+
+def _skip_dir(name: str) -> bool:
+    return name in _SKIP_DIRS or name.startswith(".") or name.endswith(".egg-info")
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in a deterministic order.
+
+    Directories are walked recursively with sorted listings; cache,
+    build, hidden, and ``*.egg-info`` directories are skipped.  A path
+    that exists but is neither a ``.py`` file nor a directory, or does
+    not exist at all, raises :class:`~repro.errors.LintError`.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix != ".py":
+                raise LintError(f"not a Python file: {path}")
+            yield path
+        elif path.is_dir():
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name for name in dirnames if not _skip_dir(name)
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield Path(dirpath) / filename
+        else:
+            raise LintError(f"no such file or directory: {path}")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict:
+        counts: dict = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+    def summary_line(self) -> str:
+        status = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        return (
+            f"{status}: {self.files_checked} file(s) checked, "
+            f"{self.suppressed} suppressed inline, "
+            f"{self.baselined} baselined"
+        )
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+    root: Optional[Union[str, Path]] = None,
+) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to lint.
+    rules:
+        Optional iterable of rule ids to run (default: all registered
+        rules).  Unknown ids raise :class:`~repro.errors.LintError`.
+    baseline:
+        Optional committed :class:`~repro.lint.baseline.Baseline`;
+        matched findings are counted, not reported.
+    root:
+        Directory findings paths are reported relative to (default:
+        the current working directory).
+    """
+    if rules is None:
+        active: List[Rule] = [RULES[rule_id] for rule_id in sorted(RULES)]
+    else:
+        unknown = sorted(set(rules) - set(RULES))
+        if unknown:
+            raise LintError(f"unknown rule id(s): {', '.join(unknown)}")
+        active = [RULES[rule_id] for rule_id in sorted(set(rules))]
+
+    root_path = Path(root) if root is not None else Path.cwd()
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        relpath = _relpath(path, root_path)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        try:
+            module = ModuleInfo.parse(path, relpath, source)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in active:
+            if not rule.applies(module):
+                continue
+            for finding in rule.check(module):
+                if rule.id in module.suppressions.get(finding.line, set()):
+                    report.suppressed += 1
+                elif baseline is not None and baseline.matches(finding):
+                    report.baselined += 1
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=Finding.sort_key)
+    return report

@@ -1,0 +1,128 @@
+"""Finding and module-context value objects shared by the reprolint rules.
+
+Kept free of engine imports so rule modules can depend on it without
+cycles: rules see a parsed :class:`ModuleInfo` and emit :class:`Finding`
+records; the engine (:mod:`repro.lint.engine`) owns file traversal,
+suppression accounting, and baseline handling.
+
+Source-comment conventions recognised here:
+
+``# reprolint: disable=R001,R003``
+    Suppress the listed rules on this line only.
+``# reprolint: <marker>``
+    Free-form markers consulted by individual rules via
+    :meth:`ModuleInfo.has_marker` (e.g. ``digest-exempt`` on a dataclass
+    field line, ``digest-critical`` on a class line — see R004).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Set, Tuple, Union
+
+__all__ = ["Finding", "ModuleInfo"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str  #: posix-style path, relative to the lint root when possible
+    line: int  #: 1-indexed line number
+    col: int  #: 0-indexed column, as reported by :mod:`ast`
+    rule: str  #: rule identifier, e.g. ``"R003"``
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus the source-comment metadata rules consult."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    #: 1-indexed line number -> rule ids disabled on that line.
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str, source: str) -> "ModuleInfo":
+        """Parse ``source`` and extract per-line suppression comments.
+
+        Raises :class:`SyntaxError` for unparseable files; the engine
+        converts that into an ``E001`` finding.
+        """
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        suppressions: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                rules = {
+                    token.strip()
+                    for token in re.split(r"[,\s]+", match.group(1))
+                    if token.strip()
+                }
+                if rules:
+                    suppressions[lineno] = rules
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=suppressions,
+        )
+
+    @property
+    def name(self) -> str:
+        """The file name, e.g. ``"engine.py"``."""
+        return self.path.name
+
+    @property
+    def path_parts(self) -> Tuple[str, ...]:
+        """The relative path split into segments (posix semantics)."""
+        return tuple(PurePosixPath(self.relpath.replace("\\", "/")).parts)
+
+    def has_marker(self, lineno: int, marker: str) -> bool:
+        """Whether ``# reprolint: <marker>`` appears on 1-indexed ``lineno``."""
+        if not 1 <= lineno <= len(self.lines):
+            return False
+        return (
+            re.search(
+                rf"#\s*reprolint:\s*{re.escape(marker)}\b", self.lines[lineno - 1]
+            )
+            is not None
+        )
+
+    def finding(
+        self, where: Union[int, ast.AST], rule: str, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` at an AST node or bare line number."""
+        if isinstance(where, int):
+            line, col = where, 0
+        else:
+            line = getattr(where, "lineno", 1)
+            col = getattr(where, "col_offset", 0)
+        return Finding(self.relpath, line, col, rule, message)

@@ -1,0 +1,772 @@
+"""The reprolint rule set: named, suppressible determinism invariants.
+
+Each rule is a small AST pass over one parsed module
+(:class:`~repro.lint.findings.ModuleInfo`).  The reproduction's whole
+result pipeline rests on byte-identical replay — spec digests key the
+on-disk result cache, parallel sweeps must match serial runs exactly,
+and the lower-bound adversaries compare indistinguishable executions
+message-for-message — so the rules target the ways Python code silently
+breaks that contract:
+
+========  ==============================================================
+R001      no module-global or unseeded :mod:`random` (inject a seeded
+          ``random.Random(seed)``)
+R002      no wall-clock or environment reads (``time.time``,
+          ``datetime.now``, ``os.environ``) in the replay-critical
+          ``sim``/``exec``/``faults`` layers
+R003      no iteration over (or string-formatting of) unordered set
+          expressions in digest-, hash-, or trace-comparison code
+          without ``sorted(...)``
+R004      digest coverage: every field of a digest-critical class must
+          be reachable from its canonical encoder
+R005      public modules declare a consistent ``__all__`` (entries
+          resolve, no duplicate entries, no public stragglers)
+========  ==============================================================
+
+The full catalog with rationale and the suppression/baseline workflow
+lives in ``docs/LINT.md``.  Rules are registered in :data:`RULES` by id
+and must themselves be deterministic: findings are emitted with stable
+messages and sorted by the engine, so lint output is byte-identical
+across runs — the linter is held to the standard it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding, ModuleInfo
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "register",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "UnorderedIterationRule",
+    "DigestCoverageRule",
+    "PublicExportsRule",
+]
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`id` (``"RXXX"``) and :attr:`summary`, and
+    implement :meth:`check`; :meth:`applies` narrows the rule to a
+    subset of modules (by path or file name) and defaults to all.
+    """
+
+    id: str = ""
+    summary: str = ""
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.id}>"
+
+
+#: Registry of rule instances by id, populated by :func:`register`.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding one instance of ``cls`` to :data:`RULES`."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls()
+    return cls
+
+
+def _dotted_parts(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as ``("a", "b", "c")``, or None for non-dotted exprs."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# R001 — no module-global or unseeded random
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Randomness must come from an injected, explicitly seeded stream.
+
+    ``random.random()`` and friends draw from the *process-global* RNG:
+    any other consumer of that stream — another model, a test, a library
+    — perturbs every draw after it, so results depend on call
+    interleaving instead of the spec.  ``random.Random()`` without a
+    seed initialises from OS entropy and can never replay.  The project
+    convention is a per-component ``random.Random(seed)`` (often keyed
+    by a string such as ``f"faults:{seed}:{node!r}"``).
+    """
+
+    id = "R001"
+    summary = "no module-global or unseeded `random`"
+
+    _HINT = "inject a per-component random.Random(seed) instead"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        module_aliases: Set[str] = set()
+        class_aliases: Set[str] = set()  # bound to random.Random
+        system_aliases: Set[str] = set()  # bound to random.SystemRandom
+        func_aliases: Dict[str, str] = {}  # bound to a random.<func>
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        module_aliases.add(alias.asname or "random")
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "random"
+                and node.level == 0
+            ):
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if alias.name == "Random":
+                        class_aliases.add(bound)
+                    elif alias.name == "SystemRandom":
+                        system_aliases.add(bound)
+                    elif alias.name != "*":
+                        func_aliases[bound] = alias.name
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted_parts(node.func)
+            if parts is not None and len(parts) == 2 and parts[0] in module_aliases:
+                attr = parts[1]
+                if attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield module.finding(
+                            node,
+                            self.id,
+                            "unseeded random.Random() initialises from OS "
+                            "entropy; pass an explicit seed so replays are "
+                            "deterministic",
+                        )
+                elif attr == "SystemRandom":
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "random.SystemRandom() draws OS entropy and can "
+                        "never replay deterministically",
+                    )
+                else:
+                    yield module.finding(
+                        node,
+                        self.id,
+                        f"call to the process-global RNG random.{attr}(); "
+                        + self._HINT,
+                    )
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in class_aliases:
+                    if not node.args and not node.keywords:
+                        yield module.finding(
+                            node,
+                            self.id,
+                            "unseeded Random() initialises from OS entropy; "
+                            "pass an explicit seed so replays are "
+                            "deterministic",
+                        )
+                elif name in system_aliases:
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "SystemRandom() draws OS entropy and can never "
+                        "replay deterministically",
+                    )
+                elif name in func_aliases:
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "call to the process-global RNG "
+                        f"random.{func_aliases[name]}(); " + self._HINT,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R002 — no wall-clock or environment reads in replay-critical layers
+# ---------------------------------------------------------------------------
+
+
+@register
+class WallClockRule(Rule):
+    """The simulation/execution/fault layers must not read the real world.
+
+    A ``time.time()`` or ``os.environ`` read in a replay-critical path
+    makes behaviour depend on when or where the process runs, which no
+    spec digest can capture — a cached result could then disagree with a
+    fresh run.  Timestamps belong to the simulated clock; configuration
+    must be threaded through the spec or a constructor.  Monotonic
+    *duration* measurement (``time.perf_counter``/``time.monotonic``)
+    is allowed: the telemetry layer strips wall timings before results
+    enter digested summaries.
+    """
+
+    id = "R002"
+    summary = "no wall-clock/env reads in sim/exec/faults layers"
+
+    _SCOPE_SEGMENTS = frozenset({"sim", "exec", "faults"})
+    _WALL_TIME_FUNCS = frozenset({"time", "time_ns"})
+    _WALL_DT_FUNCS = frozenset({"now", "utcnow", "today"})
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return bool(self._SCOPE_SEGMENTS.intersection(module.path_parts[:-1]))
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        os_mods: Set[str] = set()
+        time_mods: Set[str] = set()
+        dt_mods: Set[str] = set()
+        dt_classes: Set[str] = set()  # `from datetime import datetime/date`
+        env_names: Set[str] = set()  # `from os import environ`
+        getenv_names: Set[str] = set()  # `from os import getenv`
+        wall_funcs: Dict[str, str] = {}  # `from time import time` etc.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "os" or alias.name.startswith("os."):
+                        os_mods.add(bound)
+                    elif alias.name == "time":
+                        time_mods.add(bound)
+                    elif alias.name == "datetime":
+                        dt_mods.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    if node.module == "os":
+                        if alias.name == "environ":
+                            env_names.add(bound)
+                        elif alias.name == "getenv":
+                            getenv_names.add(bound)
+                    elif node.module == "time":
+                        if alias.name in self._WALL_TIME_FUNCS:
+                            wall_funcs[bound] = f"time.{alias.name}"
+                    elif node.module == "datetime":
+                        if alias.name in ("datetime", "date"):
+                            dt_classes.add(bound)
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                parts = _dotted_parts(node)
+                if (
+                    parts is not None
+                    and len(parts) == 2
+                    and parts[0] in os_mods
+                    and parts[1] == "environ"
+                ):
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "environment read os.environ in a replay-critical "
+                        "layer; thread configuration through the spec or a "
+                        "constructor argument",
+                    )
+            elif isinstance(node, ast.Call):
+                parts = _dotted_parts(node.func)
+                if parts is not None and len(parts) >= 2:
+                    head, tail = parts[0], parts[-1]
+                    if head in os_mods and parts[1] == "getenv":
+                        yield module.finding(
+                            node,
+                            self.id,
+                            "environment read os.getenv() in a "
+                            "replay-critical layer; thread configuration "
+                            "through the spec or a constructor argument",
+                        )
+                    elif (
+                        head in time_mods
+                        and len(parts) == 2
+                        and tail in self._WALL_TIME_FUNCS
+                    ):
+                        yield module.finding(
+                            node,
+                            self.id,
+                            f"wall-clock read time.{tail}() in a "
+                            "replay-critical layer; use the simulated clock "
+                            "(or time.perf_counter for stripped telemetry "
+                            "durations)",
+                        )
+                    elif (
+                        head in dt_mods or (head in dt_classes and len(parts) == 2)
+                    ) and tail in self._WALL_DT_FUNCS:
+                        yield module.finding(
+                            node,
+                            self.id,
+                            f"wall-clock read {'.'.join(parts)}() in a "
+                            "replay-critical layer; timestamps must come "
+                            "from the simulated clock",
+                        )
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                    if name in getenv_names:
+                        yield module.finding(
+                            node,
+                            self.id,
+                            "environment read getenv() in a replay-critical "
+                            "layer; thread configuration through the spec "
+                            "or a constructor argument",
+                        )
+                    elif name in wall_funcs:
+                        yield module.finding(
+                            node,
+                            self.id,
+                            f"wall-clock read {wall_funcs[name]}() in a "
+                            "replay-critical layer; use the simulated clock",
+                        )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in env_names:
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "environment read os.environ in a replay-critical "
+                        "layer; thread configuration through the spec or a "
+                        "constructor argument",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# R003 — no unordered iteration in digest/hash/trace-comparison code
+# ---------------------------------------------------------------------------
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Digest and comparison code must never depend on set ordering.
+
+    String hashes are randomised per process, so iterating a ``set`` (or
+    interpolating one into a diagnostic) yields a different order in
+    every run — enough to flip an indistinguishability verdict's
+    *message*, reorder a canonical encoding, or make two byte-identical
+    sweeps disagree.  The rule scopes itself to functions whose names
+    mention digesting, hashing, canonical encoding, patterns, matching,
+    or comparison, and flags set-valued expressions that are iterated or
+    formatted without ``sorted(...)``.
+    """
+
+    id = "R003"
+    summary = "no unordered set iteration/formatting in digest code"
+
+    _SCOPE_KEYWORDS = (
+        "digest",
+        "hash",
+        "canonical",
+        "encode",
+        "pattern",
+        "match",
+        "compare",
+    )
+    _SET_OPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        seen: Set[Tuple[int, int, str]] = set()
+        for func in ast.walk(module.tree):
+            if isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and self._in_scope(func.name):
+                for finding in self._check_function(module, func):
+                    key = (finding.line, finding.col, finding.message)
+                    if key not in seen:
+                        seen.add(key)
+                        yield finding
+
+    def _in_scope(self, name: str) -> bool:
+        low = name.lower()
+        return any(keyword in low for keyword in self._SCOPE_KEYWORDS)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST
+    ) -> Iterator[Finding]:
+        tainted = self._tainted_names(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.For):
+                yield from self._flag_iter(module, node.iter, tainted)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for comp in node.generators:
+                    yield from self._flag_iter(module, comp.iter, tainted)
+            elif isinstance(node, ast.FormattedValue):
+                if self._is_set_expr(node.value, tainted):
+                    yield module.finding(
+                        node.value,
+                        self.id,
+                        "unordered set interpolated into a string in "
+                        "digest/comparison code; wrap in sorted(...) so "
+                        "diagnostics are deterministic",
+                    )
+
+    def _flag_iter(
+        self, module: ModuleInfo, iter_node: ast.AST, tainted: Set[str]
+    ) -> Iterator[Finding]:
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "sorted"
+        ):
+            return
+        if self._is_set_expr(iter_node, tainted):
+            yield module.finding(
+                iter_node,
+                self.id,
+                "iteration over an unordered set expression in "
+                "digest/comparison code; wrap in sorted(...) so the "
+                "visit order is deterministic",
+            )
+
+    def _is_set_expr(self, node: ast.AST, tainted: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(node.op, self._SET_OPS):
+            return self._is_set_expr(node.left, tainted) or self._is_set_expr(
+                node.right, tainted
+            )
+        if isinstance(node, ast.Name):
+            return node.id in tainted
+        return False
+
+    def _tainted_names(self, func: ast.AST) -> Set[str]:
+        """Names assigned from set-producing expressions (to a fixpoint)."""
+        tainted: Set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    name = node.targets[0].id
+                    if name not in tainted and self._is_set_expr(
+                        node.value, tainted
+                    ):
+                        tainted.add(name)
+                        changed = True
+        return tainted
+
+
+# ---------------------------------------------------------------------------
+# R004 — digest coverage for digest-critical classes
+# ---------------------------------------------------------------------------
+
+
+@register
+class DigestCoverageRule(Rule):
+    """Every field of a digest-critical class must reach its encoder.
+
+    A field that the canonical encoder cannot see is a cache-poisoning
+    hazard: changing it changes behaviour but not the digest, so a stale
+    cached result is returned for a spec that would *not* reproduce it.
+    Two shapes are checked:
+
+    * a ``@dataclass`` defining an encoder method (``digest``,
+      ``canonical_encoding``, ...) must reach every field — either
+      explicitly (``self.<field>`` / a matching string literal) or by
+      iterating ``dataclasses.fields``; field names compared against
+      string literals inside a ``fields``-iterating encoder are
+      *exclusions* and must be marked ``# reprolint: digest-exempt`` on
+      the field's declaration line;
+    * a class whose ``class`` line carries ``# reprolint:
+      digest-critical`` is encoded generically from its instance
+      ``__dict__``, so no method may create attributes outside
+      ``__init__`` — a lazily-created cache attribute would perturb the
+      encoding depending on call history.
+    """
+
+    id = "R004"
+    summary = "digest-critical fields must be reachable from the encoder"
+
+    _ENCODER_NAMES = frozenset(
+        {"digest", "canonical_encoding", "canonical_bytes", "to_canonical"}
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            encoder = self._find_encoder(node)
+            if encoder is not None and self._is_dataclass(node):
+                yield from self._check_dataclass(module, node, encoder)
+            if module.has_marker(node.lineno, "digest-critical"):
+                yield from self._check_generic(module, node)
+
+    def _find_encoder(self, classdef: ast.ClassDef):
+        for stmt in classdef.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name in self._ENCODER_NAMES
+            ):
+                return stmt
+        return None
+
+    @staticmethod
+    def _is_dataclass(classdef: ast.ClassDef) -> bool:
+        for decorator in classdef.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            parts = _dotted_parts(target)
+            if parts is not None and parts[-1] == "dataclass":
+                return True
+        return False
+
+    def _check_dataclass(
+        self, module: ModuleInfo, classdef: ast.ClassDef, encoder
+    ) -> Iterator[Finding]:
+        fields: List[Tuple[str, int]] = []
+        for stmt in classdef.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                if "ClassVar" in ast.unparse(stmt.annotation):
+                    continue
+                fields.append((stmt.target.id, stmt.lineno))
+        field_names = {name for name, _ in fields}
+
+        dynamic = False
+        compared_consts: Set[str] = set()
+        self_attrs: Set[str] = set()
+        all_consts: Set[str] = set()
+        for node in ast.walk(encoder):
+            if isinstance(node, ast.Call):
+                parts = _dotted_parts(node.func)
+                if parts is not None and parts[-1] == "fields":
+                    dynamic = True
+            elif isinstance(node, ast.Compare):
+                for operand in [node.left, *node.comparators]:
+                    compared_consts.update(self._string_consts(operand))
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id == "self":
+                    self_attrs.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                all_consts.add(node.value)
+
+        if dynamic:
+            for name, lineno in fields:
+                if name in compared_consts and not module.has_marker(
+                    lineno, "digest-exempt"
+                ):
+                    yield module.finding(
+                        lineno,
+                        self.id,
+                        f"field {name!r} is excluded from the canonical "
+                        f"encoding by {encoder.name}(); mark the field "
+                        "`# reprolint: digest-exempt` if it is genuinely "
+                        "presentation-only, or include it in the digest",
+                    )
+        else:
+            covered = self_attrs | (all_consts & field_names)
+            for name, lineno in fields:
+                if name not in covered and not module.has_marker(
+                    lineno, "digest-exempt"
+                ):
+                    yield module.finding(
+                        lineno,
+                        self.id,
+                        f"field {name!r} is not reachable from canonical "
+                        f"encoder {encoder.name}(); a change to it would "
+                        "not change the digest (cache-poisoning hazard)",
+                    )
+
+    @staticmethod
+    def _string_consts(node: ast.AST) -> Iterable[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            yield node.value
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    yield element.value
+
+    def _check_generic(
+        self, module: ModuleInfo, classdef: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = [
+            stmt
+            for stmt in classdef.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        init_attrs: Set[str] = set()
+        for method in methods:
+            if method.name == "__init__":
+                init_attrs = {name for name, _ in self._self_assigns(method)}
+        for method in methods:
+            if method.name == "__init__":
+                continue
+            if not method.args.args or method.args.args[0].arg != "self":
+                continue
+            for name, lineno in sorted(self._self_assigns(method)):
+                if name not in init_attrs:
+                    yield module.finding(
+                        lineno,
+                        self.id,
+                        f"attribute self.{name} is first assigned outside "
+                        "__init__ on a digest-critical class; lazily-created "
+                        "state leaks into the generic canonical encoding "
+                        "and makes digests depend on call history",
+                    )
+
+    @staticmethod
+    def _self_assigns(method) -> Set[Tuple[str, int]]:
+        names: Set[Tuple[str, int]] = set()
+        for node in ast.walk(method):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                elements = (
+                    target.elts
+                    if isinstance(target, (ast.Tuple, ast.List))
+                    else [target]
+                )
+                for element in elements:
+                    if (
+                        isinstance(element, ast.Attribute)
+                        and isinstance(element.value, ast.Name)
+                        and element.value.id == "self"
+                    ):
+                        names.add((element.attr, element.lineno))
+        return names
+
+
+# ---------------------------------------------------------------------------
+# R005 — consistent public exports
+# ---------------------------------------------------------------------------
+
+
+@register
+class PublicExportsRule(Rule):
+    """Public modules declare a complete, resolvable ``__all__``.
+
+    ``__all__`` is the contract tests and downstream users import
+    against; an entry that does not resolve breaks ``from module import
+    *`` at a distance, and a public def/class missing from it is an
+    accidental API.  Test/benchmark files and conftest/setup scripts are
+    exempt; runner stubs such as ``__main__.py`` are expected to be
+    baselined (see ``.reprolint-baseline.json``).
+    """
+
+    id = "R005"
+    summary = "public modules declare a consistent `__all__`"
+
+    _EXCLUDED_NAMES = frozenset({"conftest.py", "setup.py"})
+
+    def applies(self, module: ModuleInfo) -> bool:
+        name = module.name
+        return not (
+            name in self._EXCLUDED_NAMES
+            or name.startswith("test_")
+            or name.startswith("bench_")
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        all_node: Optional[ast.AST] = None  # the Assign/AnnAssign statement
+        all_value: Optional[ast.AST] = None  # its right-hand side
+        bindings: Set[str] = set()
+        public_defs: List[Tuple[str, str, int]] = []  # (kind, name, lineno)
+        star_import = False
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bindings.add(node.name)
+                if not node.name.startswith("_"):
+                    public_defs.append(("function", node.name, node.lineno))
+            elif isinstance(node, ast.ClassDef):
+                bindings.add(node.name)
+                if not node.name.startswith("_"):
+                    public_defs.append(("class", node.name, node.lineno))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        bindings.add(target.id)
+                        if target.id == "__all__":
+                            all_node, all_value = node, node.value
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for element in target.elts:
+                            if isinstance(element, ast.Name):
+                                bindings.add(element.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                bindings.add(node.target.id)
+                if node.target.id == "__all__" and node.value is not None:
+                    all_node, all_value = node, node.value
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bindings.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        bindings.add(alias.asname or alias.name)
+
+        if all_node is None:
+            yield module.finding(
+                1,
+                self.id,
+                "module defines no __all__; declare its public exports "
+                "explicitly (an empty list is fine for script-only modules)",
+            )
+            return
+
+        value = all_value
+        if not isinstance(value, (ast.List, ast.Tuple)) or any(
+            not (isinstance(e, ast.Constant) and isinstance(e.value, str))
+            for e in value.elts
+        ):
+            yield module.finding(
+                all_node,
+                self.id,
+                "__all__ must be a literal list/tuple of string names so "
+                "exports can be statically verified",
+            )
+            return
+
+        entries = [e.value for e in value.elts]
+        seen_entries: Set[str] = set()
+        for entry in entries:
+            if entry in seen_entries:
+                yield module.finding(
+                    all_node, self.id, f"duplicate __all__ entry {entry!r}"
+                )
+            seen_entries.add(entry)
+            if entry not in bindings and not star_import:
+                yield module.finding(
+                    all_node,
+                    self.id,
+                    f"__all__ entry {entry!r} does not resolve to a "
+                    "module-level definition or import",
+                )
+
+        for kind, name, lineno in public_defs:
+            if name not in seen_entries:
+                yield module.finding(
+                    lineno,
+                    self.id,
+                    f"public {kind} {name!r} is missing from __all__; "
+                    "export it or prefix it with an underscore",
+                )

@@ -1,0 +1,23 @@
+"""Fixture: a fully compliant module — reprolint must report nothing.
+
+Mirrors the project idioms the rules push toward: a per-component
+seeded RNG, sorted set iteration inside digest code, and a complete
+``__all__``.
+"""
+
+import hashlib
+import random
+
+__all__ = ["draw", "digest_of"]
+
+
+def draw(seed, width):
+    rng = random.Random(seed)
+    return rng.uniform(-width, width)
+
+
+def digest_of(names):
+    acc = hashlib.sha256()
+    for name in sorted(set(names)):
+        acc.update(name.encode())
+    return acc.hexdigest()

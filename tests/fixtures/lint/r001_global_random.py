@@ -1,0 +1,23 @@
+"""Fixture: R001 — module-global and unseeded randomness.
+
+Each offence is minimal and representative: the shared global stream,
+an unseeded ``Random``, and a from-import of a global-stream function.
+"""
+
+from random import uniform
+
+import random
+
+__all__ = ["jitter", "fresh_rng", "pick_width"]
+
+
+def jitter(width):
+    return random.uniform(-width, width)
+
+
+def fresh_rng():
+    return random.Random()
+
+
+def pick_width(limit):
+    return uniform(0.0, limit)

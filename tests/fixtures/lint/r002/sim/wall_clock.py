@@ -1,0 +1,23 @@
+"""Fixture: R002 — wall-clock and environment reads in a ``sim`` layer.
+
+The path (``.../r002/sim/wall_clock.py``) places this module inside a
+replay-critical layer, so real-world reads must be flagged.
+"""
+
+import os
+import time
+from datetime import datetime
+
+__all__ = ["stamp_events", "started_at", "configured_horizon"]
+
+
+def stamp_events(events):
+    return [(time.time(), event) for event in events]
+
+
+def started_at():
+    return datetime.now()
+
+
+def configured_horizon():
+    return float(os.environ.get("HORIZON", "100"))

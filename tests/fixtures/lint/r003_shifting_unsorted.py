@@ -1,0 +1,21 @@
+"""Fixture: the pre-fix shape of ``repro.adversary.shifting.patterns_match``.
+
+PR 4's satellite fix sorted the edge intersection and the ``only_a`` /
+``only_b`` diagnostics in ``patterns_match``; this copy preserves the
+original unordered comparison so the self-test suite can demonstrate
+that reverting that fix would make ``repro lint`` fail (three R003
+findings: the two formatted sets and the iterated intersection).
+"""
+
+__all__ = ["patterns_match_unsorted"]
+
+
+def patterns_match_unsorted(per_edge_a, per_edge_b):
+    if set(per_edge_a) != set(per_edge_b):
+        only_a = set(per_edge_a) - set(per_edge_b)
+        only_b = set(per_edge_b) - set(per_edge_a)
+        return False, f"edge sets differ (only_a={only_a}, only_b={only_b})"
+    for edge in set(per_edge_a) & set(per_edge_b):
+        if per_edge_a[edge] != per_edge_b[edge]:
+            return False, f"edge {edge!r} differs"
+    return True, "indistinguishable"

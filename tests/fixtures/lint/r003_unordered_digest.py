@@ -1,0 +1,17 @@
+"""Fixture: R003 — unordered set iteration/formatting in digest code."""
+
+import hashlib
+
+__all__ = ["digest_names", "compare_edges"]
+
+
+def digest_names(names):
+    acc = hashlib.sha256()
+    for name in set(names):
+        acc.update(name.encode())
+    return acc.hexdigest()
+
+
+def compare_edges(edges_a, edges_b):
+    missing = set(edges_a) - set(edges_b)
+    return f"missing={missing}"

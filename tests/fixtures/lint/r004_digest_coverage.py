@@ -1,0 +1,34 @@
+"""Fixture: R004 — digest-coverage hazards, in both checked shapes.
+
+``PartialSpec.digest`` forgets the ``seed`` field, so changing the seed
+would not change the digest (a stale cache entry would be returned for a
+spec that does not reproduce it).  ``LazySchedule`` is generically
+encoded (digest-critical) but creates ``self._cache`` outside
+``__init__``, so its canonical encoding depends on which queries ran.
+"""
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["PartialSpec", "LazySchedule"]
+
+
+@dataclass(frozen=True)
+class PartialSpec:
+    topology: str
+    horizon: float
+    seed: int
+
+    def digest(self):
+        payload = f"{self.topology}:{self.horizon}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class LazySchedule:  # reprolint: digest-critical
+    def __init__(self, seed):
+        self.seed = seed
+        self.events = []
+
+    def boundaries(self):
+        self._cache = sorted(self.events)
+        return self._cache

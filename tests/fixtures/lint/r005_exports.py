@@ -1,0 +1,15 @@
+"""Fixture: R005 — inconsistent public exports.
+
+``__all__`` lists a duplicate and a name that does not resolve, and the
+public ``straggler`` function is not exported at all.
+"""
+
+__all__ = ["helper", "helper", "missing_name"]
+
+
+def helper():
+    return 1
+
+
+def straggler():
+    return 2

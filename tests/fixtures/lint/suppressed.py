@@ -1,0 +1,13 @@
+"""Fixture: inline suppressions silence listed rules on their line only."""
+
+import random
+
+__all__ = ["legacy_jitter", "still_flagged"]
+
+
+def legacy_jitter(width):
+    return random.uniform(-width, width)  # reprolint: disable=R001
+
+
+def still_flagged(width):
+    return random.uniform(-width, width)

@@ -1,0 +1,126 @@
+"""Golden-digest regression pins for the spec/cache identity scheme.
+
+These tests freeze the *exact* digest hex of one representative
+:class:`ExecutionSpec` and the canonical-encoding hash of one
+representative :class:`FaultSchedule`.  The digest keys the on-disk
+result cache, so a silent change to the canonical encoding is a cache
+correctness bug in one of two directions:
+
+* old entries returned for specs that no longer reproduce them
+  (poisoning), or
+* every existing cache silently invalidated (a mass re-run nobody
+  asked for).
+
+If a test here fails, the encoding changed.  That may be intentional —
+but then you must bump SPEC_DIGEST_VERSION (``src/repro/exec/spec.py``)
+and/or CACHE_VERSION (``src/repro/exec/cache.py``) so old and new
+digests can never alias, and re-pin the constants below.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.exec.cache import CACHE_VERSION
+from repro.exec.spec import SPEC_DIGEST_VERSION, ExecutionSpec, canonical_encoding
+from repro.faults.schedule import FaultSchedule
+from repro.sim.delays import UniformDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.topology.generators import line
+
+pytestmark = pytest.mark.lint
+
+# Pinned 2026-08: recompute ONLY alongside a version bump (see module
+# docstring).
+GOLDEN_SPEC_DIGEST = (
+    "2cc30b0c058732c5209eb82ad626df5735c5c55d3d918a4c93bd0d307a0af614"
+)
+GOLDEN_SCHEDULE_SHA = (
+    "11187d97c081bb374892059e11aaac874125afabd9519e0d37bf8519fdd02021"
+)
+
+
+def _golden_schedule() -> FaultSchedule:
+    return (
+        FaultSchedule()
+        .crash(2, at=10.0, until=25.0)
+        .link_down(0, 1, at=5.0, until=15.0)
+        .partition([(1, 2), (3, 4)], at=30.0, until=40.0)
+    )
+
+
+def _golden_spec() -> ExecutionSpec:
+    params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+    return ExecutionSpec(
+        topology=line(5),
+        algorithm=AoptAlgorithm(params),
+        drift=TwoGroupDrift(0.05, [0, 1]),
+        delay=UniformDelay(0.0, 1.0, seed=7),
+        horizon=60.0,
+        seed=7,
+        faults=_golden_schedule(),
+        label="golden",
+    )
+
+
+def test_spec_digest_is_pinned():
+    assert _golden_spec().digest() == GOLDEN_SPEC_DIGEST, (
+        "ExecutionSpec canonical encoding changed: cached results keyed by "
+        "the old digests are no longer trustworthy.  If the change is "
+        "intentional, bump SPEC_DIGEST_VERSION in src/repro/exec/spec.py "
+        "(and CACHE_VERSION in src/repro/exec/cache.py if the stored entry "
+        "format moved too), then re-pin GOLDEN_SPEC_DIGEST."
+    )
+
+
+def test_fault_schedule_encoding_is_pinned():
+    encoded = canonical_encoding(_golden_schedule())
+    assert hashlib.sha256(encoded.encode("utf-8")).hexdigest() == (
+        GOLDEN_SCHEDULE_SHA
+    ), (
+        "FaultSchedule canonical encoding changed, which shifts every digest "
+        "of a spec carrying faults.  If intentional, bump SPEC_DIGEST_VERSION "
+        "in src/repro/exec/spec.py (and CACHE_VERSION in "
+        "src/repro/exec/cache.py if needed), then re-pin GOLDEN_SCHEDULE_SHA."
+    )
+
+
+def test_version_constants_match_pins():
+    # The goldens above were computed at these versions; a bump must
+    # re-pin them together (the whole point of the failure messages).
+    assert SPEC_DIGEST_VERSION == 2
+    assert CACHE_VERSION == 3
+
+
+def test_label_stays_out_of_the_digest():
+    spec = _golden_spec()
+    relabeled = ExecutionSpec(
+        topology=spec.topology,
+        algorithm=spec.algorithm,
+        drift=spec.drift,
+        delay=spec.delay,
+        horizon=spec.horizon,
+        seed=spec.seed,
+        faults=spec.faults,
+        label="renamed-sweep",
+    )
+    assert relabeled.digest() == GOLDEN_SPEC_DIGEST
+
+
+def test_fault_change_shifts_the_digest():
+    params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+    spec = ExecutionSpec(
+        topology=line(5),
+        algorithm=AoptAlgorithm(params),
+        drift=TwoGroupDrift(0.05, [0, 1]),
+        delay=UniformDelay(0.0, 1.0, seed=7),
+        horizon=60.0,
+        seed=7,
+        faults=_golden_schedule().crash(4, at=50.0),
+        label="golden",
+    )
+    assert spec.digest() != GOLDEN_SPEC_DIGEST
