@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs test-lint lint bench examples report sweep-smoke profile-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint test-cert lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -30,6 +30,11 @@ test-obs:
 test-lint:
 	$(PYTHON) -m pytest tests/ -m lint
 
+# The theorem-certification harness: fuzzer/shrinker/artifact units, CLI
+# exit codes and golden report, and the E28 margin-trend benchmarks.
+test-cert:
+	$(PYTHON) -m pytest tests/ benchmarks/ -m cert
+
 # Determinism & digest-safety gate: the tree must lint clean (modulo the
 # committed baseline) before anything ships.
 lint:
@@ -40,7 +45,7 @@ bench:
 
 # Quick end-to-end proof of the parallel sweep executor: a small diameter
 # grid through `python -m repro sweep` on every core, cache bypassed.
-sweep-smoke: lint profile-smoke
+sweep-smoke: lint profile-smoke certify-smoke
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
 		--workers auto --no-cache --metrics table
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
@@ -51,6 +56,14 @@ sweep-smoke: lint profile-smoke
 profile-smoke:
 	$(PYTHON) -m repro profile --topology line --nodes 5 --horizon 40 --top 3
 
+# Quick end-to-end proof of the certification harness: a small fixed-seed
+# fuzz campaign must certify clean (exit 0), and the committed planted
+# counterexample must still replay (exit 1 = reproduced, by contract).
+certify-smoke:
+	$(PYTHON) -m repro certify --budget 12 --seed 0 --workers auto
+	! $(PYTHON) -m repro certify \
+		--replay tests/fixtures/cert/repro-thm-5.5-global-skew.json
+
 examples:
 	@for script in examples/*.py; do \
 		echo "=== $$script ==="; \
@@ -60,7 +73,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: lint test bench
+check: lint test certify-smoke bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

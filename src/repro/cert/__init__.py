@@ -1,0 +1,80 @@
+"""Theorem certification: adversarial fuzzing with counterexample shrinking.
+
+The paper's results are quantitative theorems; every execution the model
+admits must satisfy them.  This package turns each theorem into a
+machine-checkable :class:`~repro.cert.certificates.Certificate` and
+*searches* for violations instead of spot-checking hand-picked runs:
+
+* :mod:`repro.cert.certificates` — the certificate registry: one entry per
+  theorem bound (Theorem 5.5 global skew, Theorem 5.10 local skew, the
+  Corollary 5.3 envelope/rate conditions, monotonicity) plus the Section 7
+  lower-bound constructions (Theorems 7.2 and 7.7) as self-contained
+  *construction* certificates.  Tests and the certifier share the same
+  bound formulas through this registry, so they can never disagree.
+* :mod:`repro.cert.scenario` — :class:`CertScenario`, a pure-data,
+  JSON-round-trippable description of one fuzz case (topology, drift,
+  delay, params regime, horizon, fault events) that compiles to an
+  :class:`~repro.exec.spec.ExecutionSpec`.
+* :mod:`repro.cert.fuzzer` — seeded, fully deterministic scenario
+  sampling; the same seed always yields the same scenario stream.
+* :mod:`repro.cert.shrink` — a deterministic delta-debugging minimizer
+  that reduces a violating scenario (fewer nodes, shorter horizon,
+  simpler drift/delay, fewer fault events) while preserving the
+  violation.
+* :mod:`repro.cert.artifact` — self-contained repro artifacts (scenario +
+  spec digest + canonical violation record) that replay byte-identically
+  under ``repro certify --replay``.
+* :mod:`repro.cert.runner` — the certification campaign driver: fuzzes
+  through the parallel :class:`~repro.exec.pool.SweepExecutor`, evaluates
+  every applicable certificate per run, shrinks violations, and reports
+  margin-to-bound percentiles.
+* :mod:`repro.cert.differential` — cross-variant certification: variants
+  whose model assumptions overlap must agree on bound satisfaction.
+* :mod:`repro.cert.planted` — a deliberately broken rate-rule variant,
+  the planted violation used to prove the harness finds and shrinks real
+  counterexamples.
+
+See ``docs/CERTIFICATION.md`` for the certificate catalog and the repro
+artifact format.
+"""
+
+from repro.cert.artifact import ReplayResult, ReproArtifact, replay_artifact
+from repro.cert.certificates import (
+    CERTIFICATES,
+    Certificate,
+    CertificateVerdict,
+    certificate_bound,
+    construction_certificates,
+    execution_certificates,
+    resolve_certificates,
+)
+from repro.cert.differential import DifferentialReport, differential_certify
+from repro.cert.fuzzer import generate_scenarios, sample_scenario
+from repro.cert.planted import BrokenRateRuleAoptAlgorithm
+from repro.cert.runner import CertificationReport, CertificateStats, certify
+from repro.cert.scenario import CertScenario
+from repro.cert.shrink import ShrinkResult, shrink_scenario
+
+__all__ = [
+    "CERTIFICATES",
+    "Certificate",
+    "CertificateVerdict",
+    "certificate_bound",
+    "construction_certificates",
+    "execution_certificates",
+    "resolve_certificates",
+    "CertScenario",
+    "generate_scenarios",
+    "sample_scenario",
+    "shrink_scenario",
+    "ShrinkResult",
+    "ReproArtifact",
+    "ReplayResult",
+    "replay_artifact",
+    "certify",
+    "CertificationReport",
+    "CertificateStats",
+    "differential_certify",
+    "DifferentialReport",
+    "BrokenRateRuleAoptAlgorithm",
+]

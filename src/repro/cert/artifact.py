@@ -1,0 +1,173 @@
+"""Self-contained repro artifacts for certificate violations.
+
+When the certifier finds (and shrinks) a violation, it emits a JSON
+artifact holding everything needed to re-derive the failure from
+scratch:
+
+* the **scenario** (pure data — see :class:`~repro.cert.scenario.CertScenario`),
+* the **spec digest** the scenario compiled to (the execution's canonical
+  identity; any drift in the model layer changes it), and
+* the **violation record** — the violated certificate's verdict as a
+  canonical JSON object.
+
+``repro certify --replay artifact.json`` rebuilds the spec from the
+scenario, checks the digest, re-runs the execution, re-evaluates the
+certificate, and compares the fresh violation record *byte-for-byte*
+against the stored one.  Full reproduction therefore certifies three
+things at once: the scenario still compiles to the same execution, the
+execution still violates, and it violates in exactly the same way.
+
+Artifacts are versioned; loading an unknown version fails loudly rather
+than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cert.certificates import CertificateVerdict, resolve_certificates
+from repro.cert.scenario import CertScenario
+from repro.errors import ConfigurationError
+
+__all__ = ["ARTIFACT_VERSION", "ReproArtifact", "ReplayResult", "replay_artifact"]
+
+ARTIFACT_VERSION = 1
+
+
+def _canonical_violation(record: Dict[str, object]) -> str:
+    """The byte-identity the replay comparison is defined over."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ReproArtifact:
+    """One violation, packaged for deterministic replay."""
+
+    certificate: str
+    scenario: CertScenario
+    spec_digest: str
+    violation: Dict[str, object]
+    version: int = ARTIFACT_VERSION
+    shrink_steps: tuple = field(default_factory=tuple)
+
+    @classmethod
+    def from_verdict(
+        cls,
+        scenario: CertScenario,
+        verdict: CertificateVerdict,
+        shrink_steps=(),
+    ) -> "ReproArtifact":
+        return cls(
+            certificate=verdict.certificate,
+            scenario=scenario,
+            spec_digest=scenario.build_spec().digest(),
+            violation=verdict.as_dict(),
+            shrink_steps=tuple(shrink_steps),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "certificate": self.certificate,
+            "scenario": self.scenario.as_dict(),
+            "spec_digest": self.spec_digest,
+            "violation": self.violation,
+            "shrink_steps": list(self.shrink_steps),
+        }
+
+    def to_json(self) -> str:
+        """Canonical on-disk form: key-sorted, 2-space indent, newline-terminated."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ReproArtifact":
+        version = int(data.get("version", -1))
+        if version != ARTIFACT_VERSION:
+            raise ConfigurationError(
+                f"unsupported repro artifact version {version} "
+                f"(this build reads version {ARTIFACT_VERSION})"
+            )
+        return cls(
+            certificate=str(data["certificate"]),
+            scenario=CertScenario.from_dict(data["scenario"]),
+            spec_digest=str(data["spec_digest"]),
+            violation=dict(data["violation"]),
+            version=version,
+            shrink_steps=tuple(data.get("shrink_steps", ())),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "ReproArtifact":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying an artifact against the current build."""
+
+    artifact: ReproArtifact
+    verdict: CertificateVerdict
+    digest_match: bool
+    violation_match: bool
+
+    @property
+    def reproduced(self) -> bool:
+        """Same execution, same violation, byte-for-byte."""
+        return self.digest_match and self.violation_match and not self.verdict.satisfied
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "certificate": self.artifact.certificate,
+            "reproduced": self.reproduced,
+            "digest_match": self.digest_match,
+            "violation_match": self.violation_match,
+            "verdict": self.verdict.as_dict(),
+        }
+
+    def summary_line(self) -> str:
+        if self.reproduced:
+            return (
+                f"REPRODUCED {self.artifact.certificate}: identical violation "
+                f"(digest {self.artifact.spec_digest[:12]}...)"
+            )
+        if not self.digest_match:
+            return (
+                f"DIGEST MISMATCH for {self.artifact.certificate}: the scenario "
+                "no longer compiles to the recorded execution"
+            )
+        if self.verdict.satisfied:
+            return (
+                f"NOT REPRODUCED {self.artifact.certificate}: the recorded "
+                "violation no longer occurs (fixed?)"
+            )
+        return (
+            f"DIVERGED {self.artifact.certificate}: still violating, but the "
+            "violation record differs from the stored one"
+        )
+
+
+def replay_artifact(artifact: ReproArtifact) -> ReplayResult:
+    """Re-derive the violation from the scenario and compare byte-for-byte."""
+    spec = artifact.scenario.build_spec()
+    digest_match = spec.digest() == artifact.spec_digest
+    summary = spec.run_summary()
+    certificate = resolve_certificates([artifact.certificate])[0]
+    verdict = certificate.check_summary(
+        summary, artifact.scenario.build_params(), artifact.scenario.diameter()
+    )
+    violation_match = _canonical_violation(verdict.as_dict()) == _canonical_violation(
+        artifact.violation
+    )
+    return ReplayResult(
+        artifact=artifact,
+        verdict=verdict,
+        digest_match=digest_match,
+        violation_match=violation_match,
+    )

@@ -1,0 +1,153 @@
+"""Differential certification across A^opt variants.
+
+The A^opt variants prove the *same* theorems wherever their model
+assumptions overlap: on faultless executions, ``aopt``, ``aopt-jump``
+(discrete jumps instead of rate boosts — the rate *upper* bound is
+waived by its monitors, everything else stands), and ``aopt-ft`` (the
+recovery-aware variant, which degenerates to A^opt when nothing fails)
+must all satisfy or all violate each certificate on the same scenario.
+
+:func:`differential_certify` runs the same faultless scenario stream
+under every variant and flags any (scenario, certificate) cell where the
+variants disagree on satisfaction.  Disagreement is itself a finding:
+either a variant breaks a bound the baseline keeps (a bug in the
+variant) or the baseline breaks one the variant keeps (a bug in the
+baseline or the harness).  Margins legitimately differ — only the
+boolean verdicts must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cert.certificates import execution_certificates
+from repro.cert.fuzzer import generate_scenarios
+from repro.exec.pool import SweepExecutor
+
+__all__ = ["DifferentialReport", "differential_certify", "DEFAULT_VARIANTS"]
+
+#: The variants whose guarantees overlap on faultless executions.
+DEFAULT_VARIANTS = ("aopt", "aopt-jump", "aopt-ft")
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Per-cell agreement matrix outcome."""
+
+    variants: Tuple[str, ...]
+    seed: int
+    scenarios_run: int
+    certificates: Tuple[str, ...]
+    disagreements: Tuple[Dict[str, object], ...]
+    errors: Tuple[Dict[str, object], ...]
+
+    @property
+    def agree(self) -> bool:
+        return not self.disagreements and not self.errors
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "report": "differential-certification",
+            "variants": list(self.variants),
+            "seed": self.seed,
+            "scenarios_run": self.scenarios_run,
+            "certificates": list(self.certificates),
+            "agree": self.agree,
+            "disagreements": [dict(d) for d in self.disagreements],
+            "errors": [dict(e) for e in self.errors],
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"differential certification: {' vs '.join(self.variants)} "
+            f"seed={self.seed} scenarios={self.scenarios_run}",
+        ]
+        if self.agree:
+            lines.append(
+                f"all {len(self.certificates)} certificates agree on every scenario"
+            )
+        for error in self.errors:
+            lines.append(f"  ERROR [{error['index']}] {error['error']}")
+        for cell in self.disagreements:
+            verdicts = ", ".join(
+                f"{variant}={'ok' if ok else 'VIOLATED'}"
+                for variant, ok in sorted(cell["satisfied_by"].items())
+            )
+            lines.append(
+                f"  DISAGREE [{cell['index']}] {cell['certificate']}: {verdicts}"
+            )
+        lines.append(
+            "RESULT: " + ("VARIANTS AGREE" if self.agree else "DISAGREEMENT FOUND")
+        )
+        return "\n".join(lines)
+
+
+def differential_certify(
+    budget: int = 20,
+    seed: int = 0,
+    variants: Sequence[str] = DEFAULT_VARIANTS,
+    executor: Optional[SweepExecutor] = None,
+) -> DifferentialReport:
+    """Certify the same faultless scenario stream under every variant.
+
+    Scenarios are drawn faultless (fault handling is exactly where the
+    variants' model assumptions stop overlapping) and every execution
+    certificate is evaluated per variant; only satisfaction booleans are
+    compared.
+    """
+    if executor is None:
+        executor = SweepExecutor()
+    variants = tuple(variants)
+    base = list(generate_scenarios(seed, budget, include_faults=False))
+    per_variant = {
+        variant: [s.with_changes(algorithm=variant) for s in base]
+        for variant in variants
+    }
+    # One flat sweep over variants × scenarios: maximal executor parallelism.
+    flat = [s for variant in variants for s in per_variant[variant]]
+    outcomes = executor.run([s.build_spec() for s in flat])
+
+    certificates = execution_certificates()
+    disagreements: List[Dict[str, object]] = []
+    errors: List[Dict[str, object]] = []
+    for index, scenario in enumerate(base):
+        cell_verdicts: Dict[str, Dict[str, bool]] = {}
+        failed = False
+        for v_index, variant in enumerate(variants):
+            outcome = outcomes[v_index * len(base) + index]
+            if not outcome.ok:
+                errors.append(
+                    {"index": index, "variant": variant, "error": outcome.error}
+                )
+                failed = True
+                continue
+            params = scenario.build_params()
+            diameter = scenario.diameter()
+            for certificate in certificates:
+                if not certificate.applies_to(variant, has_faults=False):
+                    continue
+                verdict = certificate.check_summary(outcome.summary, params, diameter)
+                cell_verdicts.setdefault(certificate.name, {})[variant] = (
+                    verdict.satisfied
+                )
+        if failed:
+            continue
+        for name, satisfied_by in cell_verdicts.items():
+            if len(satisfied_by) == len(variants) and len(set(satisfied_by.values())) > 1:
+                disagreements.append(
+                    {
+                        "index": index,
+                        "certificate": name,
+                        "scenario": scenario.as_dict(),
+                        "satisfied_by": satisfied_by,
+                    }
+                )
+    return DifferentialReport(
+        variants=variants,
+        seed=seed,
+        scenarios_run=len(base),
+        certificates=tuple(c.name for c in certificates),
+        disagreements=tuple(disagreements),
+        errors=tuple(errors),
+    )

@@ -1,0 +1,61 @@
+"""A deliberately broken A^opt variant — the planted violation.
+
+The certification harness's own correctness claim is "it finds real
+counterexamples and shrinks them."  That claim needs a positive control:
+an algorithm that *looks* like A^opt (same messages, same estimates, same
+name-shaped interface) but whose rate rule is disabled, so it provably
+violates Theorem 5.5 while still satisfying the envelope and rate-bound
+conditions.
+
+:class:`BrokenRateRuleNode` overrides ``_set_clock_rate`` (Algorithm 3)
+to never engage the fast multiplier.  Every clock then free-runs at its
+hardware rate, so under a two-group drift adversary the global skew grows
+like ``2εt`` without bound — past ``G`` once the horizon exceeds roughly
+``G / (2ε)`` — while each clock individually stays inside the
+``[(1−ε)t, (1+ε)t]`` envelope and the ``[α, β]`` rate band.  The planted
+bug is thus visible *only* to the Theorem 5.5/5.10 skew certificates,
+which is exactly the discrimination the shrinker tests need.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.interfaces import NodeContext
+from repro.core.node import AoptAlgorithm, AoptNode, RATE_RESET_ALARM
+from repro.core.params import SyncParams
+
+__all__ = ["BrokenRateRuleAoptAlgorithm", "BrokenRateRuleNode"]
+
+NodeId = Hashable
+
+
+class BrokenRateRuleNode(AoptNode):
+    """A^opt node whose *setClockRate* never boosts (planted bug)."""
+
+    def _set_clock_rate(self, ctx: NodeContext) -> None:
+        # The bug: ignore the admissible increase entirely and stay at the
+        # base multiplier, as if Algorithm 3 always computed R_v = 0.
+        ctx.set_rate_multiplier(1.0)
+        ctx.cancel_alarm(RATE_RESET_ALARM)
+
+
+class BrokenRateRuleAoptAlgorithm(AoptAlgorithm):
+    """Factory for the planted-violation variant (name ``aopt-broken-rate``).
+
+    Registered under its own algorithm name so certification reports,
+    spec digests, and repro artifacts unambiguously identify planted-bug
+    runs; it claims the A^opt guarantees (it is in every certificate's
+    ``governs`` set) precisely so the certifier will hold it to them.
+    """
+
+    def __init__(self, params: SyncParams, record_estimates: bool = False):
+        super().__init__(params, record_estimates=record_estimates)
+        self.name = "aopt-broken-rate"
+
+    def make_node(
+        self, node_id: NodeId, neighbors: Sequence[NodeId]
+    ) -> BrokenRateRuleNode:
+        return BrokenRateRuleNode(
+            node_id, neighbors, self.params, record_estimates=self.record_estimates
+        )

@@ -1,0 +1,250 @@
+"""Deterministic delta-debugging minimization of violating scenarios.
+
+Given a scenario on which ``evaluate`` reports a certificate violation,
+:func:`shrink_scenario` greedily applies structure-simplifying passes —
+each candidate is kept only if the violation *persists* — until a fixed
+point:
+
+1. **truncate-horizon** — cut the run just past the reported violation
+   instant (the single biggest reduction when a bound fails early);
+2. **drop-faults** — remove the whole fault timeline, else ddmin over
+   the individual crash/link events;
+3. **simplify-topology** — prefer a line (the canonical gradient
+   topology) over ring/star/grid/random of the same size;
+4. **reduce-nodes** — smallest node count (tried ascending) that still
+   violates, down to 2 for a line;
+5. **simplify-drift** — prefer the static two-group adversary over the
+   time-varying ones;
+6. **simplify-delay** — prefer constant delays, then zero;
+7. **shorten-horizon** — binary-style fractions of the remaining horizon.
+
+Every decision is a pure function of the scenario and the (deterministic)
+evaluator, and candidates are evaluated in a fixed order, so shrinking is
+reproducible: the same violating scenario always minimizes to the same
+counterexample.  An evaluation cache keyed by the scenario's canonical
+JSON keeps the pass loop from re-running duplicates, and ``max_evals``
+bounds total work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cert.certificates import CertificateVerdict
+from repro.cert.scenario import CertScenario, min_nodes, valid_nodes
+
+__all__ = ["ShrinkResult", "shrink_scenario"]
+
+#: ``evaluate(scenario)`` → the violated verdict, or ``None`` if clean.
+Evaluator = Callable[[CertScenario], Optional[CertificateVerdict]]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimized counterexample and how it was reached."""
+
+    scenario: CertScenario
+    verdict: CertificateVerdict
+    evaluations: int
+    steps: Tuple[str, ...]
+
+
+class _Budget:
+    """Shared evaluation counter with a canonical-JSON result cache."""
+
+    def __init__(self, evaluate: Evaluator, max_evals: int):
+        self._evaluate = evaluate
+        self._max_evals = max_evals
+        self._cache: Dict[str, Optional[CertificateVerdict]] = {}
+        self.evaluations = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.evaluations >= self._max_evals
+
+    def violates(self, scenario: CertScenario) -> Optional[CertificateVerdict]:
+        key = scenario.canonical_json()
+        if key in self._cache:
+            return self._cache[key]
+        if self.exhausted:
+            return None
+        self.evaluations += 1
+        try:
+            verdict = self._evaluate(scenario)
+        except Exception:
+            # A candidate that fails to build/run is simply not a valid
+            # reduction; treat it as "violation gone" and move on.
+            verdict = None
+        self._cache[key] = verdict
+        return verdict
+
+
+def _round_horizon(value: float) -> float:
+    return max(1.0, round(value, 1))
+
+
+def _truncate_horizon(scenario, verdict, budget):
+    if verdict.violation_time is None:
+        return None
+    target = _round_horizon(min(scenario.horizon, verdict.violation_time * 1.25))
+    if target >= scenario.horizon:
+        return None
+    candidate = scenario.with_changes(horizon=target)
+    hit = budget.violates(candidate)
+    if hit:
+        return candidate, hit, f"truncate-horizon:{target}"
+    return None
+
+
+def _event_lists(scenario) -> List[Tuple[str, tuple]]:
+    events = [("crash", e) for e in scenario.crash_events]
+    events += [("link", e) for e in scenario.link_events]
+    return events
+
+
+def _with_events(scenario, events) -> CertScenario:
+    return scenario.with_changes(
+        crash_events=tuple(e for kind, e in events if kind == "crash"),
+        link_events=tuple(e for kind, e in events if kind == "link"),
+    )
+
+
+def _drop_faults(scenario, verdict, budget):
+    events = _event_lists(scenario)
+    if not events:
+        return None
+    bare = _with_events(scenario, [])
+    hit = budget.violates(bare)
+    if hit:
+        return bare, hit, "drop-faults:all"
+    # Classic ddmin: remove complement chunks at increasing granularity.
+    chunks = 2
+    current = events
+    changed_any = False
+    best_hit = None
+    while len(current) >= 2 and chunks <= len(current):
+        size = max(1, len(current) // chunks)
+        reduced = False
+        for start in range(0, len(current), size):
+            trial = current[:start] + current[start + size:]
+            if not trial:
+                continue
+            candidate = _with_events(scenario, trial)
+            hit = budget.violates(candidate)
+            if hit:
+                current, best_hit = trial, hit
+                chunks = max(chunks - 1, 2)
+                reduced = changed_any = True
+                break
+        if not reduced:
+            if chunks >= len(current):
+                break
+            chunks = min(len(current), chunks * 2)
+    if changed_any:
+        candidate = _with_events(scenario, current)
+        return candidate, best_hit, f"drop-faults:{len(events)}->{len(current)}"
+    return None
+
+
+def _simplify_topology(scenario, verdict, budget):
+    if scenario.topology_kind == "line":
+        return None
+    nodes = max(scenario.nodes, min_nodes("line"))
+    candidate = scenario.with_changes(topology_kind="line", nodes=nodes)
+    hit = budget.violates(candidate)
+    if hit:
+        return candidate, hit, f"topology->{candidate.topology_kind}"
+    return None
+
+
+def _reduce_nodes(scenario, verdict, budget):
+    step = 2 if scenario.topology_kind == "grid" else 1
+    for n in range(min_nodes(scenario.topology_kind), scenario.nodes, step):
+        if not valid_nodes(scenario.topology_kind, n):
+            continue
+        candidate = scenario.with_changes(nodes=n)
+        hit = budget.violates(candidate)
+        if hit:
+            return candidate, hit, f"nodes:{scenario.nodes}->{n}"
+    return None
+
+
+def _simplify_drift(scenario, verdict, budget):
+    for kind in ("two-group", "constant"):
+        if scenario.drift_kind == kind:
+            return None
+        candidate = scenario.with_changes(drift_kind=kind)
+        hit = budget.violates(candidate)
+        if hit:
+            return candidate, hit, f"drift->{kind}"
+    return None
+
+
+def _simplify_delay(scenario, verdict, budget):
+    for kind in ("constant", "zero"):
+        if scenario.delay_kind == kind:
+            return None
+        candidate = scenario.with_changes(delay_kind=kind)
+        hit = budget.violates(candidate)
+        if hit:
+            return candidate, hit, f"delay->{kind}"
+    return None
+
+
+def _shorten_horizon(scenario, verdict, budget):
+    for fraction in (0.25, 0.5, 0.75):
+        target = _round_horizon(scenario.horizon * fraction)
+        if target >= scenario.horizon:
+            continue
+        candidate = scenario.with_changes(horizon=target)
+        hit = budget.violates(candidate)
+        if hit:
+            return candidate, hit, f"horizon:{scenario.horizon}->{target}"
+    return None
+
+
+_PASSES = (
+    _truncate_horizon,
+    _drop_faults,
+    _simplify_topology,
+    _reduce_nodes,
+    _simplify_drift,
+    _simplify_delay,
+    _shorten_horizon,
+)
+
+
+def shrink_scenario(
+    scenario: CertScenario,
+    evaluate: Evaluator,
+    max_evals: int = 160,
+) -> ShrinkResult:
+    """Minimize a violating scenario; deterministic for a fixed evaluator.
+
+    ``scenario`` must violate (``evaluate`` returns a verdict for it) —
+    that initial check counts against ``max_evals`` and anchors the
+    result: if no pass can simplify further, the original scenario and
+    verdict come back unchanged.
+    """
+    budget = _Budget(evaluate, max_evals)
+    verdict = budget.violates(scenario)
+    if verdict is None:
+        raise ValueError("shrink_scenario requires a violating scenario")
+    steps: List[str] = []
+    current = scenario
+    progress = True
+    while progress and not budget.exhausted:
+        progress = False
+        for shrink_pass in _PASSES:
+            outcome = shrink_pass(current, verdict, budget)
+            if outcome is not None:
+                current, verdict, step = outcome
+                steps.append(step)
+                progress = True
+    return ShrinkResult(
+        scenario=current,
+        verdict=verdict,
+        evaluations=budget.evaluations,
+        steps=tuple(steps),
+    )

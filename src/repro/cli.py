@@ -29,6 +29,14 @@ Commands
     Run the reprolint static-analysis pass (determinism & digest-safety
     rules R001–R005) over the given paths; exit 0 clean, 1 findings,
     2 usage error (see ``docs/LINT.md``).
+``certify``
+    Fuzz the theorem certificates (Theorems 5.5/5.10, the Corollary 5.3
+    conditions, the Section 7 constructions) over seeded random
+    scenarios, shrink any counterexample to a minimal repro artifact,
+    and report margin-to-bound percentiles; ``--replay`` re-derives a
+    stored artifact byte-for-byte and ``--differential`` cross-checks
+    A^opt variants.  Exit 0 certified, 1 violation, 2 usage error (see
+    ``docs/CERTIFICATION.md``).
 
 ``sweep`` and ``faults`` accept ``--metrics json|table`` to report the
 batch's :class:`~repro.obs.metrics.SweepMetrics` (cache hit-rate,
@@ -794,6 +802,86 @@ def _cmd_lint(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_certify(args) -> int:
+    # Lazy import: the certification stack pulls in the whole exec layer.
+    import json
+
+    from repro.cert import (
+        CERTIFICATES,
+        ReproArtifact,
+        certify,
+        differential_certify,
+        replay_artifact,
+    )
+    from repro.errors import ReproError
+    from repro.exec.pool import SweepExecutor
+
+    if args.list_certificates:
+        rows = [
+            [cert.name, cert.kind, cert.theorem, cert.claim]
+            for cert in CERTIFICATES.values()
+        ]
+        print(format_table(["certificate", "kind", "theorem", "claim"], rows,
+                           title="certificate catalog"))
+        print("catalog with formulas and predicates: docs/CERTIFICATION.md")
+        return 0
+
+    if args.budget < 1:
+        print("repro certify: --budget must be >= 1", file=sys.stderr)
+        return 2
+
+    workers, cache = _executor_options(args)
+    executor = SweepExecutor(workers=workers, cache=cache)
+
+    try:
+        if args.replay is not None:
+            try:
+                artifact = ReproArtifact.load(args.replay)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"repro certify: cannot load artifact {args.replay!r}: "
+                      f"{exc}", file=sys.stderr)
+                return 2
+            result = replay_artifact(artifact)
+            if args.format == "json":
+                print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+            else:
+                print(result.summary_line())
+            # A replayed artifact *demonstrates* a violation: reproducing it
+            # is the expected, "successful" outcome and still exits 1 —
+            # the build it ran against is in violation.
+            return 1 if result.reproduced else (0 if result.verdict.satisfied else 1)
+
+        if args.differential:
+            diff = differential_certify(
+                budget=args.budget, seed=args.seed, executor=executor
+            )
+            if args.format == "json":
+                print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+            else:
+                print(diff.format_text())
+            return 0 if diff.agree else 1
+
+        report = certify(
+            theorems=args.theorems,
+            budget=args.budget,
+            budget_seconds=args.budget_seconds,
+            seed=args.seed,
+            algorithm=args.algorithm,
+            include_faults=not args.no_faults,
+            shrink=not args.no_shrink,
+            artifact_dir=args.artifact_dir,
+            executor=executor,
+        )
+    except ReproError as exc:
+        print(f"repro certify: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.clean else 1
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report
 
@@ -1049,6 +1137,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit"
     )
     lint_parser.set_defaults(handler=_cmd_lint)
+
+    certify_parser = subparsers.add_parser(
+        "certify",
+        help="fuzz the theorem certificates, shrink any counterexample "
+             "(see docs/CERTIFICATION.md)",
+    )
+    certify_parser.add_argument(
+        "--theorems", nargs="+", default=None, metavar="CERT",
+        help="certificate subset by name (default: the full catalog; "
+             "--list prints it)"
+    )
+    certify_parser.add_argument(
+        "--list", dest="list_certificates", action="store_true",
+        help="print the certificate catalog and exit"
+    )
+    certify_parser.add_argument(
+        "--budget", type=int, default=50,
+        help="number of fuzzed scenarios (default 50)"
+    )
+    certify_parser.add_argument(
+        "--budget-seconds", dest="budget_seconds", type=float, default=None,
+        help="wall-time cap; stops dispatching new scenarios once exceeded"
+    )
+    certify_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed: same seed, same scenario stream (default 0)"
+    )
+    certify_parser.add_argument(
+        "--algorithm", default="aopt",
+        choices=["aopt", "aopt-jump", "aopt-ft", "aopt-broken-rate"],
+        help="variant to certify (aopt-broken-rate is the planted-violation "
+             "control)"
+    )
+    certify_parser.add_argument(
+        "--no-faults", dest="no_faults", action="store_true",
+        help="fuzz only faultless scenarios"
+    )
+    certify_parser.add_argument(
+        "--no-shrink", dest="no_shrink", action="store_true",
+        help="report violations without minimizing them"
+    )
+    certify_parser.add_argument(
+        "--artifact-dir", dest="artifact_dir", default=None,
+        help="write a repro artifact per violated certificate here"
+    )
+    certify_parser.add_argument(
+        "--replay", metavar="ARTIFACT", default=None,
+        help="replay a repro artifact instead of fuzzing; exit 1 when the "
+             "recorded violation reproduces byte-for-byte"
+    )
+    certify_parser.add_argument(
+        "--differential", action="store_true",
+        help="cross-variant certification: aopt vs aopt-jump vs aopt-ft "
+             "must agree on every certificate"
+    )
+    certify_parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    add_executor_arguments(certify_parser)
+    certify_parser.set_defaults(handler=_cmd_certify)
 
     report_parser = subparsers.add_parser(
         "report", help="run a compact experiment subset and emit a markdown report"

@@ -10,19 +10,48 @@ the model of Section 3) and invalidate every conclusion drawn from them.
 * every node was eventually initialized, and never before time 0;
 * logical clocks never ran backwards.
 
+Each finding is a structured :class:`ValidationProblem` carrying the
+**first violating instant** and the **margin** by which the bound was
+missed, so downstream failure messages (certificates, adversary gates)
+can say *where* and *by how much* an execution left the model — not just
+that it did.  ``ValidationReport.problems`` keeps the human-readable
+strings for existing callers.
+
 The adversary test-suites run every construction through this gate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.sim.trace import ExecutionTrace
 
-__all__ = ["ValidationReport", "validate_execution"]
+__all__ = ["ValidationProblem", "ValidationReport", "validate_execution"]
 
 _TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class ValidationProblem:
+    """One model violation: which check, where, when, and by how much.
+
+    ``time`` is the first instant at which the violation holds (the send
+    time for a message-delay violation, the start of the offending rate
+    segment, the first decreasing breakpoint).  ``margin`` is the
+    distance past the violated bound — always positive, in the units of
+    the violated quantity (rate, seconds, clock value).
+    """
+
+    check: str
+    node: object
+    time: Optional[float]
+    margin: float
+    detail: str
+
+    def format_text(self) -> str:
+        at = "" if self.time is None else f" at t={self.time}"
+        return f"[{self.check}] node {self.node!r}{at}: {self.detail} (margin {self.margin:.3g})"
 
 
 @dataclass
@@ -31,10 +60,27 @@ class ValidationReport:
 
     valid: bool = True
     problems: List[str] = field(default_factory=list)
+    violations: List[ValidationProblem] = field(default_factory=list)
 
-    def _fail(self, problem: str) -> None:
+    def _fail(self, problem: ValidationProblem) -> None:
         self.valid = False
-        self.problems.append(problem)
+        self.violations.append(problem)
+        self.problems.append(problem.detail)
+
+    @property
+    def first_violation(self) -> Optional[ValidationProblem]:
+        """The earliest-in-time violation (timeless problems sort last)."""
+        if not self.violations:
+            return None
+        return min(
+            self.violations,
+            key=lambda v: float("inf") if v.time is None else v.time,
+        )
+
+    @property
+    def worst_margin(self) -> float:
+        """The largest bound excess across all violations (0.0 if valid)."""
+        return max((v.margin for v in self.violations), default=0.0)
 
 
 def validate_execution(
@@ -47,40 +93,85 @@ def validate_execution(
     """
     report = ValidationReport()
 
+    low_bound, high_bound = 1 - epsilon, 1 + epsilon
     for node, clock in trace.hardware.items():
-        rate_function = clock.rate_function
-        low, high = rate_function.min_rate(), rate_function.max_rate()
-        if low < 1 - epsilon - _TOLERANCE:
-            report._fail(
-                f"node {node!r}: hardware rate {low} below 1 - eps = {1 - epsilon}"
-            )
-        if high > 1 + epsilon + _TOLERANCE:
-            report._fail(
-                f"node {node!r}: hardware rate {high} above 1 + eps = {1 + epsilon}"
-            )
+        for start, rate in clock.rate_function.segments:
+            if rate < low_bound - _TOLERANCE:
+                report._fail(ValidationProblem(
+                    check="hardware-rate",
+                    node=node,
+                    time=start,
+                    margin=low_bound - rate,
+                    detail=(
+                        f"node {node!r}: hardware rate {rate} below "
+                        f"1 - eps = {low_bound} from t={start}"
+                    ),
+                ))
+                break
+            if rate > high_bound + _TOLERANCE:
+                report._fail(ValidationProblem(
+                    check="hardware-rate",
+                    node=node,
+                    time=start,
+                    margin=rate - high_bound,
+                    detail=(
+                        f"node {node!r}: hardware rate {rate} above "
+                        f"1 + eps = {high_bound} from t={start}"
+                    ),
+                ))
+                break
 
     for node, start in trace.start_times.items():
         if start < -_TOLERANCE:
-            report._fail(f"node {node!r} initialized before time 0 ({start})")
+            report._fail(ValidationProblem(
+                check="start-time",
+                node=node,
+                time=start,
+                margin=-start,
+                detail=f"node {node!r} initialized before time 0 ({start})",
+            ))
         if start > trace.horizon:
-            report._fail(f"node {node!r} initialized after the horizon ({start})")
+            report._fail(ValidationProblem(
+                check="start-time",
+                node=node,
+                time=start,
+                margin=start - trace.horizon,
+                detail=f"node {node!r} initialized after the horizon ({start})",
+            ))
 
     for record in trace.message_log:
         if record.delay < -_TOLERANCE or record.delay > delay_bound + _TOLERANCE:
-            report._fail(
-                f"message {record.sender!r}->{record.receiver!r} at "
-                f"t={record.send_time}: delay {record.delay} outside "
-                f"[0, {delay_bound}]"
+            margin = (
+                -record.delay
+                if record.delay < 0
+                else record.delay - delay_bound
             )
+            report._fail(ValidationProblem(
+                check="message-delay",
+                node=record.sender,
+                time=record.send_time,
+                margin=margin,
+                detail=(
+                    f"message {record.sender!r}->{record.receiver!r} at "
+                    f"t={record.send_time}: delay {record.delay} outside "
+                    f"[0, {delay_bound}]"
+                ),
+            ))
 
     for node, record in trace.logical.items():
         previous = 0.0
         for t in record.breakpoints_in(0.0, trace.horizon):
             value = record.value(t)
             if value < previous - _TOLERANCE:
-                report._fail(
-                    f"node {node!r}: logical clock decreased to {value} at t={t}"
-                )
+                report._fail(ValidationProblem(
+                    check="monotonicity",
+                    node=node,
+                    time=t,
+                    margin=previous - value,
+                    detail=(
+                        f"node {node!r}: logical clock decreased to {value} at t={t}"
+                    ),
+                ))
                 break
             previous = value
 

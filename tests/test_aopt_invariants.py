@@ -10,6 +10,13 @@ must satisfy:
 * Theorem 5.10 — local skew ≤ κ(⌈log_σ(2G/κ)⌉ + ½);
 * Definition 5.6 — the system stays in the legal state;
 * Lemma 5.4 — neighbor estimates err by less than H̄0.
+
+The theorem claims are asserted through the certificate registry
+(:mod:`repro.cert.certificates`) — the same predicates and bound
+formulas ``repro certify`` fuzzes — so this suite and the certifier
+cannot drift apart.  Legal state and estimate accuracy have no
+certificate (they are proof-internal invariants, not end-to-end bounds)
+and keep their direct metric checks.
 """
 
 import random
@@ -18,19 +25,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.metrics import (
-    check_envelope,
-    check_legal_state,
-    check_rate_bounds,
-    estimate_accuracy_errors,
-)
-from repro.core.bounds import global_skew_bound, local_skew_bound
+from repro.analysis.metrics import check_legal_state, estimate_accuracy_errors
+from repro.cert import CERTIFICATES, execution_certificates
 from repro.core.node import AoptAlgorithm
 from repro.core.params import SyncParams
 from repro.sim.delays import ConstantDelay, UniformDelay
 from repro.sim.drift import RandomWalkDrift, TwoGroupDrift
 from repro.sim.engine import SimulationEngine
-from repro.topology.generators import grid, line, ring
+from repro.topology.generators import circulant, grid, line, ring, torus
 from repro.topology.properties import all_pairs_distances, diameter
 
 
@@ -55,7 +57,7 @@ def random_execution(seed: int, topology, params, horizon=120.0, record_estimate
         )
     engine = SimulationEngine(
         topology,
-        AoptAlgorithm(AoptParamsCache.get(params), record_estimates=record_estimates),
+        AoptAlgorithm(params, record_estimates=record_estimates),
         drift,
         delay,
         horizon,
@@ -63,15 +65,10 @@ def random_execution(seed: int, topology, params, horizon=120.0, record_estimate
     return engine.run()
 
 
-class AoptParamsCache:
-    """Reuse the params object (hashable passthrough, avoids rebuilds)."""
+def certified(name: str, trace, params, topology):
+    """Evaluate one registry certificate against a finished trace."""
+    return CERTIFICATES[name].check_trace(trace, params, diameter(topology))
 
-    @staticmethod
-    def get(params):
-        return params
-
-
-from repro.topology.generators import circulant, torus  # noqa: E402
 
 TOPOLOGIES = {
     "line-8": line(8),
@@ -88,24 +85,35 @@ class TestTheoremsUnderRandomAdversaries:
     def test_envelope_condition(self, name, seed, params):
         topology = TOPOLOGIES[name]
         trace = random_execution(seed, topology, params)
-        assert check_envelope(trace, params.epsilon) <= 1e-7
+        verdict = certified("cond1-envelope", trace, params, topology)
+        assert verdict.satisfied, verdict.detail
 
     def test_rate_bounds(self, name, seed, params):
         topology = TOPOLOGIES[name]
         trace = random_execution(seed, topology, params)
-        assert check_rate_bounds(trace, params.alpha, params.beta) <= 1e-7
+        verdict = certified("cond2-rate-bounds", trace, params, topology)
+        assert verdict.satisfied, verdict.detail
+
+    def test_monotonicity(self, name, seed, params):
+        topology = TOPOLOGIES[name]
+        trace = random_execution(seed, topology, params)
+        verdict = certified("monotonicity", trace, params, topology)
+        assert verdict.satisfied, verdict.detail
 
     def test_global_skew_theorem_5_5(self, name, seed, params):
         topology = TOPOLOGIES[name]
         trace = random_execution(seed, topology, params)
-        bound = global_skew_bound(params, diameter(topology))
-        assert trace.global_skew().value <= bound + 1e-7
+        verdict = certified("thm-5.5-global-skew", trace, params, topology)
+        assert verdict.satisfied, verdict.detail
+        assert verdict.measured == pytest.approx(trace.global_skew().value)
+        assert verdict.margin > 0
 
     def test_local_skew_theorem_5_10(self, name, seed, params):
         topology = TOPOLOGIES[name]
         trace = random_execution(seed, topology, params)
-        bound = local_skew_bound(params, diameter(topology))
-        assert trace.local_skew().value <= bound + 1e-7
+        verdict = certified("thm-5.10-local-skew", trace, params, topology)
+        assert verdict.satisfied, verdict.detail
+        assert verdict.measured == pytest.approx(trace.local_skew().value)
 
     def test_legal_state_definition_5_6(self, name, seed, params):
         topology = TOPOLOGIES[name]
@@ -136,12 +144,13 @@ class TestEstimateAccuracyLemma54:
 class TestHypothesisRandomizedRuns:
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=10, deadline=None)
-    def test_envelope_and_global_bound_fuzz(self, seed):
+    def test_all_execution_certificates_fuzz(self, seed):
+        """Every execution certificate holds on every hypothesis-drawn run."""
         params = SyncParams.recommended(epsilon=0.08, delay_bound=1.0)
         topology = line(5)
         trace = random_execution(seed, topology, params, horizon=80.0)
-        assert check_envelope(trace, params.epsilon) <= 1e-7
-        assert (
-            trace.global_skew().value
-            <= global_skew_bound(params, diameter(topology)) + 1e-7
-        )
+        d = diameter(topology)
+        for certificate in execution_certificates():
+            assert certificate.applies_to("aopt", has_faults=False)
+            verdict = certificate.check_trace(trace, params, d)
+            assert verdict.satisfied, f"{certificate.name}: {verdict.detail}"

@@ -1,9 +1,19 @@
-"""Unit tests for the closed-form bound formulas."""
+"""Unit tests for the closed-form bound formulas.
+
+The theorem bounds (5.5 and 5.10) are asserted through the certificate
+registry's :func:`repro.cert.certificate_bound` — the registry delegates
+to :mod:`repro.core.bounds`, and :class:`TestRegistryConsistency` pins
+that delegation, so the certifier and this suite can never disagree on a
+formula.  Helper formulas without a certificate (gradient bound, legal
+state geometry, the closed-form lower bounds) are tested directly.
+"""
 
 import math
 
 import pytest
 
+from repro.cert import CERTIFICATES, certificate_bound, resolve_certificates
+from repro.cert.certificates import TOLERANCE
 from repro.core.bounds import (
     global_skew_bound,
     global_skew_lower_bound,
@@ -18,40 +28,43 @@ from repro.core.bounds import (
 from repro.core.params import SyncParams
 from repro.errors import ConfigurationError
 
+GLOBAL = "thm-5.5-global-skew"
+LOCAL = "thm-5.10-local-skew"
+
 
 class TestGlobalBound:
     def test_formula(self, params):
         expected = (1 + params.epsilon) * 10 * params.delay_bound + (
             2 * params.epsilon / (1 + params.epsilon)
         ) * params.h0
-        assert global_skew_bound(params, 10) == pytest.approx(expected)
+        assert certificate_bound(GLOBAL, params, 10) == pytest.approx(expected)
 
     def test_linear_in_diameter(self, params):
-        g5 = global_skew_bound(params, 5)
-        g10 = global_skew_bound(params, 10)
+        g5 = certificate_bound(GLOBAL, params, 5)
+        g10 = certificate_bound(GLOBAL, params, 10)
         slope = (g10 - g5) / 5
         assert slope == pytest.approx((1 + params.epsilon) * params.delay_bound)
 
     def test_negative_diameter_rejected(self, params):
         with pytest.raises(ConfigurationError):
-            global_skew_bound(params, -1)
+            certificate_bound(GLOBAL, params, -1)
 
 
 class TestLocalBound:
     def test_logarithmic_growth(self, params):
         """Doubling D adds at most one level (log growth)."""
-        values = [local_skew_bound(params, 2 ** k) for k in range(2, 9)]
+        values = [certificate_bound(LOCAL, params, 2 ** k) for k in range(2, 9)]
         increments = [b - a for a, b in zip(values, values[1:])]
         assert all(0 <= inc <= params.kappa + 1e-9 for inc in increments)
 
     def test_levels_zero_for_tiny_systems(self, params):
         small = params.with_overrides(kappa=10 * global_skew_bound(params, 1))
         assert legal_state_levels(small, 1) == 0
-        assert local_skew_bound(small, 1) == pytest.approx(small.kappa / 2)
+        assert certificate_bound(LOCAL, small, 1) == pytest.approx(small.kappa / 2)
 
     def test_levels_match_sigma_base(self, params):
         d = 64
-        g = global_skew_bound(params, d)
+        g = certificate_bound(GLOBAL, params, d)
         expected = math.ceil(math.log(2 * g / params.kappa, params.sigma))
         assert legal_state_levels(params, d) == expected
 
@@ -66,16 +79,51 @@ class TestLocalBound:
             legal_state_distance(params, 8, -1)
 
 
+class TestRegistryConsistency:
+    """The registry must delegate to core.bounds — never re-derive."""
+
+    @pytest.mark.parametrize("epsilon", [0.001, 0.05, 0.1])
+    @pytest.mark.parametrize("d", [1, 4, 32, 256])
+    def test_certificate_bounds_match_formulas(self, epsilon, d):
+        params = SyncParams.recommended(epsilon=epsilon, delay_bound=1.0)
+        assert certificate_bound(GLOBAL, params, d) == global_skew_bound(params, d)
+        assert certificate_bound(LOCAL, params, d) == local_skew_bound(params, d)
+
+    def test_monitor_certificates_are_zero_excess_claims(self, params):
+        for name in ("cond1-envelope", "cond2-rate-bounds", "monotonicity"):
+            assert certificate_bound(name, params, 8) == TOLERANCE
+
+    def test_unknown_certificate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_certificates(["thm-9.9-imaginary"])
+
+    def test_catalog_covers_the_theorems(self):
+        assert {GLOBAL, LOCAL, "cond1-envelope", "cond2-rate-bounds",
+                "monotonicity", "thm-7.2-global-lower",
+                "thm-7.7-local-lower"} == set(CERTIFICATES)
+
+    def test_skew_certificates_require_faultless_model(self):
+        for name, fault_ok in [
+            (GLOBAL, False), (LOCAL, False),
+            ("cond1-envelope", True), ("cond2-rate-bounds", True),
+            ("monotonicity", True),
+        ]:
+            certificate = CERTIFICATES[name]
+            assert certificate.applies_to("aopt", has_faults=False)
+            assert certificate.applies_to("aopt", has_faults=True) == fault_ok
+            assert not certificate.applies_to("free-running", has_faults=False)
+
+
 class TestGradientBound:
     def test_neighbor_case_matches_local_bound(self, params):
         assert gradient_bound(params, 64, 1) == pytest.approx(
-            local_skew_bound(params, 64)
+            certificate_bound(LOCAL, params, 64)
         )
 
     def test_diameter_case_near_global(self, params):
         d = 64
         bound = gradient_bound(params, d, d)
-        assert bound >= global_skew_bound(params, d) - 1e-9
+        assert bound >= certificate_bound(GLOBAL, params, d) - 1e-9
 
     def test_shape_in_distance(self, params):
         """The bound is d·(s(d)+½)·κ with the level s(d) non-increasing.
@@ -117,7 +165,7 @@ class TestLowerBounds:
 
     def test_global_lower_bound_below_upper(self, params):
         lower = global_skew_lower_bound(16, params.delay_bound, params.epsilon)
-        upper = global_skew_bound(params, 16)
+        upper = certificate_bound(GLOBAL, params, 16)
         assert lower <= upper
 
     def test_local_lower_bound_log_growth(self):
@@ -135,7 +183,7 @@ class TestLowerBounds:
             lower = local_skew_lower_bound(
                 d, params.delay_bound, params.epsilon, params.alpha, params.beta
             )
-            assert lower <= local_skew_bound(params, d) + 1e-9
+            assert lower <= certificate_bound(LOCAL, params, d) + 1e-9
 
     def test_local_lower_bound_invalid_inputs(self):
         with pytest.raises(ConfigurationError):
@@ -161,7 +209,7 @@ class TestLowerBounds:
 
 class TestCrossConsistency:
     def test_upper_to_lower_gap_is_constant_factor(self):
-        """Cor 7.8: with kappa в O(T), A^opt is asymptotically optimal.
+        """Cor 7.8: with kappa in O(T), A^opt is asymptotically optimal.
 
         The ratio upper/lower should stay bounded as D grows (it tends to
         roughly 2·kappa/T times a constant).
@@ -169,7 +217,7 @@ class TestCrossConsistency:
         params = SyncParams.recommended(epsilon=0.01, delay_bound=1.0)
         ratios = []
         for d in (16, 256, 4096, 65536):
-            upper = local_skew_bound(params, d)
+            upper = certificate_bound(LOCAL, params, d)
             lower = local_skew_lower_bound(
                 d, params.delay_bound, params.epsilon, params.alpha, params.beta
             )

@@ -1,0 +1,152 @@
+"""``repro certify`` CLI: exit codes, JSON golden, replay byte-identity.
+
+Exit-code contract (mirrors ``repro lint``): 0 = every selected
+certificate held, 1 = a violation was found (or a replayed artifact
+reproduced — the build is in violation either way), 2 = usage error.
+
+The golden test pins the full JSON report of the committed
+planted-violation campaign (seed 0, budget 8, ``aopt-broken-rate``);
+only the wall-clock ``duration_seconds`` and the machine-local artifact
+directory are normalized.  The replay test round-trips the committed
+repro artifact byte-for-byte.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cert import ReproArtifact, certify, replay_artifact
+from repro.cli import main
+
+pytestmark = pytest.mark.cert
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "cert")
+ARTIFACT = os.path.join(FIXTURES, "repro-thm-5.5-global-skew.json")
+GOLDEN = os.path.join(FIXTURES, "report-golden.json")
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main([
+            "certify", "--budget", "3", "--seed", "0", "--no-faults",
+            "--theorems", "cond1-envelope", "cond2-rate-bounds",
+        ])
+        assert code == 0
+        assert "RESULT: CERTIFIED" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, capsys):
+        code = main([
+            "certify", "--budget", "8", "--seed", "0",
+            "--algorithm", "aopt-broken-rate",
+            "--theorems", "thm-5.5-global-skew", "--no-shrink",
+        ])
+        assert code == 1
+        assert "VIOLATIONS FOUND" in capsys.readouterr().out
+
+    def test_unknown_certificate_exits_two(self, capsys):
+        code = main(["certify", "--theorems", "thm-0.0-nonsense", "--budget", "2"])
+        assert code == 2
+        assert "unknown certificate" in capsys.readouterr().err
+
+    def test_zero_budget_exits_two(self, capsys):
+        code = main(["certify", "--budget", "0"])
+        assert code == 2
+        assert "--budget" in capsys.readouterr().err
+
+    def test_missing_artifact_exits_two(self, capsys):
+        code = main(["certify", "--replay", "/nonexistent/artifact.json"])
+        assert code == 2
+        assert "cannot load artifact" in capsys.readouterr().err
+
+    def test_bad_flag_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["certify", "--frobnicate"])
+        assert excinfo.value.code == 2
+
+    def test_list_exits_zero(self, capsys):
+        assert main(["certify", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "thm-5.5-global-skew" in out
+        assert "docs/CERTIFICATION.md" in out
+
+
+class TestJsonReport:
+    def test_golden_report(self, tmp_path):
+        report = certify(
+            budget=8, seed=0, algorithm="aopt-broken-rate", shrink=True,
+            artifact_dir=str(tmp_path),
+        )
+        data = report.as_dict()
+        data["duration_seconds"] = 0.0
+        for violation in data["violations"]:
+            if violation["artifact_path"]:
+                violation["artifact_path"] = os.path.basename(
+                    violation["artifact_path"]
+                )
+        with open(GOLDEN) as handle:
+            golden = json.load(handle)
+        assert data == golden
+
+    def test_cli_json_is_parseable(self, capsys):
+        code = main([
+            "certify", "--budget", "2", "--seed", "1", "--no-faults",
+            "--theorems", "cond1-envelope", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["report"] == "certification"
+        assert data["clean"] is True
+        assert data["scenarios_run"] == 2
+
+    def test_stats_schema(self):
+        report = certify(
+            budget=3, seed=2, theorems=["thm-5.5-global-skew"], shrink=False
+        )
+        data = report.as_dict()
+        for entry in data["stats"]:
+            assert set(entry) == {
+                "certificate", "checks", "violations", "margin_percentiles"
+            }
+            if entry["margin_percentiles"] is not None:
+                assert set(entry["margin_percentiles"]) == {
+                    "min", "p5", "p50", "p95"
+                }
+
+
+class TestReplayRoundTrip:
+    def test_committed_artifact_byte_identity(self):
+        artifact = ReproArtifact.load(ARTIFACT)
+        with open(ARTIFACT, "rb") as handle:
+            on_disk = handle.read()
+        assert artifact.to_json().encode("utf-8") == on_disk
+
+    def test_committed_artifact_reproduces(self):
+        result = replay_artifact(ReproArtifact.load(ARTIFACT))
+        assert result.digest_match
+        assert result.violation_match
+        assert result.reproduced, result.summary_line()
+
+    def test_cli_replay_reports_reproduction(self, capsys):
+        code = main(["certify", "--replay", ARTIFACT])
+        assert code == 1  # reproducing a violation means the build violates
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_cli_replay_json(self, capsys):
+        code = main(["certify", "--replay", ARTIFACT, "--format", "json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["reproduced"] is True
+        assert data["certificate"] == "thm-5.5-global-skew"
+
+    def test_tampered_artifact_is_flagged(self, tmp_path):
+        artifact = ReproArtifact.load(ARTIFACT)
+        tampered = ReproArtifact(
+            certificate=artifact.certificate,
+            scenario=artifact.scenario.with_changes(horizon=99.0),
+            spec_digest=artifact.spec_digest,
+            violation=artifact.violation,
+        )
+        result = replay_artifact(tampered)
+        assert not result.digest_match
+        assert not result.reproduced

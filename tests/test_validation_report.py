@@ -1,0 +1,95 @@
+"""Regression tests: validation reports carry instants and margins.
+
+``validate_execution`` used to reduce every finding to a boolean plus a
+string; certificate failure messages need *where* and *by how much*.
+These tests pin the structured :class:`~repro.sim.validation.ValidationProblem`
+records — first violating instant, positive margin past the bound — and
+the backward-compatible ``valid``/``problems`` surface.
+"""
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import ConstantDrift, TwoGroupDrift
+from repro.sim.runner import run_execution
+from repro.sim.validation import validate_execution
+from repro.topology.generators import line
+
+
+@pytest.fixture
+def drifty_trace(params):
+    return run_execution(
+        line(3),
+        AoptAlgorithm(params),
+        TwoGroupDrift(params.epsilon, [0]),
+        ConstantDelay(params.delay_bound),
+        40.0,
+        record_messages=True,
+    )
+
+
+class TestStructuredViolations:
+    def test_clean_report_has_no_violations(self, params):
+        trace = run_execution(
+            line(3),
+            AoptAlgorithm(params),
+            ConstantDrift(params.epsilon),
+            ConstantDelay(params.delay_bound),
+            30.0,
+            record_messages=True,
+        )
+        report = validate_execution(trace, params.epsilon, params.delay_bound)
+        assert report.valid
+        assert report.violations == []
+        assert report.first_violation is None
+        assert report.worst_margin == 0.0
+
+    def test_rate_violation_carries_instant_and_margin(self, params, drifty_trace):
+        # Validate against a drift bound stricter than the one that ran:
+        # node 0 runs at 1 + eps, which exceeds 1 + eps/2 by eps/2.
+        strict = validate_execution(
+            drifty_trace, params.epsilon / 2, params.delay_bound
+        )
+        assert not strict.valid
+        first = strict.first_violation
+        assert first is not None
+        assert first.check == "hardware-rate"
+        assert first.node == 0
+        assert first.time == 0.0  # the offending rate segment starts at t=0
+        assert first.margin == pytest.approx(params.epsilon / 2)
+        assert strict.worst_margin == pytest.approx(params.epsilon / 2)
+
+    def test_delay_violation_carries_send_time(self, params, drifty_trace):
+        strict = validate_execution(
+            drifty_trace, params.epsilon, params.delay_bound / 2
+        )
+        assert not strict.valid
+        delay_hits = [
+            v for v in strict.violations if v.check == "message-delay"
+        ]
+        assert delay_hits
+        first = min(delay_hits, key=lambda v: v.time)
+        assert first.time == min(
+            r.send_time
+            for r in drifty_trace.message_log
+            if r.delay > params.delay_bound / 2
+        )
+        assert first.margin == pytest.approx(params.delay_bound / 2)
+
+    def test_problem_strings_stay_compatible(self, params, drifty_trace):
+        strict = validate_execution(
+            drifty_trace, params.epsilon / 2, params.delay_bound
+        )
+        assert len(strict.problems) == len(strict.violations)
+        assert any("hardware rate" in p for p in strict.problems)
+        assert all(isinstance(p, str) for p in strict.problems)
+
+    def test_format_text_mentions_instant(self, params, drifty_trace):
+        strict = validate_execution(
+            drifty_trace, params.epsilon / 2, params.delay_bound
+        )
+        text = strict.first_violation.format_text()
+        assert "hardware-rate" in text
+        assert "t=0.0" in text
+        assert "margin" in text
