@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs test-lint test-cert lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity perf-smoke lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -35,6 +35,16 @@ test-lint:
 test-cert:
 	$(PYTHON) -m pytest tests/ benchmarks/ -m cert
 
+# The engine-parity lockdown: fast path vs reference engine vs streaming
+# folds, byte-identical summaries (docs/ENGINE.md).
+test-parity:
+	$(PYTHON) -m pytest tests/ -m parity
+
+# Speedup floors vs the recorded seed baseline JSON (small + mid
+# workloads; the full curve runs under `make bench`).
+perf-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_perf_smoke.py -m perf_smoke
+
 # Determinism & digest-safety gate: the tree must lint clean (modulo the
 # committed baseline) before anything ships.
 lint:
@@ -45,9 +55,11 @@ bench:
 
 # Quick end-to-end proof of the parallel sweep executor: a small diameter
 # grid through `python -m repro sweep` on every core, cache bypassed.
-sweep-smoke: lint profile-smoke certify-smoke
+sweep-smoke: lint profile-smoke certify-smoke perf-smoke
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
 		--workers auto --no-cache --metrics table
+	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
+		--workers auto --no-cache --streaming
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
 		--workers auto --no-cache
 
@@ -73,7 +85,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: lint test certify-smoke bench
+check: lint test test-parity perf-smoke certify-smoke bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

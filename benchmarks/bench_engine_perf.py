@@ -70,6 +70,66 @@ def test_exact_skew_evaluation_cost(benchmark):
     assert result.value > 0
 
 
+@pytest.mark.benchmark(group="E21-engine-speedup", min_rounds=3)
+@pytest.mark.parametrize("name", ["small", "mid", "large"])
+def test_speedup_vs_seed_baseline(benchmark, name):
+    """End-to-end speedup curve vs the recorded pre-fast-path baseline.
+
+    The baseline JSON stores seed-engine wall times (see
+    ``record_engine_baseline.py``); each point here runs the same
+    workload (engine + exact skew summary) on the current tree and
+    asserts the recorded floor — ≥5x on the mid-size config is the PR-6
+    acceptance bar.  ``make perf-smoke`` is the quick subset of this.
+    """
+    import json
+    from pathlib import Path
+
+    from benchmarks.record_engine_baseline import run_workload
+
+    baseline_path = (
+        Path(__file__).parent / "baselines" / "engine_perf_baseline.json"
+    )
+    workload = next(
+        w
+        for w in json.loads(baseline_path.read_text())["workloads"]
+        if w["name"] == name
+    )
+
+    def run():
+        return run_workload(workload["nodes"], workload["horizon"])
+
+    _, events = benchmark(run)
+    assert events == workload["events"]
+    wall = benchmark.stats.stats.min
+    speedup = workload["seed_wall_seconds"] / wall
+    benchmark.extra_info["seed_wall_seconds"] = workload["seed_wall_seconds"]
+    benchmark.extra_info["speedup_vs_seed"] = round(speedup, 2)
+    assert speedup >= workload["min_speedup"], (
+        f"{name}: {speedup:.2f}x vs seed is below the "
+        f"{workload['min_speedup']}x floor"
+    )
+
+
+@pytest.mark.benchmark(group="E21-engine-perf", min_rounds=3)
+def test_streaming_matches_trace_throughput(benchmark):
+    """Streaming mode: same numbers, O(nodes) memory; time the fold."""
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topology = line(16)
+
+    def run():
+        engine = SimulationEngine(
+            topology, AoptAlgorithm(params),
+            TwoGroupDrift(EPSILON, list(range(8))), ConstantDelay(DELAY),
+            150.0, record_trace=False,
+        )
+        return engine.run_streaming()
+
+    result = benchmark(run)
+    assert result.events_processed > 1000
+    assert result.global_skew.value > 0
+    benchmark.extra_info["events"] = result.events_processed
+
+
 @pytest.mark.benchmark(group="E21-engine-perf", min_rounds=3)
 def test_numpy_fastpath_cost(benchmark):
     """The vectorized evaluation: same exact answer, faster."""

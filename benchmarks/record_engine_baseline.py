@@ -1,0 +1,113 @@
+"""Re-measure the engine-perf baseline JSON against the *current* tree.
+
+The committed baseline (``benchmarks/baselines/engine_perf_baseline.json``)
+records wall times of the pre-fast-path engine (the "seed", commit
+``67a9370``) on the perf-smoke workloads.  ``benchmarks/bench_perf_smoke.py``
+asserts the current engine beats those times by the per-workload speedup
+floors.
+
+To regenerate on new hardware, measure the seed tree — not this one::
+
+    git archive 67a9370 src | tar -x -C /tmp/seedtree
+    PYTHONPATH=/tmp/seedtree/src python benchmarks/record_engine_baseline.py \
+        --output benchmarks/baselines/engine_perf_baseline.json
+
+Running it against the current tree instead produces a self-baseline
+(every speedup ~1.0x), which is only useful for sanity-checking the
+measurement loop — don't commit that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.exec.summary import summarize_trace
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.sim.engine import SimulationEngine
+from repro.topology.generators import line
+
+__all__ = ["WORKLOADS", "ROUNDS", "run_workload", "measure"]
+
+#: The perf-smoke workloads: line topologies under two-group drift with a
+#: constant delay, end to end (run + exact skew summary).  ``min_speedup``
+#: is the floor ``bench_perf_smoke.py`` enforces against the recorded seed wall.
+WORKLOADS = [
+    # ``smoke: False`` workloads are covered by the bench_engine_perf
+    # speedup curve but skipped by `make perf-smoke` (kept tiny).
+    {"name": "small", "nodes": 16, "horizon": 150.0, "min_speedup": 2.0, "smoke": True},
+    {"name": "mid", "nodes": 64, "horizon": 600.0, "min_speedup": 5.0, "smoke": True},
+    {"name": "large", "nodes": 96, "horizon": 600.0, "min_speedup": 5.0, "smoke": False},
+]
+
+ROUNDS = 5  # first round is warm-up; the minimum of the rest is recorded
+
+
+def run_workload(nodes: int, horizon: float):
+    """One end-to-end run: engine + exact skew summary; returns (s, events)."""
+    params = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+    engine = SimulationEngine(
+        line(nodes),
+        AoptAlgorithm(params),
+        TwoGroupDrift(0.05, list(range(nodes // 2))),
+        ConstantDelay(1.0),
+        horizon,
+    )
+    started = time.perf_counter()
+    trace = engine.run()
+    summarize_trace(trace)
+    return time.perf_counter() - started, trace.events_processed
+
+
+def measure(nodes: int, horizon: float):
+    walls = []
+    events = 0
+    for _ in range(ROUNDS):
+        wall, events = run_workload(nodes, horizon)
+        walls.append(wall)
+    return min(walls[1:]), events
+
+
+def _main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).parent / "baselines" / "engine_perf_baseline.json",
+    )
+    args = parser.parse_args()
+
+    workloads = []
+    for spec in WORKLOADS:
+        wall, events = measure(spec["nodes"], spec["horizon"])
+        workloads.append({**spec, "seed_wall_seconds": wall, "events": events})
+        print(
+            f"{spec['name']}: n={spec['nodes']} horizon={spec['horizon']} "
+            f"wall={wall:.3f}s events={events}"
+        )
+
+    payload = {
+        "comment": (
+            "Seed-engine wall times for bench_perf_smoke.py; regenerate per the "
+            "module docstring of record_engine_baseline.py (measure the "
+            "seed tree, not the current one)."
+        ),
+        "seed_commit": "67a9370",
+        "rounds": ROUNDS,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": workloads,
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    _main()

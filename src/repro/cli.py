@@ -415,6 +415,8 @@ def _cmd_sweep(args) -> int:
             params,
             horizon=args.horizon,
         )
+        if getattr(args, "streaming", False):
+            specs = [spec.with_record_trace(False) for spec in specs]
         batches.append((actual_d, specs))
         all_specs.extend(specs)
 
@@ -1019,6 +1021,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-stats", dest="cache_stats", action="store_true",
         help="report on-disk cache state (entries, orphaned temp files, "
              "hit/miss/corrupt counts) after the sweep"
+    )
+    sweep_parser.add_argument(
+        "--streaming", action="store_true",
+        help="run with record_trace=False: fold exact skews in O(nodes) "
+             "memory instead of materializing full traces (bit-identical "
+             "extrema; separate cache namespace)"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 

@@ -24,6 +24,7 @@ from repro.exec.pool import SweepExecutor, SweepOutcome, resolve_workers
 from repro.exec.spec import SPEC_DIGEST_VERSION, ExecutionSpec, canonical_encoding
 from repro.exec.summary import (
     ExecutionSummary,
+    summarize_streaming,
     summarize_trace,
     to_skew_samples,
     to_suite_result,
@@ -37,6 +38,7 @@ __all__ = [
     "ResultCache",
     "resolve_workers",
     "summarize_trace",
+    "summarize_streaming",
     "to_suite_result",
     "to_skew_samples",
     "canonical_encoding",

@@ -49,7 +49,9 @@ __all__ = ["ResultCache", "CACHE_VERSION", "default_cache_root"]
 #: On-disk entry format version; see module docstring.
 #: v2: ExecutionSummary gained fault-accounting fields.
 #: v3: ExecutionSummary gained the ``run_metrics`` field.
-CACHE_VERSION = 3
+#: v4: ExecutionSpec gained the ``record_trace`` field (all digests
+#: shifted with SPEC_DIGEST_VERSION 3, orphaning every v3 entry).
+CACHE_VERSION = 4
 
 
 def default_cache_root() -> Path:

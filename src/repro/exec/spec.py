@@ -47,7 +47,8 @@ NodeId = Hashable
 #: Bumped whenever the canonical encoding scheme changes, so digests from
 #: older library versions can never alias current ones.
 #: v2: added the ``faults`` field (fault-injection subsystem).
-SPEC_DIGEST_VERSION = 2
+#: v3: added the ``record_trace`` field (streaming fast-path mode).
+SPEC_DIGEST_VERSION = 3
 
 _PRIMITIVES = (type(None), bool, int)
 
@@ -214,6 +215,16 @@ class ExecutionSpec:
         data, so it digests canonically like every other model: any
         change to a fault time, target, or probability changes the
         digest and invalidates cached results.
+    record_trace:
+        ``True`` (default): :meth:`run` materializes a full
+        :class:`~repro.sim.trace.ExecutionTrace`.  ``False``: only
+        :meth:`run_summary` is available — the engine streams exact
+        skew extrema in O(nodes) memory (see ``docs/ENGINE.md``).  The
+        two modes produce byte-identical summaries (the engine-parity
+        suite enforces this), but the field is still part of the digest:
+        a digest names one concrete way of producing a result, and
+        keeping the modes cache-separate means a parity regression can
+        never be masked by a cache hit from the other mode.
     label:
         Presentation-only name (e.g. the adversary case name).  Included
         in summaries but *excluded* from the digest, so relabeling a
@@ -230,6 +241,7 @@ class ExecutionSpec:
     check_invariants: bool = False
     params: Optional[SyncParams] = None
     faults: Optional[FaultSchedule] = None
+    record_trace: bool = True
     label: str = ""  # reprolint: digest-exempt (presentation-only, see docstring)
 
     def __post_init__(self):
@@ -255,6 +267,24 @@ class ExecutionSpec:
         digest = hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
         object.__setattr__(self, "_digest", digest)
         return digest
+
+    def with_record_trace(self, record_trace: bool) -> "ExecutionSpec":
+        """A copy of this spec with ``record_trace`` replaced.
+
+        Implemented with ``copy.copy`` + ``object.__setattr__`` rather
+        than :func:`dataclasses.replace`: replace() would re-run
+        ``__post_init__``, and ``_normalize_initiators`` is not
+        idempotent on the already-normalized tuple-of-pairs form (grid
+        node ids are themselves tuples, making the pairs ambiguous).
+        The cached digest is dropped since ``record_trace`` is part of
+        the digest.
+        """
+        if record_trace == self.record_trace:
+            return self
+        clone = copy.copy(self)
+        object.__setattr__(clone, "record_trace", record_trace)
+        clone.__dict__.pop("_digest", None)
+        return clone
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, ExecutionSpec):
@@ -293,6 +323,11 @@ class ExecutionSpec:
         """
         from repro.sim.runner import run_execution
 
+        if not self.record_trace:
+            raise ConfigurationError(
+                "spec has record_trace=False: no trace is materialized in "
+                "streaming mode; use run_summary(), or with_record_trace(True)"
+            )
         algorithm, drift, delay = copy.deepcopy(
             (self.algorithm, self.drift, self.delay)
         )
@@ -313,7 +348,35 @@ class ExecutionSpec:
         return trace, monitors
 
     def run_summary(self, collect_metrics: bool = False):
-        """Execute and reduce to a picklable summary (the worker path)."""
+        """Execute and reduce to a picklable summary (the worker path).
+
+        With ``record_trace=False`` the engine streams exact skew
+        extrema instead of materializing a trace; the summary is
+        byte-identical either way (modulo the spec digest, which
+        includes the mode field).
+        """
+        if not self.record_trace:
+            from repro.exec.summary import summarize_streaming
+            from repro.sim.runner import run_execution_streaming
+
+            algorithm, drift, delay = copy.deepcopy(
+                (self.algorithm, self.drift, self.delay)
+            )
+            monitors = self._monitors()
+            result = run_execution_streaming(
+                self.topology,
+                algorithm,
+                drift,
+                delay,
+                self.horizon,
+                initiators=dict(self.initiators) if self.initiators else None,
+                monitors=monitors,
+                faults=self.faults,
+                collect_metrics=collect_metrics,
+            )
+            return summarize_streaming(
+                result, digest=self.digest(), label=self.label, monitors=monitors
+            )
         from repro.exec.summary import summarize_trace
 
         trace, monitors = self.run(collect_metrics=collect_metrics)

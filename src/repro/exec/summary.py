@@ -22,7 +22,13 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.obs.metrics import RunMetrics
 from repro.sim.trace import ExecutionTrace
 
-__all__ = ["ExecutionSummary", "summarize_trace", "to_suite_result", "to_skew_samples"]
+__all__ = [
+    "ExecutionSummary",
+    "summarize_trace",
+    "summarize_streaming",
+    "to_suite_result",
+    "to_skew_samples",
+]
 
 NodeId = Hashable
 
@@ -106,6 +112,48 @@ def summarize_trace(
         messages_lost_link=trace.messages_lost_link,
         messages_lost_crash=trace.messages_lost_crash,
         messages_duplicated=trace.messages_duplicated,
+        run_metrics=metrics.stripped() if metrics is not None else None,
+    )
+
+
+def summarize_streaming(
+    result,
+    digest: str = "",
+    label: str = "",
+    monitors: Sequence = (),
+) -> ExecutionSummary:
+    """Reduce a :class:`~repro.sim.engine.StreamingResult` to a summary.
+
+    The streaming engine has already folded the exact skew extrema
+    (bit-identical to trace evaluation; the engine-parity suite pins
+    this), so no skew-eval phase runs here — that is the point of the
+    streaming mode.  Violation formatting and metrics stripping match
+    :func:`summarize_trace` exactly.
+    """
+    violations = tuple(
+        f"{v.monitor}@{v.node!r}/t={v.time}: {v.detail}"
+        for monitor in monitors
+        for v in getattr(monitor, "violations", ())
+    )
+    metrics = result.metrics
+    return ExecutionSummary(
+        label=label,
+        spec_digest=digest,
+        global_skew=result.global_skew.value,
+        global_skew_time=result.global_skew.time,
+        global_skew_pair=(result.global_skew.node_a, result.global_skew.node_b),
+        local_skew=result.local_skew.value,
+        local_skew_time=result.local_skew.time,
+        local_skew_pair=(result.local_skew.node_a, result.local_skew.node_b),
+        final_spread=result.final_spread,
+        total_messages=result.total_messages,
+        total_bits=result.total_bits,
+        events_processed=result.events_processed,
+        messages_dropped=result.messages_dropped,
+        monitor_violations=violations,
+        messages_lost_link=result.messages_lost_link,
+        messages_lost_crash=result.messages_lost_crash,
+        messages_duplicated=result.messages_duplicated,
         run_metrics=metrics.stripped() if metrics is not None else None,
     )
 

@@ -22,10 +22,21 @@ from repro.sim.drift import (
     RandomWalkDrift,
     TwoGroupDrift,
 )
-from repro.sim.engine import SimulationEngine
-from repro.sim.monitors import EnvelopeMonitor, MonotonicityMonitor, RateBoundMonitor
+from repro.sim.engine import DEFAULT_TRACE_NODE_CAP, SimulationEngine, StreamingResult
+from repro.sim.monitors import (
+    EnvelopeMonitor,
+    MonotonicityMonitor,
+    RateBoundMonitor,
+    StreamingSkewTracker,
+)
 from repro.sim.rates import PiecewiseConstantRate, alternating_rate, constant_rate
-from repro.sim.runner import default_monitors, run_execution, simulate_aopt
+from repro.sim.reference import ReferenceSimulationEngine
+from repro.sim.runner import (
+    default_monitors,
+    run_execution,
+    run_execution_streaming,
+    simulate_aopt,
+)
 from repro.sim.trace import ExecutionTrace, LogicalClockRecord, SkewExtremum
 
 __all__ = [
@@ -52,13 +63,18 @@ __all__ = [
     "RandomWalkDrift",
     "ExplicitDrift",
     "SimulationEngine",
+    "ReferenceSimulationEngine",
+    "StreamingResult",
+    "DEFAULT_TRACE_NODE_CAP",
     "EnvelopeMonitor",
     "RateBoundMonitor",
     "MonotonicityMonitor",
+    "StreamingSkewTracker",
     "ExecutionTrace",
     "LogicalClockRecord",
     "SkewExtremum",
     "run_execution",
+    "run_execution_streaming",
     "simulate_aopt",
     "default_monitors",
 ]

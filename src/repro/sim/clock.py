@@ -11,7 +11,8 @@ uses to fire hardware-time alarms (Algorithms 1 and 4 of the paper).
 
 from __future__ import annotations
 
-from typing import Iterator
+from bisect import bisect_right
+from typing import Iterator, List, Sequence
 
 from repro.errors import TraceError
 from repro.sim.rates import PiecewiseConstantRate
@@ -31,7 +32,7 @@ class HardwareClock:
         is defined as 0 before then and integrates the rate afterwards.
     """
 
-    __slots__ = ("_rate", "_start_time")
+    __slots__ = ("_rate", "_start_time", "_start_integral", "_memo_t", "_memo_v")
 
     def __init__(self, rate: PiecewiseConstantRate, start_time: float = 0.0):
         if start_time < rate.domain_start:
@@ -40,6 +41,16 @@ class HardwareClock:
             )
         self._rate = rate
         self._start_time = float(start_time)
+        # ∫ from the rate's domain start to the clock start, fixed at
+        # construction: value(t) subtracts it from ∫-from-domain-start(t),
+        # the identical float expression rate.integral(start, t) expands
+        # to, without re-deriving the start integral on every query.
+        self._start_integral = rate.integral_from_start(self._start_time)
+        # Single-entry memo: engine callbacks evaluate the same clock at
+        # the same event time several times per event.  The clock is
+        # immutable, so a hit returns the identical float.
+        self._memo_t: float = self._start_time
+        self._memo_v: float = 0.0
 
     @property
     def start_time(self) -> float:
@@ -59,7 +70,29 @@ class HardwareClock:
         """Hardware clock reading ``H_v(t)``; 0 for ``t ≤ t_v``."""
         if t <= self._start_time:
             return 0.0
-        return self._rate.integral(self._start_time, t)
+        if t == self._memo_t:
+            return self._memo_v
+        v = self._rate.integral_from_start(t) - self._start_integral
+        self._memo_t = t
+        self._memo_v = v
+        return v
+
+    def values_at(self, ts: Sequence[float]) -> List[float]:
+        """Batched :meth:`value` over ascending ``ts`` (bit-identical).
+
+        The prefix at or before the start time reads 0.0; the rest is one
+        pointer sweep through the rate segments, each output computed with
+        the same expression as the scalar method.
+        """
+        split = bisect_right(ts, self._start_time)
+        out: List[float] = [0.0] * split
+        if split < len(ts):
+            start_integral = self._start_integral
+            out.extend(
+                integral - start_integral
+                for integral in self._rate.integrals_at(ts[split:])
+            )
+        return out
 
     def time_at_value(self, value: float) -> float:
         """Real time at which the clock first reads ``value`` (exact).

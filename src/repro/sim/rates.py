@@ -17,7 +17,7 @@ a given value), both of which the simulation engine relies on.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ScheduleError
@@ -111,14 +111,51 @@ class PiecewiseConstantRate:
 
     def rate_at(self, t: float) -> float:
         """The instantaneous rate at time ``t`` (right-continuous)."""
+        # Queries at or beyond the last breakpoint (the common case during
+        # a simulation run) skip the bisect; same segment either way.
+        if t >= self._times[-1]:
+            return self._rates[-1]
         return self._rates[self._segment_index(t)]
 
     # -- integration and inversion ----------------------------------------
 
     def integral_from_start(self, t: float) -> float:
         """``∫`` of the rate from ``domain_start`` to ``t`` (exact)."""
-        i = self._segment_index(t)
-        return self._cumulative[i] + self._rates[i] * (t - self._times[i])
+        times = self._times
+        if t >= times[-1]:
+            i = len(times) - 1
+        else:
+            i = self._segment_index(t)
+        return self._cumulative[i] + self._rates[i] * (t - times[i])
+
+    def integrals_at(self, ts: Sequence[float]) -> List[float]:
+        """Batched :meth:`integral_from_start` over ascending ``ts``.
+
+        A single forward pointer sweep replaces the per-call bisect; each
+        output is computed with exactly the same arithmetic expression as
+        the scalar method, so the results are bit-identical.
+        """
+        times = self._times
+        rates = self._rates
+        cumulative = self._cumulative
+        last_time = times[-1]
+        last_index = len(times) - 1
+        out: List[float] = []
+        append = out.append
+        i = 0
+        for t in ts:
+            if t >= last_time:
+                i = last_index
+            else:
+                if t < times[0]:
+                    raise ScheduleError(
+                        f"time {t} precedes the rate function's domain start "
+                        f"{times[0]}"
+                    )
+                while i < last_index and times[i + 1] <= t:
+                    i += 1
+            append(cumulative[i] + rates[i] * (t - times[i]))
+        return out
 
     def integral(self, a: float, b: float) -> float:
         """``∫_a^b`` of the rate (``a ≤ b`` required)."""
@@ -138,19 +175,21 @@ class PiecewiseConstantRate:
         if amount == 0:
             return t0
         target = self.integral_from_start(t0) + amount
-        # Find the segment in which the cumulative integral reaches target.
+        # Find the segment in which the cumulative integral reaches target:
+        # the first j ≥ i with _cumulative[j+1] ≥ target, located by bisect
+        # (the cumulative integral is non-decreasing).
         i = self._segment_index(t0)
-        for j in range(i, len(self._times) - 1):
-            end_value = self._cumulative[j + 1]
-            if end_value >= target:
-                rate = self._rates[j]
-                if rate <= 0:
-                    raise ScheduleError(
-                        f"cannot invert across non-positive rate {rate} at segment {j}"
-                    )
-                # max() guards against the re-derived time rounding a hair
-                # below t0 when amount is at the float noise floor.
-                return max(t0, self._times[j] + (target - self._cumulative[j]) / rate)
+        k = bisect_left(self._cumulative, target, i + 1)
+        if k < len(self._times):
+            j = k - 1
+            rate = self._rates[j]
+            if rate <= 0:
+                raise ScheduleError(
+                    f"cannot invert across non-positive rate {rate} at segment {j}"
+                )
+            # max() guards against the re-derived time rounding a hair
+            # below t0 when amount is at the float noise floor.
+            return max(t0, self._times[j] + (target - self._cumulative[j]) / rate)
         # Beyond the last breakpoint: the final rate extends to infinity.
         last = len(self._times) - 1
         rate = self._rates[last]

@@ -1,65 +1,27 @@
-"""The discrete-event simulation engine (fast path).
+"""The reference discrete-event engine (parity oracle for the fast path).
 
-Runs any :class:`repro.core.interfaces.Algorithm` on a topology under a
-drift model and a delay model — together these constitute an *execution*
-in the sense of Section 3 of the paper ("an execution specifies the delays
-of all messages and also the hardware clock rates of all nodes").
+This is the object-per-event implementation that :mod:`repro.sim.engine`
+shipped with before the fast-path rewrite, kept verbatim under a new
+name.  It exists for two reasons:
 
-Responsibilities:
+* **Parity testing** — ``tests/test_engine_parity.py`` runs the same
+  spec through this engine and the fast one and asserts byte-identical
+  results (same breakpoints, same exact skews, same counters).  Any
+  hot-path "optimization" that changes a single float fails there.
+* **Benchmark baseline** — ``benchmarks/bench_engine_perf.py`` measures
+  the fast engine's speedup against this one.
 
-* wake initiator nodes and flood-initialize the rest on first message
-  receipt (Section 4.2, initialization);
-* deliver messages after delays chosen by the delay model, validated to
-  lie in ``[0, T]``;
-* maintain each node's logical clock record exactly (rate-multiplier
-  checkpoints; optional jumps for β = ∞ algorithms);
-* fire hardware-time alarms at the exact real time at which the hardware
-  clock reaches the target value (possible because the adversary's rate
-  schedule is fixed up front);
-* run invariant monitors after every event and return an
-  :class:`~repro.sim.trace.ExecutionTrace` — or, with
-  ``record_trace=False``, fold skew extrema on the fly through a
-  :class:`~repro.sim.monitors.StreamingSkewTracker` and return a compact
-  :class:`StreamingResult` without ever materializing a trace;
-* when a :class:`~repro.faults.schedule.FaultSchedule` is attached,
-  consult its compiled :class:`~repro.faults.injector.FaultInjector` on
-  every send and event (see "Fault semantics" below).
-
-Determinism: simultaneous events are processed in schedule order, so a
-given (topology, drift, delays, algorithm, faults) tuple always
-reproduces the identical execution.
-
-Fast path
----------
-The hot loop dispatches plain tuples ``(time, seq, kind, node, ...)``
-through a binary heap — no per-event object allocation, no dataclass
-comparison; the monotone ``seq`` settles ties before any payload field
-is compared, exactly like the reference engine's
-:class:`~repro.sim.events.EventQueue` did.  Results are *bit-identical*
-to :class:`~repro.sim.reference.ReferenceSimulationEngine` (same
-breakpoints, same exact skews, same counters) — the contract enforced by
-``tests/test_engine_parity.py``; see ``docs/ENGINE.md``.
-
-Fault semantics (robustness extension; docs/FAULTS.md)
-------------------------------------------------------
-* A *crashed* node processes no events.  Its hardware oscillator keeps
-  running; its logical clock free-runs at multiplier 1 from the crash
-  instant (both clocks therefore still satisfy Conditions (1)/(2)).
-* Messages delivered to a downed node are lost (``messages_lost_crash``);
-  messages sent over a downed link are lost (``messages_lost_link``).
-* Alarms and wake-ups that come due during an outage are *deferred*: they
-  fire once at the recovery instant (hardware timers survive the outage),
-  after :meth:`~repro.core.interfaces.AlgorithmNode.on_recover` — which
-  may re-arm them, superseding the deferred firing by generation.
-* Per-message drop / duplicate / delay-spike faults are decided by a
-  stable per-message hash, so they are independent of event order.
+It dispatches one :class:`~repro.sim.events.Event` dataclass at a time
+through an :class:`~repro.sim.events.EventQueue` and always records a
+full :class:`~repro.sim.trace.ExecutionTrace`.  Semantics are documented
+in :mod:`repro.sim.engine`; the two implementations must stay
+behavior-identical, which the parity suite enforces.  Do not optimize
+this module — its value is being the simple, obviously-correct one.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from heapq import heappop, heappush
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interfaces import Algorithm, AlgorithmNode, NodeContext
@@ -70,17 +32,23 @@ from repro.obs.metrics import RunMetrics
 from repro.sim.clock import HardwareClock
 from repro.sim.delays import DROP, DelayModel
 from repro.sim.drift import DriftModel
-from repro.sim.monitors import StreamingSkewTracker
+from repro.sim.events import (
+    AlarmEvent,
+    CrashEvent,
+    DeliveryEvent,
+    EventQueue,
+    RecoverEvent,
+    WakeEvent,
+)
 from repro.sim.trace import (
     ExecutionTrace,
     LogicalClockRecord,
     MessageRecord,
     ProbeRecord,
-    SkewExtremum,
 )
 from repro.topology.generators import Topology
 
-__all__ = ["SimulationEngine", "StreamingResult", "DEFAULT_TRACE_NODE_CAP"]
+__all__ = ["ReferenceSimulationEngine"]
 
 NodeId = Hashable
 
@@ -88,52 +56,14 @@ NodeId = Hashable
 #: so hitting the cap indicates a message storm or alarm loop.
 DEFAULT_MAX_EVENTS = 20_000_000
 
-#: Largest network for which the engine will record a full trace.  A
-#: trace holds every clock breakpoint of every node, so beyond this size
-#: the engine refuses upfront (clear error now beats an OOM kill later);
-#: pass ``record_trace=False`` for streaming evaluation, or raise the cap
-#: explicitly via ``trace_node_cap`` if the machine really has the RAM.
-DEFAULT_TRACE_NODE_CAP = 50_000
-
-# Event kinds, encoded as small ints inside heap tuples.  The heap never
-# compares beyond the unique ``seq``, so the kind ordering is cosmetic.
-_CRASH, _RECOVER, _WAKE, _DELIVERY, _ALARM = 0, 1, 2, 3, 4
-
-#: Kind int → metrics/event-log kind name.
-_KIND_NAMES = ("crash", "recover", "wake", "delivery", "alarm")
-
-# Tuple layouts (time and seq lead so the heap orders on them alone):
-#   (time, seq, _WAKE,     node)
-#   (time, seq, _CRASH,    node)
-#   (time, seq, _RECOVER,  node)
-#   (time, seq, _DELIVERY, node, sender, payload, send_time, size_bits)
-#   (time, seq, _ALARM,    node, name, generation, hardware_value)
-
-
-@dataclass(frozen=True)
-class StreamingResult:
-    """Everything a summary needs from one streamed execution.
-
-    The streaming counterpart of :class:`~repro.sim.trace.ExecutionTrace`:
-    exact skew extrema already folded (bit-identical to what trace
-    evaluation would have produced), plus the same aggregate counters —
-    but O(nodes) memory instead of O(breakpoints).
-    """
-
-    horizon: float
-    global_skew: SkewExtremum
-    local_skew: SkewExtremum
-    final_spread: float
-    total_messages: int
-    total_bits: int
-    events_processed: int
-    messages_dropped: int
-    messages_lost_link: int = 0
-    messages_lost_crash: int = 0
-    messages_duplicated: int = 0
-    probes: List[ProbeRecord] = field(default_factory=list)
-    metrics: Optional[RunMetrics] = None
-    event_log: Optional[List[Tuple[str, float, NodeId, dict]]] = None
+#: Event-class → metrics/event-log kind name.
+_EVENT_KINDS = {
+    WakeEvent: "wake",
+    DeliveryEvent: "delivery",
+    AlarmEvent: "alarm",
+    CrashEvent: "crash",
+    RecoverEvent: "recover",
+}
 
 
 class _NodeRuntime:
@@ -141,7 +71,6 @@ class _NodeRuntime:
 
     __slots__ = (
         "node_id",
-        "idx",
         "neighbors",
         "algorithm_node",
         "started",
@@ -154,14 +83,9 @@ class _NodeRuntime:
     )
 
     def __init__(
-        self,
-        node_id: NodeId,
-        idx: int,
-        neighbors: Tuple[NodeId, ...],
-        algorithm_node: AlgorithmNode,
+        self, node_id: NodeId, neighbors: Tuple[NodeId, ...], algorithm_node: AlgorithmNode
     ):
         self.node_id = node_id
-        self.idx = idx
         self.neighbors = neighbors
         self.algorithm_node = algorithm_node
         self.started = False
@@ -176,11 +100,11 @@ class _NodeRuntime:
 class _EngineContext(NodeContext):
     """The capability object handed to algorithm callbacks.
 
-    Bound to one node; the engine updates ``now`` before each callback.
+    Bound to one node; the engine updates ``_now`` before each callback.
     Exposes only model-legal operations — notably *not* real time.
     """
 
-    def __init__(self, engine: "SimulationEngine", runtime: _NodeRuntime):
+    def __init__(self, engine: "ReferenceSimulationEngine", runtime: _NodeRuntime):
         self._engine = engine
         self._runtime = runtime
         self.node_id = runtime.node_id
@@ -200,11 +124,8 @@ class _EngineContext(NodeContext):
             raise SimulationError(f"rate multiplier must be positive, got {rho}")
         runtime = self._runtime
         if rho != runtime.rho:
-            engine = self._engine
-            runtime.record.checkpoint(engine.now, rho)
+            runtime.record.checkpoint(self._engine.now, rho)
             runtime.rho = rho
-            if engine._tracker is not None:
-                engine._tracker.note_checkpoint(runtime.idx, engine.now)
 
     def jump_logical(self, value: float) -> None:
         engine = self._engine
@@ -224,8 +145,6 @@ class _EngineContext(NodeContext):
                 )
             )
         self._runtime.record.jump(engine.now, value)
-        if engine._tracker is not None:
-            engine._tracker.note_checkpoint(self._runtime.idx, engine.now)
 
     def send_to(self, neighbor: NodeId, payload: Any) -> None:
         self._engine._send(self._runtime, neighbor, payload)
@@ -247,7 +166,7 @@ class _EngineContext(NodeContext):
         )
 
 
-class SimulationEngine:
+class ReferenceSimulationEngine:
     """Builds and runs one execution; see module docstring.
 
     Parameters
@@ -284,15 +203,6 @@ class SimulationEngine:
         reasons, jumps, crash/recover transitions) on the trace for
         :meth:`~repro.sim.trace.ExecutionTrace.export_events`.
         Memory-proportional to the event count; off by default.
-    record_trace:
-        ``True`` (default): run with :meth:`run`, which returns a full
-        :class:`~repro.sim.trace.ExecutionTrace`; refuses networks
-        larger than ``trace_node_cap`` nodes.  ``False``: run with
-        :meth:`run_streaming`, which folds exact skew extrema online
-        and returns a :class:`StreamingResult` in O(nodes) memory.
-    trace_node_cap:
-        Node-count ceiling for trace recording; ``None`` means
-        :data:`DEFAULT_TRACE_NODE_CAP`.
     """
 
     def __init__(
@@ -309,19 +219,10 @@ class SimulationEngine:
         faults: Optional[FaultSchedule] = None,
         collect_metrics: bool = False,
         record_events: bool = False,
-        record_trace: bool = True,
-        trace_node_cap: Optional[int] = None,
     ):
         setup_started = time.perf_counter() if collect_metrics else 0.0
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
-        cap = DEFAULT_TRACE_NODE_CAP if trace_node_cap is None else trace_node_cap
-        if record_trace and len(topology.nodes) > cap:
-            raise SimulationError(
-                f"recording a full trace for {len(topology.nodes)} nodes exceeds "
-                f"the trace node cap ({cap}); run with record_trace=False for "
-                "O(nodes)-memory streaming evaluation, or raise trace_node_cap"
-            )
         self.topology = topology
         self.algorithm = algorithm
         self.drift_model = drift_model
@@ -332,15 +233,12 @@ class SimulationEngine:
         self.max_events = max_events
         self.now = 0.0
 
-        self._heap: List[tuple] = []
-        self._seq = 0
+        self._queue = EventQueue()
         self._runtimes: Dict[NodeId, _NodeRuntime] = {}
         self._contexts: Dict[NodeId, _EngineContext] = {}
-        for idx, node in enumerate(topology.nodes):
+        for node in topology.nodes:
             neighbors = topology.neighbors(node)
-            runtime = _NodeRuntime(
-                node, idx, neighbors, algorithm.make_node(node, neighbors)
-            )
+            runtime = _NodeRuntime(node, neighbors, algorithm.make_node(node, neighbors))
             self._runtimes[node] = runtime
             self._contexts[node] = _EngineContext(self, runtime)
 
@@ -359,11 +257,6 @@ class SimulationEngine:
         self._event_log: Optional[List[Tuple[str, float, NodeId, dict]]] = (
             [] if record_events else None
         )
-        self._tracker: Optional[StreamingSkewTracker] = None
-        if not record_trace:
-            self._tracker = StreamingSkewTracker(
-                topology.nodes, topology.edges(), self.horizon, prune=True
-            )
 
         self._injector: Optional[FaultInjector] = None
         if faults is not None:
@@ -373,12 +266,10 @@ class SimulationEngine:
             for fault_time, node, kind in self._injector.node_timeline():
                 if fault_time > self.horizon:
                     continue
-                seq = self._seq
-                self._seq = seq + 1
-                heappush(
-                    self._heap,
-                    (fault_time, seq, _CRASH if kind == NODE_CRASH else _RECOVER, node),
-                )
+                if kind == NODE_CRASH:
+                    self._queue.push(CrashEvent(fault_time, node))
+                else:
+                    self._queue.push(RecoverEvent(fault_time, node))
 
         if initiators is None:
             wake_times: Dict[NodeId, float] = {topology.nodes[0]: 0.0}
@@ -389,9 +280,7 @@ class SimulationEngine:
         if not wake_times:
             raise SimulationError("at least one initiator node is required")
         for node, wake_time in wake_times.items():
-            seq = self._seq
-            self._seq = seq + 1
-            heappush(self._heap, (wake_time, seq, _WAKE, node))
+            self._queue.push(WakeEvent(wake_time, node))
         if self._metrics is not None:
             self._metrics.phase_seconds["setup"] = (
                 time.perf_counter() - setup_started
@@ -436,8 +325,6 @@ class SimulationEngine:
         runtime.hardware = HardwareClock(rate, start_time=self.now)
         runtime.record = LogicalClockRecord(runtime.hardware)
         runtime.started = True
-        if self._tracker is not None:
-            self._tracker.note_start(runtime.idx, runtime.record, runtime.hardware)
         runtime.algorithm_node.on_start(self._contexts[runtime.node_id])
 
     def _send(self, runtime: _NodeRuntime, neighbor: NodeId, payload: Any) -> None:
@@ -494,20 +381,16 @@ class SimulationEngine:
             self._message_log.append(
                 MessageRecord(runtime.node_id, neighbor, self.now, delay, payload, bits)
             )
-        deliver_time = self.now + delay
-        if deliver_time < self.now:
-            raise SimulationError(
-                f"event at time {deliver_time} scheduled in the past "
-                f"(current time {self.now})"
-            )
-        heap = self._heap
         for _ in range(copies):
-            entry_seq = self._seq
-            self._seq = entry_seq + 1
-            heappush(
-                heap,
-                (deliver_time, entry_seq, _DELIVERY, neighbor,
-                 runtime.node_id, payload, self.now, bits),
+            self._queue.push(
+                DeliveryEvent(
+                    time=self.now + delay,
+                    node=neighbor,
+                    sender=runtime.node_id,
+                    payload=payload,
+                    send_time=self.now,
+                    size_bits=bits,
+                )
             )
 
     def _set_alarm(self, runtime: _NodeRuntime, name: str, hardware_value: float) -> None:
@@ -523,11 +406,14 @@ class SimulationEngine:
         # An alarm for an already-reached value fires immediately after the
         # current callback (same timestamp, later sequence number).
         fire_time = max(fire_time, self.now)
-        seq = self._seq
-        self._seq = seq + 1
-        heappush(
-            self._heap,
-            (fire_time, seq, _ALARM, runtime.node_id, name, generation, hardware_value),
+        self._queue.push(
+            AlarmEvent(
+                time=fire_time,
+                node=runtime.node_id,
+                name=name,
+                generation=generation,
+                hardware_value=hardware_value,
+            )
         )
 
     def _apply_crash(self, runtime: _NodeRuntime) -> None:
@@ -537,170 +423,139 @@ class SimulationEngine:
             # keeping it inside the Condition (2) envelope (α = 1 − ε ≤ 1).
             runtime.record.checkpoint(self.now, 1.0)
             runtime.rho = 1.0
-            if self._tracker is not None:
-                self._tracker.note_checkpoint(runtime.idx, self.now)
 
     def _apply_recovery(self, runtime: _NodeRuntime) -> None:
         runtime.crashed = False
         if runtime.started:
             runtime.algorithm_node.on_recover(self._contexts[runtime.node_id])
 
-    def _defer_to_recovery(self, entry: tuple) -> None:
+    def _defer_to_recovery(self, event) -> None:
         """Re-queue a wake/alarm that came due during an outage.
 
         It fires at the recovery instant (after ``on_recover``, which was
         queued earlier and therefore pops first at equal time); if the node
         never recovers, the event is dropped.
         """
-        recovery = self._injector.next_recovery(entry[3], self.now)
+        recovery = self._injector.next_recovery(event.node, self.now)
         if recovery is None or recovery > self.horizon:
             return
-        metrics = self._metrics
-        seq = self._seq
-        self._seq = seq + 1
-        if entry[2] == _ALARM:
-            if metrics is not None:
-                metrics.alarms_deferred += 1
-            heappush(
-                self._heap,
-                (recovery, seq, _ALARM, entry[3], entry[4], entry[5], entry[6]),
+        if self._metrics is not None:
+            if isinstance(event, AlarmEvent):
+                self._metrics.alarms_deferred += 1
+            else:
+                self._metrics.wakes_deferred += 1
+        if isinstance(event, AlarmEvent):
+            self._queue.push(
+                AlarmEvent(
+                    time=recovery,
+                    node=event.node,
+                    name=event.name,
+                    generation=event.generation,
+                    hardware_value=event.hardware_value,
+                )
             )
         else:
-            if metrics is not None:
-                metrics.wakes_deferred += 1
-            heappush(self._heap, (recovery, seq, _WAKE, entry[3]))
+            self._queue.push(WakeEvent(recovery, event.node))
+
+    def _process_event(self, event) -> None:
+        runtime = self._runtimes[event.node]
+        ctx = self._contexts[event.node]
+        log = self._event_log
+        if isinstance(event, CrashEvent):
+            self._apply_crash(runtime)
+            if log is not None:
+                log.append(("crash", self.now, event.node, {}))
+        elif isinstance(event, RecoverEvent):
+            self._apply_recovery(runtime)
+            if log is not None:
+                log.append(("recover", self.now, event.node, {}))
+        elif runtime.crashed:
+            if isinstance(event, DeliveryEvent):
+                self._messages_lost_crash += 1
+                if log is not None:
+                    log.append(("drop", self.now, event.node,
+                                {"from": event.sender,
+                                 "send_time": event.send_time,
+                                 "reason": "crash"}))
+            elif isinstance(event, AlarmEvent):
+                if runtime.alarm_generations.get(event.name, 0) == event.generation:
+                    self._defer_to_recovery(event)
+            elif isinstance(event, WakeEvent):
+                if not runtime.started:
+                    self._defer_to_recovery(event)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event type {type(event).__name__}")
+            return
+        elif isinstance(event, WakeEvent):
+            if not runtime.started:
+                self._start_node(runtime)
+        elif isinstance(event, DeliveryEvent):
+            self._messages_received[event.node] += 1
+            if log is not None:
+                log.append(("deliver", self.now, event.node,
+                            {"from": event.sender,
+                             "send_time": event.send_time,
+                             "bits": event.size_bits}))
+            if not runtime.started:
+                self._start_node(runtime)
+            runtime.algorithm_node.on_message(ctx, event.sender, event.payload)
+        elif isinstance(event, AlarmEvent):
+            if runtime.alarm_generations.get(event.name, 0) != event.generation:
+                if self._metrics is not None:
+                    self._metrics.alarms_superseded += 1
+                return  # superseded or cancelled
+            if not runtime.started:  # pragma: no cover - defensive
+                raise SimulationError(f"alarm at unstarted node {event.node!r}")
+            if self._metrics is not None:
+                self._metrics.alarms_fired += 1
+            runtime.algorithm_node.on_alarm(ctx, event.name)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event type {type(event).__name__}")
+        for monitor in self.monitors:
+            monitor.check(self, event.node, self.now)
 
     # -- main loop ---------------------------------------------------------------
 
-    def _run_loop(self) -> None:
+    def run(self) -> ExecutionTrace:
+        """Run until the horizon and return the execution trace."""
         if self._finished:
             raise SimulationError("engine instances are single-use; build a new one")
         metrics = self._metrics
         run_started = time.perf_counter() if metrics is not None else 0.0
-        heap = self._heap
-        horizon = self.horizon
-        max_events = self.max_events
-        monitors = self.monitors
-        tracker = self._tracker
-        runtimes = self._runtimes
-        contexts = self._contexts
-        log = self._event_log
-        processed = 0
-        while heap:
-            entry = heap[0]
-            now = entry[0]
-            if now > horizon:
+        while self._queue:
+            next_time = self._queue.peek_time()
+            if next_time > self.horizon:
                 break
-            heappop(heap)
-            self.now = now
-            if tracker is not None:
-                tracker.advance(now)
-            kind = entry[2]
-            node = entry[3]
-            runtime = runtimes[node]
-            run_checks = True
-            if kind == _CRASH:
-                self._apply_crash(runtime)
-                if log is not None:
-                    log.append(("crash", now, node, {}))
-            elif kind == _RECOVER:
-                self._apply_recovery(runtime)
-                if log is not None:
-                    log.append(("recover", now, node, {}))
-            elif runtime.crashed:
-                run_checks = False
-                if kind == _DELIVERY:
-                    self._messages_lost_crash += 1
-                    if log is not None:
-                        log.append(("drop", now, node,
-                                    {"from": entry[4],
-                                     "send_time": entry[6],
-                                     "reason": "crash"}))
-                elif kind == _ALARM:
-                    if runtime.alarm_generations.get(entry[4], 0) == entry[5]:
-                        self._defer_to_recovery(entry)
-                else:  # _WAKE
-                    if not runtime.started:
-                        self._defer_to_recovery(entry)
-            elif kind == _DELIVERY:
-                sender = entry[4]
-                self._messages_received[node] += 1
-                if log is not None:
-                    log.append(("deliver", now, node,
-                                {"from": sender,
-                                 "send_time": entry[6],
-                                 "bits": entry[7]}))
-                if not runtime.started:
-                    self._start_node(runtime)
-                runtime.algorithm_node.on_message(contexts[node], sender, entry[5])
-            elif kind == _ALARM:
-                name = entry[4]
-                if runtime.alarm_generations.get(name, 0) != entry[5]:
-                    if metrics is not None:
-                        metrics.alarms_superseded += 1
-                    run_checks = False  # superseded or cancelled
-                else:
-                    if not runtime.started:  # pragma: no cover - defensive
-                        raise SimulationError(f"alarm at unstarted node {node!r}")
-                    if metrics is not None:
-                        metrics.alarms_fired += 1
-                    runtime.algorithm_node.on_alarm(contexts[node], name)
-            else:  # _WAKE
-                if not runtime.started:
-                    self._start_node(runtime)
-            if run_checks:
-                for monitor in monitors:
-                    monitor.check(self, node, now)
-            processed += 1
+            event = self._queue.pop()
+            self.now = event.time
+            self._process_event(event)
+            self._events_processed += 1
             if metrics is not None:
-                kind_name = _KIND_NAMES[kind]
-                metrics.events_by_type[kind_name] = (
-                    metrics.events_by_type.get(kind_name, 0) + 1
+                kind = _EVENT_KINDS[type(event)]
+                metrics.events_by_type[kind] = (
+                    metrics.events_by_type.get(kind, 0) + 1
                 )
-                depth = len(heap)
+                depth = len(self._queue)
                 if depth > metrics.queue_depth_hwm:
                     metrics.queue_depth_hwm = depth
-            if processed > max_events:
-                self._events_processed = processed
+            if self._events_processed > self.max_events:
                 raise SimulationError(
-                    f"exceeded {max_events} events at t={self.now}; "
+                    f"exceeded {self.max_events} events at t={self.now}; "
                     "likely a message storm or alarm loop"
                 )
-        self._events_processed = processed
         self.now = self.horizon
         self._finished = True
         if metrics is not None:
             metrics.phase_seconds["run"] = time.perf_counter() - run_started
-
-    def run(self) -> ExecutionTrace:
-        """Run until the horizon and return the execution trace."""
-        if self._tracker is not None:
-            raise SimulationError(
-                "engine was built with record_trace=False; use run_streaming()"
-            )
-        self._run_loop()
         return self._build_trace()
 
-    def run_streaming(self) -> StreamingResult:
-        """Run until the horizon, folding skews online; no trace is kept."""
-        if self._tracker is None:
-            raise SimulationError(
-                "engine was built with record_trace=True; use run(), or pass "
-                "record_trace=False for streaming evaluation"
-            )
-        self._run_loop()
-        return self._build_streaming_result()
-
-    def _check_all_started(self) -> None:
+    def _build_trace(self) -> ExecutionTrace:
         unstarted = [n for n, r in self._runtimes.items() if not r.started]
         if unstarted:
             raise SimulationError(
                 f"{len(unstarted)} nodes never initialized within the horizon "
                 f"(first few: {unstarted[:5]}); extend the horizon"
             )
-
-    def _build_trace(self) -> ExecutionTrace:
-        self._check_all_started()
         metrics = self._metrics
         trace_started = time.perf_counter() if metrics is not None else 0.0
         # Per-node scheduled downtime overlapping the node's active window
@@ -739,36 +594,6 @@ class SimulationEngine:
             messages_lost_crash=self._messages_lost_crash,
             messages_duplicated=self._messages_duplicated,
             downtime=downtime,
-            metrics=metrics,
-            event_log=self._event_log,
-        )
-
-    def _build_streaming_result(self) -> StreamingResult:
-        self._check_all_started()
-        metrics = self._metrics
-        fold_started = time.perf_counter() if metrics is not None else 0.0
-        tracker = self._tracker
-        tracker.finalize()
-        if metrics is not None:
-            for node, runtime in self._runtimes.items():
-                metrics.checkpoints_by_node[node] = runtime.record.checkpoint_count
-                metrics.breakpoints_by_node[node] = tracker.breakpoint_count(
-                    runtime.idx
-                )
-            metrics.phase_seconds["trace"] = time.perf_counter() - fold_started
-        return StreamingResult(
-            horizon=self.horizon,
-            global_skew=tracker.global_extremum(),
-            local_skew=tracker.local_extremum(),
-            final_spread=tracker.final_spread,
-            total_messages=sum(self._messages_sent.values()),
-            total_bits=sum(self._bits_sent.values()),
-            events_processed=self._events_processed,
-            messages_dropped=self._messages_dropped,
-            messages_lost_link=self._messages_lost_link,
-            messages_lost_crash=self._messages_lost_crash,
-            messages_duplicated=self._messages_duplicated,
-            probes=self._probes,
             metrics=metrics,
             event_log=self._event_log,
         )

@@ -17,12 +17,17 @@ from repro.core.params import SyncParams
 from repro.faults.schedule import FaultSchedule
 from repro.sim.delays import ConstantDelay, DelayModel
 from repro.sim.drift import ConstantDrift, DriftModel
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import SimulationEngine, StreamingResult
 from repro.sim.monitors import EnvelopeMonitor, MonotonicityMonitor, RateBoundMonitor
 from repro.sim.trace import ExecutionTrace
 from repro.topology.generators import Topology
 
-__all__ = ["run_execution", "simulate_aopt", "default_monitors"]
+__all__ = [
+    "run_execution",
+    "run_execution_streaming",
+    "simulate_aopt",
+    "default_monitors",
+]
 
 NodeId = Hashable
 
@@ -48,12 +53,15 @@ def run_execution(
     faults: Optional[FaultSchedule] = None,
     collect_metrics: bool = False,
     record_events: bool = False,
+    trace_node_cap: Optional[int] = None,
 ) -> ExecutionTrace:
     """Build a :class:`SimulationEngine`, run it, and return the trace.
 
     ``collect_metrics``/``record_events`` opt in to the observability
     layer (see :mod:`repro.obs`): run metrics and the structured event
-    log land on the returned trace.
+    log land on the returned trace.  Networks above ``trace_node_cap``
+    nodes are refused (a trace stores every clock breakpoint); use
+    :func:`run_execution_streaming` at that scale.
     """
     engine = SimulationEngine(
         topology=topology,
@@ -67,8 +75,44 @@ def run_execution(
         faults=faults,
         collect_metrics=collect_metrics,
         record_events=record_events,
+        trace_node_cap=trace_node_cap,
     )
     return engine.run()
+
+
+def run_execution_streaming(
+    topology: Topology,
+    algorithm: Algorithm,
+    drift_model: DriftModel,
+    delay_model: DelayModel,
+    horizon: float,
+    initiators: Optional[Iterable[NodeId]] = None,
+    monitors: Sequence = (),
+    faults: Optional[FaultSchedule] = None,
+    collect_metrics: bool = False,
+    record_events: bool = False,
+) -> StreamingResult:
+    """Run with ``record_trace=False``: fold exact skews in O(nodes) memory.
+
+    Returns a :class:`~repro.sim.engine.StreamingResult` whose extrema
+    are bit-identical to what trace evaluation would produce (the
+    engine-parity suite enforces this); intended for networks too large
+    to hold a full breakpoint trace.
+    """
+    engine = SimulationEngine(
+        topology=topology,
+        algorithm=algorithm,
+        drift_model=drift_model,
+        delay_model=delay_model,
+        horizon=horizon,
+        initiators=initiators,
+        monitors=monitors,
+        faults=faults,
+        collect_metrics=collect_metrics,
+        record_events=record_events,
+        record_trace=False,
+    )
+    return engine.run_streaming()
 
 
 def simulate_aopt(

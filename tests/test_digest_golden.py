@@ -37,7 +37,7 @@ pytestmark = pytest.mark.lint
 # Pinned 2026-08: recompute ONLY alongside a version bump (see module
 # docstring).
 GOLDEN_SPEC_DIGEST = (
-    "2cc30b0c058732c5209eb82ad626df5735c5c55d3d918a4c93bd0d307a0af614"
+    "f84ba8baee7fb3f3d2c94ac15e300adcc61dfc8d5b7eb44b5b6b9b58b48da09c"
 )
 GOLDEN_SCHEDULE_SHA = (
     "11187d97c081bb374892059e11aaac874125afabd9519e0d37bf8519fdd02021"
@@ -92,8 +92,23 @@ def test_fault_schedule_encoding_is_pinned():
 def test_version_constants_match_pins():
     # The goldens above were computed at these versions; a bump must
     # re-pin them together (the whole point of the failure messages).
-    assert SPEC_DIGEST_VERSION == 2
-    assert CACHE_VERSION == 3
+    assert SPEC_DIGEST_VERSION == 3
+    assert CACHE_VERSION == 4
+
+
+def test_record_trace_flips_the_digest():
+    # record_trace is execution-mode metadata, but it is deliberately part
+    # of the digest: keeping trace and streaming runs cache-separate means
+    # a parity regression can never be masked by a cache hit from the
+    # other mode (docs/ENGINE.md).
+    spec = _golden_spec()
+    streaming = spec.with_record_trace(False)
+    assert spec.digest() == GOLDEN_SPEC_DIGEST
+    assert streaming.digest() != GOLDEN_SPEC_DIGEST
+    # with_record_trace is an identity when the mode already matches, and
+    # a round trip restores the original digest.
+    assert spec.with_record_trace(True) is spec
+    assert streaming.with_record_trace(True).digest() == GOLDEN_SPEC_DIGEST
 
 
 def test_label_stays_out_of_the_digest():

@@ -1,0 +1,320 @@
+"""Property suite: the streaming skew fold equals exact trace evaluation.
+
+:class:`~repro.sim.monitors.StreamingSkewTracker` claims bit-identical
+results to :meth:`ExecutionTrace.global_skew` / :meth:`local_skew` /
+:meth:`spread_at` while holding O(nodes + edges) state.  These tests
+drive the tracker directly — no engine — over randomized piecewise-linear
+clock ensembles (random drift schedules, random rate-multiplier
+checkpoints, jumps, staggered starts) and compare every folded quantity
+against a freshly built :class:`ExecutionTrace` oracle over *separate but
+identically constructed* records (the tracker is run with ``prune=True``,
+so its own records are progressively consumed).
+
+Equality is exact (``==`` on floats, never ``pytest.approx``): both paths
+must evaluate the same point set in the same order with the same
+arithmetic, which is the engine-parity contract (docs/ENGINE.md).
+
+The dedup regression from PR 3 — a logical checkpoint landing exactly on
+a hardware rate breakpoint is ONE linearity breakpoint, not two — gets a
+deterministic case plus property coverage (checkpoint times are drawn
+from a grid that overlaps the drift breakpoint grid).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clock import HardwareClock
+from repro.sim.monitors import StreamingSkewTracker
+from repro.sim.rates import PiecewiseConstantRate
+from repro.sim.trace import ExecutionTrace, LogicalClockRecord
+from repro.topology.generators import line
+
+pytestmark = pytest.mark.parity
+
+HORIZON = 50.0
+
+
+def _build_ensemble(seed: int, n_nodes: int):
+    """Deterministic random clock ensemble: per-node rate schedules,
+    start times, and sorted mutation events ``(t, kind, payload)``.
+
+    Mutation times are drawn from a 0.5-step grid and hardware breakpoints
+    from a 2.5-step grid, so checkpoint-meets-rate-change collisions occur
+    routinely — the dedup path is exercised, not just possible.
+    """
+    rng = random.Random(f"monitors-streaming:{seed}")
+    ensemble = []
+    for i in range(n_nodes):
+        bp_count = rng.randrange(0, 5)
+        bps = sorted(
+            rng.sample([2.5 * k for k in range(1, 20)], bp_count)
+        )
+        rates = [rng.uniform(0.9, 1.1) for _ in range(bp_count + 1)]
+        start = 0.0 if i == 0 or rng.random() < 0.5 else round(
+            rng.uniform(0.5, HORIZON / 4), 1
+        )
+        events = []
+        n_events = rng.randrange(0, 8)
+        times = sorted(
+            t
+            for t in rng.sample([0.5 * k for k in range(1, 100)], n_events)
+            if t > start
+        )
+        for t in times:
+            if rng.random() < 0.25:
+                events.append((t, "jump", rng.uniform(0.0, 0.5)))
+            else:
+                events.append((t, "checkpoint", rng.uniform(1.0, 1.2)))
+        ensemble.append(
+            {"bps": [0.0] + bps, "rates": rates, "start": start, "events": events}
+        )
+    return ensemble
+
+
+def _make_record(node_cfg):
+    clock = HardwareClock(
+        PiecewiseConstantRate(node_cfg["bps"], node_cfg["rates"]),
+        start_time=node_cfg["start"],
+    )
+    return clock, LogicalClockRecord(clock)
+
+
+def _drive_tracker(ensemble, topology, **tracker_kwargs):
+    """Replay the ensemble through a tracker exactly as the engine would:
+    advance to each event time first, then mutate, then note."""
+    nodes = list(topology.nodes)
+    tracker = StreamingSkewTracker(
+        nodes, list(topology.edges()), HORIZON, **tracker_kwargs
+    )
+    clocks = [_make_record(cfg) for cfg in ensemble]
+    timeline = []
+    for idx, cfg in enumerate(ensemble):
+        timeline.append((cfg["start"], idx, ("start", None)))
+        for t, kind, payload in cfg["events"]:
+            timeline.append((t, idx, (kind, payload)))
+    timeline.sort(key=lambda item: (item[0], item[1]))
+    for t, idx, (kind, payload) in timeline:
+        tracker.advance(t)
+        clock, record = clocks[idx]
+        if kind == "start":
+            tracker.note_start(idx, record, clock)
+        elif kind == "checkpoint":
+            record.checkpoint(t, payload)
+            tracker.note_checkpoint(idx, t)
+        else:  # jump
+            record.jump(t, record.value(t) + payload)
+            tracker.note_checkpoint(idx, t)
+    tracker.finalize()
+    return tracker
+
+
+def _build_oracle_trace(ensemble, topology) -> ExecutionTrace:
+    """An identical, *unpruned* ensemble wrapped as a trace for the oracle."""
+    nodes = list(topology.nodes)
+    logical, hardware = {}, {}
+    for idx, cfg in enumerate(ensemble):
+        clock, record = _make_record(cfg)
+        for t, kind, payload in cfg["events"]:
+            if kind == "checkpoint":
+                record.checkpoint(t, payload)
+            else:
+                record.jump(t, record.value(t) + payload)
+        logical[nodes[idx]] = record
+        hardware[nodes[idx]] = clock
+    return ExecutionTrace(
+        topology=topology,
+        horizon=HORIZON,
+        logical=logical,
+        hardware=hardware,
+        start_times={nodes[i]: cfg["start"] for i, cfg in enumerate(ensemble)},
+        messages_sent={},
+        messages_received={},
+        bits_sent={},
+    )
+
+
+class TestFoldEqualsTraceEvaluation:
+    @given(seed=st.integers(0, 10_000), n_nodes=st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_global_and_local_extrema_bit_identical(self, seed, n_nodes):
+        ensemble = _build_ensemble(seed, n_nodes)
+        topology = line(n_nodes)
+        tracker = _drive_tracker(ensemble, topology, prune=True)
+        trace = _build_oracle_trace(ensemble, topology)
+
+        folded_g = tracker.global_extremum()
+        exact_g = trace.global_skew()
+        assert (folded_g.value, folded_g.time) == (exact_g.value, exact_g.time)
+        assert (folded_g.node_a, folded_g.node_b) == (
+            exact_g.node_a, exact_g.node_b,
+        )
+
+        folded_l = tracker.local_extremum()
+        exact_l = trace.local_skew()
+        assert (folded_l.value, folded_l.time) == (exact_l.value, exact_l.time)
+        assert (folded_l.node_a, folded_l.node_b) == (
+            exact_l.node_a, exact_l.node_b,
+        )
+
+        assert tracker.final_spread == trace.spread_at(HORIZON)
+
+    @given(seed=st.integers(0, 10_000), n_nodes=st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_breakpoint_counts_match_trace_breakpoints(self, seed, n_nodes):
+        ensemble = _build_ensemble(seed, n_nodes)
+        topology = line(n_nodes)
+        tracker = _drive_tracker(ensemble, topology, prune=True)
+        trace = _build_oracle_trace(ensemble, topology)
+        for idx, node in enumerate(topology.nodes):
+            record = trace.logical[node]
+            expected = len(record.breakpoints_in(record.start_time, HORIZON))
+            assert tracker.breakpoint_count(idx) == expected, (
+                f"node {node}: folded {tracker.breakpoint_count(idx)} "
+                f"breakpoints, trace has {expected}"
+            )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pruning_does_not_change_results(self, seed):
+        ensemble = _build_ensemble(seed, 4)
+        topology = line(4)
+        pruned = _drive_tracker(ensemble, topology, prune=True)
+        unpruned = _drive_tracker(ensemble, topology, prune=False)
+        assert pruned.global_extremum() == unpruned.global_extremum()
+        assert pruned.local_extremum() == unpruned.local_extremum()
+        assert pruned.final_spread == unpruned.final_spread
+
+
+class TestFirstViolation:
+    def _global_oracle(self, trace, bound):
+        """Replicate the fold order: ascending union points, right values
+        then left values, first instant with spread strictly above bound."""
+        points = {0.0, HORIZON}
+        for rec in trace.logical.values():
+            points.update(rec.breakpoints_in(0.0, HORIZON))
+        nodes = list(trace.logical)
+        for t in sorted(points):
+            for left in (False, True):
+                values = [
+                    trace.logical[n].value_left(t) if left
+                    else trace.logical[n].value(t)
+                    for n in nodes
+                ]
+                spread = max(values) - min(values)
+                if spread > bound:
+                    return (t, spread)
+        return None
+
+    @given(seed=st.integers(0, 10_000), fraction=st.sampled_from([0.3, 0.6, 0.9]))
+    @settings(max_examples=25, deadline=None)
+    def test_first_global_violation_matches_oracle(self, seed, fraction):
+        ensemble = _build_ensemble(seed, 4)
+        topology = line(4)
+        baseline = _drive_tracker(ensemble, topology)
+        bound = baseline.global_extremum().value * fraction
+        tracker = _drive_tracker(ensemble, topology, global_bound=bound)
+        trace = _build_oracle_trace(ensemble, topology)
+        assert tracker.first_global_violation == self._global_oracle(
+            trace, bound
+        )
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_first_local_violation_time_is_earliest(self, seed):
+        ensemble = _build_ensemble(seed, 4)
+        topology = line(4)
+        baseline = _drive_tracker(ensemble, topology)
+        bound = baseline.local_extremum().value * 0.5
+        if bound <= 0.0:
+            return  # degenerate draw: clocks never diverge
+        tracker = _drive_tracker(ensemble, topology, local_bound=bound)
+        trace = _build_oracle_trace(ensemble, topology)
+        # Oracle: each edge's earliest exceeding instant over the *pair's
+        # own* evaluation points; overall first violation time is their
+        # minimum (which edge reports it can depend on fold order, so
+        # only time and exceedance are asserted).
+        earliest = None
+        for a, b in topology.edges():
+            for t in trace._pair_eval_points(a, b, 0.0, HORIZON):
+                exceeded = any(
+                    abs(
+                        (trace.logical[a].value_left(t) if left
+                         else trace.logical[a].value(t))
+                        - (trace.logical[b].value_left(t) if left
+                           else trace.logical[b].value(t))
+                    ) > bound
+                    for left in (False, True)
+                )
+                if exceeded:
+                    if earliest is None or t < earliest:
+                        earliest = t
+                    break
+        assert tracker.first_local_violation is not None
+        t, magnitude, edge = tracker.first_local_violation
+        assert t == earliest
+        assert magnitude > bound
+        assert edge in tracker.edges
+
+
+class TestCheckpointMeetsRateChange:
+    """The PR 3 dedup case: a rate-rule update firing exactly at a drift
+    breakpoint is one linearity breakpoint, evaluated exactly once."""
+
+    def _colliding_ensemble(self):
+        return [
+            # Node 0: hardware bp at t=10 AND a checkpoint at t=10.
+            {
+                "bps": [0.0, 10.0],
+                "rates": [1.05, 0.95],
+                "start": 0.0,
+                "events": [(10.0, "checkpoint", 1.1)],
+            },
+            # Node 1: plain drift-free clock with one jump.
+            {
+                "bps": [0.0],
+                "rates": [1.0],
+                "start": 0.0,
+                "events": [(20.0, "jump", 0.25)],
+            },
+        ]
+
+    def test_collision_counts_once_and_extrema_match(self):
+        ensemble = self._colliding_ensemble()
+        topology = line(2)
+        tracker = _drive_tracker(ensemble, topology, prune=True)
+        trace = _build_oracle_trace(ensemble, topology)
+        record = trace.logical[0]
+        # breakpoints_in dedups the collision; the tracker must agree.
+        expected = len(record.breakpoints_in(0.0, HORIZON))
+        assert 10.0 in record.breakpoints_in(0.0, HORIZON)
+        assert tracker.breakpoint_count(0) == expected
+        exact = trace.global_skew()
+        folded = tracker.global_extremum()
+        assert (folded.value, folded.time) == (exact.value, exact.time)
+        assert tracker.final_spread == trace.spread_at(HORIZON)
+
+    def test_checkpoint_at_horizon_counts_but_folds_once(self):
+        ensemble = [
+            {
+                "bps": [0.0],
+                "rates": [1.02],
+                "start": 0.0,
+                "events": [(HORIZON, "checkpoint", 1.0)],
+            },
+            {"bps": [0.0], "rates": [0.98], "start": 0.0, "events": []},
+        ]
+        topology = line(2)
+        tracker = _drive_tracker(ensemble, topology)
+        trace = _build_oracle_trace(ensemble, topology)
+        record = trace.logical[0]
+        assert tracker.breakpoint_count(0) == len(
+            record.breakpoints_in(0.0, HORIZON)
+        )
+        exact = trace.global_skew()
+        folded = tracker.global_extremum()
+        assert (folded.value, folded.time) == (exact.value, exact.time)

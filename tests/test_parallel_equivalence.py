@@ -156,6 +156,24 @@ class TestParallelEquivalence:
                 dataclasses.replace(m.summary, run_metrics=None)
             )
 
+    def test_streaming_workers4_equals_workers1(self):
+        """record_trace=False inherits byte-identical parallelism: the
+        streaming fold runs inside each worker exactly as it does
+        serially, and summaries (including the streaming-mode digests)
+        pickle identically across worker counts."""
+        specs = [spec.with_record_trace(False) for spec in _case_grid()]
+        serial = SweepExecutor(workers=1).run(specs)
+        parallel = SweepExecutor(workers=4).run(specs)
+        assert all(outcome.ok for outcome in serial)
+        _assert_outcomes_byte_identical(serial, parallel)
+        # And streaming agrees with the trace path on the skew numbers
+        # (full byte-level parity is pinned in test_engine_parity.py).
+        traced = SweepExecutor(workers=1).run(_case_grid())
+        for t, s in zip(traced, serial):
+            assert t.summary.global_skew == s.summary.global_skew
+            assert t.summary.local_skew == s.summary.local_skew
+            assert t.summary.spec_digest != s.summary.spec_digest
+
     def test_equivalence_under_injected_worker_failure(self):
         specs = _case_grid()
         specs.insert(
