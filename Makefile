@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity perf-smoke lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend perf-smoke lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,13 @@ test-cert:
 test-parity:
 	$(PYTHON) -m pytest tests/ -m parity
 
+# The fault-tolerant campaign stack: retry/lease/manifest units plus the
+# SIGKILL chaos acceptance (docs/EXECUTION.md).  The explicit `-m backend`
+# overrides the tier-1 `-m "not slow"` default, so the slow chaos cases
+# run here too.
+test-backend:
+	$(PYTHON) -m pytest tests/test_backend.py tests/test_backend_chaos.py -m backend
+
 # Speedup floors vs the recorded seed baseline JSON (small + mid
 # workloads; the full curve runs under `make bench`).
 perf-smoke:
@@ -55,6 +62,9 @@ bench:
 
 # Quick end-to-end proof of the parallel sweep executor: a small diameter
 # grid through `python -m repro sweep` on every core, cache bypassed.
+# The final three commands are the campaign-resume smoke: a chaos run
+# that SIGKILLs every work-queue worker must exit non-zero and leave a
+# resumable manifest, and the `--resume` run must then complete clean.
 sweep-smoke: lint profile-smoke certify-smoke perf-smoke
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
 		--workers auto --no-cache --metrics table
@@ -62,6 +72,18 @@ sweep-smoke: lint profile-smoke certify-smoke perf-smoke
 		--workers auto --no-cache --streaming
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
 		--workers auto --no-cache
+	rm -rf /tmp/repro-smoke-queue /tmp/repro-smoke-manifest.json
+	! $(PYTHON) -m repro sweep --topology line --diameters 2 4 \
+		--workers 2 --no-cache --backend work-queue \
+		--queue-dir /tmp/repro-smoke-queue \
+		--manifest /tmp/repro-smoke-manifest.json \
+		--chaos-kill 1.0 --no-respawn
+	$(PYTHON) -m repro sweep --topology line --diameters 2 4 \
+		--workers 2 --no-cache --backend work-queue \
+		--queue-dir /tmp/repro-smoke-queue \
+		--resume /tmp/repro-smoke-manifest.json --max-retries 2 \
+		--metrics table
+	rm -rf /tmp/repro-smoke-queue /tmp/repro-smoke-manifest.json
 
 # Quick end-to-end proof of the telemetry layer: profile one small spec
 # suite and print the hot-spec / hot-phase ranking.
@@ -85,7 +107,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: lint test test-parity perf-smoke certify-smoke bench
+check: lint test test-parity test-backend perf-smoke certify-smoke bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

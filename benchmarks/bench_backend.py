@@ -1,0 +1,99 @@
+"""E29 — campaign backend overhead: serial vs process-pool vs work-queue.
+
+Not a paper claim — a harness property the execution layer promises
+(``docs/EXECUTION.md``): every backend produces byte-identical summaries,
+so the only thing a backend choice buys or costs is dispatch overhead.
+These benchmarks pin that overhead side by side on a fixed small batch —
+the work-queue backend pays for spec/result files, lease arbitration,
+and worker spawning, which is the price of surviving SIGKILLed workers.
+A regression that drags queue bookkeeping into the per-spec path shows
+up as a diverging group.
+"""
+
+import pickle
+import shutil
+import tempfile
+
+import pytest
+
+from benchmarks.conftest import bench_workers, run_once
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.exec import ExecutionSpec, SweepExecutor
+from repro.exec.backend import WorkQueueBackend
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.topology.generators import line
+
+EPSILON = 0.05
+DELAY = 1.0
+HORIZON = 30.0
+N_SPECS = 8
+
+PARAMS = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+
+
+def batch():
+    return [
+        ExecutionSpec(
+            line(4),
+            AoptAlgorithm(PARAMS),
+            TwoGroupDrift(EPSILON, [0, 1]),
+            ConstantDelay(DELAY),
+            HORIZON,
+            seed=i,
+            label=f"bench-backend-{i}",
+        )
+        for i in range(N_SPECS)
+    ]
+
+
+def run_with(backend):
+    executor = SweepExecutor(workers=bench_workers(), backend=backend)
+    summaries = executor.run_summaries(batch())
+    return summaries, executor.last_metrics
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    summaries, _ = run_with("serial")
+    return pickle.dumps(summaries)
+
+
+@pytest.mark.benchmark(group="E29-backend-overhead")
+def test_serial_backend(benchmark, serial_baseline):
+    summaries, metrics = run_once(benchmark, lambda: run_with("serial"))
+    assert pickle.dumps(summaries) == serial_baseline
+    benchmark.extra_info["specs"] = N_SPECS
+    benchmark.extra_info["executed"] = metrics.executed
+
+
+@pytest.mark.benchmark(group="E29-backend-overhead")
+def test_process_pool_backend(benchmark, serial_baseline):
+    summaries, metrics = run_once(benchmark, lambda: run_with("process-pool"))
+    assert pickle.dumps(summaries) == serial_baseline
+    benchmark.extra_info["specs"] = N_SPECS
+    benchmark.extra_info["executed"] = metrics.executed
+
+
+@pytest.mark.benchmark(group="E29-backend-overhead")
+def test_work_queue_backend(benchmark, serial_baseline):
+    # A fresh queue directory per timed round: reusing one would serve
+    # results straight off disk and measure nothing but file reads.
+    dirs = []
+
+    def run():
+        queue_dir = tempfile.mkdtemp(prefix="repro-bench-queue-")
+        dirs.append(queue_dir)
+        return run_with(WorkQueueBackend(queue_dir, workers=bench_workers()))
+
+    try:
+        summaries, metrics = run_once(benchmark, run)
+        assert pickle.dumps(summaries) == serial_baseline
+        assert metrics.lease_reclaims == 0
+        assert metrics.unfinished == 0
+        benchmark.extra_info["specs"] = N_SPECS
+        benchmark.extra_info["attempts"] = metrics.attempts
+    finally:
+        for queue_dir in dirs:
+            shutil.rmtree(queue_dir, ignore_errors=True)

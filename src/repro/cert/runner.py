@@ -43,6 +43,7 @@ from repro.cert.certificates import (
 from repro.cert.fuzzer import generate_scenarios
 from repro.cert.scenario import CertScenario
 from repro.cert.shrink import shrink_scenario
+from repro.exec.manifest import CampaignManifest
 from repro.exec.pool import SweepExecutor
 
 __all__ = ["CertificateStats", "CertificationReport", "certify"]
@@ -111,6 +112,7 @@ class CertificationReport:
     constructions: List[Dict[str, object]]
     errors: List[Dict[str, object]]
     duration_seconds: float
+    unfinished: int = 0
 
     @property
     def clean(self) -> bool:
@@ -120,6 +122,16 @@ class CertificationReport:
             and not self.errors
             and all(c["satisfied"] for c in self.constructions)
         )
+
+    @property
+    def complete(self) -> bool:
+        """Every fuzzed scenario actually ran (or was quarantined).
+
+        An interrupted campaign — workers lost faster than the backend
+        could replace them — leaves specs unfinished; those scenarios
+        were never checked, so the campaign must not certify.
+        """
+        return self.unfinished == 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -131,6 +143,8 @@ class CertificationReport:
             "include_faults": self.include_faults,
             "certificates": list(self.certificates),
             "clean": self.clean,
+            "complete": self.complete,
+            "unfinished": self.unfinished,
             "stats": [
                 self.stats[name].as_dict() for name in sorted(self.stats)
             ],
@@ -188,8 +202,20 @@ class CertificationReport:
                 path = violation.get("artifact_path")
                 if path:
                     lines.append(f"    repro artifact: {path}")
+        if self.unfinished:
+            lines.append("")
+            lines.append(
+                f"INCOMPLETE campaign: {self.unfinished} scenario(s) "
+                "unchecked; resume with --resume MANIFEST"
+            )
         lines.append("")
-        lines.append("RESULT: " + ("CERTIFIED" if self.clean else "VIOLATIONS FOUND"))
+        if not self.clean:
+            result = "VIOLATIONS FOUND"
+        elif not self.complete:
+            result = "INCOMPLETE"
+        else:
+            result = "CERTIFIED"
+        lines.append("RESULT: " + result)
         return "\n".join(lines)
 
 
@@ -217,6 +243,8 @@ def certify(
     max_shrink_evals: int = 160,
     artifact_dir: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
+    manifest_path: Optional[str] = None,
+    resume: bool = False,
 ) -> CertificationReport:
     """Run a certification campaign; see the module docstring for phases.
 
@@ -224,6 +252,15 @@ def certify(
     catalog).  Construction certificates in the selection run once with
     the campaign's ε = 0.05, T = 1.0 reference parameters; execution
     certificates are checked against every fuzzed scenario they govern.
+
+    ``manifest_path`` makes the campaign resumable: a
+    :class:`~repro.exec.manifest.CampaignManifest` over every fuzzed
+    spec is kept up to date on disk as batches complete.  With
+    ``resume=True`` an existing manifest at that path is loaded first,
+    so completed digests are served from the result cache (or the
+    work-queue results store) and quarantined ones are skipped — the
+    scenario stream itself is a pure function of ``seed``/``budget``,
+    which is what makes the digests line up across invocations.
     """
     started = time.monotonic()
     selected = resolve_certificates(theorems)
@@ -237,18 +274,43 @@ def certify(
             seed, budget, algorithm=algorithm, include_faults=include_faults
         )
     )
+    specs = [scenario.build_spec() for scenario in scenarios]
+    manifest = None
+    if manifest_path is not None:
+        if resume and os.path.exists(manifest_path):
+            manifest = CampaignManifest.load(manifest_path)
+            for spec in specs:
+                manifest.ensure(spec.digest(), spec.label)
+        else:
+            manifest = CampaignManifest.for_specs(
+                specs,
+                meta={
+                    "command": "certify",
+                    "seed": seed,
+                    "budget": budget,
+                    "algorithm": algorithm,
+                    "include_faults": include_faults,
+                },
+                path=manifest_path,
+            )
+            manifest.save()
     stats = {c.name: CertificateStats(c.name) for c in execution}
     first_violation: Dict[str, Tuple[CertScenario, CertificateVerdict]] = {}
     errors: List[Dict[str, object]] = []
     scenarios_run = 0
+    unfinished = 0
 
     for start in range(0, len(scenarios), _BATCH):
         if budget_seconds is not None and time.monotonic() - started > budget_seconds:
             break
         batch = scenarios[start : start + _BATCH]
-        outcomes = executor.run([s.build_spec() for s in batch])
-        for offset, outcome in enumerate(outcomes):
-            scenario = batch[offset]
+        outcomes = executor.run(specs[start : start + _BATCH], manifest=manifest)
+        # An interrupted backend (chaos, lost workers) returns only the
+        # outcomes it finished; the gap is unchecked work, not success.
+        unfinished += len(batch) - len(outcomes)
+        for outcome in outcomes:
+            scenario = batch[outcome.index]
+            offset = outcome.index
             scenarios_run += 1
             if not outcome.ok:
                 errors.append(
@@ -321,4 +383,5 @@ def certify(
         constructions=constructions,
         errors=errors,
         duration_seconds=time.monotonic() - started,
+        unfinished=unfinished,
     )

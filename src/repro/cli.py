@@ -40,8 +40,16 @@ Commands
 
 ``sweep`` and ``faults`` accept ``--metrics json|table`` to report the
 batch's :class:`~repro.obs.metrics.SweepMetrics` (cache hit-rate,
-per-spec wall time, utilization); ``sweep --cache-stats`` additionally
-surfaces on-disk cache state including orphaned temp files.
+per-spec wall time, utilization, attempt/retry/timeout and lease-reclaim
+counters); ``sweep --cache-stats`` additionally surfaces on-disk cache
+state including orphaned temp files.
+
+``sweep`` and ``certify`` are fault-tolerant campaigns: ``--backend
+work-queue --queue-dir DIR`` drains specs through lease-arbitrated
+work-queue workers (survives SIGKILL; multiple hosts can share DIR),
+``--max-retries``/``--spec-timeout`` bound per-spec attempts, and
+``--manifest PATH`` / ``--resume PATH`` record and resume campaign
+progress (see ``docs/EXECUTION.md``).
 ``lower-bound global``
     Replay the Theorem 7.2 execution against A^opt.
 ``lower-bound local``
@@ -261,6 +269,71 @@ def _executor_options(args):
     return workers, cache
 
 
+def _campaign_options(args, workers):
+    """Resolve ``--backend``/``--max-retries``/``--spec-timeout``/chaos flags.
+
+    Returns ``(backend, retry)`` ready for :class:`SweepExecutor`.
+    Raises :class:`~repro.errors.ConfigurationError` on bad combinations
+    (e.g. ``--backend work-queue`` without ``--queue-dir``).
+    """
+    from repro.exec.backend import DEFAULT_LEASE_TTL, ChaosConfig, resolve_backend
+    from repro.exec.retry import RetryPolicy
+
+    chaos = None
+    kill = getattr(args, "chaos_kill", 0.0) or 0.0
+    no_respawn = bool(getattr(args, "no_respawn", False))
+    if kill > 0.0 or no_respawn:
+        chaos = ChaosConfig(kill_fraction=kill, respawn=not no_respawn)
+    backend = resolve_backend(
+        getattr(args, "backend", None),
+        queue_dir=getattr(args, "queue_dir", None),
+        workers=workers,
+        lease_ttl=getattr(args, "lease_ttl", None) or DEFAULT_LEASE_TTL,
+        chaos=chaos,
+    )
+    retry = None
+    if getattr(args, "max_retries", 0) or getattr(args, "spec_timeout", None):
+        retry = RetryPolicy(
+            max_retries=getattr(args, "max_retries", 0) or 0,
+            timeout=getattr(args, "spec_timeout", None),
+        )
+    return backend, retry
+
+
+def _campaign_manifest(args, specs, meta):
+    """Build or load the campaign manifest for ``--manifest``/``--resume``.
+
+    ``--resume`` loads an existing manifest (warning when its digest set
+    does not match the rebuilt campaign — typically a changed CLI flag);
+    ``--manifest`` starts a fresh one.  Returns ``None`` when neither
+    flag was given.
+    """
+    from repro.exec.manifest import CampaignManifest
+
+    resume_path = getattr(args, "resume", None)
+    if resume_path:
+        manifest = CampaignManifest.load(resume_path)
+        known = set(manifest.digests())
+        digests = {spec.digest() for spec in specs}
+        if digests != known:
+            print(
+                "warning: --resume manifest does not match this campaign "
+                f"({len(digests - known)} new spec(s), "
+                f"{len(known - digests)} no longer requested); "
+                "check that the CLI flags match the original run",
+                file=sys.stderr,
+            )
+        for spec in specs:
+            manifest.ensure(spec.digest(), spec.label)
+        return manifest
+    manifest_path = getattr(args, "manifest", None)
+    if manifest_path:
+        manifest = CampaignManifest.for_specs(specs, meta=meta, path=manifest_path)
+        manifest.save()
+        return manifest
+    return None
+
+
 def _print_sweep_metrics(metrics, outcomes, fmt: str) -> None:
     """Print a :class:`~repro.obs.metrics.SweepMetrics` as JSON or tables."""
     if metrics is None:
@@ -420,12 +493,29 @@ def _cmd_sweep(args) -> int:
         batches.append((actual_d, specs))
         all_specs.extend(specs)
 
+    from repro.errors import ReproError
+
+    try:
+        backend, retry = _campaign_options(args, workers)
+        manifest = _campaign_manifest(
+            args, all_specs,
+            meta={
+                "command": "sweep",
+                "topology": args.topology,
+                "algorithm": algorithm_name,
+                "diameters": list(args.diameters),
+            },
+        )
+    except ReproError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+
     started = time.perf_counter()
     executor = SweepExecutor(
         workers=workers, cache=cache, timeout=args.timeout,
-        collect_metrics=bool(args.metrics),
+        collect_metrics=bool(args.metrics), backend=backend, retry=retry,
     )
-    outcomes = executor.run(all_specs)
+    outcomes = executor.run(all_specs, manifest=manifest)
     elapsed = time.perf_counter() - started
 
     from repro.exec.summary import to_suite_result
@@ -433,13 +523,20 @@ def _cmd_sweep(args) -> int:
     # Failed / quarantined / timed-out specs are surfaced instead of
     # aborting: the rest of the grid still reports, the failures are
     # listed by digest (stable across relabeling), and the exit code
-    # flags the run.
+    # flags the run.  An interrupted work-queue campaign may also leave
+    # specs *unfinished* — reported separately, resumable via --resume.
     failed = [outcome for outcome in outcomes if not outcome.ok]
+    by_index = {outcome.index: outcome for outcome in outcomes}
+    unfinished = len(all_specs) - len(outcomes)
 
-    rows, ok = [], not failed
+    rows, ok = [], not failed and not unfinished
     cursor = 0
     for actual_d, specs in batches:
-        batch = outcomes[cursor:cursor + len(specs)]
+        batch = [
+            by_index[i]
+            for i in range(cursor, cursor + len(specs))
+            if i in by_index
+        ]
         cursor += len(specs)
         result = to_suite_result(
             [outcome.summary for outcome in batch if outcome.ok]
@@ -499,6 +596,16 @@ def _cmd_sweep(args) -> int:
             print(
                 f"  [{outcome.spec.digest()[:12]}] {label}: {outcome.error}"
             )
+    if unfinished:
+        where = (
+            manifest.path
+            if manifest is not None and manifest.path
+            else "<manifest>"
+        )
+        print(
+            f"INCOMPLETE campaign: {unfinished} of {len(all_specs)} specs "
+            f"unfinished; resume with --resume {where}"
+        )
     return 0 if ok else 1
 
 
@@ -690,6 +797,7 @@ def _cmd_faults(args) -> int:
 
 def _cmd_profile(args) -> int:
     # Lazy import: repro.obs.profile pulls in the exec layer.
+    from repro.exec.retry import RetryPolicy
     from repro.obs.profile import profile_specs
 
     params = _build_params(args)
@@ -702,7 +810,13 @@ def _cmd_profile(args) -> int:
         params,
         horizon=args.horizon,
     )
-    report = profile_specs(specs)
+    retry = None
+    if getattr(args, "max_retries", 0) or getattr(args, "spec_timeout", None):
+        retry = RetryPolicy(
+            max_retries=getattr(args, "max_retries", 0) or 0,
+            timeout=getattr(args, "spec_timeout", None),
+        )
+    report = profile_specs(specs, retry=retry)
     if args.format == "json":
         import json
 
@@ -737,6 +851,10 @@ def _cmd_profile(args) -> int:
     ]
     print(format_table(["counter", "total"], counter_rows,
                        title="counter totals"))
+    print(
+        f"campaign: attempts {report.attempts}  retries {report.retries}  "
+        f"timeouts {report.timeouts}"
+    )
     return 0
 
 
@@ -833,7 +951,14 @@ def _cmd_certify(args) -> int:
         return 2
 
     workers, cache = _executor_options(args)
-    executor = SweepExecutor(workers=workers, cache=cache)
+    try:
+        backend, retry = _campaign_options(args, workers)
+    except ReproError as exc:
+        print(f"repro certify: {exc}", file=sys.stderr)
+        return 2
+    executor = SweepExecutor(
+        workers=workers, cache=cache, backend=backend, retry=retry
+    )
 
     try:
         if args.replay is not None:
@@ -873,6 +998,8 @@ def _cmd_certify(args) -> int:
             shrink=not args.no_shrink,
             artifact_dir=args.artifact_dir,
             executor=executor,
+            manifest_path=args.resume or args.manifest,
+            resume=bool(args.resume),
         )
     except ReproError as exc:
         print(f"repro certify: {exc}", file=sys.stderr)
@@ -881,7 +1008,7 @@ def _cmd_certify(args) -> int:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
         print(report.format_text())
-    return 0 if report.clean else 1
+    return 0 if report.clean and report.complete else 1
 
 
 def _cmd_report(args) -> int:
@@ -961,6 +1088,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="collect engine/sweep metrics and report them "
                             "in the given format (see docs/OBSERVABILITY.md)")
 
+    def add_retry_arguments(p):
+        p.add_argument("--max-retries", dest="max_retries", type=int,
+                       default=0, metavar="N",
+                       help="re-run a failed spec up to N times with "
+                            "deterministic exponential backoff before "
+                            "quarantining it (default 0 = fail fast)")
+        p.add_argument("--spec-timeout", dest="spec_timeout", type=float,
+                       default=None, metavar="SECONDS",
+                       help="per-attempt wall-clock budget; an attempt that "
+                            "exceeds it counts as a failure (and hence "
+                            "against --max-retries)")
+
+    def add_campaign_arguments(p):
+        add_retry_arguments(p)
+        p.add_argument("--backend",
+                       choices=["auto", "serial", "process-pool", "work-queue"],
+                       default=None,
+                       help="execution backend (default auto: serial at "
+                            "--workers 1, process pool otherwise; work-queue "
+                            "needs --queue-dir; see docs/EXECUTION.md)")
+        p.add_argument("--queue-dir", dest="queue_dir", default=None,
+                       metavar="DIR",
+                       help="work-queue directory (shared filesystem) for "
+                            "--backend work-queue; multiple hosts pointing "
+                            "at the same DIR drain one campaign")
+        p.add_argument("--lease-ttl", dest="lease_ttl", type=float,
+                       default=None, metavar="SECONDS",
+                       help="work-queue lease time-to-live; leases idle "
+                            "longer than this are reclaimed from dead "
+                            "workers (default 5)")
+        p.add_argument("--manifest", default=None, metavar="PATH",
+                       help="write a resumable campaign manifest (canonical "
+                            "JSON progress record) to PATH")
+        p.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume the campaign recorded in an existing "
+                            "manifest: done specs replay from cache, "
+                            "quarantined specs are skipped")
+        p.add_argument("--chaos-kill", dest="chaos_kill", type=float,
+                       default=0.0, metavar="FRACTION",
+                       help="fault-injection harness: SIGKILL this fraction "
+                            "of work-queue workers mid-campaign (testing "
+                            "only)")
+        p.add_argument("--no-respawn", dest="no_respawn", action="store_true",
+                       help="with --chaos-kill: do not respawn killed "
+                            "workers, leaving the campaign incomplete "
+                            "(exercises --resume)")
+
     bounds_parser = subparsers.add_parser(
         "bounds", help="print the closed-form bounds"
     )
@@ -1016,6 +1190,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-execution timeout in seconds (parallel runs only)"
     )
     add_executor_arguments(sweep_parser)
+    add_campaign_arguments(sweep_parser)
     add_metrics_argument(sweep_parser)
     sweep_parser.add_argument(
         "--cache-stats", dest="cache_stats", action="store_true",
@@ -1090,6 +1265,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.add_argument(
         "--format", choices=["json", "table"], default="table"
     )
+    add_retry_arguments(profile_parser)
     profile_parser.set_defaults(handler=_cmd_profile)
 
     lower_parser = subparsers.add_parser(
@@ -1204,6 +1380,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "json"], default="text"
     )
     add_executor_arguments(certify_parser)
+    add_campaign_arguments(certify_parser)
     certify_parser.set_defaults(handler=_cmd_certify)
 
     report_parser = subparsers.add_parser(

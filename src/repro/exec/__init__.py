@@ -9,6 +9,13 @@ The sweep stack decouples *describing* an execution from *running* it:
   batches serially (``workers=1``, in-process, debuggable) or across a
   crash-isolated process pool (``workers=N|'auto'``) with byte-identical
   results;
+* :mod:`repro.exec.backend` — the execution backends behind the
+  executor: serial, process-pool, and the lease-arbitrated
+  :class:`WorkQueueBackend` for crash-survivable campaigns;
+* :mod:`repro.exec.retry` — :class:`RetryPolicy`, bounded retries with
+  per-attempt timeouts and digest-keyed deterministic backoff jitter;
+* :mod:`repro.exec.manifest` — :class:`CampaignManifest`, the canonical
+  atomically-written progress record behind ``--resume``;
 * :mod:`repro.exec.cache` — :class:`ResultCache`, a digest-keyed on-disk
   store with versioned invalidation;
 * :mod:`repro.exec.summary` — :class:`ExecutionSummary`, the picklable
@@ -19,8 +26,26 @@ The experiment harnesses (:func:`repro.analysis.experiments.run_adversary_suite`
 and the CLI ``sweep``/``suite`` commands all route through this package.
 """
 
+from repro.exec.backend import (
+    Backend,
+    ChaosConfig,
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkQueue,
+    WorkQueueBackend,
+    drain_queue,
+    filesystem_now,
+    resolve_backend,
+)
 from repro.exec.cache import CACHE_VERSION, ResultCache, default_cache_root
+from repro.exec.manifest import MANIFEST_VERSION, CampaignManifest, ManifestEntry
 from repro.exec.pool import SweepExecutor, SweepOutcome, resolve_workers
+from repro.exec.retry import (
+    RetryOutcome,
+    RetryPolicy,
+    SpecTimeoutError,
+    run_with_retry,
+)
 from repro.exec.spec import SPEC_DIGEST_VERSION, ExecutionSpec, canonical_encoding
 from repro.exec.summary import (
     ExecutionSummary,
@@ -45,4 +70,20 @@ __all__ = [
     "default_cache_root",
     "SPEC_DIGEST_VERSION",
     "CACHE_VERSION",
+    "Backend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "WorkQueueBackend",
+    "WorkQueue",
+    "ChaosConfig",
+    "drain_queue",
+    "filesystem_now",
+    "resolve_backend",
+    "RetryPolicy",
+    "RetryOutcome",
+    "SpecTimeoutError",
+    "run_with_retry",
+    "CampaignManifest",
+    "ManifestEntry",
+    "MANIFEST_VERSION",
 ]

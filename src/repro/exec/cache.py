@@ -78,7 +78,13 @@ class ResultCache:
         return self.root / digest[:2] / f"{digest}.pkl"
 
     def get(self, digest: str) -> Optional[ExecutionSummary]:
-        """The stored summary for ``digest``, or None on any miss/corruption."""
+        """The stored summary for ``digest``, or None on any miss/corruption.
+
+        A truncated, unpicklable, or mis-keyed entry is *quarantined* —
+        renamed to ``<entry>.corrupt`` — so the poisoned bytes never get
+        re-read on the next lookup and remain on disk for post-mortem.
+        The lookup itself still reports a clean miss.
+        """
         path = self.path_for(digest)
         try:
             with open(path, "rb") as handle:
@@ -88,6 +94,7 @@ class ResultCache:
             return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             self.corrupt += 1
+            self._quarantine(path)
             return None
         summary = entry.get("summary") if isinstance(entry, dict) else None
         if (
@@ -97,12 +104,28 @@ class ResultCache:
             or not isinstance(summary, ExecutionSummary)
         ):
             self.corrupt += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return summary
 
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Rename a corrupt entry to ``*.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass
+
     def put(self, digest: str, summary: ExecutionSummary) -> None:
-        """Store ``summary`` atomically (tmp file + rename)."""
+        """Store ``summary`` atomically (tmp file + fsync + rename).
+
+        The fsync-before-rename matters for crash survival: without it a
+        power loss (or an unflushed page cache on a killed host) can
+        leave the *renamed* file truncated — exactly the corruption
+        :meth:`get` then has to quarantine.  Durable-then-visible means
+        a visible entry is always complete.
+        """
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"version": CACHE_VERSION, "digest": digest, "summary": summary}
@@ -110,6 +133,8 @@ class ResultCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -44,7 +44,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import SimulationError
+from repro.exec.backend import Backend, resolve_backend
 from repro.exec.cache import ResultCache
+from repro.exec.retry import RetryPolicy, run_with_retry
 from repro.exec.spec import ExecutionSpec
 from repro.exec.summary import ExecutionSummary
 from repro.obs.metrics import SweepMetrics
@@ -67,8 +69,10 @@ class SweepOutcome:
     """Result slot for one spec: a summary, or an error string.
 
     ``seconds`` is the worker-measured wall time of the execution itself
-    (0.0 for cache hits and undispatchable specs) — observability data,
-    deliberately excluded from the summary so results stay deterministic.
+    (0.0 for cache hits and undispatchable specs) and ``attempts`` the
+    number of execution attempts made (0 for cache hits) — observability
+    data, deliberately excluded from the summary so results stay
+    deterministic.
     """
 
     index: int
@@ -77,6 +81,7 @@ class SweepOutcome:
     error: Optional[str] = None
     cached: bool = False
     seconds: float = 0.0
+    attempts: int = 0
 
     @property
     def ok(self) -> bool:
@@ -88,22 +93,33 @@ def _format_error(exc: BaseException) -> str:
 
 
 def _run_spec_guarded(
-    spec: ExecutionSpec, collect_metrics: bool = False
-) -> Tuple[Optional[ExecutionSummary], Optional[str], float]:
-    """Run one spec, trapping Python-level failures (shared by both paths)."""
-    started = time.perf_counter()
-    try:
-        summary = spec.run_summary(collect_metrics=collect_metrics)
-        return summary, None, time.perf_counter() - started
-    except Exception as exc:  # noqa: BLE001 — failure isolation by design
-        return None, _format_error(exc), time.perf_counter() - started
+    spec: ExecutionSpec,
+    collect_metrics: bool = False,
+    retry: Optional[RetryPolicy] = None,
+) -> Tuple[Optional[ExecutionSummary], Optional[str], float, int, int]:
+    """Run one spec under the retry policy, trapping Python-level failures.
+
+    Shared by the serial path and the pool workers.  Returns
+    ``(summary, error, seconds, attempts, timeouts)``; with ``retry=None``
+    this is exactly the historical single-attempt behavior.
+    """
+    outcome = run_with_retry(spec, policy=retry, collect_metrics=collect_metrics)
+    return (
+        outcome.result,
+        outcome.error,
+        outcome.seconds,
+        outcome.attempts,
+        outcome.timeouts,
+    )
 
 
 def _run_chunk(
-    specs: Sequence[ExecutionSpec], collect_metrics: bool = False
-) -> List[Tuple[Optional[ExecutionSummary], Optional[str], float]]:
+    specs: Sequence[ExecutionSpec],
+    collect_metrics: bool = False,
+    retry: Optional[RetryPolicy] = None,
+) -> List[Tuple[Optional[ExecutionSummary], Optional[str], float, int, int]]:
     """Worker entry point: run a chunk of specs, never raising."""
-    return [_run_spec_guarded(spec, collect_metrics) for spec in specs]
+    return [_run_spec_guarded(spec, collect_metrics, retry) for spec in specs]
 
 
 class SweepExecutor:
@@ -134,10 +150,21 @@ class SweepExecutor:
         the deterministic counters (``summary.run_metrics``).  Metrics-on
         summaries are cached under a distinct key (digest + ``"-obs"``)
         so a metrics-off hit is never served where counters are expected.
+    backend:
+        How pending specs execute: a
+        :class:`~repro.exec.backend.Backend` instance, a name
+        (``'auto'``, ``'serial'``, ``'process-pool'``, ``'work-queue'``),
+        or ``None`` for the historical auto behavior (serial at
+        ``workers=1``, else the process pool).
+    retry:
+        Optional :class:`~repro.exec.retry.RetryPolicy` applied to every
+        execution attempt on every backend; ``None`` keeps the
+        historical single-attempt, no-deadline behavior.
 
     After each :meth:`run`, :attr:`last_metrics` holds the batch's
     :class:`~repro.obs.metrics.SweepMetrics` — cache hit/miss/corrupt
-    counts, per-spec wall time, utilization, quarantine accounting.
+    counts, per-spec wall time, utilization, attempt/retry/timeout and
+    lease-reclaim counters, quarantine accounting.
     """
 
     def __init__(
@@ -149,6 +176,8 @@ class SweepExecutor:
         max_crash_retries: int = 2,
         mp_context=None,
         collect_metrics: bool = False,
+        backend: Union[Backend, str, None] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.workers = resolve_workers(workers)
         if timeout is not None and timeout <= 0:
@@ -161,7 +190,12 @@ class SweepExecutor:
         self.max_crash_retries = max_crash_retries
         self.mp_context = mp_context
         self.collect_metrics = collect_metrics
+        self.backend = resolve_backend(backend) if not isinstance(
+            backend, Backend
+        ) else backend
+        self.retry = retry
         self.last_metrics: Optional[SweepMetrics] = None
+        self._manifest = None
 
     # -- public API ------------------------------------------------------------
 
@@ -169,15 +203,28 @@ class SweepExecutor:
         """Digest-derived cache key; metrics-on results key separately."""
         return spec.digest() + ("-obs" if self.collect_metrics else "")
 
-    def run(self, specs: Sequence[ExecutionSpec]) -> List[SweepOutcome]:
+    def run(
+        self,
+        specs: Sequence[ExecutionSpec],
+        manifest=None,
+    ) -> List[SweepOutcome]:
         """Run every spec; outcomes are returned in input order.
 
-        Batch accounting lands on :attr:`last_metrics`.
+        Batch accounting lands on :attr:`last_metrics`.  When a
+        :class:`~repro.exec.manifest.CampaignManifest` is passed, every
+        spec's progress is mirrored into it (and saved, if it has a
+        path): cache hits and successes become ``done``, failures become
+        ``quarantined``, and specs already ``quarantined`` in the
+        manifest are *not* re-run — they report their quarantine as the
+        error.  Specs the backend could not finish (an interrupted
+        work-queue campaign) are omitted from the returned list and stay
+        ``pending``/``leased`` in the manifest for ``--resume``.
         """
         started = time.perf_counter()
         specs = list(specs)
         metrics = SweepMetrics(total_specs=len(specs), workers=self.workers)
         self.last_metrics = metrics
+        self._manifest = manifest
         cache = self.cache
         before = (
             (cache.hits, cache.misses, cache.corrupt)
@@ -186,34 +233,74 @@ class SweepExecutor:
         )
         outcomes: List[Optional[SweepOutcome]] = [None] * len(specs)
         pending: List[int] = []
-        for index, spec in enumerate(specs):
-            hit = cache.get(self._cache_key(spec)) if cache is not None else None
-            if hit is not None:
-                outcomes[index] = SweepOutcome(index, spec, hit, cached=True)
-            else:
+        try:
+            for index, spec in enumerate(specs):
+                hit = (
+                    cache.get(self._cache_key(spec))
+                    if cache is not None
+                    else None
+                )
+                if hit is not None:
+                    outcomes[index] = SweepOutcome(index, spec, hit, cached=True)
+                    if manifest is not None:
+                        manifest.mark(
+                            spec.digest(), "done", label=spec.label
+                        )
+                    continue
+                if (
+                    manifest is not None
+                    and manifest.state(spec.digest()) == "quarantined"
+                ):
+                    attempts = manifest.attempts(spec.digest())
+                    outcomes[index] = SweepOutcome(
+                        index,
+                        spec,
+                        None,
+                        error=(
+                            "quarantined by campaign manifest "
+                            f"(after {attempts} attempts)"
+                        ),
+                        attempts=attempts,
+                    )
+                    continue
                 pending.append(index)
-        if cache is not None:
-            metrics.cache_hits = cache.hits - before[0]
-            metrics.cache_misses = cache.misses - before[1]
-            metrics.cache_corrupt = cache.corrupt - before[2]
-        if pending:
-            if self.workers == 1:
-                self._run_serial(specs, pending, outcomes)
-            else:
-                self._run_parallel(specs, pending, outcomes)
-        results = [outcome for outcome in outcomes if outcome is not None]
-        for outcome in results:
-            if not outcome.cached:
-                metrics.executed += 1
-                metrics.per_spec_seconds[outcome.index] = outcome.seconds
-            if not outcome.ok:
-                metrics.failed += 1
-        metrics.wall_seconds = time.perf_counter() - started
-        return results
+            if cache is not None:
+                metrics.cache_hits = cache.hits - before[0]
+                metrics.cache_misses = cache.misses - before[1]
+                metrics.cache_corrupt = cache.corrupt - before[2]
+            if pending:
+                self.backend.execute(self, specs, pending, outcomes)
+            dispatched = set(pending)
+            results = [outcome for outcome in outcomes if outcome is not None]
+            for outcome in results:
+                # Manifest-quarantined specs are reported without being
+                # dispatched; only dispatched specs count as executed.
+                if not outcome.cached and outcome.index in dispatched:
+                    metrics.executed += 1
+                    metrics.per_spec_seconds[outcome.index] = outcome.seconds
+                if not outcome.ok:
+                    metrics.failed += 1
+            metrics.unfinished = len(specs) - len(results)
+            metrics.wall_seconds = time.perf_counter() - started
+            if manifest is not None and manifest.path is not None:
+                manifest.save()
+            return results
+        finally:
+            self._manifest = None
 
-    def run_summaries(self, specs: Sequence[ExecutionSpec]) -> List[ExecutionSummary]:
+    def run_summaries(
+        self,
+        specs: Sequence[ExecutionSpec],
+        manifest=None,
+    ) -> List[ExecutionSummary]:
         """Like :meth:`run`, but raise on the first failed spec."""
-        outcomes = self.run(specs)
+        outcomes = self.run(specs, manifest=manifest)
+        if len(outcomes) != len(specs):
+            raise SimulationError(
+                f"campaign incomplete: {len(specs) - len(outcomes)} of "
+                f"{len(specs)} specs unfinished (resume via the campaign "
+                "manifest)"
+            )
         for outcome in outcomes:
             if not outcome.ok:
                 raise SimulationError(
@@ -233,10 +320,24 @@ class SweepExecutor:
         summary: Optional[ExecutionSummary],
         error: Optional[str],
         seconds: float = 0.0,
+        attempts: int = 1,
+        timeouts: int = 0,
     ) -> None:
-        outcomes[index] = SweepOutcome(index, spec, summary, error, seconds=seconds)
+        outcomes[index] = SweepOutcome(
+            index, spec, summary, error, seconds=seconds, attempts=attempts
+        )
+        metrics = self.last_metrics
+        if metrics is not None:
+            metrics.attempts += attempts
+            metrics.retries += max(0, attempts - 1)
+            metrics.timeouts += timeouts
         if error is None and summary is not None and self.cache is not None:
             self.cache.put(self._cache_key(spec), summary)
+        if self._manifest is not None:
+            state = "done" if error is None and summary is not None else "quarantined"
+            self._manifest.mark(
+                spec.digest(), state, attempts=attempts, label=spec.label
+            )
 
     def _run_serial(
         self,
@@ -245,10 +346,13 @@ class SweepExecutor:
         outcomes: List[Optional[SweepOutcome]],
     ) -> None:
         for index in pending:
-            summary, error, seconds = _run_spec_guarded(
-                specs[index], self.collect_metrics
+            summary, error, seconds, attempts, timeouts = _run_spec_guarded(
+                specs[index], self.collect_metrics, self.retry
             )
-            self._finish(outcomes, index, specs[index], summary, error, seconds)
+            self._finish(
+                outcomes, index, specs[index], summary, error, seconds,
+                attempts=attempts, timeouts=timeouts,
+            )
 
     # -- parallel path ---------------------------------------------------------
 
@@ -267,6 +371,7 @@ class SweepExecutor:
                 self._finish(
                     outcomes, index, specs[index], None,
                     f"spec not picklable for worker dispatch ({_format_error(exc)})",
+                    attempts=0,
                 )
                 if metrics is not None:
                     metrics.note("unpicklable")
@@ -288,6 +393,7 @@ class SweepExecutor:
                     self._finish(
                         outcomes, i, specs[i], None,
                         f"worker process crashed (after {attempts[cid]} attempts)",
+                        attempts=attempts[cid],
                     )
                 if metrics is not None:
                     metrics.note("crash-failed", len(chunks[cid]))
@@ -315,6 +421,7 @@ class SweepExecutor:
                             _run_chunk,
                             [specs[i] for i in chunks[cid]],
                             self.collect_metrics,
+                            self.retry,
                         )
                 except (BrokenProcessPool, RuntimeError):
                     # Pool died during submission: count a breakage against
@@ -340,6 +447,7 @@ class SweepExecutor:
                                 outcomes, i, specs[i], None,
                                 f"timed out after {budget:.3g}s "
                                 f"({self.timeout:.3g}s/spec)",
+                                timeouts=1,
                             )
                         if metrics is not None:
                             metrics.note("timeout", len(members))
@@ -358,9 +466,21 @@ class SweepExecutor:
                             self._finish(outcomes, i, specs[i], None, _format_error(exc))
                         del chunks[cid]
                         continue
-                    for i, (summary, error, seconds) in zip(members, results):
-                        self._finish(outcomes, i, specs[i], summary, error, seconds)
+                    for i, (summary, error, seconds, tries, timeouts) in zip(
+                        members, results
+                    ):
+                        self._finish(
+                            outcomes, i, specs[i], summary, error, seconds,
+                            attempts=tries, timeouts=timeouts,
+                        )
                     del chunks[cid]
+            except BaseException:
+                # KeyboardInterrupt (or any non-Exception) while futures
+                # are in flight: a graceful shutdown would block waiting
+                # on running workers — hard-terminate instead so no child
+                # processes outlive the sweep.
+                rebuild = True
+                raise
             finally:
                 if rebuild:
                     self._terminate_pool(pool)

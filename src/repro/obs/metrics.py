@@ -10,7 +10,8 @@ measures:
   engine performs one ``is None`` check per event and nothing else.
 * :class:`SweepMetrics` — one :class:`~repro.exec.pool.SweepExecutor`
   batch: cache hit/miss/corrupt counts, per-spec wall time, worker
-  utilization, and quarantine accounting.
+  utilization, attempt/retry/timeout and lease-reclaim counters, and
+  quarantine accounting.
 
 Determinism contract
 --------------------
@@ -162,6 +163,19 @@ class SweepMetrics:
     #: Quarantine/failure accounting: reason → count (``pool-breakage``,
     #: ``isolated-retry``, ``crash-failed``, ``timeout``, ``unpicklable``).
     quarantine: Dict[str, int] = field(default_factory=dict)
+    #: Total execution attempts across all specs (a clean batch with no
+    #: retry policy shows one per executed spec).
+    attempts: int = 0
+    #: Attempts beyond each spec's first (``attempts - specs`` retried).
+    retries: int = 0
+    #: Attempts killed by the retry policy's per-attempt wall-clock
+    #: budget, plus chunk-budget expiries on the pool path.
+    timeouts: int = 0
+    #: Stale work-queue leases reclaimed from dead workers.
+    lease_reclaims: int = 0
+    #: Specs the backend could not finish this run (interrupted
+    #: work-queue campaigns; resumable via the manifest).
+    unfinished: int = 0
 
     # -- derived ------------------------------------------------------------
 
@@ -194,6 +208,11 @@ class SweepMetrics:
             "hit_rate": self.hit_rate(),
             "executed": self.executed,
             "failed": self.failed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "lease_reclaims": self.lease_reclaims,
+            "unfinished": self.unfinished,
             "wall_seconds": self.wall_seconds,
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization(),
@@ -218,6 +237,11 @@ class SweepMetrics:
             ["cache hit-rate", f"{self.hit_rate():.1%}"],
             ["executed", self.executed],
             ["failed", self.failed],
+            ["attempts", self.attempts],
+            ["retries", self.retries],
+            ["timeouts", self.timeouts],
+            ["lease reclaims", self.lease_reclaims],
+            ["unfinished", self.unfinished],
             ["wall s", f"{self.wall_seconds:.3f}"],
             ["worker busy s", f"{self.busy_seconds:.3f}"],
             ["utilization", f"{self.utilization():.1%}"],

@@ -14,10 +14,11 @@ result cache: the point is to measure real execution, not replay it.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.errors import SimulationError
+from repro.exec.retry import RetryPolicy, run_with_retry
 from repro.exec.summary import ExecutionSummary, summarize_trace
 from repro.obs.metrics import RunMetrics
 
@@ -53,9 +54,17 @@ class SpecProfile:
 
 @dataclass
 class ProfileReport:
-    """Aggregated view over a batch of :class:`SpecProfile` results."""
+    """Aggregated view over a batch of :class:`SpecProfile` results.
+
+    ``attempts``/``retries``/``timeouts`` mirror the campaign counters in
+    :class:`~repro.obs.metrics.SweepMetrics`: with no retry policy they
+    read one attempt per spec and zeros elsewhere.
+    """
 
     specs: List[SpecProfile]
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -94,31 +103,58 @@ class ProfileReport:
             "specs": [profile.as_dict() for profile in self.hot_specs()],
             "phase_totals": self.phase_totals(),
             "counter_totals": self.counter_totals(),
+            "campaign": {
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+            },
         }
 
 
-def profile_specs(specs: Sequence[Any]) -> ProfileReport:
+def _profile_runner(spec) -> "tuple":
+    """One full worker-equivalent pass: run + trace + summary."""
+    trace, monitors = spec.run(collect_metrics=True)
+    summary = summarize_trace(
+        trace, digest=spec.digest(), label=spec.label, monitors=monitors
+    )
+    return trace, summary
+
+
+def profile_specs(
+    specs: Sequence[Any], retry: Optional[RetryPolicy] = None
+) -> ProfileReport:
     """Run every spec in-process with metrics enabled and time it.
 
     Each spec's wall time covers the full worker-equivalent path
     (engine construction, event loop, trace assembly, and summary
     skew evaluation), so ranking matches what a sweep would pay.
+    Execution goes through :func:`~repro.exec.retry.run_with_retry`, so
+    a ``retry`` policy behaves exactly as it would on a sweep backend —
+    the report's campaign counters show the attempts it cost.  A spec
+    that still fails after its budget raises.
     """
     profiles: List[SpecProfile] = []
+    attempts = retries = timeouts = 0
     for spec in specs:
-        started = time.perf_counter()
-        trace, monitors = spec.run(collect_metrics=True)
-        summary = summarize_trace(
-            trace, digest=spec.digest(), label=spec.label, monitors=monitors
-        )
-        seconds = time.perf_counter() - started
+        outcome = run_with_retry(spec, policy=retry, runner=_profile_runner)
+        attempts += outcome.attempts
+        retries += max(0, outcome.attempts - 1)
+        timeouts += outcome.timeouts
+        if not outcome.ok:
+            raise SimulationError(
+                f"profile spec {spec.label or spec.digest()[:12]} failed: "
+                f"{outcome.error}"
+            )
+        trace, summary = outcome.result
         profiles.append(
             SpecProfile(
                 label=spec.label or spec.digest()[:12],
                 digest=spec.digest(),
-                seconds=seconds,
+                seconds=outcome.seconds,
                 metrics=trace.metrics,
                 summary=summary,
             )
         )
-    return ProfileReport(specs=profiles)
+    return ProfileReport(
+        specs=profiles, attempts=attempts, retries=retries, timeouts=timeouts
+    )

@@ -1,0 +1,140 @@
+"""Chaos acceptance: a SIGKILL-riddled campaign converges byte-identically.
+
+The acceptance criterion for the fault-tolerant campaign stack
+(see docs/EXECUTION.md): a work-queue campaign of 200+ specs in which
+at least 30% of the workers are SIGKILLed mid-attempt must
+
+* converge to results byte-identical (pickled summaries) to a
+  fault-free serial run,
+* record every killed worker's stale lease as reclaimed,
+* keep every spec's total attempt count within the retry budget
+  (``max_retries + 1``), as witnessed by the campaign manifest, and
+* when respawning is disabled, leave a resumable manifest from which a
+  second invocation completes the campaign — still byte-identical.
+
+These spawn dozens of worker processes and run hundreds of simulations,
+so the module is marked ``slow`` and excluded from tier-1 runs
+(pyproject ``addopts``); run it via ``make test-backend`` or
+``pytest -m 'slow and backend'``.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.core.node import AoptAlgorithm
+from repro.core.params import SyncParams
+from repro.exec import ExecutionSpec, SweepExecutor
+from repro.exec.backend import ChaosConfig, WorkQueue, WorkQueueBackend
+from repro.exec.manifest import CampaignManifest
+from repro.exec.retry import RetryPolicy
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.topology.generators import line
+
+pytestmark = [pytest.mark.backend, pytest.mark.slow]
+
+PARAMS = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
+
+#: Campaign size for the acceptance run (the criterion demands >= 200).
+N_SPECS = 200
+WORKERS = 6
+#: ceil(0.34 * 6) = 3 of 6 workers are doomed — >= 30% killed.
+KILL_FRACTION = 0.34
+
+
+def _campaign_specs(count: int = N_SPECS):
+    return [
+        ExecutionSpec(
+            line(3), AoptAlgorithm(PARAMS),
+            TwoGroupDrift(0.05, [0]), ConstantDelay(1.0),
+            6.0, seed=i, label=f"chaos{i}",
+        )
+        for i in range(count)
+    ]
+
+
+def _assert_byte_identical(serial, other):
+    assert len(serial) == len(other)
+    for s, o in zip(serial, other):
+        assert s.index == o.index
+        assert s.error is None and o.error is None
+        assert pickle.dumps(s.summary) == pickle.dumps(o.summary), (
+            f"summary mismatch for {s.spec.label}"
+        )
+
+
+class TestChaosAcceptance:
+    def test_campaign_survives_worker_massacre(self, tmp_path):
+        specs = _campaign_specs()
+        serial = SweepExecutor(workers=1, backend="serial").run(specs)
+
+        doomed = math.ceil(KILL_FRACTION * WORKERS)
+        assert doomed / WORKERS >= 0.30
+
+        retry = RetryPolicy(max_retries=2, backoff_base=0.0, jitter=0.0)
+        chaos = ChaosConfig(
+            kill_fraction=KILL_FRACTION, kill_after=2, respawn=True
+        )
+        executor = SweepExecutor(
+            workers=WORKERS, retry=retry,
+            backend=WorkQueueBackend(
+                tmp_path / "q", lease_ttl=1.0, chaos=chaos
+            ),
+        )
+        manifest = CampaignManifest.for_specs(
+            specs, path=tmp_path / "manifest.json"
+        )
+        outcomes = executor.run(specs, manifest=manifest)
+
+        _assert_byte_identical(serial, outcomes)
+
+        # Each doomed worker died holding exactly one lease; every one of
+        # those leases must have been reclaimed by a survivor.
+        assert executor.last_metrics.lease_reclaims == doomed
+        assert WorkQueue(tmp_path / "q").reclaim_count() == doomed
+
+        final = CampaignManifest.load(tmp_path / "manifest.json")
+        assert final.complete
+        assert final.counts()["done"] == N_SPECS
+        for digest in final.digests():
+            assert final.attempts(digest) <= retry.attempts_allowed
+
+    def test_no_respawn_campaign_resumes_to_completion(self, tmp_path):
+        specs = _campaign_specs(60)
+        serial = SweepExecutor(workers=1, backend="serial").run(specs)
+        retry = RetryPolicy(max_retries=2, backoff_base=0.0, jitter=0.0)
+
+        # Every worker dies after its second claim and nothing respawns:
+        # the campaign halts early with most work still pending.
+        chaos = ChaosConfig(kill_fraction=1.0, kill_after=1, respawn=False)
+        manifest = CampaignManifest.for_specs(
+            specs, path=tmp_path / "manifest.json"
+        )
+        interrupted = SweepExecutor(
+            workers=3, retry=retry,
+            backend=WorkQueueBackend(
+                tmp_path / "q", lease_ttl=1.0, chaos=chaos
+            ),
+        ).run(specs, manifest=manifest)
+        assert len(interrupted) < len(specs)
+
+        partial = CampaignManifest.load(tmp_path / "manifest.json")
+        assert not partial.complete
+        assert partial.counts()["done"] == len(interrupted)
+
+        # Resume against the same queue directory: done work replays,
+        # the rest executes, and the result matches the serial baseline.
+        resumed = SweepExecutor(
+            workers=3, retry=retry,
+            backend=WorkQueueBackend(tmp_path / "q", lease_ttl=1.0),
+        ).run(specs, manifest=partial)
+        _assert_byte_identical(serial, resumed)
+
+        final = CampaignManifest.load(tmp_path / "manifest.json")
+        assert final.complete
+        for digest in final.digests():
+            assert final.attempts(digest) <= retry.attempts_allowed
