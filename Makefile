@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend perf-smoke lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend test-dynamic perf-smoke lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -47,6 +47,12 @@ test-parity:
 test-backend:
 	$(PYTHON) -m pytest tests/test_backend.py tests/test_backend_chaos.py -m backend
 
+# The dynamic-topology model end to end: schedule/engine/parity units,
+# the network-merge suite on TopologySchedule, and the E24/E30
+# merge-and-churn benchmarks (docs/DYNAMIC.md).
+test-dynamic:
+	$(PYTHON) -m pytest tests/ benchmarks/ -m dynamic
+
 # Speedup floors vs the recorded seed baseline JSON (small + mid
 # workloads; the full curve runs under `make bench`).
 perf-smoke:
@@ -70,6 +76,9 @@ sweep-smoke: lint profile-smoke certify-smoke perf-smoke
 		--workers auto --no-cache --metrics table
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
 		--workers auto --no-cache --streaming
+	$(PYTHON) -m repro sweep --topology line --diameters 3 \
+		--algorithm kllo-dynamic --churn 0.02 --churn-outage 3.0 \
+		--workers auto --no-cache
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
 		--workers auto --no-cache
 	rm -rf /tmp/repro-smoke-queue /tmp/repro-smoke-manifest.json
@@ -107,7 +116,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: lint test test-parity test-backend perf-smoke certify-smoke bench
+check: lint test test-parity test-backend test-dynamic perf-smoke certify-smoke bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

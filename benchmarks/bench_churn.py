@@ -1,0 +1,103 @@
+"""E30 — extension: sustained edge churn vs skew and re-stabilization.
+
+The dynamic-networks extension of the KLLO analysis promises graceful
+degradation: while edges flap, components can drift apart at up to
+``2ε``, but once the topology settles the spread re-converges to the
+static bound ``G``.  This benchmark drives ``kllo-dynamic`` over a line
+whose interior edges flap under :meth:`TopologySchedule.churn` at
+increasing rates (every outage of a line edge is a real partition) and
+reports the peak spread, the final spread, and the stabilization-monitor
+verdict from the spec-built monitor stack.
+
+Expected shape: the churn-free run brushes ``G``; churned runs overshoot
+``G`` while partitioned but end clean — zero stabilization violations at
+every rate, because every outage eventually heals and the settle bound
+(:func:`~repro.core.bounds.stabilization_settle_bound`) is honored.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import format_table
+from repro.core.bounds import global_skew_bound
+from repro.core.params import SyncParams
+from repro.exec.spec import ExecutionSpec
+from repro.sim.delays import ConstantDelay
+from repro.sim.drift import TwoGroupDrift
+from repro.topology.dynamic import TopologySchedule
+from repro.topology.generators import line
+from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
+
+pytestmark = pytest.mark.dynamic
+
+EPSILON = 0.05
+DELAY = 1.0
+N = 8
+HORIZON = 300.0
+MEAN_OUTAGE = 6.0
+CHURN_START = 40.0  # leave the initialization flood undisturbed
+
+
+@pytest.mark.benchmark(group="E30-churn")
+def test_churn_rate_vs_skew(benchmark, report):
+    params = SyncParams.recommended(epsilon=EPSILON, delay_bound=DELAY)
+    topology = line(N)
+    bound = global_skew_bound(params, N - 1)
+
+    def run_one(rate):
+        schedule = None
+        outages = 0
+        if rate is not None:
+            schedule = TopologySchedule.churn(
+                topology.edges(), rate, MEAN_OUTAGE, HORIZON,
+                start=CHURN_START, seed=3,
+            )
+            outages = len(schedule.edge_events) // 2
+        spec = ExecutionSpec(
+            topology=topology,
+            algorithm=KlloDynamicAlgorithm(params),
+            drift=TwoGroupDrift(EPSILON, fast_nodes=topology.nodes[: N // 2]),
+            delay=ConstantDelay(DELAY),
+            horizon=HORIZON,
+            check_invariants=True,
+            params=params,
+            topology_schedule=schedule,
+        )
+        summary = spec.run_summary()
+        stab = sum(
+            1 for v in summary.monitor_violations
+            if v.startswith("stabilization@")
+        )
+        return [
+            rate if rate is not None else 0.0,
+            outages,
+            summary.global_skew,
+            summary.final_spread,
+            stab,
+        ]
+
+    def experiment():
+        return [run_one(rate) for rate in (None, 0.002, 0.005, 0.01)]
+
+    rows = run_once(benchmark, experiment)
+    report(
+        f"E30 (extension): edge churn vs skew (kllo-dynamic, line of {N}, "
+        f"G={bound:.4f})",
+        format_table(
+            ["churn rate", "outages", "peak spread", "final spread",
+             "stabilization violations"],
+            rows,
+        ),
+    )
+    baseline = rows[0]
+    assert baseline[1] == 0
+    assert baseline[2] <= bound + 1e-7
+    # Partitions push the peak past the static bound; more churn, more
+    # outages to recover from.
+    outage_counts = [row[1] for row in rows[1:]]
+    assert all(count > 0 for count in outage_counts)
+    assert outage_counts == sorted(outage_counts)
+    assert max(row[2] for row in rows[1:]) > baseline[2]
+    # The re-stabilization claim: every run ends clean.
+    for row in rows:
+        assert row[4] == 0, f"stabilization violated at churn rate {row[0]}"

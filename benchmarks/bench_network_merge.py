@@ -1,12 +1,15 @@
 """E24 — extension: merging independently synchronized networks.
 
-Two halves of a line run as separate networks (the bridge link gated
-off); their maxima drift apart at ``2ε`` per unit time.  When the bridge
-activates, §4.2's first-message integration kicks in: the larger
-``L^max`` floods across, the slow half catches up at rate ``≈ μ``, and
-the merged system settles under the connected-graph bound.  The benchmark
-sweeps the join time (hence the accumulated divergence) and reports
-settle times against the ``gap/((1−ε)μ)`` prediction.
+Two halves of a line run as separate networks — the bridge edge is held
+out of the topology by a :class:`~repro.topology.dynamic.TopologySchedule`
+(``edge_appears`` at the join time), the first-class dynamic-graph model
+that replaced the old ``TimeGatedDelay`` message-dropping workaround.
+While separated, the halves' maxima drift apart at ``2ε`` per unit time.
+When the bridge appears, §4.2's first-message integration kicks in: the
+larger ``L^max`` floods across, the slow half catches up at rate
+``≈ μ``, and the merged system settles under the connected-graph bound.
+The benchmark sweeps the join time (hence the accumulated divergence)
+and reports settle times against the ``gap/((1−ε)μ)`` prediction.
 """
 
 import pytest
@@ -17,10 +20,13 @@ from repro.analysis.timeseries import convergence_time, spread_series
 from repro.core.bounds import global_skew_bound
 from repro.core.node import AoptAlgorithm
 from repro.core.params import SyncParams
-from repro.sim.delays import ConstantDelay, TimeGatedDelay
+from repro.sim.delays import ConstantDelay
 from repro.sim.drift import PerNodeDrift
 from repro.sim.engine import SimulationEngine
+from repro.topology.dynamic import TopologySchedule
 from repro.topology.generators import line
+
+pytestmark = pytest.mark.dynamic
 
 EPSILON = 0.05
 DELAY = 1.0
@@ -37,11 +43,11 @@ def test_merge_settle_time_vs_divergence(benchmark, report):
         drift = PerNodeDrift(
             EPSILON, {u: 1 + EPSILON for u in range(4)}, default=1 - EPSILON
         )
-        delay = TimeGatedDelay(ConstantDelay(DELAY), {BRIDGE: join_time})
+        schedule = TopologySchedule().edge_appears(*BRIDGE, at=join_time)
         horizon = join_time + 250.0
         engine = SimulationEngine(
-            line(N), AoptAlgorithm(params), drift, delay, horizon,
-            initiators=[0, 7],
+            line(N), AoptAlgorithm(params), drift, ConstantDelay(DELAY),
+            horizon, initiators=[0, 7], topology_schedule=schedule,
         )
         trace = engine.run()
         gap = trace.spread_at(join_time)
@@ -55,7 +61,8 @@ def test_merge_settle_time_vs_divergence(benchmark, report):
             gap, settle, t_join = run_one(join_time)
             predicted = gap / ((1 - EPSILON) * params.mu) + DELAY * N
             rows.append(
-                [t_join, gap, settle - t_join if settle else None, predicted]
+                [t_join, gap, settle - t_join if settle is not None else None,
+                 predicted]
             )
         return rows
 

@@ -20,6 +20,8 @@ Execution certificates (checked on every fuzzed run):
 ``cond1-envelope``       Condition (1): ``(1−ε)(t−t_v) ≤ L_v(t) ≤ (1+ε)t``
 ``cond2-rate-bounds``    Condition (2): logical rate in ``[α, β]``
 ``monotonicity``         logical clocks never run backwards
+``kllo-stabilization``   after the last topology change, spread ≤ ``G``
+                         once the settle bound elapses (KLLO-style claim)
 =====================  ==========================================================
 
 Construction certificates (self-contained lower-bound replays, run once
@@ -34,7 +36,14 @@ Applicability: a certificate *governs* the A^opt family algorithms whose
 guarantees it states (baselines make no such claims), and the skew bounds
 additionally assume the faultless model of Section 3 — under a fault
 schedule only the envelope/rate/monotonicity conditions remain claims
-(crashed nodes free-run at multiplier 1, which stays inside both).
+(crashed nodes free-run at multiplier 1, which stays inside both).  The
+same logic extends to dynamic topologies: under a
+:class:`~repro.topology.dynamic.TopologySchedule` the static skew bounds
+are vacuous (a partition drifts past ``G`` unavoidably), so skew
+certificates require ``dynamic_compatible`` executions, while
+``kllo-stabilization`` goes the other way — it *requires* a topology
+schedule, because its claim is about re-convergence after the last
+change.
 """
 
 from __future__ import annotations
@@ -68,9 +77,16 @@ __all__ = [
 TOLERANCE = 1e-7
 
 #: Algorithms whose guarantees the A^opt theorems state.  The planted
-#: broken variant claims the same guarantees (that is the point of the
-#: plant), so the certifier checks it against the same bounds.
-_AOPT_FAMILY = ("aopt", "aopt-jump", "aopt-ft", "aopt-broken-rate")
+#: broken variants claim the same guarantees (that is the point of the
+#: plants), so the certifier checks them against the same bounds.
+_AOPT_FAMILY = (
+    "aopt",
+    "aopt-jump",
+    "aopt-ft",
+    "aopt-broken-rate",
+    "kllo-dynamic",
+    "kllo-frozen",
+)
 
 _VIOLATION_TIME = re.compile(r"/t=([0-9eE+.-]+):")
 
@@ -120,16 +136,29 @@ class Certificate:
         claim: str,
         governs: Tuple[str, ...] = _AOPT_FAMILY,
         fault_compatible: bool = False,
+        dynamic_compatible: bool = False,
+        requires_dynamic: bool = False,
     ):
         self.name = name
         self.theorem = theorem
         self.claim = claim
         self.governs = tuple(governs)
         self.fault_compatible = fault_compatible
+        self.dynamic_compatible = dynamic_compatible
+        self.requires_dynamic = requires_dynamic
 
-    def applies_to(self, algorithm: str, has_faults: bool = False) -> bool:
+    def applies_to(
+        self,
+        algorithm: str,
+        has_faults: bool = False,
+        has_topology_schedule: bool = False,
+    ) -> bool:
         """Does this certificate's claim cover the given execution?"""
         if algorithm not in self.governs:
+            return False
+        if self.requires_dynamic and not has_topology_schedule:
+            return False
+        if has_topology_schedule and not self.dynamic_compatible:
             return False
         return self.fault_compatible or not has_faults
 
@@ -219,8 +248,27 @@ class MonitorCertificate(Certificate):
     get a numeric margin (positive excess = violation magnitude).
     """
 
-    def __init__(self, name, theorem, claim, monitor: str, trace_excess):
-        super().__init__(name, theorem, claim, fault_compatible=True)
+    def __init__(
+        self,
+        name,
+        theorem,
+        claim,
+        monitor: str,
+        trace_excess,
+        governs: Tuple[str, ...] = _AOPT_FAMILY,
+        fault_compatible: bool = True,
+        dynamic_compatible: bool = False,
+        requires_dynamic: bool = False,
+    ):
+        super().__init__(
+            name,
+            theorem,
+            claim,
+            governs=governs,
+            fault_compatible=fault_compatible,
+            dynamic_compatible=dynamic_compatible,
+            requires_dynamic=requires_dynamic,
+        )
         self.monitor = monitor
         self._trace_excess = trace_excess
 
@@ -273,6 +321,18 @@ def _rate_excess(trace: ExecutionTrace, params: SyncParams) -> float:
     from repro.analysis.metrics import check_rate_bounds
 
     return check_rate_bounds(trace, params.alpha, params.beta)
+
+
+def _stabilization_trace_excess(trace: ExecutionTrace, params: SyncParams) -> float:
+    # The settle deadline t_s depends on the topology schedule, which a
+    # bare trace does not carry — only the spec-attached online monitor
+    # knows it.  The summary path (which replays that monitor's recorded
+    # violations) is therefore authoritative for this certificate.
+    raise ConfigurationError(
+        "kllo-stabilization has no trace evaluation path; the settle "
+        "deadline lives in the spec's topology schedule, so use "
+        "check_summary on a monitored run"
+    )
 
 
 def _monotonicity_excess(trace: ExecutionTrace, params: SyncParams) -> float:
@@ -386,6 +446,7 @@ def _build_registry() -> Dict[str, Certificate]:
             "(1-eps)*(t - t_v) <= L_v(t) <= (1+eps)*t",
             monitor="envelope",
             trace_excess=_envelope_excess,
+            dynamic_compatible=True,
         ),
         MonitorCertificate(
             "cond2-rate-bounds",
@@ -393,6 +454,7 @@ def _build_registry() -> Dict[str, Certificate]:
             "logical rate in [alpha, beta] = [1-eps, (1+eps)(1+mu)]",
             monitor="rate-bounds",
             trace_excess=_rate_excess,
+            dynamic_compatible=True,
         ),
         MonitorCertificate(
             "monotonicity",
@@ -400,6 +462,22 @@ def _build_registry() -> Dict[str, Certificate]:
             "logical clocks never run backwards",
             monitor="monotonicity",
             trace_excess=_monotonicity_excess,
+            dynamic_compatible=True,
+        ),
+        MonitorCertificate(
+            "kllo-stabilization",
+            "KLLO stabilization (dynamic-networks extension)",
+            "after the last topology change, clock spread re-converges to "
+            "<= G within the settle bound",
+            monitor="stabilization",
+            trace_excess=_stabilization_trace_excess,
+            governs=("kllo-dynamic", "kllo-frozen"),
+            # The settle bound accounts for topology changes only — a
+            # crash recovering after t_s could fail the claim spuriously,
+            # so injected faults put a scenario outside it.
+            fault_compatible=False,
+            dynamic_compatible=True,
+            requires_dynamic=True,
         ),
         ConstructionCertificate(
             "thm-7.2-global-lower",

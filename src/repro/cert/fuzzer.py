@@ -20,6 +20,19 @@ horizons several multiples of the initialization flood.  Fault injection
 (when enabled) draws small crash/link-outage timelines; scenarios with
 faults are certified only against the fault-compatible certificates (see
 :meth:`~repro.cert.certificates.Certificate.applies_to`).
+
+Churn campaigns (``include_churn=True``) instead draw partition-then-
+merge timelines aimed at the ``kllo-stabilization`` certificate: the
+topology is restricted to line/ring (families with an analytically known
+balanced cut), drift to two-group aligned with that cut (the adversary
+that actually drives the components apart), and the partition duration
+is sized from the drift rate so the components separate by well over the
+static bound ``G`` before re-merging.  The horizon is then derived from
+:func:`~repro.core.bounds.stabilization_settle_bound` so every scenario
+runs comfortably past its own settle deadline ``t_s`` — a violation that
+exists is always observable.  Fault injection is disabled under churn:
+the settle bound only accounts for *topology* changes, so a crash
+recovering after ``t_s`` could fail the claim spuriously.
 """
 
 from __future__ import annotations
@@ -80,11 +93,62 @@ def _sample_faults(
     return tuple(crash_events), tuple(link_events)
 
 
+#: Churn campaigns skip ε = 0.02: the partition duration needed to
+#: separate components past the filter-sized gap scales as 1/ε, and the
+#: settle bound on top of that would make every scenario a marathon.
+_CHURN_EPSILONS = (0.05, 0.1)
+
+
+def _sample_churn(
+    rng: random.Random,
+    topology_kind: str,
+    nodes: int,
+    epsilon: float,
+    delay_bound: float,
+) -> Tuple[Tuple, Tuple, float]:
+    """Draw a partition-then-merge timeline plus a horizon that covers it.
+
+    The cut splits the node order at ``n // 2`` — exactly the fast/slow
+    boundary of the two-group drift the caller forces — so the components
+    genuinely diverge at rate ``2ε`` while separated.  The duration is
+    sized so the divergence clears the diameter-calibrated re-integration
+    window of the planted ``kllo-frozen`` variant with margin, which also
+    means it clears ``G`` (the window exceeds ``G``).
+    """
+    from repro.core.bounds import stabilization_settle_bound
+    from repro.core.params import SyncParams
+
+    params = SyncParams.recommended(epsilon, delay_bound)
+    half = nodes // 2
+    diameter = nodes - 1 if topology_kind == "line" else nodes // 2
+    window = (diameter + 2) * delay_bound + params.h0
+    at = round(rng.uniform(8.0, 20.0), 1)
+    duration = round(window / (2 * epsilon) * rng.uniform(1.15, 1.6), 1)
+    until = at + duration
+    edge_outages = [(half - 1, half, at, until)]
+    if topology_kind == "ring":
+        # A ring needs both cut edges removed to actually partition.
+        edge_outages.append((nodes - 1, 0, at, until))
+    node_absences = []
+    if rng.random() < 0.3:
+        # One mid-partition leave/rejoin exercises the §4.2 rejoin path
+        # without moving t_last past the merge.
+        node = rng.randrange(nodes)
+        leave_at = round(rng.uniform(0.3, 0.6) * until, 1)
+        absent_for = round(rng.uniform(3.0, 10.0) * params.h0, 1)
+        node_absences.append((node, leave_at, min(leave_at + absent_for, until)))
+    t_last = max([until] + [rejoin for _, _, rejoin in node_absences])
+    t_s = t_last + stabilization_settle_bound(params, diameter, t_last)
+    horizon = round(t_s + rng.uniform(20.0, 50.0), 1)
+    return tuple(edge_outages), tuple(node_absences), horizon
+
+
 def sample_scenario(
     seed: int,
     index: int,
     algorithm: str = "aopt",
     include_faults: bool = True,
+    include_churn: bool = False,
 ) -> CertScenario:
     """Draw scenario ``index`` of the ``seed`` campaign (pure function)."""
     rng = random.Random(f"cert:{seed}:{index}")
@@ -100,7 +164,20 @@ def sample_scenario(
     delay_kind = rng.choice(DELAY_KINDS)
     crash_events: Tuple = ()
     link_events: Tuple = ()
-    if include_faults and rng.random() < 0.4:
+    edge_outages: Tuple = ()
+    node_absences: Tuple = ()
+    if include_churn:
+        # Churn redraws the scenario shape (see module docstring): a
+        # cuttable family, the cut-aligned divergence adversary, no
+        # faults, and a horizon derived from the settle bound.
+        topology_kind = rng.choice(("line", "ring"))
+        nodes = rng.randrange(4, 11)
+        epsilon = rng.choice(_CHURN_EPSILONS)
+        drift_kind = "two-group"
+        edge_outages, node_absences, horizon = _sample_churn(
+            rng, topology_kind, nodes, epsilon, delay_bound
+        )
+    elif include_faults and rng.random() < 0.4:
         crash_events, link_events = _sample_faults(rng, nodes, horizon)
     return CertScenario(
         topology_kind=topology_kind,
@@ -114,6 +191,8 @@ def sample_scenario(
         delay_kind=delay_kind,
         crash_events=crash_events,
         link_events=link_events,
+        edge_outages=edge_outages,
+        node_absences=node_absences,
     )
 
 
@@ -122,9 +201,14 @@ def generate_scenarios(
     budget: int,
     algorithm: str = "aopt",
     include_faults: bool = True,
+    include_churn: bool = False,
 ) -> Iterator[CertScenario]:
     """The first ``budget`` scenarios of the ``seed`` campaign, in order."""
     for index in range(budget):
         yield sample_scenario(
-            seed, index, algorithm=algorithm, include_faults=include_faults
+            seed,
+            index,
+            algorithm=algorithm,
+            include_faults=include_faults,
+            include_churn=include_churn,
         )

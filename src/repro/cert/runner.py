@@ -106,6 +106,7 @@ class CertificationReport:
     budget: int
     scenarios_run: int
     include_faults: bool
+    include_churn: bool
     certificates: Tuple[str, ...]
     stats: Dict[str, CertificateStats]
     violations: List[Dict[str, object]]
@@ -141,6 +142,7 @@ class CertificationReport:
             "budget": self.budget,
             "scenarios_run": self.scenarios_run,
             "include_faults": self.include_faults,
+            "include_churn": self.include_churn,
             "certificates": list(self.certificates),
             "clean": self.clean,
             "complete": self.complete,
@@ -158,7 +160,8 @@ class CertificationReport:
         lines = [
             f"certification: algorithm={self.algorithm} seed={self.seed} "
             f"scenarios={self.scenarios_run}/{self.budget} "
-            f"faults={'on' if self.include_faults else 'off'}",
+            f"faults={'on' if self.include_faults else 'off'} "
+            f"churn={'on' if self.include_churn else 'off'}",
             "",
             f"{'certificate':<24} {'checks':>6} {'viols':>5}  margin min/p50/p95",
         ]
@@ -239,6 +242,7 @@ def certify(
     seed: int = 0,
     algorithm: str = "aopt",
     include_faults: bool = True,
+    include_churn: bool = False,
     shrink: bool = True,
     max_shrink_evals: int = 160,
     artifact_dir: Optional[str] = None,
@@ -252,6 +256,11 @@ def certify(
     catalog).  Construction certificates in the selection run once with
     the campaign's ε = 0.05, T = 1.0 reference parameters; execution
     certificates are checked against every fuzzed scenario they govern.
+
+    ``include_churn`` switches the fuzzer to partition-then-merge
+    dynamic-topology scenarios (see :mod:`repro.cert.fuzzer`); the
+    ``kllo-stabilization`` certificate only ever applies there, and the
+    static skew bounds drop out (they are vacuous under churn).
 
     ``manifest_path`` makes the campaign resumable: a
     :class:`~repro.exec.manifest.CampaignManifest` over every fuzzed
@@ -271,7 +280,11 @@ def certify(
 
     scenarios = list(
         generate_scenarios(
-            seed, budget, algorithm=algorithm, include_faults=include_faults
+            seed,
+            budget,
+            algorithm=algorithm,
+            include_faults=include_faults,
+            include_churn=include_churn,
         )
     )
     specs = [scenario.build_spec() for scenario in scenarios]
@@ -290,6 +303,7 @@ def certify(
                     "budget": budget,
                     "algorithm": algorithm,
                     "include_faults": include_faults,
+                    "include_churn": include_churn,
                 },
                 path=manifest_path,
             )
@@ -321,7 +335,11 @@ def certify(
             params = scenario.build_params()
             diameter = scenario.diameter()
             for certificate in execution:
-                if not certificate.applies_to(algorithm, scenario.has_faults):
+                if not certificate.applies_to(
+                    algorithm,
+                    scenario.has_faults,
+                    scenario.has_topology_schedule,
+                ):
                     continue
                 verdict = certificate.check_summary(outcome.summary, params, diameter)
                 stats[certificate.name].record(verdict)
@@ -377,6 +395,7 @@ def certify(
         budget=budget,
         scenarios_run=scenarios_run,
         include_faults=include_faults,
+        include_churn=include_churn,
         certificates=tuple(c.name for c in selected),
         stats=stats,
         violations=violations,

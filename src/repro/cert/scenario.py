@@ -15,6 +15,12 @@ field is a number, a short string, or a tuple of those — so that
   nodes — events whose indices fall outside the shrunk topology are
   dropped deterministically at build time.
 
+Dynamic-topology events (``edge_outages``, ``node_absences``) follow the
+same index-based convention and compile to a
+:class:`~repro.topology.dynamic.TopologySchedule`; each tuple is
+self-contained (one outage interval), so the churn shrink pass can drop
+them individually without orphaning a reappear event.
+
 :meth:`CertScenario.build_spec` compiles a scenario to a fully concrete
 ``ExecutionSpec`` (with ``check_invariants=True`` so the envelope/rate/
 monotonicity monitors ride along); everything downstream — digesting,
@@ -61,6 +67,10 @@ __all__ = [
 CrashEvent = Tuple[int, float, Optional[float]]
 #: ``(u_index, v_index, down_at, up_at_or_None)``
 LinkEvent = Tuple[int, int, float, Optional[float]]
+#: ``(u_index, v_index, disappear_at, reappear_at_or_None)``
+EdgeOutage = Tuple[int, int, float, Optional[float]]
+#: ``(node_index, leave_at, rejoin_at_or_None)``
+NodeAbsence = Tuple[int, float, Optional[float]]
 
 #: Smallest node count each topology family supports.
 _TOPOLOGY_MIN = {"line": 2, "ring": 3, "star": 2, "grid": 4, "random": 3}
@@ -107,12 +117,18 @@ class CertScenario:
     delay_kind: str = "constant"
     crash_events: Tuple[CrashEvent, ...] = field(default_factory=tuple)
     link_events: Tuple[LinkEvent, ...] = field(default_factory=tuple)
+    edge_outages: Tuple[EdgeOutage, ...] = field(default_factory=tuple)
+    node_absences: Tuple[NodeAbsence, ...] = field(default_factory=tuple)
 
     # -- derived model objects ----------------------------------------------
 
     @property
     def has_faults(self) -> bool:
         return bool(self.crash_events or self.link_events)
+
+    @property
+    def has_topology_schedule(self) -> bool:
+        return bool(self.edge_outages or self.node_absences)
 
     def build_topology(self) -> Topology:
         if not valid_nodes(self.topology_kind, self.nodes):
@@ -168,7 +184,7 @@ class CertScenario:
             f"unknown delay kind {self.delay_kind!r}; known: {', '.join(DELAY_KINDS)}"
         )
 
-    def _build_algorithm(self, params: SyncParams):
+    def _build_algorithm(self, params: SyncParams, topology: Topology):
         if self.algorithm == "aopt":
             from repro.core.node import AoptAlgorithm
 
@@ -185,9 +201,22 @@ class CertScenario:
             from repro.cert.planted import BrokenRateRuleAoptAlgorithm
 
             return BrokenRateRuleAoptAlgorithm(params)
+        if self.algorithm == "kllo-dynamic":
+            from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
+
+            return KlloDynamicAlgorithm(params)
+        if self.algorithm == "kllo-frozen":
+            from repro.cert.planted import FrozenIntegrationAlgorithm
+            from repro.topology.properties import diameter
+
+            # The planted filter window is diameter-calibrated; compute it
+            # from the *built* topology so shrinking the node count also
+            # shrinks the window consistently.
+            return FrozenIntegrationAlgorithm(params, diameter(topology))
         raise ConfigurationError(
             f"unknown certifiable algorithm {self.algorithm!r}; known: "
-            "aopt, aopt-jump, aopt-ft, aopt-broken-rate"
+            "aopt, aopt-jump, aopt-ft, aopt-broken-rate, kllo-dynamic, "
+            "kllo-frozen"
         )
 
     def build_faults(self, topology: Topology) -> Optional[FaultSchedule]:
@@ -217,8 +246,40 @@ class CertScenario:
             )
         return schedule
 
+    def build_topology_schedule(self, topology: Topology):
+        """Compile churn events to a ``TopologySchedule`` (or None if empty).
+
+        Index-based and deterministically pruned exactly like
+        :meth:`build_faults`: outages on edges the (possibly shrunk)
+        topology no longer has, and absences of nodes it no longer has,
+        are dropped rather than rejected.
+        """
+        from repro.topology.dynamic import TopologySchedule
+
+        n = len(topology.nodes)
+        outages = [
+            e
+            for e in self.edge_outages
+            if e[0] < n
+            and e[1] < n
+            and topology.nodes[e[1]] in topology.neighbors(topology.nodes[e[0]])
+        ]
+        absences = [e for e in self.node_absences if e[0] < n]
+        if not outages and not absences:
+            return None
+        schedule = TopologySchedule(seed=self.seed)
+        for u, v, at, until in outages:
+            schedule.edge_disappears(
+                topology.nodes[u], topology.nodes[v], at=at, until=until
+            )
+        for idx, at, until in absences:
+            schedule.leaves(topology.nodes[idx], at=at, until=until)
+        return schedule
+
     def label(self) -> str:
         tag = "+faults" if self.has_faults else ""
+        if self.has_topology_schedule:
+            tag += "+dyn"
         return (
             f"cert:{self.algorithm}:{self.topology_kind}-{self.nodes}"
             f":{self.drift_kind}/{self.delay_kind}:s{self.seed}{tag}"
@@ -230,7 +291,7 @@ class CertScenario:
         params = self.build_params()
         return ExecutionSpec(
             topology=topology,
-            algorithm=self._build_algorithm(params),
+            algorithm=self._build_algorithm(params, topology),
             drift=self._build_drift(topology),
             delay=self._build_delay(),
             horizon=self.horizon,
@@ -238,6 +299,7 @@ class CertScenario:
             check_invariants=True,
             params=params,
             faults=self.build_faults(topology),
+            topology_schedule=self.build_topology_schedule(topology),
             label=self.label(),
         )
 
@@ -261,6 +323,8 @@ class CertScenario:
             "delay_kind": self.delay_kind,
             "crash_events": [list(e) for e in self.crash_events],
             "link_events": [list(e) for e in self.link_events],
+            "edge_outages": [list(e) for e in self.edge_outages],
+            "node_absences": [list(e) for e in self.node_absences],
         }
 
     @classmethod
@@ -282,6 +346,14 @@ class CertScenario:
             link_events=tuple(
                 (int(u), int(v), float(at), None if until is None else float(until))
                 for u, v, at, until in data.get("link_events", [])
+            ),
+            edge_outages=tuple(
+                (int(u), int(v), float(at), None if until is None else float(until))
+                for u, v, at, until in data.get("edge_outages", [])
+            ),
+            node_absences=tuple(
+                (int(n), float(at), None if until is None else float(until))
+                for n, at, until in data.get("node_absences", [])
             ),
         )
 

@@ -9,14 +9,18 @@ point:
    instant (the single biggest reduction when a bound fails early);
 2. **drop-faults** — remove the whole fault timeline, else ddmin over
    the individual crash/link events;
-3. **simplify-topology** — prefer a line (the canonical gradient
+3. **drop-churn** — same ddmin over the topology-schedule events (edge
+   outages, node absences); for a stabilization violation the partition
+   itself is load-bearing, so this typically strips the decorative
+   events (the extra ring cut edge, a node absence) and keeps the cut;
+4. **simplify-topology** — prefer a line (the canonical gradient
    topology) over ring/star/grid/random of the same size;
-4. **reduce-nodes** — smallest node count (tried ascending) that still
+5. **reduce-nodes** — smallest node count (tried ascending) that still
    violates, down to 2 for a line;
-5. **simplify-drift** — prefer the static two-group adversary over the
+6. **simplify-drift** — prefer the static two-group adversary over the
    time-varying ones;
-6. **simplify-delay** — prefer constant delays, then zero;
-7. **shorten-horizon** — binary-style fractions of the remaining horizon.
+7. **simplify-delay** — prefer constant delays, then zero;
+8. **shorten-horizon** — binary-style fractions of the remaining horizon.
 
 Every decision is a pure function of the scenario and the (deterministic)
 evaluator, and candidates are evaluated in a fixed order, so shrinking is
@@ -110,14 +114,16 @@ def _with_events(scenario, events) -> CertScenario:
     )
 
 
-def _drop_faults(scenario, verdict, budget):
-    events = _event_lists(scenario)
-    if not events:
-        return None
-    bare = _with_events(scenario, [])
+def _ddmin_events(scenario, events, rebuild, budget, label):
+    """Shared event-list minimizer: drop everything, else classic ddmin.
+
+    ``rebuild(scenario, events)`` produces the candidate with the reduced
+    event list; every kept reduction must still violate.
+    """
+    bare = rebuild(scenario, [])
     hit = budget.violates(bare)
     if hit:
-        return bare, hit, "drop-faults:all"
+        return bare, hit, f"{label}:all"
     # Classic ddmin: remove complement chunks at increasing granularity.
     chunks = 2
     current = events
@@ -130,7 +136,7 @@ def _drop_faults(scenario, verdict, budget):
             trial = current[:start] + current[start + size:]
             if not trial:
                 continue
-            candidate = _with_events(scenario, trial)
+            candidate = rebuild(scenario, trial)
             hit = budget.violates(candidate)
             if hit:
                 current, best_hit = trial, hit
@@ -142,9 +148,38 @@ def _drop_faults(scenario, verdict, budget):
                 break
             chunks = min(len(current), chunks * 2)
     if changed_any:
-        candidate = _with_events(scenario, current)
-        return candidate, best_hit, f"drop-faults:{len(events)}->{len(current)}"
+        candidate = rebuild(scenario, current)
+        return candidate, best_hit, f"{label}:{len(events)}->{len(current)}"
     return None
+
+
+def _drop_faults(scenario, verdict, budget):
+    events = _event_lists(scenario)
+    if not events:
+        return None
+    return _ddmin_events(scenario, events, _with_events, budget, "drop-faults")
+
+
+def _churn_event_lists(scenario) -> List[Tuple[str, tuple]]:
+    events = [("edge", e) for e in scenario.edge_outages]
+    events += [("node", e) for e in scenario.node_absences]
+    return events
+
+
+def _with_churn_events(scenario, events) -> CertScenario:
+    return scenario.with_changes(
+        edge_outages=tuple(e for kind, e in events if kind == "edge"),
+        node_absences=tuple(e for kind, e in events if kind == "node"),
+    )
+
+
+def _drop_churn(scenario, verdict, budget):
+    events = _churn_event_lists(scenario)
+    if not events:
+        return None
+    return _ddmin_events(
+        scenario, events, _with_churn_events, budget, "drop-churn"
+    )
 
 
 def _simplify_topology(scenario, verdict, budget):
@@ -207,6 +242,7 @@ def _shorten_horizon(scenario, verdict, budget):
 _PASSES = (
     _truncate_horizon,
     _drop_faults,
+    _drop_churn,
     _simplify_topology,
     _reduce_nodes,
     _simplify_drift,

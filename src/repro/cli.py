@@ -149,6 +149,7 @@ ALGORITHM_CHOICES = [
     "aopt-min-gap",
     "aopt-bit-budget",
     "aopt-adaptive",
+    "kllo-dynamic",
     "max-forward",
     "midpoint",
     "oblivious-gradient",
@@ -161,6 +162,10 @@ def _build_algorithm(name: str, params: SyncParams, diameter: int):
         return AoptAlgorithm(params)
     if name == "aopt-ft":
         return FaultTolerantAoptAlgorithm(params)
+    if name == "kllo-dynamic":
+        from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
+
+        return KlloDynamicAlgorithm(params)
     if name == "aopt-jump":
         return JumpAoptAlgorithm(params)
     if name == "aopt-min-gap":
@@ -490,6 +495,26 @@ def _cmd_sweep(args) -> int:
         )
         if getattr(args, "streaming", False):
             specs = [spec.with_record_trace(False) for spec in specs]
+        if getattr(args, "churn", None) is not None:
+            from repro.topology.dynamic import TopologySchedule
+
+            # One deterministic flap schedule per spec, seeded by the
+            # spec seed so reruns and cache hits line up; churn starts
+            # after a quarter of the horizon to leave the initialization
+            # flood intact.
+            specs = [
+                spec.with_topology_schedule(
+                    TopologySchedule.churn(
+                        topology.edges(),
+                        args.churn,
+                        args.churn_outage,
+                        spec.horizon,
+                        start=0.25 * spec.horizon,
+                        seed=spec.seed,
+                    )
+                )
+                for spec in specs
+            ]
         batches.append((actual_d, specs))
         all_specs.extend(specs)
 
@@ -504,6 +529,7 @@ def _cmd_sweep(args) -> int:
                 "topology": args.topology,
                 "algorithm": algorithm_name,
                 "diameters": list(args.diameters),
+                "churn": args.churn,
             },
         )
     except ReproError as exc:
@@ -553,7 +579,10 @@ def _cmd_sweep(args) -> int:
                 result.worst_global_case,
             ]
         )
-        if algorithm_name in ("aopt", "aopt-jump"):
+        if algorithm_name in ("aopt", "aopt-jump") and args.churn is None:
+            # Under churn the static skew theorems are vacuous (a
+            # partition drifts past G unavoidably), so the bounds are
+            # reported for context but do not gate the exit code.
             ok = ok and (
                 result.worst_global <= g_bound + 1e-7
                 and result.worst_local <= l_bound + 1e-7
@@ -566,6 +595,12 @@ def _cmd_sweep(args) -> int:
             title=(
                 f"{algorithm_name} {args.topology} sweep, "
                 f"{len(all_specs)} executions"
+                + (
+                    f" (churn rate {args.churn}, mean outage "
+                    f"{args.churn_outage}; static bounds not gated)"
+                    if args.churn is not None
+                    else ""
+                )
             ),
         )
     )
@@ -995,6 +1030,7 @@ def _cmd_certify(args) -> int:
             seed=args.seed,
             algorithm=args.algorithm,
             include_faults=not args.no_faults,
+            include_churn=args.churn,
             shrink=not args.no_shrink,
             artifact_dir=args.artifact_dir,
             executor=executor,
@@ -1203,6 +1239,18 @@ def build_parser() -> argparse.ArgumentParser:
              "memory instead of materializing full traces (bit-identical "
              "extrema; separate cache namespace)"
     )
+    sweep_parser.add_argument(
+        "--churn", type=float, default=None, metavar="RATE",
+        help="overlay a deterministic edge-churn TopologySchedule: each "
+             "edge flaps with present-times ~ Exp(RATE) (see "
+             "docs/DYNAMIC.md); disables the static-bound pass/fail gate, "
+             "since the skew theorems assume a static graph"
+    )
+    sweep_parser.add_argument(
+        "--churn-outage", dest="churn_outage", type=float, default=5.0,
+        metavar="MEAN",
+        help="mean outage duration for --churn flaps (default: 5.0)"
+    )
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     faults_parser = subparsers.add_parser(
@@ -1350,13 +1398,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     certify_parser.add_argument(
         "--algorithm", default="aopt",
-        choices=["aopt", "aopt-jump", "aopt-ft", "aopt-broken-rate"],
-        help="variant to certify (aopt-broken-rate is the planted-violation "
-             "control)"
+        choices=["aopt", "aopt-jump", "aopt-ft", "aopt-broken-rate",
+                 "kllo-dynamic", "kllo-frozen"],
+        help="variant to certify (aopt-broken-rate and kllo-frozen are the "
+             "planted-violation controls)"
     )
     certify_parser.add_argument(
         "--no-faults", dest="no_faults", action="store_true",
         help="fuzz only faultless scenarios"
+    )
+    certify_parser.add_argument(
+        "--churn", action="store_true",
+        help="fuzz partition-then-merge dynamic-topology scenarios; "
+             "this is what arms the kllo-stabilization certificate "
+             "(see docs/DYNAMIC.md)"
     )
     certify_parser.add_argument(
         "--no-shrink", dest="no_shrink", action="store_true",

@@ -9,7 +9,10 @@ expressions below:
 * Theorem 7.2 / Corollary 7.3 — global skew lower bound ``(1 + ϱ)·D·T``;
 * Theorem 7.7 — local skew lower bound ``((⌊log_b D⌋ + 1)/2)·α·T``;
 * Theorem 7.12 — local skew lower bound ``Ω(α·T·log_{1/ε} D)`` for
-  unbounded rates.
+  unbounded rates;
+* the dynamic-topology settle bound (KLLO-style stabilization claim, see
+  ``docs/DYNAMIC.md``) — conservative time for clock spread to return
+  under ``G`` after the last topology change.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ __all__ = [
     "rho_accuracy_penalty",
     "local_skew_lower_bound",
     "local_skew_lower_bound_unbounded",
+    "stabilization_settle_bound",
 ]
 
 
@@ -134,6 +138,32 @@ def local_skew_lower_bound(
         raise ConfigurationError(f"need 0 < alpha <= beta, got {alpha}, {beta}")
     b = max(2, math.ceil(2 * (beta - alpha) / (alpha * epsilon)))
     return (1 + math.floor(math.log(diameter, b))) / 2 * alpha * delay_bound
+
+
+def stabilization_settle_bound(
+    params: SyncParams, diameter: int, t_last: float
+) -> float:
+    """Settle time after the last topology change at ``t_last``.
+
+    Conservative KLLO-style stabilization bound: by ``t_last`` the clock
+    spread is at most ``(β − α)·t_last + G`` (any two started clocks ran
+    within the Condition (2) rate band since time 0, plus the static
+    bound itself); the lagging side closes that gap at least at rate
+    ``(1 − ε)·μ`` relative to the leading side once it learns the larger
+    ``L^max``, which takes at most one flood ``(D + 1)·T`` plus one
+    broadcast period ``H0``.  After ``t_last + settle`` the spread is
+    back under ``G``, so the stabilization monitor arms there.
+    """
+    if t_last < 0:
+        raise ConfigurationError(f"t_last must be >= 0, got {t_last}")
+    gap = (params.beta - params.alpha) * t_last + global_skew_bound(
+        params, diameter
+    )
+    return (
+        gap / ((1.0 - params.epsilon) * params.mu)
+        + (diameter + 1) * params.delay_bound
+        + params.h0
+    )
 
 
 def local_skew_lower_bound_unbounded(

@@ -51,7 +51,9 @@ __all__ = ["ResultCache", "CACHE_VERSION", "default_cache_root"]
 #: v3: ExecutionSummary gained the ``run_metrics`` field.
 #: v4: ExecutionSpec gained the ``record_trace`` field (all digests
 #: shifted with SPEC_DIGEST_VERSION 3, orphaning every v3 entry).
-CACHE_VERSION = 4
+#: v5: ExecutionSpec gained the ``topology_schedule`` field (all digests
+#: shifted with SPEC_DIGEST_VERSION 4, orphaning every v4 entry).
+CACHE_VERSION = 5
 
 
 def default_cache_root() -> Path:

@@ -38,6 +38,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.sim.delays import DelayModel
 from repro.sim.drift import DriftModel
 from repro.sim.trace import ExecutionTrace
+from repro.topology.dynamic import TopologySchedule
 from repro.topology.generators import Topology
 
 __all__ = ["ExecutionSpec", "SPEC_DIGEST_VERSION", "canonical_encoding"]
@@ -48,7 +49,8 @@ NodeId = Hashable
 #: older library versions can never alias current ones.
 #: v2: added the ``faults`` field (fault-injection subsystem).
 #: v3: added the ``record_trace`` field (streaming fast-path mode).
-SPEC_DIGEST_VERSION = 3
+#: v4: added the ``topology_schedule`` field (dynamic-topology subsystem).
+SPEC_DIGEST_VERSION = 4
 
 _PRIMITIVES = (type(None), bool, int)
 
@@ -215,6 +217,14 @@ class ExecutionSpec:
         data, so it digests canonically like every other model: any
         change to a fault time, target, or probability changes the
         digest and invalidates cached results.
+    topology_schedule:
+        Optional :class:`~repro.topology.dynamic.TopologySchedule`
+        describing edge appear/disappear and node join/leave dynamics
+        over the union graph (``docs/DYNAMIC.md``).  Pure data like
+        ``faults`` — any change to an event time changes the digest.
+        When present (and non-empty) alongside ``check_invariants``, a
+        :class:`~repro.sim.monitors.StabilizationMonitor` is attached
+        in addition to the standard monitors.
     record_trace:
         ``True`` (default): :meth:`run` materializes a full
         :class:`~repro.sim.trace.ExecutionTrace`.  ``False``: only
@@ -241,6 +251,7 @@ class ExecutionSpec:
     check_invariants: bool = False
     params: Optional[SyncParams] = None
     faults: Optional[FaultSchedule] = None
+    topology_schedule: Optional[TopologySchedule] = None
     record_trace: bool = True
     label: str = ""  # reprolint: digest-exempt (presentation-only, see docstring)
 
@@ -286,6 +297,22 @@ class ExecutionSpec:
         clone.__dict__.pop("_digest", None)
         return clone
 
+    def with_topology_schedule(
+        self, schedule: Optional[TopologySchedule]
+    ) -> "ExecutionSpec":
+        """A copy of this spec with ``topology_schedule`` replaced.
+
+        Same ``copy.copy`` construction as :meth:`with_record_trace` (and
+        for the same ``__post_init__`` reason); the cached digest is
+        dropped since the schedule is digest-relevant data.
+        """
+        if schedule is self.topology_schedule:
+            return self
+        clone = copy.copy(self)
+        object.__setattr__(clone, "topology_schedule", schedule)
+        clone.__dict__.pop("_digest", None)
+        return clone
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, ExecutionSpec):
             return NotImplemented
@@ -305,7 +332,93 @@ class ExecutionSpec:
             )
         from repro.sim.runner import default_monitors
 
-        return default_monitors(self.params, strict=False)
+        monitors = default_monitors(self.params, strict=False)
+        if (
+            self.topology_schedule is not None
+            and not self.topology_schedule.is_empty
+        ):
+            stabilization = self._stabilization_monitor()
+            if stabilization is not None:
+                monitors += (stabilization,)
+        return monitors
+
+    def _stabilization_monitor(self):
+        """A :class:`~repro.sim.monitors.StabilizationMonitor` for this spec.
+
+        Armed at ``t_s = t_last + S``: after the last topology change at
+        ``t_last`` the graph is static, components can have drifted apart
+        by at most ``(β − α)·t_last`` on top of the static bound ``G``,
+        and the algorithm closes that gap at rate at least ``(1 − ε)·μ``
+        once information flows — plus a ``(D + 1)·T`` flood and an ``H0``
+        inter-broadcast slack.  Deliberately conservative: the monitor
+        certifies *eventual* re-convergence, not the tight KLLO constant.
+
+        Both ``G`` and the settle time are computed from the *residual*
+        graph — the one left standing after the last change inside the
+        horizon — not the union topology: a permanently removed edge can
+        legitimately stretch the diameter (a ring with one edge gone is
+        a line of twice the diameter), and bounding by the union ``D``
+        would then flag a correct algorithm.  Returns ``None`` (no
+        claim) when the residual graph is disconnected or has fewer than
+        two nodes: spread across components that never re-merge grows
+        without bound, for any algorithm.
+        """
+        from repro.core.bounds import global_skew_bound, stabilization_settle_bound
+        from repro.sim.monitors import StabilizationMonitor
+
+        params = self.params
+        t_last = self.topology_schedule.last_change_time(self.horizon)
+        d = self._residual_diameter(t_last)
+        if d is None:
+            return None
+        bound = global_skew_bound(params, d)
+        settle = stabilization_settle_bound(params, d, t_last)
+        return StabilizationMonitor(bound, t_last + settle, strict=False)
+
+    def _residual_diameter(self, t_last: float) -> Optional[int]:
+        """Diameter of the graph in force from ``t_last`` on, or None.
+
+        Present nodes and edges are read off the compiled schedule at
+        ``t_last`` (absence intervals are half-open, so the state at the
+        last change time already includes it).  ``None`` means the claim
+        is vacuous: fewer than two present nodes, or a residual graph
+        that is permanently partitioned within this horizon.
+        """
+        from collections import deque
+
+        from repro.topology.dynamic import CompiledTopologySchedule
+
+        compiled = CompiledTopologySchedule(self.topology_schedule, self.topology)
+        present = [
+            v
+            for v in self.topology.nodes
+            if not compiled.is_node_absent(v, t_last)
+        ]
+        if len(present) < 2:
+            return None
+        present_set = set(present)
+        adjacency = {
+            v: [
+                w
+                for w in self.topology.neighbors(v)
+                if w in present_set and not compiled.is_edge_absent(v, w, t_last)
+            ]
+            for v in present
+        }
+        diameter = 0
+        for source in present:
+            distances = {source: 0}
+            queue = deque([source])
+            while queue:
+                node = queue.popleft()
+                for neighbor in adjacency[node]:
+                    if neighbor not in distances:
+                        distances[neighbor] = distances[node] + 1
+                        queue.append(neighbor)
+            if len(distances) != len(present):
+                return None
+            diameter = max(diameter, max(distances.values()))
+        return diameter
 
     def run(
         self,
@@ -342,6 +455,7 @@ class ExecutionSpec:
             record_messages=record_messages,
             monitors=monitors,
             faults=self.faults,
+            topology_schedule=self.topology_schedule,
             collect_metrics=collect_metrics,
             record_events=record_events,
         )
@@ -372,6 +486,7 @@ class ExecutionSpec:
                 initiators=dict(self.initiators) if self.initiators else None,
                 monitors=monitors,
                 faults=self.faults,
+                topology_schedule=self.topology_schedule,
                 collect_metrics=collect_metrics,
             )
             return summarize_streaming(

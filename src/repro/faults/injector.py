@@ -31,12 +31,15 @@ from repro.faults.schedule import (
     NODE_RECOVER,
     FaultSchedule,
 )
+from repro.topology._intervals import (
+    INFINITY as _INFINITY,
+    compile_intervals as _compile_intervals,
+    is_down as _is_down,
+)
 
 __all__ = ["FaultInjector", "MessageFate"]
 
 NodeId = Hashable
-
-_INFINITY = float("inf")
 
 
 @dataclass(frozen=True)
@@ -49,47 +52,6 @@ class MessageFate:
 
 
 _CLEAN = MessageFate()
-
-
-def _compile_intervals(
-    events: List[Tuple[float, str]], down_kind: str, up_kind: str, subject: str
-) -> List[Tuple[float, float]]:
-    """Alternating down/up events → sorted ``[start, end)`` intervals."""
-    events = sorted(events, key=lambda pair: pair[0])
-    intervals: List[Tuple[float, float]] = []
-    down_since: Optional[float] = None
-    for time, kind in events:
-        if kind == down_kind:
-            if down_since is not None:
-                raise ScheduleError(
-                    f"{subject}: {down_kind!r} at t={time} while already down "
-                    f"since t={down_since}"
-                )
-            down_since = time
-        elif kind == up_kind:
-            if down_since is None:
-                raise ScheduleError(
-                    f"{subject}: {up_kind!r} at t={time} without a prior "
-                    f"{down_kind!r}"
-                )
-            if time < down_since:
-                raise ScheduleError(
-                    f"{subject}: {up_kind!r} at t={time} precedes "
-                    f"{down_kind!r} at t={down_since}"
-                )
-            intervals.append((down_since, time))
-            down_since = None
-        else:  # pragma: no cover - defensive
-            raise ScheduleError(f"{subject}: unknown fault kind {kind!r}")
-    if down_since is not None:
-        intervals.append((down_since, _INFINITY))
-    return intervals
-
-
-def _is_down(intervals: List[Tuple[float, float]], t: float) -> bool:
-    """Whether ``t`` falls inside any ``[start, end)`` interval."""
-    i = bisect_right(intervals, (t, _INFINITY)) - 1
-    return i >= 0 and t < intervals[i][1]
 
 
 class FaultInjector:
@@ -179,6 +141,10 @@ class FaultInjector:
             return None
         end = intervals[i][1]
         return None if end == _INFINITY else end
+
+    def node_intervals(self, node: NodeId) -> Tuple[Tuple[float, float], ...]:
+        """The compiled ``[crash, recover)`` intervals of ``node``."""
+        return tuple(self._node_intervals.get(node, ()))
 
     def downtime_in(self, node: NodeId, a: float, b: float) -> float:
         """Total scheduled downtime of ``node`` overlapping ``[a, b]``.

@@ -81,11 +81,25 @@ def time_to_resync(
 ) -> Optional[float]:
     """Time after ``clear_time`` until the spread re-enters ``bound`` for good.
 
-    ``clear_time`` defaults to ``schedule.cleared_time()``.  Returns the
-    exact duration from ``clear_time`` to the last instant at which
-    ``max_v L_v − min_v L_v > bound`` (0.0 if the spread never exceeds the
-    bound after the clear), or ``None`` if the execution ends before the
-    system resynchronizes — the horizon was too short to observe recovery.
+    ``clear_time`` defaults to ``schedule.cleared_time()``.  Three
+    contracts, deliberately distinct — callers must not conflate them:
+
+    * **ValueError** when neither ``clear_time`` nor ``schedule`` is
+      given: there is no anchor to measure from, and guessing one (say,
+      0.0) would silently change the metric's meaning.
+    * **0.0** when the spread never exceeds ``bound`` after the clear —
+      the system *was already resynchronized*.  This is a legitimate,
+      falsy measurement: test with ``is not None``, never truthiness
+      (the E24 falsy-zero bug conflated "settled immediately" with
+      "never settled").
+    * **None** when the spread is still above ``bound`` at the horizon —
+      the run ended *before* recovery could be observed, so no duration
+      exists.  Report this case explicitly (the ``repro faults`` CLI
+      prints "NOT resynchronized within the horizon" and exits 1)
+      rather than dropping the row.
+
+    Otherwise returns the exact duration from ``clear_time`` to the last
+    instant at which ``max_v L_v − min_v L_v > bound``.
 
     The spread is convex on each common linearity interval, so its
     maximum over any interval is attained at the interval's endpoints;

@@ -203,13 +203,25 @@ class DistanceDirectedDelay(DelayModel):
 class TimeGatedDelay(DelayModel):
     """Links that only become usable at per-edge activation times.
 
+    .. deprecated::
+        Superseded by :class:`repro.topology.dynamic.TopologySchedule`
+        (``edge_appears``), the first-class dynamic-graph model: a
+        schedule is pure data (digest-stable, cacheable, certifiable)
+        and supports disappearance and node churn, whereas this wrapper
+        only *fakes* a late edge by dropping messages.  Constructing one
+        emits a :class:`DeprecationWarning`; it remains functional for
+        existing experiments.
+
     Supports the "initially unknown topologies" scheme of §4.2 at full
     strength: the graph handed to the engine is the *eventual* topology,
     but a message sent over an edge before its activation time is dropped
     (the link does not exist yet).  Nodes integrate newly reachable
     neighbors by their first message, exactly as the paper describes —
-    the network-merge experiment (E24) joins two independently
-    initialized components this way.
+    the network-merge experiment (E24) joined two independently
+    initialized components this way before the rewrite on
+    ``TopologySchedule``.  Gating is keyed on the *send* time and applies
+    to both directions of the undirected edge: a reply over a gated
+    bridge is just as blocked as the forward message.
 
     Parameters
     ----------
@@ -221,6 +233,14 @@ class TimeGatedDelay(DelayModel):
     """
 
     def __init__(self, inner: DelayModel, activation: Mapping[DirectedEdge, float]):
+        import warnings
+
+        warnings.warn(
+            "TimeGatedDelay is deprecated; express edge activation as a "
+            "TopologySchedule (edge_appears) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         super().__init__(inner.max_delay)
         self.inner = inner
         self._activation: Dict[DirectedEdge, float] = {}

@@ -53,6 +53,26 @@ Fault semantics (robustness extension; docs/FAULTS.md)
   may re-arm them, superseding the deferred firing by generation.
 * Per-message drop / duplicate / delay-spike faults are decided by a
   stable per-message hash, so they are independent of event order.
+
+Dynamic topology (docs/DYNAMIC.md)
+----------------------------------
+A :class:`~repro.topology.dynamic.TopologySchedule` makes the graph
+itself time-varying over a static *union graph*:
+
+* A message sent while its edge is *absent* is lost
+  (``messages_lost_link``, event-log reason ``edge-absent``; the edge
+  check precedes the fault-layer link check — an absent edge does not
+  exist, so it cannot also be "down").
+* An *absent* node processes no events, exactly like a crashed node:
+  deliveries to it are lost (``messages_lost_crash``, reason
+  ``absent``), its logical clock free-runs at multiplier 1, and due
+  alarms/wakes are deferred to the instant it is both present and
+  recovered.  Crash state and absence compose independently.
+* A node absent from time 0 *joins* when its first absence interval
+  ends; it is integrated by the first message it receives afterwards
+  (Section 4.2 first-message initialization).  A started node that
+  rejoins is reintegrated through ``on_recover``, like a fault
+  recovery.
 """
 
 from __future__ import annotations
@@ -78,6 +98,12 @@ from repro.sim.trace import (
     ProbeRecord,
     SkewExtremum,
 )
+from repro.topology.dynamic import (
+    NODE_LEAVE,
+    CompiledTopologySchedule,
+    TopologySchedule,
+    merged_downtime,
+)
 from repro.topology.generators import Topology
 
 __all__ = ["SimulationEngine", "StreamingResult", "DEFAULT_TRACE_NODE_CAP"]
@@ -97,15 +123,17 @@ DEFAULT_TRACE_NODE_CAP = 50_000
 
 # Event kinds, encoded as small ints inside heap tuples.  The heap never
 # compares beyond the unique ``seq``, so the kind ordering is cosmetic.
-_CRASH, _RECOVER, _WAKE, _DELIVERY, _ALARM = 0, 1, 2, 3, 4
+_CRASH, _RECOVER, _WAKE, _DELIVERY, _ALARM, _LEAVE, _JOIN = 0, 1, 2, 3, 4, 5, 6
 
 #: Kind int → metrics/event-log kind name.
-_KIND_NAMES = ("crash", "recover", "wake", "delivery", "alarm")
+_KIND_NAMES = ("crash", "recover", "wake", "delivery", "alarm", "leave", "join")
 
 # Tuple layouts (time and seq lead so the heap orders on them alone):
 #   (time, seq, _WAKE,     node)
 #   (time, seq, _CRASH,    node)
 #   (time, seq, _RECOVER,  node)
+#   (time, seq, _LEAVE,    node)
+#   (time, seq, _JOIN,     node)
 #   (time, seq, _DELIVERY, node, sender, payload, send_time, size_bits)
 #   (time, seq, _ALARM,    node, name, generation, hardware_value)
 
@@ -146,6 +174,7 @@ class _NodeRuntime:
         "algorithm_node",
         "started",
         "crashed",
+        "absent",
         "hardware",
         "record",
         "rho",
@@ -166,6 +195,7 @@ class _NodeRuntime:
         self.algorithm_node = algorithm_node
         self.started = False
         self.crashed = False
+        self.absent = False
         self.hardware: Optional[HardwareClock] = None
         self.record: Optional[LogicalClockRecord] = None
         self.rho = 1.0
@@ -274,6 +304,10 @@ class SimulationEngine:
     faults:
         Optional :class:`~repro.faults.schedule.FaultSchedule`; see the
         module docstring's "Fault semantics".
+    topology_schedule:
+        Optional :class:`~repro.topology.dynamic.TopologySchedule`
+        making the graph time-varying; ``topology`` is then the union
+        graph.  See the module docstring's "Dynamic topology".
     collect_metrics:
         Collect :class:`~repro.obs.metrics.RunMetrics` (event counters,
         queue high-water mark, phase wall times) onto the trace.  Off by
@@ -307,6 +341,7 @@ class SimulationEngine:
         monitors: Sequence[Any] = (),
         max_events: int = DEFAULT_MAX_EVENTS,
         faults: Optional[FaultSchedule] = None,
+        topology_schedule: Optional[TopologySchedule] = None,
         collect_metrics: bool = False,
         record_events: bool = False,
         record_trace: bool = True,
@@ -364,6 +399,22 @@ class SimulationEngine:
             self._tracker = StreamingSkewTracker(
                 topology.nodes, topology.edges(), self.horizon, prune=True
             )
+
+        self._dynamic: Optional[CompiledTopologySchedule] = None
+        if topology_schedule is not None and not topology_schedule.is_empty:
+            self._dynamic = CompiledTopologySchedule(topology_schedule, topology)
+            # Topology transitions are pushed before fault transitions and
+            # wake events, so a leave at time t is processed before any
+            # same-time crash, wake, delivery, or alarm (FIFO tie-break).
+            for event_time, node, kind in self._dynamic.node_timeline():
+                if event_time > self.horizon:
+                    continue
+                seq = self._seq
+                self._seq = seq + 1
+                heappush(
+                    self._heap,
+                    (event_time, seq, _LEAVE if kind == NODE_LEAVE else _JOIN, node),
+                )
 
         self._injector: Optional[FaultInjector] = None
         if faults is not None:
@@ -429,6 +480,10 @@ class SimulationEngine:
         """Whether the node is currently crashed (fault executions only)."""
         return self._runtimes[node].crashed
 
+    def is_absent(self, node: NodeId) -> bool:
+        """Whether the node is currently absent (dynamic topologies only)."""
+        return self._runtimes[node].absent
+
     # -- internals ------------------------------------------------------------
 
     def _start_node(self, runtime: _NodeRuntime) -> None:
@@ -453,6 +508,15 @@ class SimulationEngine:
         if self._metrics is not None:
             self._metrics.sends += 1
         log = self._event_log
+        dynamic = self._dynamic
+        if dynamic is not None and dynamic.is_edge_absent(
+            runtime.node_id, neighbor, self.now
+        ):
+            self._messages_lost_link += 1
+            if log is not None:
+                log.append(("drop", self.now, runtime.node_id,
+                            {"to": neighbor, "seq": seq, "reason": "edge-absent"}))
+            return
         injector = self._injector
         if injector is not None and injector.is_link_down(
             runtime.node_id, neighbor, self.now
@@ -530,8 +594,7 @@ class SimulationEngine:
             (fire_time, seq, _ALARM, runtime.node_id, name, generation, hardware_value),
         )
 
-    def _apply_crash(self, runtime: _NodeRuntime) -> None:
-        runtime.crashed = True
+    def _freeze_rate(self, runtime: _NodeRuntime) -> None:
         if runtime.started and runtime.rho != 1.0:
             # The logical clock free-runs at multiplier 1 during the outage,
             # keeping it inside the Condition (2) envelope (α = 1 − ε ≤ 1).
@@ -540,19 +603,53 @@ class SimulationEngine:
             if self._tracker is not None:
                 self._tracker.note_checkpoint(runtime.idx, self.now)
 
+    def _apply_crash(self, runtime: _NodeRuntime) -> None:
+        runtime.crashed = True
+        self._freeze_rate(runtime)
+
     def _apply_recovery(self, runtime: _NodeRuntime) -> None:
         runtime.crashed = False
-        if runtime.started:
+        if runtime.started and not runtime.absent:
             runtime.algorithm_node.on_recover(self._contexts[runtime.node_id])
+
+    def _apply_leave(self, runtime: _NodeRuntime) -> None:
+        runtime.absent = True
+        self._freeze_rate(runtime)
+
+    def _apply_join(self, runtime: _NodeRuntime) -> None:
+        runtime.absent = False
+        if runtime.started and not runtime.crashed:
+            runtime.algorithm_node.on_recover(self._contexts[runtime.node_id])
+
+    def _resume_time(self, node: NodeId) -> Optional[float]:
+        """When the node is next both recovered and present, or None.
+
+        ``None`` means some covering outage never ends.  If the returned
+        instant still falls inside the *other* source's outage, the
+        re-queued event is simply deferred again when popped.
+        """
+        resume: Optional[float] = None
+        injector = self._injector
+        if injector is not None and injector.is_node_down(node, self.now):
+            resume = injector.next_recovery(node, self.now)
+            if resume is None:
+                return None
+        dynamic = self._dynamic
+        if dynamic is not None and dynamic.is_node_absent(node, self.now):
+            presence = dynamic.next_presence(node, self.now)
+            if presence is None:
+                return None
+            resume = presence if resume is None else max(resume, presence)
+        return resume
 
     def _defer_to_recovery(self, entry: tuple) -> None:
         """Re-queue a wake/alarm that came due during an outage.
 
-        It fires at the recovery instant (after ``on_recover``, which was
-        queued earlier and therefore pops first at equal time); if the node
-        never recovers, the event is dropped.
+        It fires at the recovery/rejoin instant (after ``on_recover``,
+        which was queued earlier and therefore pops first at equal time);
+        if the node never comes back, the event is dropped.
         """
-        recovery = self._injector.next_recovery(entry[3], self.now)
+        recovery = self._resume_time(entry[3])
         if recovery is None or recovery > self.horizon:
             return
         metrics = self._metrics
@@ -607,7 +704,15 @@ class SimulationEngine:
                 self._apply_recovery(runtime)
                 if log is not None:
                     log.append(("recover", now, node, {}))
-            elif runtime.crashed:
+            elif kind == _LEAVE:
+                self._apply_leave(runtime)
+                if log is not None:
+                    log.append(("leave", now, node, {}))
+            elif kind == _JOIN:
+                self._apply_join(runtime)
+                if log is not None:
+                    log.append(("join", now, node, {}))
+            elif runtime.crashed or runtime.absent:
                 run_checks = False
                 if kind == _DELIVERY:
                     self._messages_lost_crash += 1
@@ -615,7 +720,8 @@ class SimulationEngine:
                         log.append(("drop", now, node,
                                     {"from": entry[4],
                                      "send_time": entry[6],
-                                     "reason": "crash"}))
+                                     "reason": "crash" if runtime.crashed
+                                     else "absent"}))
                 elif kind == _ALARM:
                     if runtime.alarm_generations.get(entry[4], 0) == entry[5]:
                         self._defer_to_recovery(entry)
@@ -705,11 +811,20 @@ class SimulationEngine:
         trace_started = time.perf_counter() if metrics is not None else 0.0
         # Per-node scheduled downtime overlapping the node's active window
         # [start, horizon]; deterministic, so summaries stay byte-identical.
+        # Crash intervals and topology absences are union-merged so an
+        # outage covered by both sources is not counted twice.
         downtime: Dict[NodeId, float] = {}
-        if self._injector is not None:
+        if self._injector is not None or self._dynamic is not None:
             for node, runtime in self._runtimes.items():
-                down = self._injector.downtime_in(
-                    node, runtime.hardware.start_time, self.horizon
+                interval_lists = []
+                if self._injector is not None:
+                    interval_lists.append(self._injector.node_intervals(node))
+                if self._dynamic is not None:
+                    interval_lists.append(
+                        self._dynamic.node_absence_intervals(node)
+                    )
+                down = merged_downtime(
+                    interval_lists, runtime.hardware.start_time, self.horizon
                 )
                 if down > 0.0:
                     downtime[node] = down

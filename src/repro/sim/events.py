@@ -5,7 +5,9 @@ by message receipt (Algorithm 2) or by the local hardware clock reaching a
 target value (Algorithms 1 and 4).  The simulation therefore needs exactly
 three event kinds — node wake-up, message delivery, and hardware alarm —
 plus two *fault* transitions (node crash and node recovery) for the
-robustness extension of :mod:`repro.faults`.
+robustness extension of :mod:`repro.faults`, and two *topology*
+transitions (node leave and node join) for the dynamic-graph extension
+of :mod:`repro.topology.dynamic`.
 
 Determinism matters for reproducibility of adversarial executions:
 simultaneous events are ordered by a monotone sequence number, so a given
@@ -28,6 +30,8 @@ __all__ = [
     "AlarmEvent",
     "CrashEvent",
     "RecoverEvent",
+    "LeaveEvent",
+    "JoinEvent",
     "EventQueue",
 ]
 
@@ -84,6 +88,21 @@ class CrashEvent(Event):
 @dataclass(frozen=True)
 class RecoverEvent(Event):
     """``node`` recovers from a crash and resumes processing (stale state)."""
+
+
+@dataclass(frozen=True)
+class LeaveEvent(Event):
+    """``node`` leaves the network (dynamic topology): processes no events.
+
+    Derived from a :class:`~repro.topology.dynamic.TopologySchedule`;
+    pushed at engine construction so a leave at time ``t`` is processed
+    before any same-time crash, wake, delivery, or alarm pushed later.
+    """
+
+
+@dataclass(frozen=True)
+class JoinEvent(Event):
+    """``node`` (re-)enters the network; integration is message-driven."""
 
 
 @dataclass(order=True)

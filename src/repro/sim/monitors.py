@@ -31,6 +31,7 @@ __all__ = [
     "EnvelopeMonitor",
     "RateBoundMonitor",
     "MonotonicityMonitor",
+    "StabilizationMonitor",
     "StreamingSkewTracker",
 ]
 
@@ -362,6 +363,56 @@ class StreamingSkewTracker:
         """Unique evaluation instants consumed for node ``idx`` — equal to
         ``len(record.breakpoints_in(start, horizon))`` in trace mode."""
         return self._bp_counts[idx]
+
+
+class StabilizationMonitor(BaseMonitor):
+    """Dynamic-graph stabilization: the spread re-converges after churn.
+
+    The dynamic-networks extension (Kuhn–Lenzen–Locher–Oshman) shows the
+    gradient algorithm re-converges to the static-graph skew bounds
+    within a bounded stabilization period after the last topology
+    change.  The monitor is armed at ``stabilize_at`` (the last change
+    time plus a conservative settle bound — see
+    ``ExecutionSpec._monitors``); from then on the spread of logical
+    clock values over *participating* nodes — started, neither crashed
+    nor absent — must stay within ``bound`` (+ tolerance).
+
+    Each check is O(nodes); it is only attached when the spec carries a
+    topology schedule, and the certification scenarios that rely on it
+    are small.
+    """
+
+    name = "stabilization"
+
+    def __init__(self, bound: float, stabilize_at: float, strict: bool = True):
+        super().__init__(strict)
+        self.bound = float(bound)
+        self.stabilize_at = float(stabilize_at)
+
+    def check(self, engine, node: NodeId, time: float) -> None:
+        if time < self.stabilize_at:
+            return
+        values: List[float] = []
+        for other, runtime in engine._runtimes.items():
+            if runtime.crashed or runtime.absent:
+                continue
+            if engine.start_time(other) is None:
+                # Never-integrated nodes are reported by the engine's
+                # all-started check; a zero clock here would only add a
+                # spurious spread on top of that failure.
+                continue
+            values.append(engine.logical_value(other))
+        if len(values) < 2:
+            return
+        spread = max(values) - min(values)
+        if spread > self.bound + TOLERANCE:
+            self._report(
+                node,
+                time,
+                f"stabilization bound violated at t={time}: spread {spread} "
+                f"> G={self.bound} (topology settled, armed at "
+                f"t_s={self.stabilize_at})",
+            )
 
 
 class MonotonicityMonitor(BaseMonitor):

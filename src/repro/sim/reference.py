@@ -37,6 +37,8 @@ from repro.sim.events import (
     CrashEvent,
     DeliveryEvent,
     EventQueue,
+    JoinEvent,
+    LeaveEvent,
     RecoverEvent,
     WakeEvent,
 )
@@ -45,6 +47,12 @@ from repro.sim.trace import (
     LogicalClockRecord,
     MessageRecord,
     ProbeRecord,
+)
+from repro.topology.dynamic import (
+    NODE_LEAVE,
+    CompiledTopologySchedule,
+    TopologySchedule,
+    merged_downtime,
 )
 from repro.topology.generators import Topology
 
@@ -63,6 +71,8 @@ _EVENT_KINDS = {
     AlarmEvent: "alarm",
     CrashEvent: "crash",
     RecoverEvent: "recover",
+    LeaveEvent: "leave",
+    JoinEvent: "join",
 }
 
 
@@ -75,6 +85,7 @@ class _NodeRuntime:
         "algorithm_node",
         "started",
         "crashed",
+        "absent",
         "hardware",
         "record",
         "rho",
@@ -90,6 +101,7 @@ class _NodeRuntime:
         self.algorithm_node = algorithm_node
         self.started = False
         self.crashed = False
+        self.absent = False
         self.hardware: Optional[HardwareClock] = None
         self.record: Optional[LogicalClockRecord] = None
         self.rho = 1.0
@@ -193,6 +205,10 @@ class ReferenceSimulationEngine:
     faults:
         Optional :class:`~repro.faults.schedule.FaultSchedule`; see the
         module docstring's "Fault semantics".
+    topology_schedule:
+        Optional :class:`~repro.topology.dynamic.TopologySchedule`
+        making the graph time-varying; ``topology`` is then the union
+        graph.  See "Dynamic topology" in :mod:`repro.sim.engine`.
     collect_metrics:
         Collect :class:`~repro.obs.metrics.RunMetrics` (event counters,
         queue high-water mark, phase wall times) onto the trace.  Off by
@@ -217,6 +233,7 @@ class ReferenceSimulationEngine:
         monitors: Sequence[Any] = (),
         max_events: int = DEFAULT_MAX_EVENTS,
         faults: Optional[FaultSchedule] = None,
+        topology_schedule: Optional[TopologySchedule] = None,
         collect_metrics: bool = False,
         record_events: bool = False,
     ):
@@ -257,6 +274,20 @@ class ReferenceSimulationEngine:
         self._event_log: Optional[List[Tuple[str, float, NodeId, dict]]] = (
             [] if record_events else None
         )
+
+        self._dynamic: Optional[CompiledTopologySchedule] = None
+        if topology_schedule is not None and not topology_schedule.is_empty:
+            self._dynamic = CompiledTopologySchedule(topology_schedule, topology)
+            # Topology transitions are pushed before fault transitions and
+            # wake events, so a leave at time t is processed before any
+            # same-time crash, wake, delivery, or alarm (FIFO tie-break).
+            for event_time, node, kind in self._dynamic.node_timeline():
+                if event_time > self.horizon:
+                    continue
+                if kind == NODE_LEAVE:
+                    self._queue.push(LeaveEvent(event_time, node))
+                else:
+                    self._queue.push(JoinEvent(event_time, node))
 
         self._injector: Optional[FaultInjector] = None
         if faults is not None:
@@ -318,6 +349,10 @@ class ReferenceSimulationEngine:
         """Whether the node is currently crashed (fault executions only)."""
         return self._runtimes[node].crashed
 
+    def is_absent(self, node: NodeId) -> bool:
+        """Whether the node is currently absent (dynamic topologies only)."""
+        return self._runtimes[node].absent
+
     # -- internals ------------------------------------------------------------
 
     def _start_node(self, runtime: _NodeRuntime) -> None:
@@ -340,6 +375,15 @@ class ReferenceSimulationEngine:
         if self._metrics is not None:
             self._metrics.sends += 1
         log = self._event_log
+        dynamic = self._dynamic
+        if dynamic is not None and dynamic.is_edge_absent(
+            runtime.node_id, neighbor, self.now
+        ):
+            self._messages_lost_link += 1
+            if log is not None:
+                log.append(("drop", self.now, runtime.node_id,
+                            {"to": neighbor, "seq": seq, "reason": "edge-absent"}))
+            return
         injector = self._injector
         if injector is not None and injector.is_link_down(
             runtime.node_id, neighbor, self.now
@@ -416,27 +460,60 @@ class ReferenceSimulationEngine:
             )
         )
 
-    def _apply_crash(self, runtime: _NodeRuntime) -> None:
-        runtime.crashed = True
+    def _freeze_rate(self, runtime: _NodeRuntime) -> None:
         if runtime.started and runtime.rho != 1.0:
             # The logical clock free-runs at multiplier 1 during the outage,
             # keeping it inside the Condition (2) envelope (α = 1 − ε ≤ 1).
             runtime.record.checkpoint(self.now, 1.0)
             runtime.rho = 1.0
 
+    def _apply_crash(self, runtime: _NodeRuntime) -> None:
+        runtime.crashed = True
+        self._freeze_rate(runtime)
+
     def _apply_recovery(self, runtime: _NodeRuntime) -> None:
         runtime.crashed = False
-        if runtime.started:
+        if runtime.started and not runtime.absent:
             runtime.algorithm_node.on_recover(self._contexts[runtime.node_id])
+
+    def _apply_leave(self, runtime: _NodeRuntime) -> None:
+        runtime.absent = True
+        self._freeze_rate(runtime)
+
+    def _apply_join(self, runtime: _NodeRuntime) -> None:
+        runtime.absent = False
+        if runtime.started and not runtime.crashed:
+            runtime.algorithm_node.on_recover(self._contexts[runtime.node_id])
+
+    def _resume_time(self, node: NodeId) -> Optional[float]:
+        """When the node is next both recovered and present, or None.
+
+        ``None`` means some covering outage never ends.  If the returned
+        instant still falls inside the *other* source's outage, the
+        re-queued event is simply deferred again when popped.
+        """
+        resume: Optional[float] = None
+        injector = self._injector
+        if injector is not None and injector.is_node_down(node, self.now):
+            resume = injector.next_recovery(node, self.now)
+            if resume is None:
+                return None
+        dynamic = self._dynamic
+        if dynamic is not None and dynamic.is_node_absent(node, self.now):
+            presence = dynamic.next_presence(node, self.now)
+            if presence is None:
+                return None
+            resume = presence if resume is None else max(resume, presence)
+        return resume
 
     def _defer_to_recovery(self, event) -> None:
         """Re-queue a wake/alarm that came due during an outage.
 
-        It fires at the recovery instant (after ``on_recover``, which was
-        queued earlier and therefore pops first at equal time); if the node
-        never recovers, the event is dropped.
+        It fires at the recovery/rejoin instant (after ``on_recover``,
+        which was queued earlier and therefore pops first at equal time);
+        if the node never comes back, the event is dropped.
         """
-        recovery = self._injector.next_recovery(event.node, self.now)
+        recovery = self._resume_time(event.node)
         if recovery is None or recovery > self.horizon:
             return
         if self._metrics is not None:
@@ -469,14 +546,23 @@ class ReferenceSimulationEngine:
             self._apply_recovery(runtime)
             if log is not None:
                 log.append(("recover", self.now, event.node, {}))
-        elif runtime.crashed:
+        elif isinstance(event, LeaveEvent):
+            self._apply_leave(runtime)
+            if log is not None:
+                log.append(("leave", self.now, event.node, {}))
+        elif isinstance(event, JoinEvent):
+            self._apply_join(runtime)
+            if log is not None:
+                log.append(("join", self.now, event.node, {}))
+        elif runtime.crashed or runtime.absent:
             if isinstance(event, DeliveryEvent):
                 self._messages_lost_crash += 1
                 if log is not None:
                     log.append(("drop", self.now, event.node,
                                 {"from": event.sender,
                                  "send_time": event.send_time,
-                                 "reason": "crash"}))
+                                 "reason": "crash" if runtime.crashed
+                                 else "absent"}))
             elif isinstance(event, AlarmEvent):
                 if runtime.alarm_generations.get(event.name, 0) == event.generation:
                     self._defer_to_recovery(event)
@@ -560,11 +646,20 @@ class ReferenceSimulationEngine:
         trace_started = time.perf_counter() if metrics is not None else 0.0
         # Per-node scheduled downtime overlapping the node's active window
         # [start, horizon]; deterministic, so summaries stay byte-identical.
+        # Crash intervals and topology absences are union-merged so an
+        # outage covered by both sources is not counted twice.
         downtime: Dict[NodeId, float] = {}
-        if self._injector is not None:
+        if self._injector is not None or self._dynamic is not None:
             for node, runtime in self._runtimes.items():
-                down = self._injector.downtime_in(
-                    node, runtime.hardware.start_time, self.horizon
+                interval_lists = []
+                if self._injector is not None:
+                    interval_lists.append(self._injector.node_intervals(node))
+                if self._dynamic is not None:
+                    interval_lists.append(
+                        self._dynamic.node_absence_intervals(node)
+                    )
+                down = merged_downtime(
+                    interval_lists, runtime.hardware.start_time, self.horizon
                 )
                 if down > 0.0:
                     downtime[node] = down

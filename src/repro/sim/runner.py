@@ -20,6 +20,7 @@ from repro.sim.drift import ConstantDrift, DriftModel
 from repro.sim.engine import SimulationEngine, StreamingResult
 from repro.sim.monitors import EnvelopeMonitor, MonotonicityMonitor, RateBoundMonitor
 from repro.sim.trace import ExecutionTrace
+from repro.topology.dynamic import TopologySchedule
 from repro.topology.generators import Topology
 
 __all__ = [
@@ -51,6 +52,7 @@ def run_execution(
     record_messages: bool = False,
     monitors: Sequence = (),
     faults: Optional[FaultSchedule] = None,
+    topology_schedule: Optional[TopologySchedule] = None,
     collect_metrics: bool = False,
     record_events: bool = False,
     trace_node_cap: Optional[int] = None,
@@ -73,6 +75,7 @@ def run_execution(
         record_messages=record_messages,
         monitors=monitors,
         faults=faults,
+        topology_schedule=topology_schedule,
         collect_metrics=collect_metrics,
         record_events=record_events,
         trace_node_cap=trace_node_cap,
@@ -89,6 +92,7 @@ def run_execution_streaming(
     initiators: Optional[Iterable[NodeId]] = None,
     monitors: Sequence = (),
     faults: Optional[FaultSchedule] = None,
+    topology_schedule: Optional[TopologySchedule] = None,
     collect_metrics: bool = False,
     record_events: bool = False,
 ) -> StreamingResult:
@@ -108,6 +112,7 @@ def run_execution_streaming(
         initiators=initiators,
         monitors=monitors,
         faults=faults,
+        topology_schedule=topology_schedule,
         collect_metrics=collect_metrics,
         record_events=record_events,
         record_trace=False,

@@ -1,5 +1,6 @@
 """Network topologies for clock synchronization experiments."""
 
+from repro.topology.dynamic import CompiledTopologySchedule, TopologySchedule
 from repro.topology.generators import (
     Topology,
     barbell,
@@ -19,6 +20,8 @@ from repro.topology.properties import bfs_distances, diameter, eccentricity
 
 __all__ = [
     "Topology",
+    "TopologySchedule",
+    "CompiledTopologySchedule",
     "line",
     "ring",
     "star",

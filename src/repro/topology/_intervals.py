@@ -1,0 +1,60 @@
+"""Alternating-event interval compilation shared by schedules.
+
+Both the fault layer (:mod:`repro.faults.injector`) and the
+dynamic-topology layer (:mod:`repro.topology.dynamic`) describe outages
+as alternating down/up event lists and query them as sorted
+``[start, end)`` intervals.  The machinery lives here, below both
+layers, so neither package needs to import the other.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Optional, Tuple
+
+from repro.errors import ScheduleError
+
+__all__ = ["compile_intervals", "is_down", "INFINITY"]
+
+INFINITY = float("inf")
+
+
+def compile_intervals(
+    events: List[Tuple[float, str]], down_kind: str, up_kind: str, subject: str
+) -> List[Tuple[float, float]]:
+    """Alternating down/up events → sorted ``[start, end)`` intervals."""
+    events = sorted(events, key=lambda pair: pair[0])
+    intervals: List[Tuple[float, float]] = []
+    down_since: Optional[float] = None
+    for time, kind in events:
+        if kind == down_kind:
+            if down_since is not None:
+                raise ScheduleError(
+                    f"{subject}: {down_kind!r} at t={time} while already down "
+                    f"since t={down_since}"
+                )
+            down_since = time
+        elif kind == up_kind:
+            if down_since is None:
+                raise ScheduleError(
+                    f"{subject}: {up_kind!r} at t={time} without a prior "
+                    f"{down_kind!r}"
+                )
+            if time < down_since:
+                raise ScheduleError(
+                    f"{subject}: {up_kind!r} at t={time} precedes "
+                    f"{down_kind!r} at t={down_since}"
+                )
+            intervals.append((down_since, time))
+            down_since = None
+        else:  # pragma: no cover - defensive
+            raise ScheduleError(f"{subject}: unknown fault kind {kind!r}")
+    if down_since is not None:
+        intervals.append((down_since, INFINITY))
+    return intervals
+
+
+def is_down(intervals: List[Tuple[float, float]], t: float) -> bool:
+    """Whether ``t`` falls inside any ``[start, end)`` interval."""
+    i = bisect_right(intervals, (t, INFINITY)) - 1
+    return i >= 0 and t < intervals[i][1]

@@ -15,6 +15,9 @@
 * :mod:`repro.variants.fault_tolerant` — robustness extension: estimate
   expiry and recovery re-initialization for fault-injected executions
   (see :mod:`repro.faults` and ``docs/FAULTS.md``).
+* :mod:`repro.variants.kllo_dynamic` — the same machinery under its
+  dynamic-networks name for :class:`~repro.topology.dynamic.TopologySchedule`
+  executions (see ``docs/DYNAMIC.md``).
 """
 
 from repro.variants.adaptive_delay import AdaptiveDelayAoptAlgorithm
@@ -25,11 +28,13 @@ from repro.variants.envelope import HardwareEnvelopeAoptAlgorithm
 from repro.variants.external import ExternalAoptAlgorithm
 from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm
 from repro.variants.jump_aopt import JumpAoptAlgorithm
+from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
 from repro.variants.min_gap import MinGapAoptAlgorithm
 
 __all__ = [
     "AdaptiveDelayAoptAlgorithm",
     "FaultTolerantAoptAlgorithm",
+    "KlloDynamicAlgorithm",
     "MinGapAoptAlgorithm",
     "BitBudgetAoptAlgorithm",
     "bit_budget_params",

@@ -1,0 +1,50 @@
+"""A^opt tuned for dynamic graphs (the KLLO setting).
+
+"Optimal Gradient Clock Synchronization in Dynamic Networks"
+(Kuhn–Lenzen–Locher–Oshman) studies the gradient algorithm when the
+graph itself changes: edges appear and disappear, nodes join and leave,
+and partitioned components re-merge.  Its central positive result is a
+*stabilization* guarantee — once the topology stops changing, skews
+re-converge to the static-graph bounds within a bounded settle period.
+
+Mechanically, the two fault-tolerance amendments of
+:class:`~repro.variants.fault_tolerant.FaultTolerantAoptAlgorithm` are
+exactly what that setting needs:
+
+* **staleness expiry** discards estimates of neighbors whose edge
+  disappeared (or who left), so a node stops chasing a ghost across a
+  severed link within one timeout; and
+* **recovery re-initialization** (the ``on_recover`` hook, which the
+  engine also fires when a node *rejoins* — see ``docs/DYNAMIC.md``)
+  discards pre-departure neighbor state and immediately re-announces,
+  so a rejoining node is re-learned within one message delay.
+
+This subclass therefore changes no behaviour — it gives the dynamic
+configuration its own algorithm name, so spec digests, certification
+reports, and repro artifacts unambiguously identify dynamic-topology
+runs, and so the ``kllo-stabilization`` certificate has a concrete
+algorithm whose claim it states (see :mod:`repro.cert.certificates`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.params import SyncParams
+from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm
+
+__all__ = ["KlloDynamicAlgorithm"]
+
+
+class KlloDynamicAlgorithm(FaultTolerantAoptAlgorithm):
+    """Recovery-aware A^opt under its dynamic-networks name (``kllo-dynamic``).
+
+    Claims the static A^opt conditions (envelope, rate bounds,
+    monotonicity) on every execution, the Theorem 5.5/5.10 skew bounds
+    on static executions, and — the point of the name — KLLO-style
+    re-stabilization after the last topology change on dynamic ones.
+    """
+
+    def __init__(self, params: SyncParams, staleness_timeout: Optional[float] = None):
+        super().__init__(params, staleness_timeout)
+        self.name = "kllo-dynamic"

@@ -99,7 +99,8 @@ class TestRegistryConsistency:
 
     def test_catalog_covers_the_theorems(self):
         assert {GLOBAL, LOCAL, "cond1-envelope", "cond2-rate-bounds",
-                "monotonicity", "thm-7.2-global-lower",
+                "monotonicity", "kllo-stabilization",
+                "thm-7.2-global-lower",
                 "thm-7.7-local-lower"} == set(CERTIFICATES)
 
     def test_skew_certificates_require_faultless_model(self):
@@ -112,6 +113,26 @@ class TestRegistryConsistency:
             assert certificate.applies_to("aopt", has_faults=False)
             assert certificate.applies_to("aopt", has_faults=True) == fault_ok
             assert not certificate.applies_to("free-running", has_faults=False)
+
+    def test_dynamic_applicability(self):
+        # Static skew bounds are vacuous under churn (a partition drifts
+        # past G unavoidably); the stabilization claim only exists there.
+        for name, dynamic_ok in [
+            (GLOBAL, False), (LOCAL, False),
+            ("cond1-envelope", True), ("cond2-rate-bounds", True),
+            ("monotonicity", True),
+        ]:
+            certificate = CERTIFICATES[name]
+            assert certificate.applies_to(
+                "kllo-dynamic", has_topology_schedule=True
+            ) == dynamic_ok
+        stabilization = CERTIFICATES["kllo-stabilization"]
+        assert stabilization.applies_to("kllo-dynamic", has_topology_schedule=True)
+        assert stabilization.applies_to("kllo-frozen", has_topology_schedule=True)
+        # ... but never on static runs, and never for algorithms outside
+        # the kllo family (they claim no stabilization bound).
+        assert not stabilization.applies_to("kllo-dynamic")
+        assert not stabilization.applies_to("aopt", has_topology_schedule=True)
 
 
 class TestGradientBound:

@@ -253,6 +253,9 @@ class TestCertificateInterfaces:
         params = scenario.build_params()
         d = scenario.diameter()
         for certificate in execution_certificates():
+            if not certificate.applies_to(scenario.algorithm):
+                # kllo-stabilization has no static/trace path at all.
+                continue
             via_summary = certificate.check_summary(summary, params, d)
             via_trace = certificate.check_trace(trace, params, d)
             assert via_summary.satisfied == via_trace.satisfied

@@ -37,7 +37,7 @@ pytestmark = pytest.mark.lint
 # Pinned 2026-08: recompute ONLY alongside a version bump (see module
 # docstring).
 GOLDEN_SPEC_DIGEST = (
-    "f84ba8baee7fb3f3d2c94ac15e300adcc61dfc8d5b7eb44b5b6b9b58b48da09c"
+    "6e9cf35888e9b6cb115d7155a189909d29f8707ef7d1398aa003911770f818d7"
 )
 GOLDEN_SCHEDULE_SHA = (
     "11187d97c081bb374892059e11aaac874125afabd9519e0d37bf8519fdd02021"
@@ -92,8 +92,8 @@ def test_fault_schedule_encoding_is_pinned():
 def test_version_constants_match_pins():
     # The goldens above were computed at these versions; a bump must
     # re-pin them together (the whole point of the failure messages).
-    assert SPEC_DIGEST_VERSION == 3
-    assert CACHE_VERSION == 4
+    assert SPEC_DIGEST_VERSION == 4
+    assert CACHE_VERSION == 5
 
 
 def test_record_trace_flips_the_digest():
@@ -124,6 +124,32 @@ def test_label_stays_out_of_the_digest():
         label="renamed-sweep",
     )
     assert relabeled.digest() == GOLDEN_SPEC_DIGEST
+
+
+def test_topology_schedule_shifts_the_digest():
+    # A topology schedule is digest-relevant pure data, exactly like
+    # faults: adding one, or moving a single event time, must re-key the
+    # cache entry.
+    from repro.topology.dynamic import TopologySchedule
+
+    def with_schedule(schedule):
+        spec = _golden_spec()
+        return ExecutionSpec(
+            topology=spec.topology,
+            algorithm=spec.algorithm,
+            drift=spec.drift,
+            delay=spec.delay,
+            horizon=spec.horizon,
+            seed=spec.seed,
+            faults=spec.faults,
+            topology_schedule=schedule,
+            label="golden",
+        )
+
+    merged = with_schedule(TopologySchedule().edge_appears(2, 3, at=20.0))
+    shifted = with_schedule(TopologySchedule().edge_appears(2, 3, at=20.5))
+    assert merged.digest() != GOLDEN_SPEC_DIGEST
+    assert shifted.digest() != merged.digest()
 
 
 def test_fault_change_shifts_the_digest():

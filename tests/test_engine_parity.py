@@ -87,6 +87,7 @@ def _reference_summary(spec: ExecutionSpec, record_events: bool = False):
         initiators=dict(spec.initiators) if spec.initiators else None,
         monitors=monitors,
         faults=spec.faults,
+        topology_schedule=spec.topology_schedule,
         record_events=record_events,
     )
     trace = engine.run()
