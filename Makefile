@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend test-dynamic perf-smoke lint bench examples report sweep-smoke profile-smoke certify-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend test-dynamic perf-smoke lint lint-cold bench examples report sweep-smoke profile-smoke certify-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -26,9 +26,10 @@ test-faults:
 test-obs:
 	$(PYTHON) -m pytest tests/ -m obs
 
-# The reprolint self-tests plus the golden-digest pins that back R004.
+# The reprolint self-tests (single-file + whole-program pass), the
+# golden-digest pins that back R004, and the lint perf smoke floor.
 test-lint:
-	$(PYTHON) -m pytest tests/ -m lint
+	$(PYTHON) -m pytest tests/ benchmarks/bench_lint.py -m lint
 
 # The theorem-certification harness: fuzzer/shrinker/artifact units, CLI
 # exit codes and golden report, and the E28 margin-trend benchmarks.
@@ -59,9 +60,22 @@ perf-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_perf_smoke.py -m perf_smoke
 
 # Determinism & digest-safety gate: the tree must lint clean (modulo the
-# committed baseline) before anything ships.
+# committed baseline) before anything ships.  The whole-program pass
+# (call graph + R006/R009) always runs; the content-hash cache keeps
+# repeat runs fast.
 lint:
-	$(PYTHON) -m repro lint src benchmarks
+	$(PYTHON) -m repro lint --cache .reprolint-cache.json src benchmarks
+
+# Proof that the cache is an accelerator, not a source of truth: a cold
+# run (cache deleted) and a warm re-run must emit byte-identical JSON.
+lint-cold:
+	rm -f .reprolint-cache.json
+	$(PYTHON) -m repro lint --format json --cache .reprolint-cache.json \
+		src benchmarks > .reprolint-cold.json
+	$(PYTHON) -m repro lint --format json --cache .reprolint-cache.json \
+		src benchmarks > .reprolint-warm.json
+	cmp .reprolint-cold.json .reprolint-warm.json
+	rm -f .reprolint-cold.json .reprolint-warm.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -71,7 +85,7 @@ bench:
 # The final three commands are the campaign-resume smoke: a chaos run
 # that SIGKILLs every work-queue worker must exit non-zero and leave a
 # resumable manifest, and the `--resume` run must then complete clean.
-sweep-smoke: lint profile-smoke certify-smoke perf-smoke
+sweep-smoke: lint lint-cold profile-smoke certify-smoke perf-smoke
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
 		--workers auto --no-cache --metrics table
 	$(PYTHON) -m repro sweep --topology line --diameters 2 4 8 \
@@ -116,7 +130,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: lint test test-parity test-backend test-dynamic perf-smoke certify-smoke bench
+check: lint lint-cold test test-parity test-backend test-dynamic perf-smoke certify-smoke bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

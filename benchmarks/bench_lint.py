@@ -1,0 +1,67 @@
+"""Performance guard for the whole-program lint pass (docs/LINT.md).
+
+``make check`` runs the linter twice (``lint`` + ``lint-cold``), so the
+analyzer's cost is on the critical path of every CI run.  This bench
+times a cold full-repo analysis against an incremental re-lint after a
+one-file touch and enforces the smoke floor from ISSUE 9: the
+incremental run must stay interactive (< 1s) — the per-file work is
+cache hits and only the whole-program pass re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, load_baseline
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TARGETS = [REPO_ROOT / "src", REPO_ROOT / "benchmarks"]
+
+#: Smoke floor: an incremental re-lint after touching one file must
+#: finish within this budget (seconds) for `make lint` to stay cheap.
+INCREMENTAL_BUDGET_S = 1.0
+
+
+def test_incremental_relint_meets_smoke_floor(tmp_path):
+    cache = tmp_path / "lint-cache.json"
+    baseline = load_baseline(REPO_ROOT / ".reprolint-baseline.json")
+
+    start = time.perf_counter()
+    cold = lint_paths(
+        TARGETS, baseline=baseline, root=REPO_ROOT, cache_path=cache
+    )
+    cold_seconds = time.perf_counter() - start
+    assert cold.ok, "\n".join(f.format_text() for f in cold.findings)
+    assert cold.files_reanalyzed == cold.files_checked
+
+    # Simulate a one-file touch: evict one entry, exactly what a
+    # content change's sha mismatch would do.
+    payload = json.loads(cache.read_text())
+    victim = sorted(payload["files"])[0]
+    del payload["files"][victim]
+    cache.write_text(json.dumps(payload))
+
+    start = time.perf_counter()
+    warm = lint_paths(
+        TARGETS, baseline=baseline, root=REPO_ROOT, cache_path=cache
+    )
+    warm_seconds = time.perf_counter() - start
+    assert warm.ok
+    assert warm.files_reanalyzed == 1
+    assert warm.files_checked == cold.files_checked
+
+    assert warm_seconds < INCREMENTAL_BUDGET_S, (
+        f"incremental re-lint took {warm_seconds:.2f}s "
+        f"(budget {INCREMENTAL_BUDGET_S:.1f}s; cold was {cold_seconds:.2f}s)"
+    )
+    print(
+        f"lint: cold {cold_seconds * 1000.0:.0f}ms, "
+        f"incremental after 1-file touch {warm_seconds * 1000.0:.0f}ms "
+        f"({cold.files_checked} files)"
+    )

@@ -61,7 +61,7 @@ def message_stats(trace: ExecutionTrace) -> MessageStats:
     counts = trace.messages_sent
     nodes = list(counts)
     frequencies = [trace.amortized_message_frequency(n) for n in nodes]
-    total = sum(counts.values())
+    total = sum(counts.values())  # reprolint: exact-fold (int counters)
     return MessageStats(
         total=total,
         per_node_mean=total / len(nodes),

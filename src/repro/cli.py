@@ -901,19 +901,40 @@ def _cmd_lint(args) -> int:
     from repro.errors import LintError
     from repro.lint import (
         DEFAULT_BASELINE_NAME,
+        PROJECT_RULES,
         RULES,
         lint_paths,
         load_baseline,
+        prune_baseline,
         write_baseline,
     )
 
     if args.list_rules:
+        catalog = list(RULES.values()) + list(PROJECT_RULES.values())
         rows = [
             [rule.id, rule.summary]
-            for rule in sorted(RULES.values(), key=lambda rule: rule.id)
+            for rule in sorted(catalog, key=lambda rule: rule.id)
         ]
         print(format_table(["rule", "enforces"], rows, title="reprolint rules"))
         print("catalog with rationale and examples: docs/LINT.md")
+        return 0
+
+    if args.prune_baseline:
+        if not os.path.exists(args.baseline):
+            print(f"repro lint: baseline not found: {args.baseline}",
+                  file=sys.stderr)
+            return 2
+        try:
+            _, removed = prune_baseline(args.baseline, root=os.getcwd())
+        except LintError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        if removed:
+            for entry in removed:
+                print(f"pruned stale baseline entry: {entry.path} "
+                      f"[{entry.rule}]")
+        else:
+            print("baseline is clean: no stale entries")
         return 0
 
     rules = None
@@ -934,10 +955,24 @@ def _cmd_lint(args) -> int:
             return 2
 
     try:
-        report = lint_paths(args.paths, rules=rules, baseline=baseline)
+        report = lint_paths(
+            args.paths,
+            rules=rules,
+            baseline=baseline,
+            graph=args.graph,
+            cache_path=args.cache,
+        )
     except LintError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
+
+    if baseline is not None:
+        for entry in baseline.stale_entries(os.getcwd()):
+            print(
+                f"repro lint: warning: baseline entry for missing file "
+                f"{entry.path} [{entry.rule}]; run --prune-baseline",
+                file=sys.stderr,
+            )
 
     if args.write_baseline:
         written = write_baseline(args.baseline, report.findings)
@@ -953,7 +988,15 @@ def _cmd_lint(args) -> int:
     else:
         for finding in report.findings:
             print(finding.format_text())
+            if args.call_chain and finding.chain:
+                for step in finding.format_chain():
+                    print(step)
         print(report.summary_line())
+        if args.cache:
+            print(
+                f"cache: {report.files_cached} file(s) warm, "
+                f"{report.files_reanalyzed} reanalyzed"
+            )
     return 0 if report.ok else 1
 
 
@@ -1367,6 +1410,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--list-rules", dest="list_rules", action="store_true",
         help="print the rule catalog and exit"
+    )
+    lint_parser.add_argument(
+        "--graph", dest="graph", action="store_true", default=True,
+        help="run the whole-program pass (call graph + R006/R009); "
+             "the default"
+    )
+    lint_parser.add_argument(
+        "--no-graph", dest="graph", action="store_false",
+        help="single-file rules only; skip the whole-program pass"
+    )
+    lint_parser.add_argument(
+        "--call-chain", dest="call_chain", action="store_true",
+        help="with --format text, print the full source→sink call "
+             "chain under each interprocedural finding"
+    )
+    lint_parser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental cache file (sha256-keyed per-file results; "
+             "output is byte-identical with or without it)"
+    )
+    lint_parser.add_argument(
+        "--prune-baseline", dest="prune_baseline", action="store_true",
+        help="drop baseline entries whose files no longer exist, "
+             "then exit"
     )
     lint_parser.set_defaults(handler=_cmd_lint)
 

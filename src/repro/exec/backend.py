@@ -331,7 +331,7 @@ class WorkQueue:
         )
         os.close(fd)
         try:
-            os.rename(lease, tombstone)
+            os.replace(lease, tombstone)
         except OSError:
             try:
                 os.unlink(tombstone)
@@ -393,7 +393,9 @@ def drain_queue(
     queue = WorkQueue(queue_dir)
     queue.ensure()
     policy = retry if retry is not None else RetryPolicy(max_retries=0)
-    owner = f"worker-{worker_index}-pid-{os.getpid()}"
+    # The pid only labels the lease file for post-mortem debugging; it
+    # never reaches a result record, summary, or digest.
+    owner = f"worker-{worker_index}-pid-{os.getpid()}"  # reprolint: disable=R006
     doomed = chaos is not None and chaos.doomed(worker_index, worker_count)
     claimed = 0
     completed = 0
@@ -412,7 +414,9 @@ def drain_queue(
                 # Die the way a real fault would: attempt charged, lease
                 # held, no result written.
                 queue.write_attempts(key, queue.read_attempts(key) + 1)
-                os.kill(os.getpid(), signal.SIGKILL)
+                # Chaos-harness suicide: the pid addresses *this* process
+                # for SIGKILL and never enters any output.
+                os.kill(os.getpid(), signal.SIGKILL)  # reprolint: disable=R006
             heartbeat = _LeaseHeartbeat(queue.lease_path(key), lease_ttl / 4.0)
             heartbeat.start()
             try:

@@ -176,7 +176,9 @@ def _attempt_deadline(seconds: Optional[float]):
     usable = (
         seconds is not None
         and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
+        # Capability probe (SIGALRM needs the main thread); the thread
+        # identity gates the timeout mechanism, never the results.
+        and threading.current_thread() is threading.main_thread()  # reprolint: disable=R006
     )
     if not usable:
         yield

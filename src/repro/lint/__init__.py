@@ -6,7 +6,16 @@ runs exactly, and the lower-bound adversaries compare indistinguishable
 executions message-for-message.  One unordered set iteration or unseeded
 RNG silently breaks all of it, so this package machine-checks the
 project's determinism invariants as named, suppressible rules (R001 —
-R005; catalog in ``docs/LINT.md``).
+R009; catalog in ``docs/LINT.md``).
+
+Two kinds of rules run in one invocation:
+
+* **single-file rules** (R001–R005, R007, R008) see one parsed module at
+  a time;
+* **whole-program rules** (R006, R009) run over a project-wide symbol
+  table and call graph (:mod:`repro.lint.graph`) with interprocedural
+  taint propagation (:mod:`repro.lint.taint`), so nondeterminism that
+  crosses module boundaries is caught too.
 
 Usage::
 
@@ -20,10 +29,16 @@ or from the command line (exit 0 clean, 1 findings, 2 usage error)::
     python -m repro lint src benchmarks
     python -m repro lint --list-rules
     python -m repro lint --format json --no-baseline src
+    python -m repro lint --cache .reprolint-cache.json src benchmarks
+    python -m repro lint --call-chain src
+    python -m repro lint --prune-baseline
 
 Suppress one finding inline with ``# reprolint: disable=RXXX`` on the
 offending line; accept a whole ``(path, rule)`` pair in the committed
-``.reprolint-baseline.json`` (see :mod:`repro.lint.baseline`).
+``.reprolint-baseline.json`` (see :mod:`repro.lint.baseline`).  For the
+interprocedural rule R006, suppressing on the *source* line silences
+every chain through that read; suppressing on the reported call line
+silences only that sink-side finding.
 """
 
 from repro.lint.baseline import (
@@ -31,30 +46,48 @@ from repro.lint.baseline import (
     BaselineEntry,
     DEFAULT_BASELINE_NAME,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
+from repro.lint.cache import LINT_CACHE_VERSION, LintCache, file_sha256
 from repro.lint.engine import (
     LintReport,
     PARSE_ERROR_RULE,
+    all_rule_ids,
     iter_python_files,
     lint_paths,
 )
 from repro.lint.findings import Finding, ModuleInfo
+from repro.lint.graph import ModuleSummary, ProjectIndex, summarize_module
+from repro.lint.project_rules import PROJECT_RULES, ProjectRule, register_project
 from repro.lint.rules import RULES, Rule, register
+from repro.lint.taint import TaintAnalysis
 
 __all__ = [
     "Baseline",
     "BaselineEntry",
     "DEFAULT_BASELINE_NAME",
     "Finding",
+    "LINT_CACHE_VERSION",
+    "LintCache",
     "LintReport",
     "ModuleInfo",
+    "ModuleSummary",
     "PARSE_ERROR_RULE",
+    "PROJECT_RULES",
+    "ProjectIndex",
+    "ProjectRule",
     "RULES",
     "Rule",
+    "TaintAnalysis",
+    "all_rule_ids",
+    "file_sha256",
     "iter_python_files",
     "lint_paths",
     "load_baseline",
+    "prune_baseline",
     "register",
+    "register_project",
+    "summarize_module",
     "write_baseline",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "BaselineEntry",
     "DEFAULT_BASELINE_NAME",
     "load_baseline",
+    "prune_baseline",
     "write_baseline",
 ]
 
@@ -70,6 +71,22 @@ class Baseline:
 
     def matches(self, finding: Finding) -> bool:
         return (finding.path, finding.rule) in self._index
+
+    def stale_entries(
+        self, root: Union[str, Path]
+    ) -> Tuple[BaselineEntry, ...]:
+        """Entries whose ``path`` no longer exists under ``root``.
+
+        A waiver for a deleted file is dead weight at best; at worst it
+        silently re-activates when a *new* file is created at the same
+        path, inheriting an exemption nobody reviewed for it.
+        """
+        root = Path(root)
+        return tuple(
+            entry
+            for entry in self.entries
+            if not (root / entry.path).exists()
+        )
 
 
 def load_baseline(path: Union[str, Path]) -> Baseline:
@@ -115,3 +132,30 @@ def write_baseline(
     }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return Baseline(entries=entries)
+
+
+def prune_baseline(
+    path: Union[str, Path], root: Union[str, Path]
+) -> Tuple[Baseline, Tuple[BaselineEntry, ...]]:
+    """Drop baseline entries whose files no longer exist under ``root``.
+
+    Returns the pruned :class:`Baseline` and the removed entries.  The
+    file is rewritten (diff-stably) only when something was actually
+    stale; entry order and reasons are preserved for survivors.
+    """
+    baseline = load_baseline(path)
+    stale = baseline.stale_entries(root)
+    if not stale:
+        return baseline, ()
+    dead = {(entry.path, entry.rule) for entry in stale}
+    kept = tuple(
+        entry
+        for entry in baseline.entries
+        if (entry.path, entry.rule) not in dead
+    )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [entry.as_dict() for entry in kept],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return Baseline(entries=kept), stale

@@ -1,14 +1,21 @@
 """The reprolint engine: file traversal, rule dispatch, reporting.
 
 :func:`lint_paths` walks the given files/directories in sorted order,
-parses each module once, runs every applicable rule, applies inline
-``# reprolint: disable=RXXX`` suppressions and the committed baseline,
-and returns a :class:`LintReport` whose findings are sorted by
-``(path, line, col, rule)`` — lint output is deterministic by
-construction, like everything else in this repository.
+parses each module once (or reuses its content-hash cache entry, see
+:mod:`repro.lint.cache`), runs every applicable single-file rule, then
+assembles the per-module summaries into a project-wide call graph and
+runs the whole-program rules (R006/R009,
+:mod:`repro.lint.project_rules`) over it.  Inline ``# reprolint:
+disable=RXXX`` suppressions and the committed baseline apply to both
+passes, and findings are sorted by ``(path, line, col, rule)`` — lint
+output is deterministic by construction, like everything else in this
+repository.  Because the whole-program pass re-runs from summaries on
+every invocation, a cold run and a cache-warm run emit byte-identical
+reports.
 
 Unparseable files are reported as rule ``E001`` findings rather than
-aborting the run, so one syntax error does not hide every other finding.
+aborting the run, so one syntax error does not hide every other finding
+(the broken file simply drops out of the call graph until it parses).
 """
 
 from __future__ import annotations
@@ -16,14 +23,24 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import LintError
 from repro.lint.baseline import Baseline
+from repro.lint.cache import LintCache, file_sha256
 from repro.lint.findings import Finding, ModuleInfo
+from repro.lint.graph import ModuleSummary, ProjectIndex, summarize_module
+from repro.lint.project_rules import PROJECT_RULES, ProjectRule
 from repro.lint.rules import RULES, Rule
+from repro.lint.taint import TaintAnalysis
 
-__all__ = ["LintReport", "iter_python_files", "lint_paths", "PARSE_ERROR_RULE"]
+__all__ = [
+    "LintReport",
+    "iter_python_files",
+    "lint_paths",
+    "all_rule_ids",
+    "PARSE_ERROR_RULE",
+]
 
 #: Pseudo-rule id for files that fail to parse; not suppressible inline.
 PARSE_ERROR_RULE = "E001"
@@ -71,14 +88,26 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
             raise LintError(f"no such file or directory: {path}")
 
 
+def all_rule_ids() -> List[str]:
+    """Every registered rule id, single-file and whole-program, sorted."""
+    return sorted(set(RULES) | set(PROJECT_RULES))
+
+
 @dataclass
 class LintReport:
-    """The outcome of one lint run."""
+    """The outcome of one lint run.
+
+    ``files_cached``/``files_reanalyzed`` describe how the incremental
+    cache behaved; they are deliberately **excluded** from
+    :meth:`as_dict` so cold and warm runs serialize byte-identically.
+    """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed: int = 0
     baselined: int = 0
+    files_cached: int = 0
+    files_reanalyzed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -117,11 +146,60 @@ def _relpath(path: Path, root: Path) -> str:
     return rel.as_posix()
 
 
+def _split_rules(rules: Optional[Iterable[str]]):
+    """Validate a ``--rules`` filter against both registries."""
+    if rules is None:
+        file_rules: List[Rule] = [RULES[rule_id] for rule_id in sorted(RULES)]
+        project_rules: List[ProjectRule] = [
+            PROJECT_RULES[rule_id] for rule_id in sorted(PROJECT_RULES)
+        ]
+        return file_rules, project_rules
+    wanted = set(rules)
+    unknown = sorted(wanted - set(RULES) - set(PROJECT_RULES))
+    if unknown:
+        raise LintError(f"unknown rule id(s): {', '.join(unknown)}")
+    file_rules = [RULES[rule_id] for rule_id in sorted(wanted & set(RULES))]
+    project_rules = [
+        PROJECT_RULES[rule_id] for rule_id in sorted(wanted & set(PROJECT_RULES))
+    ]
+    return file_rules, project_rules
+
+
+def _lint_one_file(
+    path: Path, relpath: str, source: str, active: Sequence[Rule]
+):
+    """Run the single-file pass; returns (findings, suppressed, summary)."""
+    try:
+        module = ModuleInfo.parse(path, relpath, source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"syntax error: {exc.msg}",
+        )
+        return [finding], 0, None
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in active:
+        if not rule.applies(module):
+            continue
+        for finding in rule.check(module):
+            if rule.id in module.suppressions.get(finding.line, set()):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed, summarize_module(module)
+
+
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     rules: Optional[Iterable[str]] = None,
     baseline: Optional[Baseline] = None,
     root: Optional[Union[str, Path]] = None,
+    graph: bool = True,
+    cache_path: Optional[Union[str, Path]] = None,
 ) -> LintReport:
     """Lint ``paths`` and return a :class:`LintReport`.
 
@@ -131,53 +209,87 @@ def lint_paths(
         Files and/or directories to lint.
     rules:
         Optional iterable of rule ids to run (default: all registered
-        rules).  Unknown ids raise :class:`~repro.errors.LintError`.
+        rules, single-file and whole-program).  Unknown ids raise
+        :class:`~repro.errors.LintError`.
     baseline:
         Optional committed :class:`~repro.lint.baseline.Baseline`;
         matched findings are counted, not reported.
     root:
         Directory findings paths are reported relative to (default:
         the current working directory).
+    graph:
+        Run the whole-program pass (module summaries → call graph →
+        R006/R009).  Disable for single-file-only linting.
+    cache_path:
+        Optional path to the incremental cache file.  Unchanged files
+        (by sha256) reuse their cached findings and module summary;
+        the whole-program pass always re-runs, so results are
+        byte-identical with and without a warm cache.
     """
-    if rules is None:
-        active: List[Rule] = [RULES[rule_id] for rule_id in sorted(RULES)]
-    else:
-        unknown = sorted(set(rules) - set(RULES))
-        if unknown:
-            raise LintError(f"unknown rule id(s): {', '.join(unknown)}")
-        active = [RULES[rule_id] for rule_id in sorted(set(rules))]
+    file_rules, project_rules = _split_rules(rules)
 
     root_path = Path(root) if root is not None else Path.cwd()
+    cache: Optional[LintCache] = None
+    if cache_path is not None:
+        cache = LintCache.load(cache_path, [rule.id for rule in file_rules])
+
     report = LintReport()
+    summaries: List[ModuleSummary] = []
+    summary_by_path: Dict[str, ModuleSummary] = {}
+    relpaths: List[str] = []
     for path in iter_python_files(paths):
         report.files_checked += 1
         relpath = _relpath(path, root_path)
+        relpaths.append(relpath)
         try:
             source = path.read_text()
         except OSError as exc:
             raise LintError(f"cannot read {path}: {exc}") from exc
-        try:
-            module = ModuleInfo.parse(path, relpath, source)
-        except SyntaxError as exc:
-            report.findings.append(
-                Finding(
-                    path=relpath,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    rule=PARSE_ERROR_RULE,
-                    message=f"syntax error: {exc.msg}",
-                )
+        sha = file_sha256(source)
+        entry = cache.get(relpath, sha) if cache is not None else None
+        if entry is not None:
+            report.files_cached += 1
+            findings = entry.findings
+            suppressed = entry.suppressed
+            summary = entry.summary
+        else:
+            report.files_reanalyzed += 1
+            findings, suppressed, summary = _lint_one_file(
+                path, relpath, source, file_rules
             )
-            continue
-        for rule in active:
-            if not rule.applies(module):
-                continue
-            for finding in rule.check(module):
-                if rule.id in module.suppressions.get(finding.line, set()):
+            if cache is not None:
+                cache.put(relpath, sha, findings, suppressed, summary)
+        report.suppressed += suppressed
+        for finding in findings:
+            if baseline is not None and baseline.matches(finding):
+                report.baselined += 1
+            else:
+                report.findings.append(finding)
+        if summary is not None:
+            summaries.append(summary)
+            summary_by_path[relpath] = summary
+
+    if graph and project_rules:
+        index = ProjectIndex(summaries)
+        taint = TaintAnalysis(index)
+        for project_rule in project_rules:
+            for finding in project_rule.check(index, taint):
+                summary = summary_by_path.get(finding.path)
+                disabled = (
+                    summary.suppressions.get(finding.line, [])
+                    if summary is not None
+                    else []
+                )
+                if project_rule.id in disabled:
                     report.suppressed += 1
                 elif baseline is not None and baseline.matches(finding):
                     report.baselined += 1
                 else:
                     report.findings.append(finding)
+
+    if cache is not None and cache_path is not None:
+        cache.retain(relpaths)
+        cache.save(cache_path)
+
     report.findings.sort(key=Finding.sort_key)
     return report

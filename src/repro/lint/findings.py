@@ -25,18 +25,28 @@ from typing import Dict, List, Set, Tuple, Union
 
 __all__ = ["Finding", "ModuleInfo"]
 
+_EMPTY_CHAIN: Tuple[str, ...] = ()
+
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]*)")
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    Whole-program findings (R006) additionally carry ``chain``: the full
+    source→sink call chain, one rendered step per element, so the
+    interprocedural path that produced the finding survives into JSON
+    output and ``--call-chain`` rendering.  Single-file findings leave it
+    empty.
+    """
 
     path: str  #: posix-style path, relative to the lint root when possible
     line: int  #: 1-indexed line number
     col: int  #: 0-indexed column, as reported by :mod:`ast`
     rule: str  #: rule identifier, e.g. ``"R003"``
     message: str
+    chain: Tuple[str, ...] = _EMPTY_CHAIN  #: call-chain steps, sink first
 
     def sort_key(self) -> Tuple[str, int, int, str, str]:
         return (self.path, self.line, self.col, self.rule, self.message)
@@ -48,10 +58,27 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "chain": list(self.chain),
         }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        """Rebuild a finding from :meth:`as_dict` output (cache reload)."""
+        return cls(
+            path=str(raw["path"]),
+            line=int(raw["line"]),
+            col=int(raw["col"]),
+            rule=str(raw["rule"]),
+            message=str(raw["message"]),
+            chain=tuple(str(step) for step in raw.get("chain", ())),
+        )
 
     def format_text(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def format_chain(self) -> List[str]:
+        """Indented per-step lines for ``--call-chain`` text output."""
+        return [f"    {'-> ' if i else 'at '}{step}" for i, step in enumerate(self.chain)]
 
 
 @dataclass

@@ -46,6 +46,8 @@ __all__ = [
     "UnorderedIterationRule",
     "DigestCoverageRule",
     "PublicExportsRule",
+    "FloatExactnessRule",
+    "AtomicIORule",
 ]
 
 
@@ -770,3 +772,266 @@ class PublicExportsRule(Rule):
                     f"public {kind} {name!r} is missing from __all__; "
                     "export it or prefix it with an underscore",
                 )
+
+
+# ---------------------------------------------------------------------------
+# R007 — float-exactness: no order-sensitive reductions in summary paths
+# ---------------------------------------------------------------------------
+
+
+@register
+class FloatExactnessRule(Rule):
+    """Summary reductions must fold in a pinned, order-exact sequence.
+
+    Floating-point addition is not associative: ``sum()`` over a ``set``
+    or over ``dict.values()`` folds in hash order, and ``np.sum`` may
+    pick a pairwise or vectorised association — either can flip the last
+    ulp of a skew summary between runs or between the streaming and
+    trace paths, breaking the byte-identical parity contract
+    (docs/ENGINE.md).  The rule scopes itself to the ``sim/`` and
+    ``analysis/`` trees and flags:
+
+    * ``sum(...)`` whose argument is a set expression or any
+      ``<x>.values()`` call (dict value order is insertion order, but
+      nothing pins the insertion order of the dict being summed — make
+      the order explicit);
+    * numpy reductions (``np.sum``, ``np.prod``, ``np.add.reduce``,
+      ``np.cumsum``, ``np.dot``) outside the pinned expression-sequence
+      pattern documented in docs/ENGINE.md.
+
+    A reduction whose operands are provably order-exact (integer
+    counters, or a sequence already pinned to a canonical order) is
+    sanctioned with ``# reprolint: exact-fold`` on the line.
+    """
+
+    id = "R007"
+    summary = "no order-sensitive reductions in sim/analysis summary paths"
+
+    _SCOPE_SEGMENTS = frozenset({"sim", "analysis"})
+    _NUMPY_REDUCERS = frozenset({"sum", "prod", "cumsum", "cumprod", "dot"})
+    _MARKER = "exact-fold"
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return bool(self._SCOPE_SEGMENTS.intersection(module.path_parts[:-1]))
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        numpy_aliases: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if module.has_marker(node.lineno, self._MARKER):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "sum":
+                yield from self._check_builtin_sum(module, node)
+            else:
+                parts = _dotted_parts(node.func)
+                if (
+                    parts is not None
+                    and len(parts) >= 2
+                    and parts[0] in numpy_aliases
+                ):
+                    yield from self._check_numpy(module, node, parts)
+
+    def _check_builtin_sum(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not node.args:
+            return
+        arg = node.args[0]
+        if self._is_set_expr(arg):
+            yield module.finding(
+                node,
+                self.id,
+                "sum() over a set folds in hash order, which is not "
+                "reproducible across processes; fold over "
+                "sorted(...) or mark `# reprolint: exact-fold` if the "
+                "operands are order-exact (e.g. integers)",
+            )
+        elif (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Attribute)
+            and arg.func.attr == "values"
+            and not arg.args
+        ):
+            yield module.finding(
+                node,
+                self.id,
+                "sum() over .values() folds in dict insertion order, "
+                "which nothing pins here; fold over a sorted key order "
+                "or mark `# reprolint: exact-fold` if the operands are "
+                "order-exact (e.g. integer counters)",
+            )
+
+    def _check_numpy(
+        self, module: ModuleInfo, node: ast.Call, parts: Tuple[str, ...]
+    ) -> Iterator[Finding]:
+        tail = parts[-1]
+        reduce_call = tail == "reduce" and len(parts) >= 3
+        if not (tail in self._NUMPY_REDUCERS or reduce_call):
+            return
+        dotted = ".".join(parts)
+        yield module.finding(
+            node,
+            self.id,
+            f"numpy reduction {dotted}() may fold pairwise/vectorised, "
+            "not left-to-right; use the pinned expression-sequence "
+            "pattern from docs/ENGINE.md (math.fsum or an explicit "
+            "ordered loop) or mark `# reprolint: exact-fold` with a "
+            "reason",
+        )
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+
+# ---------------------------------------------------------------------------
+# R008 — atomic IO in the campaign-execution persistence modules
+# ---------------------------------------------------------------------------
+
+
+@register
+class AtomicIORule(Rule):
+    """Result publication must follow fsync-before-rename discipline.
+
+    The work-queue backend's crash-safety proof (docs/EXECUTION.md)
+    rests on three idioms, each of which this rule enforces statically
+    in ``exec/backend.py``, ``exec/cache.py``, and ``exec/manifest.py``:
+
+    * **Durable publish** — a file written with ``open(..., "w")`` and
+      then published with ``os.rename``/``os.replace`` must be
+      ``os.fsync``'d first, or a crash after the rename can leave the
+      *destination* pointing at zero-length data on some filesystems;
+    * **Exclusive lease creation** — ``os.open`` with ``O_CREAT`` must
+      also pass ``O_EXCL``, otherwise two workers can both believe they
+      created the lease and the mutual-exclusion argument collapses;
+    * **`os.replace` over `os.rename`** — bare ``os.rename`` raises on
+      Windows when the destination exists and is not an atomic overwrite
+      there; ``os.replace`` has the POSIX semantics everywhere.
+    """
+
+    id = "R008"
+    summary = "fsync-before-rename, O_CREAT|O_EXCL leases, os.replace"
+
+    _FILES = frozenset({"backend.py", "cache.py", "manifest.py"})
+    _WRITE_MODES = ("w", "a", "x", "r+", "w+", "a+")
+
+    def applies(self, module: ModuleInfo) -> bool:
+        return module.name in self._FILES and "exec" in module.path_parts[:-1]
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        os_mods: Set[str] = {"os"}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "os":
+                        os_mods.add(alias.asname or "os")
+        for func in ast.walk(module.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, func, os_mods)
+
+    def _check_function(
+        self, module: ModuleInfo, func: ast.AST, os_mods: Set[str]
+    ) -> Iterator[Finding]:
+        write_opens: List[int] = []
+        fsyncs: List[int] = []
+        renames: List[Tuple[ast.Call, str]] = []
+        for node in self._own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted_parts(node.func)
+            if parts is None:
+                continue
+            if parts == ("open",) or (
+                len(parts) == 2 and parts[0] in os_mods and parts[1] == "fdopen"
+            ):
+                if self._is_write_open(node):
+                    write_opens.append(node.lineno)
+            elif len(parts) == 2 and parts[0] in os_mods:
+                tail = parts[1]
+                if tail == "fsync":
+                    fsyncs.append(node.lineno)
+                elif tail in ("rename", "replace"):
+                    renames.append((node, tail))
+                elif tail == "open":
+                    yield from self._check_os_open(module, node)
+
+        for node, tail in sorted(renames, key=lambda r: r[0].lineno):
+            if tail == "rename":
+                yield module.finding(
+                    node,
+                    self.id,
+                    "bare os.rename(); use os.replace() so the publish is "
+                    "an atomic overwrite on every platform",
+                )
+            prior_open = max(
+                (line for line in write_opens if line < node.lineno),
+                default=None,
+            )
+            if prior_open is not None and not any(
+                prior_open < line < node.lineno for line in fsyncs
+            ):
+                yield module.finding(
+                    node,
+                    self.id,
+                    f"os.{tail}() publishes a file written at line "
+                    f"{prior_open} without an intervening os.fsync(); a "
+                    "crash after the rename can leave the destination "
+                    "with zero-length data",
+                )
+
+    @staticmethod
+    def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``func``'s body, pruning nested defs (they get their own
+        visit from the module-level walk, so descending twice would
+        duplicate findings and confuse the fsync line-ordering check)."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _is_write_open(self, node: ast.Call) -> bool:
+        mode: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+            return False
+        return any(flag in mode.value for flag in self._WRITE_MODES)
+
+    def _check_os_open(
+        self, module: ModuleInfo, node: ast.Call
+    ) -> Iterator[Finding]:
+        flag_names: Set[str] = set()
+        for arg in node.args[1:2] or [
+            kw.value for kw in node.keywords if kw.arg == "flags"
+        ]:
+            for sub in ast.walk(arg):
+                parts = _dotted_parts(sub)
+                if parts is not None and parts[-1].startswith("O_"):
+                    flag_names.add(parts[-1])
+        if "O_CREAT" in flag_names and "O_EXCL" not in flag_names:
+            yield module.finding(
+                node,
+                self.id,
+                "os.open() with O_CREAT but without O_EXCL: two workers "
+                "can both believe they created the file; lease "
+                "arbitration requires O_CREAT|O_EXCL",
+            )

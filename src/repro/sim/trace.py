@@ -640,10 +640,10 @@ class ExecutionTrace:
     # -- aggregate counters ----------------------------------------------------
 
     def total_messages(self) -> int:
-        return sum(self.messages_sent.values())
+        return sum(self.messages_sent.values())  # reprolint: exact-fold (int counters)
 
     def total_bits(self) -> int:
-        return sum(self.bits_sent.values())
+        return sum(self.bits_sent.values())  # reprolint: exact-fold (int counters)
 
     def amortized_message_frequency(self, node: NodeId) -> float:
         """Messages per unit real time at ``node`` over its *active* period.

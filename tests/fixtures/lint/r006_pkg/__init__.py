@@ -1,0 +1,10 @@
+"""R006 fixture package: re-exports the wall-clock helper.
+
+The re-export is the point — consumers import ``stamp`` from the
+package, so the analyzer must follow ``r006_pkg`` → ``r006_pkg.clock``
+to resolve the chain.
+"""
+
+from .clock import stamp
+
+__all__ = ["stamp"]

@@ -1,0 +1,14 @@
+"""R006 fixture: the nondeterminism source, behind an import alias.
+
+Deliberately *not* in a sim/exec/faults directory and not digest-named,
+so the single-file R002 never fires here — only the interprocedural
+pass can connect this read to the digest code that consumes it.
+"""
+
+from time import time as wall
+
+__all__ = ["stamp"]
+
+
+def stamp() -> float:
+    return wall()

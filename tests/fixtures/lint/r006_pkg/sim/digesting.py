@@ -1,0 +1,20 @@
+"""R006 fixture: a sim-layer digest path reaching the clock helper.
+
+Expected: exactly ONE R006 finding, at ``_encode``'s call to ``mark()``
+— the frontier function.  ``spec_digest`` is also in scope, but fixing
+``_encode`` fixes it too, so it must NOT be double-reported.  The chain
+spans two modules (this one and ``r006_pkg/clock.py``) through a
+package re-export plus an ``as``-alias.
+"""
+
+from r006_pkg import stamp as mark
+
+__all__ = ["spec_digest"]
+
+
+def _encode(payload: dict) -> str:
+    return f"{sorted(payload.items())}|{mark()}"
+
+
+def spec_digest(payload: dict) -> str:
+    return _encode(payload)

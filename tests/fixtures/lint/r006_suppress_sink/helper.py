@@ -1,0 +1,9 @@
+"""R006 fixture: an unsuppressed wall-clock helper (sink-side variant)."""
+
+import time
+
+__all__ = ["raw_stamp"]
+
+
+def raw_stamp() -> float:
+    return time.time()

@@ -1,0 +1,17 @@
+"""R006 fixture: sink-side suppression on the reported call line.
+
+Only this consumer's finding is waived; a second, unsuppressed consumer
+in the same package must still be flagged.
+"""
+
+from r006_suppress_sink.helper import raw_stamp
+
+__all__ = ["spec_digest", "other_digest"]
+
+
+def spec_digest(payload: dict) -> str:
+    return f"{sorted(payload.items())}|{raw_stamp()}"  # reprolint: disable=R006 -- fixture: waived at the sink
+
+
+def other_digest(payload: dict) -> str:
+    return f"{sorted(payload.items())}|{raw_stamp()}"

@@ -1,0 +1,14 @@
+"""R006 fixture: source-side suppression silences every chain.
+
+The disable comment sits on the line that *reads* the clock, so the
+read is sanctioned at its origin — no consumer anywhere may be flagged
+for reaching it.
+"""
+
+import time
+
+__all__ = ["sanctioned_stamp"]
+
+
+def sanctioned_stamp() -> float:
+    return time.time()  # reprolint: disable=R006 -- telemetry label, stripped before digests

@@ -1,0 +1,9 @@
+"""R006 fixture: consumes a source-suppressed helper — must stay silent."""
+
+from r006_suppress_source.helper import sanctioned_stamp
+
+__all__ = ["spec_digest"]
+
+
+def spec_digest(payload: dict) -> str:
+    return f"{sorted(payload.items())}|{sanctioned_stamp()}"

@@ -1,0 +1,25 @@
+"""R007 fixture: order-sensitive reductions in a sim summary path.
+
+Three violations (sum over a set, sum over .values(), an unpinned
+np.sum) and one sanctioned fold that must stay silent.
+"""
+
+import numpy as np
+
+__all__ = ["bad_set_fold", "bad_values_fold", "bad_numpy_fold", "pinned_fold"]
+
+
+def bad_set_fold(skews) -> float:
+    return sum({round(s, 9) for s in skews})
+
+
+def bad_values_fold(per_node: dict) -> float:
+    return sum(per_node.values())
+
+
+def bad_numpy_fold(samples) -> float:
+    return float(np.sum(samples))
+
+
+def pinned_fold(per_node: dict) -> int:
+    return sum(per_node.values())  # reprolint: exact-fold (integer counters; order-exact)

@@ -1,0 +1,48 @@
+"""R008 fixture: the genuine pre-fix lease/publish bodies.
+
+``reclaim_lease`` is the pre-fix body of
+``repro.exec.backend.WorkQueue._reclaim`` (bare ``os.rename``);
+``publish_record`` writes then renames with no fsync; ``claim_lease``
+creates the lease without ``O_EXCL``.  Reverting any of the PR's
+atomic-IO fixes would reintroduce one of these shapes and fail the
+lint gate.
+"""
+
+import os
+import tempfile
+
+__all__ = ["reclaim_lease", "publish_record", "claim_lease"]
+
+
+def reclaim_lease(root: str, lease: str) -> bool:
+    reclaimed_dir = os.path.join(root, "reclaimed")
+    fd, tombstone = tempfile.mkstemp(
+        dir=reclaimed_dir, prefix=os.path.basename(lease) + "."
+    )
+    os.close(fd)
+    try:
+        os.rename(lease, tombstone)
+    except OSError:
+        try:
+            os.unlink(tombstone)
+        except OSError:
+            pass
+        return False
+    return True
+
+
+def publish_record(path: str, payload: str) -> None:
+    tmp_name = path + ".tmp"
+    with open(tmp_name, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+    os.replace(tmp_name, path)
+
+
+def claim_lease(path: str, owner: str) -> bool:
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        handle.write(owner)
+    return True

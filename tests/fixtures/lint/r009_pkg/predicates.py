@@ -1,0 +1,21 @@
+"""R009 fixture: one impure and one pure certificate predicate."""
+
+import random
+
+__all__ = ["impure_excess", "pure_excess"]
+
+_CALLS = 0
+
+
+def impure_excess(trace, bound) -> float:
+    global _CALLS
+    _CALLS = _CALLS + 1
+    with open("/tmp/cert-debug.log", "a") as handle:
+        handle.write(repr(trace))
+    jitter = random.Random(0).random()
+    return bound + jitter
+
+
+def pure_excess(trace, bound) -> float:
+    worst = max((skew for _, skew in sorted(trace)), default=0.0)
+    return worst - bound

@@ -1,0 +1,31 @@
+"""R009 fixture: registers predicates the way ``repro.cert`` does.
+
+``SkewCertificate`` need not resolve — any ``*Certificate(...)`` call
+is a registration site, and its bare-name arguments are the predicates
+held to the purity contract.  ``DemoCertificate``'s ``check_trace``
+method is a predicate by virtue of the class name alone.
+"""
+
+from r009_pkg.predicates import impure_excess, pure_excess
+
+__all__ = ["REGISTRY", "DemoCertificate"]
+
+REGISTRY = {
+    "impure": SkewCertificate(  # noqa: F821 -- fixture, never imported
+        name="impure",
+        trace_excess=impure_excess,
+    ),
+    "pure": SkewCertificate(  # noqa: F821 -- fixture, never imported
+        name="pure",
+        trace_excess=pure_excess,
+    ),
+}
+
+
+class DemoCertificate:
+    def check_trace(self, trace) -> bool:
+        print("checking", trace)
+        return True
+
+    def bound(self, diameter: float) -> float:
+        return 2.0 * diameter

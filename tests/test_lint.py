@@ -241,7 +241,11 @@ class TestEngine:
         assert not baseline.matches(Finding("y.py", 1, 0, "R001", "m"))
 
     def test_rule_registry_is_complete(self):
-        assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005"]
+        # Single-file rules only; R006/R009 live in PROJECT_RULES (see
+        # test_lint_graph.py for the whole-program registry).
+        assert sorted(RULES) == [
+            "R001", "R002", "R003", "R004", "R005", "R007", "R008"
+        ]
         for rule in RULES.values():
             assert rule.summary
 
@@ -291,7 +295,8 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert cli_main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005",
+                        "R006", "R007", "R008", "R009"):
             assert rule_id in out
 
     def test_write_baseline_accepts_findings(self, tmp_path, capsys):
