@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend test-dynamic perf-smoke lint lint-cold bench examples report sweep-smoke profile-smoke certify-smoke check clean
+.PHONY: install test test-slow test-faults test-obs test-lint test-cert test-parity test-backend test-dynamic test-byzantine perf-smoke lint lint-cold bench examples report sweep-smoke profile-smoke certify-smoke check clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -54,6 +54,12 @@ test-backend:
 test-dynamic:
 	$(PYTHON) -m pytest tests/ benchmarks/ -m dynamic
 
+# The Byzantine fault model end to end: corruption-hash units, the
+# engine attack/recovery suite, the differential-survival regression,
+# and the skew-vs-fraction degradation benchmarks (docs/FAULTS.md).
+test-byzantine:
+	$(PYTHON) -m pytest tests/ benchmarks/ -m byzantine
+
 # Speedup floors vs the recorded seed baseline JSON (small + mid
 # workloads; the full curve runs under `make bench`).
 perf-smoke:
@@ -95,6 +101,8 @@ sweep-smoke: lint lint-cold profile-smoke certify-smoke perf-smoke
 		--workers auto --no-cache
 	$(PYTHON) -m repro faults --scenario partition --nodes 8 \
 		--workers auto --no-cache
+	$(PYTHON) -m repro faults --byzantine --nodes 8 \
+		--workers auto --no-cache
 	rm -rf /tmp/repro-smoke-queue /tmp/repro-smoke-manifest.json
 	! $(PYTHON) -m repro sweep --topology line --diameters 2 4 \
 		--workers 2 --no-cache --backend work-queue \
@@ -118,6 +126,7 @@ profile-smoke:
 # counterexample must still replay (exit 1 = reproduced, by contract).
 certify-smoke:
 	$(PYTHON) -m repro certify --budget 12 --seed 0 --workers auto
+	$(PYTHON) -m repro certify --byzantine --differential --budget 3 --seed 0
 	! $(PYTHON) -m repro certify \
 		--replay tests/fixtures/cert/repro-thm-5.5-global-skew.json
 
@@ -130,7 +139,7 @@ examples:
 report:
 	$(PYTHON) -m repro report --output report.md
 
-check: lint lint-cold test test-parity test-backend test-dynamic perf-smoke certify-smoke bench
+check: lint lint-cold test test-parity test-backend test-dynamic test-byzantine perf-smoke certify-smoke bench
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis report.md

@@ -22,6 +22,11 @@ Execution certificates (checked on every fuzzed run):
 ``monotonicity``         logical clocks never run backwards
 ``kllo-stabilization``   after the last topology change, spread ≤ ``G``
                          once the settle bound elapses (KLLO-style claim)
+``ftgcs-byzantine-skew`` with < 1/3 Byzantine neighbors per node, global
+                         skew ≤ ``G + κ`` (Bund–Lenzen–Rosenbaum claim;
+                         *requires* a Byzantine schedule)
+``gcs-pcls-local-skew``  the PCLS rate discipline keeps local skew within
+                         the Theorem 5.10 bound (fault-free)
 =====================  ==========================================================
 
 Construction certificates (self-contained lower-bound replays, run once
@@ -44,6 +49,14 @@ certificates require ``dynamic_compatible`` executions, while
 ``kllo-stabilization`` goes the other way — it *requires* a topology
 schedule, because its claim is about re-convergence after the last
 change.
+
+Byzantine schedules (``FaultSchedule.byzantine``) follow the same
+pattern: the skew theorems assume honest messages, so under corruption
+only ``byzantine_compatible`` certificates remain claims (the envelope/
+rate/monotonicity conditions — a node's *own* clock is never touched by
+in-flight corruption), and ``ftgcs-byzantine-skew`` *requires* a
+Byzantine schedule, because on honest runs Theorem 5.5 already states a
+strictly tighter claim.
 """
 
 from __future__ import annotations
@@ -63,6 +76,7 @@ __all__ = [
     "CertificateVerdict",
     "Certificate",
     "SkewCertificate",
+    "ByzantineSkewCertificate",
     "MonitorCertificate",
     "ConstructionCertificate",
     "CERTIFICATES",
@@ -86,7 +100,15 @@ _AOPT_FAMILY = (
     "aopt-broken-rate",
     "kllo-dynamic",
     "kllo-frozen",
+    "ftgcs",
+    "ftgcs-trusting",
+    "gcs-pcls",
 )
+
+#: The algorithms the Byzantine skew certificate holds to its claim:
+#: ``ftgcs`` is built to satisfy it, ``ftgcs-trusting`` is planted to
+#: fail it, and the unfiltered baselines demonstrate the attack.
+_BYZANTINE_FAMILY = ("aopt", "aopt-ft", "ftgcs", "ftgcs-trusting")
 
 _VIOLATION_TIME = re.compile(r"/t=([0-9eE+.-]+):")
 
@@ -138,6 +160,8 @@ class Certificate:
         fault_compatible: bool = False,
         dynamic_compatible: bool = False,
         requires_dynamic: bool = False,
+        byzantine_compatible: bool = False,
+        requires_byzantine: bool = False,
     ):
         self.name = name
         self.theorem = theorem
@@ -146,12 +170,15 @@ class Certificate:
         self.fault_compatible = fault_compatible
         self.dynamic_compatible = dynamic_compatible
         self.requires_dynamic = requires_dynamic
+        self.byzantine_compatible = byzantine_compatible
+        self.requires_byzantine = requires_byzantine
 
     def applies_to(
         self,
         algorithm: str,
         has_faults: bool = False,
         has_topology_schedule: bool = False,
+        has_byzantine: bool = False,
     ) -> bool:
         """Does this certificate's claim cover the given execution?"""
         if algorithm not in self.governs:
@@ -159,6 +186,10 @@ class Certificate:
         if self.requires_dynamic and not has_topology_schedule:
             return False
         if has_topology_schedule and not self.dynamic_compatible:
+            return False
+        if self.requires_byzantine and not has_byzantine:
+            return False
+        if has_byzantine and not self.byzantine_compatible:
             return False
         return self.fault_compatible or not has_faults
 
@@ -185,8 +216,25 @@ class Certificate:
 class SkewCertificate(Certificate):
     """An upper bound on the execution's exact global or local skew."""
 
-    def __init__(self, name, theorem, claim, metric: str):
-        super().__init__(name, theorem, claim, fault_compatible=False)
+    def __init__(
+        self,
+        name,
+        theorem,
+        claim,
+        metric: str,
+        governs: Tuple[str, ...] = _AOPT_FAMILY,
+        byzantine_compatible: bool = False,
+        requires_byzantine: bool = False,
+    ):
+        super().__init__(
+            name,
+            theorem,
+            claim,
+            governs=governs,
+            fault_compatible=False,
+            byzantine_compatible=byzantine_compatible,
+            requires_byzantine=requires_byzantine,
+        )
         if metric not in ("global", "local"):
             raise ConfigurationError(f"unknown skew metric {metric!r}")
         self.metric = metric
@@ -230,6 +278,36 @@ class SkewCertificate(Certificate):
         return self._verdict(extremum.value, extremum.time, params, diameter)
 
 
+class ByzantineSkewCertificate(SkewCertificate):
+    """The fault-tolerant GCS claim: bounded skew *despite* Byzantine nodes.
+
+    Bund–Lenzen–Rosenbaum: with fewer than a third of each node's
+    neighbors Byzantine (the fuzzer's Byzantine scenarios guarantee the
+    fraction; see :mod:`repro.cert.fuzzer`), the estimate filter keeps
+    the corrupted values out of the rate rule and the global skew stays
+    within the faultless bound plus one skew quantum of slack.  The
+    certificate *requires* a Byzantine schedule — on faultless runs the
+    plain Theorem 5.5 certificate already covers a strictly tighter
+    claim — and governs the unfiltered baselines too, which is how the
+    harness demonstrates the attack: ``aopt`` (and the planted
+    ``ftgcs-trusting``) violate it while ``ftgcs`` holds.
+    """
+
+    def __init__(self, name, theorem, claim):
+        super().__init__(
+            name,
+            theorem,
+            claim,
+            metric="global",
+            governs=_BYZANTINE_FAMILY,
+            byzantine_compatible=True,
+            requires_byzantine=True,
+        )
+
+    def bound(self, params: SyncParams, diameter: int) -> float:
+        return global_skew_bound(params, diameter) + params.kappa
+
+
 def _earliest_violation_time(violations: List[str]) -> Optional[float]:
     """Parse the earliest ``/t=<time>:`` stamp out of monitor violation strings."""
     times = []
@@ -259,6 +337,7 @@ class MonitorCertificate(Certificate):
         fault_compatible: bool = True,
         dynamic_compatible: bool = False,
         requires_dynamic: bool = False,
+        byzantine_compatible: bool = True,
     ):
         super().__init__(
             name,
@@ -268,6 +347,7 @@ class MonitorCertificate(Certificate):
             fault_compatible=fault_compatible,
             dynamic_compatible=dynamic_compatible,
             requires_dynamic=requires_dynamic,
+            byzantine_compatible=byzantine_compatible,
         )
         self.monitor = monitor
         self._trace_excess = trace_excess
@@ -474,10 +554,25 @@ def _build_registry() -> Dict[str, Certificate]:
             governs=("kllo-dynamic", "kllo-frozen"),
             # The settle bound accounts for topology changes only — a
             # crash recovering after t_s could fail the claim spuriously,
-            # so injected faults put a scenario outside it.
+            # so injected faults put a scenario outside it.  The same
+            # goes for a Byzantine node corrupting messages past t_s.
             fault_compatible=False,
             dynamic_compatible=True,
             requires_dynamic=True,
+            byzantine_compatible=False,
+        ),
+        ByzantineSkewCertificate(
+            "ftgcs-byzantine-skew",
+            "Bund-Lenzen-Rosenbaum fault-tolerant GCS",
+            "with < 1/3 Byzantine neighbors per node, global skew <= G + kappa",
+        ),
+        SkewCertificate(
+            "gcs-pcls-local-skew",
+            "Lenzen 2025 practically-constant local skew",
+            "the PCLS rate discipline keeps local skew within the "
+            "Theorem 5.10 bound (and practically far below it)",
+            metric="local",
+            governs=("gcs-pcls",),
         ),
         ConstructionCertificate(
             "thm-7.2-global-lower",

@@ -33,6 +33,17 @@ runs comfortably past its own settle deadline ``t_s`` — a violation that
 exists is always observable.  Fault injection is disabled under churn:
 the settle bound only accounts for *topology* changes, so a crash
 recovering after ``t_s`` could fail the claim spuriously.
+
+Byzantine campaigns (``include_byzantine=True``) draw the adversary the
+``ftgcs-byzantine-skew`` certificate is about: a star whose hub has
+degree ≥ 4 (so ``f_v ≥ 1`` under the < 1/3 rule), one Byzantine *slow*
+leaf, and tail-aligned two-group drift that puts the hub in the slow
+group — the configuration where the Byzantine laggard estimates pin the
+unfiltered hub's rate rule while the honest fast leaves pull away at
+``2ε``.  The horizon is sized from the corruption magnitude so an
+unfiltered victim's lag settles well past the certified bound before
+the run ends.  Crash/link faults and churn are disabled: the Byzantine
+certificate's claim is about corruption alone.
 """
 
 from __future__ import annotations
@@ -143,12 +154,48 @@ def _sample_churn(
     return tuple(edge_outages), tuple(node_absences), horizon
 
 
+#: Byzantine campaigns reuse the churn ε pool: the victim's stalled lag
+#: settles at a fixed multiple of the filter window, and the time to get
+#: there scales as 1/ε — ε = 0.02 scenarios would be marathons for no
+#: extra discrimination.
+_BYZANTINE_EPSILONS = _CHURN_EPSILONS
+
+
+def _sample_byzantine(
+    rng: random.Random, nodes: int, epsilon: float, delay_bound: float
+) -> Tuple[Tuple, float]:
+    """Draw a one-Byzantine-leaf timeline plus a horizon that resolves it.
+
+    The leaf index is drawn from the *slow* half (``[1, n // 2)``) so the
+    lie direction matches the drift: the Byzantine node's honest clock is
+    slow, its corrupted estimates are slower still, and the hub — also
+    slow under tail-aligned two-group drift — is the node that needs the
+    boost the lie suppresses.  An unfiltered victim's lag settles well
+    past the certified ``G + κ`` bound, but it gets there much slower
+    than the raw ``2ε`` divergence rate: corruption acceptance is
+    episodic (the raw-value guard only admits a lie when it beats every
+    earlier one), so the victim boosts in the gaps.  Empirically the lag
+    needs around five ``window / 2ε`` units to settle; the horizon below
+    grants that with margin.
+    """
+    from repro.core.params import SyncParams
+    from repro.variants.ftgcs import ftgcs_rejection_window
+
+    params = SyncParams.recommended(epsilon, delay_bound)
+    window = ftgcs_rejection_window(params, 2)  # star diameter
+    byz = rng.randrange(1, max(2, nodes // 2))
+    at = round(rng.uniform(0.0, 2.0), 1)
+    horizon = round(at + window / (2 * epsilon) * rng.uniform(5.0, 6.5), 1)
+    return ((byz, at, None),), horizon
+
+
 def sample_scenario(
     seed: int,
     index: int,
     algorithm: str = "aopt",
     include_faults: bool = True,
     include_churn: bool = False,
+    include_byzantine: bool = False,
 ) -> CertScenario:
     """Draw scenario ``index`` of the ``seed`` campaign (pure function)."""
     rng = random.Random(f"cert:{seed}:{index}")
@@ -166,6 +213,7 @@ def sample_scenario(
     link_events: Tuple = ()
     edge_outages: Tuple = ()
     node_absences: Tuple = ()
+    byzantine_events: Tuple = ()
     if include_churn:
         # Churn redraws the scenario shape (see module docstring): a
         # cuttable family, the cut-aligned divergence adversary, no
@@ -176,6 +224,18 @@ def sample_scenario(
         drift_kind = "two-group"
         edge_outages, node_absences, horizon = _sample_churn(
             rng, topology_kind, nodes, epsilon, delay_bound
+        )
+    elif include_byzantine:
+        # Byzantine redraws likewise (see module docstring): a star with
+        # a high-degree hub, one Byzantine slow leaf, drift putting the
+        # hub in the slow group, no crash/link faults, and a horizon
+        # sized so the unfiltered victim's stall is fully settled.
+        topology_kind = "star"
+        nodes = rng.randrange(5, 10)  # hub degree 4..8 → f_v ≥ 1
+        epsilon = rng.choice(_BYZANTINE_EPSILONS)
+        drift_kind = "two-group-tail"
+        byzantine_events, horizon = _sample_byzantine(
+            rng, nodes, epsilon, delay_bound
         )
     elif include_faults and rng.random() < 0.4:
         crash_events, link_events = _sample_faults(rng, nodes, horizon)
@@ -193,6 +253,7 @@ def sample_scenario(
         link_events=link_events,
         edge_outages=edge_outages,
         node_absences=node_absences,
+        byzantine_events=byzantine_events,
     )
 
 
@@ -202,6 +263,7 @@ def generate_scenarios(
     algorithm: str = "aopt",
     include_faults: bool = True,
     include_churn: bool = False,
+    include_byzantine: bool = False,
 ) -> Iterator[CertScenario]:
     """The first ``budget`` scenarios of the ``seed`` campaign, in order."""
     for index in range(budget):
@@ -211,4 +273,5 @@ def generate_scenarios(
             algorithm=algorithm,
             include_faults=include_faults,
             include_churn=include_churn,
+            include_byzantine=include_byzantine,
         )

@@ -38,6 +38,7 @@ from repro.core.interfaces import NodeContext
 from repro.core.node import AoptAlgorithm, AoptNode, RATE_RESET_ALARM
 from repro.core.params import SyncParams
 from repro.variants.fault_tolerant import _FaultTolerantNode
+from repro.variants.ftgcs import FtgcsAlgorithm, FtgcsNode
 from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "FrozenIntegrationAlgorithm",
     "FrozenIntegrationNode",
     "REJECTION_SLACK_HOPS",
+    "TrustingFtgcsAlgorithm",
+    "TrustingFtgcsNode",
 ]
 
 NodeId = Hashable
@@ -120,6 +123,54 @@ class FrozenIntegrationNode(_FaultTolerantNode):
             # makes the bug survive every static certificate.)
             return
         super().on_message(ctx, sender, payload)
+
+
+class TrustingFtgcsNode(FtgcsNode):
+    """ftgcs node that trusts every neighbor estimate (planted bug).
+
+    The fault-tolerant filter is the *only* thing standing between a
+    Byzantine neighbor's fabricated laggard estimates and the rate rule:
+    an offset ``magnitude`` below the true clock drags ``Λ↓`` up past
+    ``κ``, so ``clamped_rate_increase`` goes non-positive and the victim
+    never boosts again — under a two-group drift adversary the honest
+    fast nodes then pull away at ``2εt`` without bound.  Skipping the
+    filter re-exposes exactly that channel while staying byte-identical
+    to ``ftgcs`` on every fault-free execution, which is what makes the
+    shrunk counterexample land on a star with a Byzantine center of
+    attention and nothing else.
+    """
+
+    def skew_estimates(self, ctx: NodeContext):
+        # The bug: bypass FtgcsNode's trimming filter and use the raw
+        # A^opt estimate set, extremes and all.
+        return AoptNode.skew_estimates(self, ctx)
+
+
+class TrustingFtgcsAlgorithm(FtgcsAlgorithm):
+    """Factory for the planted Byzantine-vulnerable variant (``ftgcs-trusting``).
+
+    Registered under its own name for the same reason as
+    ``aopt-broken-rate``: reports and repro artifacts must unambiguously
+    identify planted-bug runs, while the certifier holds the variant to
+    the full ``ftgcs`` claim set — including the Byzantine skew
+    certificate it is built to fail.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.name = "ftgcs-trusting"
+
+    def make_node(
+        self, node_id: NodeId, neighbors: Sequence[NodeId]
+    ) -> TrustingFtgcsNode:
+        return TrustingFtgcsNode(
+            node_id,
+            neighbors,
+            self.params,
+            self.staleness_timeout,
+            self.rejection_window,
+            self.max_faulty,
+        )
 
 
 class FrozenIntegrationAlgorithm(KlloDynamicAlgorithm):

@@ -107,6 +107,7 @@ class CertificationReport:
     scenarios_run: int
     include_faults: bool
     include_churn: bool
+    include_byzantine: bool
     certificates: Tuple[str, ...]
     stats: Dict[str, CertificateStats]
     violations: List[Dict[str, object]]
@@ -143,6 +144,7 @@ class CertificationReport:
             "scenarios_run": self.scenarios_run,
             "include_faults": self.include_faults,
             "include_churn": self.include_churn,
+            "include_byzantine": self.include_byzantine,
             "certificates": list(self.certificates),
             "clean": self.clean,
             "complete": self.complete,
@@ -161,7 +163,8 @@ class CertificationReport:
             f"certification: algorithm={self.algorithm} seed={self.seed} "
             f"scenarios={self.scenarios_run}/{self.budget} "
             f"faults={'on' if self.include_faults else 'off'} "
-            f"churn={'on' if self.include_churn else 'off'}",
+            f"churn={'on' if self.include_churn else 'off'} "
+            f"byzantine={'on' if self.include_byzantine else 'off'}",
             "",
             f"{'certificate':<24} {'checks':>6} {'viols':>5}  margin min/p50/p95",
         ]
@@ -243,6 +246,7 @@ def certify(
     algorithm: str = "aopt",
     include_faults: bool = True,
     include_churn: bool = False,
+    include_byzantine: bool = False,
     shrink: bool = True,
     max_shrink_evals: int = 160,
     artifact_dir: Optional[str] = None,
@@ -261,6 +265,12 @@ def certify(
     dynamic-topology scenarios (see :mod:`repro.cert.fuzzer`); the
     ``kllo-stabilization`` certificate only ever applies there, and the
     static skew bounds drop out (they are vacuous under churn).
+
+    ``include_byzantine`` switches it to Byzantine corruption scenarios
+    instead: the ``ftgcs-byzantine-skew`` certificate only ever applies
+    there, the fault-free skew bounds drop out (an unfiltered victim is
+    *expected* to exceed them), and the monitor certificates keep
+    applying (corruption rewrites messages, never clocks).
 
     ``manifest_path`` makes the campaign resumable: a
     :class:`~repro.exec.manifest.CampaignManifest` over every fuzzed
@@ -285,6 +295,7 @@ def certify(
             algorithm=algorithm,
             include_faults=include_faults,
             include_churn=include_churn,
+            include_byzantine=include_byzantine,
         )
     )
     specs = [scenario.build_spec() for scenario in scenarios]
@@ -304,6 +315,7 @@ def certify(
                     "algorithm": algorithm,
                     "include_faults": include_faults,
                     "include_churn": include_churn,
+                    "include_byzantine": include_byzantine,
                 },
                 path=manifest_path,
             )
@@ -339,6 +351,7 @@ def certify(
                     algorithm,
                     scenario.has_faults,
                     scenario.has_topology_schedule,
+                    scenario.has_byzantine,
                 ):
                     continue
                 verdict = certificate.check_summary(outcome.summary, params, diameter)
@@ -396,6 +409,7 @@ def certify(
         scenarios_run=scenarios_run,
         include_faults=include_faults,
         include_churn=include_churn,
+        include_byzantine=include_byzantine,
         certificates=tuple(c.name for c in selected),
         stats=stats,
         violations=violations,

@@ -65,6 +65,8 @@ __all__ = [
 
 #: ``(node_index, crash_at, recover_at_or_None)``
 CrashEvent = Tuple[int, float, Optional[float]]
+#: ``(node_index, byzantine_at, end_at_or_None)``
+ByzantineEvent = Tuple[int, float, Optional[float]]
 #: ``(u_index, v_index, down_at, up_at_or_None)``
 LinkEvent = Tuple[int, int, float, Optional[float]]
 #: ``(u_index, v_index, disappear_at, reappear_at_or_None)``
@@ -77,7 +79,16 @@ _TOPOLOGY_MIN = {"line": 2, "ring": 3, "star": 2, "grid": 4, "random": 3}
 
 TOPOLOGY_KINDS = tuple(_TOPOLOGY_MIN)
 #: Drift kinds in decreasing adversarial complexity (shrink order).
-DRIFT_KINDS = ("random-walk", "sinusoidal", "alternating", "two-group", "constant")
+#: ``two-group-tail`` mirrors ``two-group`` with the *tail* half fast, so
+#: Byzantine scenarios can put a star's hub (node 0) in the slow group.
+DRIFT_KINDS = (
+    "random-walk",
+    "sinusoidal",
+    "alternating",
+    "two-group-tail",
+    "two-group",
+    "constant",
+)
 #: Delay kinds in decreasing complexity (shrink order).
 DELAY_KINDS = ("uniform", "constant", "zero")
 
@@ -119,12 +130,17 @@ class CertScenario:
     link_events: Tuple[LinkEvent, ...] = field(default_factory=tuple)
     edge_outages: Tuple[EdgeOutage, ...] = field(default_factory=tuple)
     node_absences: Tuple[NodeAbsence, ...] = field(default_factory=tuple)
+    byzantine_events: Tuple[ByzantineEvent, ...] = field(default_factory=tuple)
 
     # -- derived model objects ----------------------------------------------
 
     @property
     def has_faults(self) -> bool:
         return bool(self.crash_events or self.link_events)
+
+    @property
+    def has_byzantine(self) -> bool:
+        return bool(self.byzantine_events)
 
     @property
     def has_topology_schedule(self) -> bool:
@@ -152,6 +168,9 @@ class CertScenario:
         if self.drift_kind == "two-group":
             half = max(1, len(topology.nodes) // 2)
             return TwoGroupDrift(self.epsilon, fast_nodes=topology.nodes[:half])
+        if self.drift_kind == "two-group-tail":
+            half = max(1, len(topology.nodes) // 2)
+            return TwoGroupDrift(self.epsilon, fast_nodes=topology.nodes[half:])
         if self.drift_kind == "random-walk":
             return RandomWalkDrift(
                 self.epsilon,
@@ -213,10 +232,28 @@ class CertScenario:
             # from the *built* topology so shrinking the node count also
             # shrinks the window consistently.
             return FrozenIntegrationAlgorithm(params, diameter(topology))
+        if self.algorithm in ("ftgcs", "ftgcs-trusting"):
+            from repro.topology.properties import diameter
+            from repro.variants.ftgcs import ftgcs_rejection_window
+
+            # Like kllo-frozen, the rejection window is calibrated from
+            # the *built* topology so shrinking stays consistent.
+            window = ftgcs_rejection_window(params, diameter(topology))
+            if self.algorithm == "ftgcs":
+                from repro.variants.ftgcs import FtgcsAlgorithm
+
+                return FtgcsAlgorithm(params, window)
+            from repro.cert.planted import TrustingFtgcsAlgorithm
+
+            return TrustingFtgcsAlgorithm(params, window)
+        if self.algorithm == "gcs-pcls":
+            from repro.variants.pcls import PclsAlgorithm
+
+            return PclsAlgorithm(params)
         raise ConfigurationError(
             f"unknown certifiable algorithm {self.algorithm!r}; known: "
             "aopt, aopt-jump, aopt-ft, aopt-broken-rate, kllo-dynamic, "
-            "kllo-frozen"
+            "kllo-frozen, ftgcs, ftgcs-trusting, gcs-pcls"
         )
 
     def build_faults(self, topology: Topology) -> Optional[FaultSchedule]:
@@ -235,15 +272,33 @@ class CertScenario:
             and e[1] < n
             and topology.nodes[e[1]] in topology.neighbors(topology.nodes[e[0]])
         ]
-        if not crashes and not links:
+        byzantine = [e for e in self.byzantine_events if e[0] < n]
+        if not crashes and not links and not byzantine:
             return None
-        schedule = FaultSchedule(seed=self.seed)
+        magnitude = 0.0
+        if byzantine:
+            from repro.topology.properties import diameter
+            from repro.variants.ftgcs import ftgcs_rejection_window
+
+            # Corrupt estimates six honest-offset windows out: even the
+            # shallowest per-message draw (magnitude/4, the equivocation
+            # floor) lands far past any legitimate value, so the ftgcs
+            # filter always rejects it while an unfiltered victim's rate
+            # rule stalls until it lags by well over the certified bound.
+            # Recomputed from the *built* topology (like the filter's own
+            # window) so shrinking stays consistent.
+            magnitude = 6.0 * ftgcs_rejection_window(
+                self.build_params(), diameter(topology)
+            )
+        schedule = FaultSchedule(seed=self.seed, byzantine_magnitude=magnitude)
         for idx, at, until in crashes:
             schedule.crash(topology.nodes[idx], at=at, until=until)
         for u, v, at, until in links:
             schedule.link_down(
                 topology.nodes[u], topology.nodes[v], at=at, until=until
             )
+        for idx, at, until in byzantine:
+            schedule.byzantine(topology.nodes[idx], at=at, until=until)
         return schedule
 
     def build_topology_schedule(self, topology: Topology):
@@ -280,6 +335,8 @@ class CertScenario:
         tag = "+faults" if self.has_faults else ""
         if self.has_topology_schedule:
             tag += "+dyn"
+        if self.has_byzantine:
+            tag += "+byz"
         return (
             f"cert:{self.algorithm}:{self.topology_kind}-{self.nodes}"
             f":{self.drift_kind}/{self.delay_kind}:s{self.seed}{tag}"
@@ -325,6 +382,7 @@ class CertScenario:
             "link_events": [list(e) for e in self.link_events],
             "edge_outages": [list(e) for e in self.edge_outages],
             "node_absences": [list(e) for e in self.node_absences],
+            "byzantine_events": [list(e) for e in self.byzantine_events],
         }
 
     @classmethod
@@ -354,6 +412,10 @@ class CertScenario:
             node_absences=tuple(
                 (int(n), float(at), None if until is None else float(until))
                 for n, at, until in data.get("node_absences", [])
+            ),
+            byzantine_events=tuple(
+                (int(n), float(at), None if until is None else float(until))
+                for n, at, until in data.get("byzantine_events", [])
             ),
         )
 

@@ -104,6 +104,7 @@ def _truncate_horizon(scenario, verdict, budget):
 def _event_lists(scenario) -> List[Tuple[str, tuple]]:
     events = [("crash", e) for e in scenario.crash_events]
     events += [("link", e) for e in scenario.link_events]
+    events += [("byz", e) for e in scenario.byzantine_events]
     return events
 
 
@@ -111,6 +112,7 @@ def _with_events(scenario, events) -> CertScenario:
     return scenario.with_changes(
         crash_events=tuple(e for kind, e in events if kind == "crash"),
         link_events=tuple(e for kind, e in events if kind == "link"),
+        byzantine_events=tuple(e for kind, e in events if kind == "byz"),
     )
 
 

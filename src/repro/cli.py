@@ -145,6 +145,8 @@ def _build_params(args) -> SyncParams:
 ALGORITHM_CHOICES = [
     "aopt",
     "aopt-ft",
+    "ftgcs",
+    "gcs-pcls",
     "aopt-jump",
     "aopt-min-gap",
     "aopt-bit-budget",
@@ -162,6 +164,14 @@ def _build_algorithm(name: str, params: SyncParams, diameter: int):
         return AoptAlgorithm(params)
     if name == "aopt-ft":
         return FaultTolerantAoptAlgorithm(params)
+    if name == "ftgcs":
+        from repro.variants.ftgcs import FtgcsAlgorithm, ftgcs_rejection_window
+
+        return FtgcsAlgorithm(params, ftgcs_rejection_window(params, diameter))
+    if name == "gcs-pcls":
+        from repro.variants.pcls import PclsAlgorithm
+
+        return PclsAlgorithm(params)
     if name == "kllo-dynamic":
         from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
 
@@ -644,7 +654,7 @@ def _cmd_sweep(args) -> int:
     return 0 if ok else 1
 
 
-FAULT_SCENARIOS = ["partition", "crashes", "flaky"]
+FAULT_SCENARIOS = ["partition", "crashes", "flaky", "byzantine"]
 
 
 def _halves_and_cut(topology):
@@ -681,6 +691,26 @@ def _fault_scenario(args, topology, params, horizon):
     duration = (
         args.fault_duration if args.fault_duration is not None else 0.3 * horizon
     )
+    if args.scenario == "byzantine":
+        from repro.topology.properties import diameter as topo_diameter
+        from repro.variants.ftgcs import ftgcs_rejection_window
+
+        # The ftgcs adversary (docs/FAULTS.md): Byzantine nodes from the
+        # slow half lie *downward* at full filter-clearing magnitude while
+        # tail-aligned two-group drift makes their honest victims need
+        # the boost the lies suppress.  The corruption window closes at
+        # start + duration, so time-to-resync measures the recovery.
+        half = len(topology.nodes) // 2
+        drift = TwoGroupDrift(params.epsilon, topology.nodes[half:])
+        window = ftgcs_rejection_window(params, topo_diameter(topology))
+        schedule = FaultSchedule(seed=args.seed, byzantine_magnitude=6.0 * window)
+        count = max(1, min(args.byzantine_count, max(1, half - 1)))
+        for node in topology.nodes[1 : 1 + count]:
+            schedule.byzantine(node, at=start, until=start + duration)
+        return schedule, drift, (
+            f"byzantine: {count} corrupting node(s) on "
+            f"[{start:g}, {start + duration:g}), magnitude {6.0 * window:.3g}"
+        )
     if args.scenario == "partition":
         near, _far, cut = _halves_and_cut(topology)
         # The halves drift apart while separated — the worst case for a
@@ -735,6 +765,8 @@ def _cmd_faults(args) -> int:
     params = _build_params(args)
     topology = _build_topology(args)
     d = graph_diameter(topology)
+    if args.byzantine:
+        args.scenario = "byzantine"
     horizon = args.horizon if args.horizon is not None else 40 * d * params.delay_bound
     schedule, drift, description = _fault_scenario(args, topology, params, horizon)
     algorithm = _build_algorithm(args.algorithm, params, d)
@@ -1058,7 +1090,8 @@ def _cmd_certify(args) -> int:
 
         if args.differential:
             diff = differential_certify(
-                budget=args.budget, seed=args.seed, executor=executor
+                budget=args.budget, seed=args.seed, executor=executor,
+                byzantine=args.byzantine,
             )
             if args.format == "json":
                 print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
@@ -1074,6 +1107,7 @@ def _cmd_certify(args) -> int:
             algorithm=args.algorithm,
             include_faults=not args.no_faults,
             include_churn=args.churn,
+            include_byzantine=args.byzantine,
             shrink=not args.no_shrink,
             artifact_dir=args.artifact_dir,
             executor=executor,
@@ -1309,7 +1343,8 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument(
         "--scenario", default="partition", choices=FAULT_SCENARIOS,
         help="partition: median cut goes down; crashes: random "
-             "crash/recover cycles; flaky: per-message drop/dup/spike"
+             "crash/recover cycles; flaky: per-message drop/dup/spike; "
+             "byzantine: nodes corrupt their outgoing estimates"
     )
     faults_parser.add_argument("--horizon", type=float, default=None,
                                help="real-time horizon (default: 40*D*T)")
@@ -1335,6 +1370,14 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--spike", type=float, default=0.05,
                                help="flaky: per-message delay-spike "
                                     "probability (spike adds 2T)")
+    faults_parser.add_argument(
+        "--byzantine", action="store_true",
+        help="shorthand for --scenario byzantine"
+    )
+    faults_parser.add_argument(
+        "--byzantine-count", dest="byzantine_count", type=int, default=1,
+        help="byzantine: number of corrupting nodes (default: 1)"
+    )
     add_executor_arguments(faults_parser)
     add_metrics_argument(faults_parser)
     faults_parser.set_defaults(handler=_cmd_faults)
@@ -1465,10 +1508,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     certify_parser.add_argument(
         "--algorithm", default="aopt",
-        choices=["aopt", "aopt-jump", "aopt-ft", "aopt-broken-rate",
-                 "kllo-dynamic", "kllo-frozen"],
-        help="variant to certify (aopt-broken-rate and kllo-frozen are the "
-             "planted-violation controls)"
+        choices=["aopt", "aopt-jump", "aopt-ft", "ftgcs", "gcs-pcls",
+                 "aopt-broken-rate", "kllo-dynamic", "kllo-frozen",
+                 "ftgcs-trusting"],
+        help="variant to certify (aopt-broken-rate, kllo-frozen, and "
+             "ftgcs-trusting are the planted-violation controls)"
     )
     certify_parser.add_argument(
         "--no-faults", dest="no_faults", action="store_true",
@@ -1479,6 +1523,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fuzz partition-then-merge dynamic-topology scenarios; "
              "this is what arms the kllo-stabilization certificate "
              "(see docs/DYNAMIC.md)"
+    )
+    certify_parser.add_argument(
+        "--byzantine", action="store_true",
+        help="fuzz Byzantine corruption scenarios; this is what arms the "
+             "ftgcs-byzantine-skew certificate, and with --differential "
+             "scores the per-variant survival matrix (see docs/FAULTS.md)"
     )
     certify_parser.add_argument(
         "--no-shrink", dest="no_shrink", action="store_true",
@@ -1496,7 +1546,8 @@ def build_parser() -> argparse.ArgumentParser:
     certify_parser.add_argument(
         "--differential", action="store_true",
         help="cross-variant certification: aopt vs aopt-jump vs aopt-ft "
-             "must agree on every certificate"
+             "must agree on every certificate (with --byzantine: aopt vs "
+             "aopt-ft vs ftgcs, asymmetric survival expected)"
     )
     certify_parser.add_argument(
         "--format", choices=["text", "json"], default="text"

@@ -53,7 +53,9 @@ __all__ = ["ResultCache", "CACHE_VERSION", "default_cache_root"]
 #: shifted with SPEC_DIGEST_VERSION 3, orphaning every v3 entry).
 #: v5: ExecutionSpec gained the ``topology_schedule`` field (all digests
 #: shifted with SPEC_DIGEST_VERSION 4, orphaning every v4 entry).
-CACHE_VERSION = 5
+#: v6: FaultSchedule gained Byzantine events (all digests shifted with
+#: SPEC_DIGEST_VERSION 5, orphaning every v5 entry).
+CACHE_VERSION = 6
 
 
 def default_cache_root() -> Path:

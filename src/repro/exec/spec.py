@@ -50,7 +50,8 @@ NodeId = Hashable
 #: v2: added the ``faults`` field (fault-injection subsystem).
 #: v3: added the ``record_trace`` field (streaming fast-path mode).
 #: v4: added the ``topology_schedule`` field (dynamic-topology subsystem).
-SPEC_DIGEST_VERSION = 4
+#: v5: FaultSchedule gained Byzantine events and the corruption magnitude.
+SPEC_DIGEST_VERSION = 5
 
 _PRIMITIVES = (type(None), bool, int)
 

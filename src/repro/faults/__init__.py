@@ -5,8 +5,9 @@ nodes; this package is the robustness extension that drops both
 assumptions while keeping every run deterministic and replayable:
 
 * :mod:`repro.faults.schedule` — :class:`FaultSchedule`, the declarative,
-  digest-stable timeline of node crash/recover and link down/up events
-  plus per-message drop/duplicate/delay-spike probabilities;
+  digest-stable timeline of node crash/recover, link down/up, and
+  Byzantine on/off events plus per-message drop/duplicate/delay-spike
+  probabilities;
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, the compiled
   runtime form the engine consults on every send and event;
 * :mod:`repro.faults.metrics` — exact per-fault-epoch skews, the
@@ -30,9 +31,11 @@ from repro.faults.metrics import (
     per_epoch_skew,
     time_to_resync,
 )
-from repro.faults.schedule import FaultSchedule
+from repro.faults.schedule import BYZANTINE, BYZANTINE_END, FaultSchedule
 
 __all__ = [
+    "BYZANTINE",
+    "BYZANTINE_END",
     "FaultSchedule",
     "FaultInjector",
     "MessageFate",

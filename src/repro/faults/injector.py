@@ -14,6 +14,13 @@ over ``(seed, kind, sender, receiver, send_time, seq)``: a pure function
 of the message identity, so fault decisions are independent of event
 processing order and replay byte-identically across processes, worker
 counts, and cache states.
+
+Byzantine corruption (:meth:`FaultInjector.corrupt_payload`) follows the
+same discipline: the corruption *mode* and *magnitude* for each
+(sender, receiver, send_time, seq) quadruple are drawn from the
+per-message hash — never from a shared RNG — so a Byzantine node
+equivocates deterministically (each receiver's copy is keyed separately)
+and replays stay byte-identical across worker counts and both engines.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from repro.errors import ScheduleError
 from repro.faults.hashing import stable_uniform
 from repro.faults.schedule import (
+    BYZANTINE,
+    BYZANTINE_END,
     LINK_DOWN,
     LINK_UP,
     NODE_CRASH,
@@ -79,6 +88,13 @@ class FaultInjector:
             key = link_keys.get((u, v)) or link_keys.get((v, u)) or (u, v)
             link_keys[(u, v)] = link_keys[(v, u)] = key
             per_link.setdefault(key, []).append((time, kind))
+        per_byzantine: Dict[NodeId, List[Tuple[float, str]]] = {}
+        for time, node, kind in schedule.byzantine_events:
+            per_byzantine.setdefault(node, []).append((time, kind))
+        if per_byzantine and schedule.byzantine_magnitude <= 0:
+            raise ScheduleError(
+                "byzantine events scheduled but byzantine_magnitude is not positive"
+            )
 
         if topology is not None:
             known = set(topology.nodes)
@@ -86,6 +102,11 @@ class FaultInjector:
                 if node not in known:
                     raise ScheduleError(
                         f"fault schedule names unknown node {node!r}"
+                    )
+            for node in per_byzantine:
+                if node not in known:
+                    raise ScheduleError(
+                        f"fault schedule names unknown byzantine node {node!r}"
                     )
             for u, v in per_link:
                 if v not in topology.neighbors(u):
@@ -106,6 +127,12 @@ class FaultInjector:
             )
             both_ways[(u, v)] = both_ways[(v, u)] = intervals
         self._link_intervals = both_ways
+        self._byzantine_intervals: Dict[NodeId, List[Tuple[float, float]]] = {
+            node: _compile_intervals(
+                events, BYZANTINE, BYZANTINE_END, f"byzantine node {node!r}"
+            )
+            for node, events in per_byzantine.items()
+        }
 
     # -- node state ----------------------------------------------------------
 
@@ -168,6 +195,74 @@ class FaultInjector:
     def is_link_down(self, u: NodeId, v: NodeId, t: float) -> bool:
         intervals = self._link_intervals.get((u, v))
         return intervals is not None and _is_down(intervals, t)
+
+    # -- byzantine state ------------------------------------------------------
+
+    def is_byzantine(self, node: NodeId, t: float) -> bool:
+        """Is ``node`` inside a scheduled Byzantine interval at ``t``?"""
+        intervals = self._byzantine_intervals.get(node)
+        return intervals is not None and _is_down(intervals, t)
+
+    def byzantine_nodes(self) -> Tuple[NodeId, ...]:
+        return tuple(self._byzantine_intervals)
+
+    def corrupt_payload(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        send_time: float,
+        seq: int,
+        payload: object,
+    ) -> Optional[Tuple[Tuple[float, float], str]]:
+        """Corrupt one outgoing estimate message of a Byzantine sender.
+
+        Returns ``(corrupted_payload, reason)`` or ``None`` when the
+        payload is not an estimate pair — the corruption model targets
+        the ``(logical, l_max)`` estimate channel and passes anything
+        else through untouched.
+
+        Three per-message modes, all keyed by the order-independent hash
+        of ``(sender, receiver, send_time, seq)`` so each receiver's copy
+        is corrupted independently (equivocation falls out of the keying,
+        not from extra state):
+
+        * ``perturb`` (50%) — report a logical estimate lagging the true
+          one by ``magnitude · [1/2, 1]``;
+        * ``equivocate`` (30%) — lag drawn over the wider
+          ``magnitude · [1/4, 1]`` range, maximizing receiver
+          disagreement (the floor keeps every lie *substantial*: the
+          receiver's raw-value guard retains only the largest value seen,
+          so a single near-honest lie would mask all deeper ones);
+        * ``replay`` (20%) — re-send a stale snapshot: *both* the logical
+          estimate and ``L^max`` aged by ``magnitude · [1/2, 1]``
+          (``L^max`` clamped at 0).
+
+        Every mode corrupts *downward*.  An inflated ``L^max`` would
+        propagate through the unconditional max-adoption rule that every
+        variant shares — no per-neighbor filter can reject it without
+        breaking the flooding argument — so the model restricts the
+        adversary to the channel a fault-tolerant estimate filter can
+        actually defend (stale/lagging lies), which is exactly the
+        Bund–Lenzen–Rosenbaum threat model.
+        """
+        if not (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and all(isinstance(part, (int, float)) for part in payload)
+        ):
+            return None
+        logical, l_max = float(payload[0]), float(payload[1])
+        schedule = self.schedule
+        seed = schedule.seed
+        magnitude = schedule.byzantine_magnitude
+        mode = stable_uniform(seed, "byz-mode", sender, receiver, send_time, seq)
+        draw = stable_uniform(seed, "byz-mag", sender, receiver, send_time, seq)
+        if mode < 0.5:
+            return (logical - magnitude * (0.5 + 0.5 * draw), l_max), "perturb"
+        if mode < 0.8:
+            return (logical - magnitude * (0.25 + 0.75 * draw), l_max), "equivocate"
+        shift = magnitude * (0.5 + 0.5 * draw)
+        return (logical - shift, max(0.0, l_max - shift)), "replay"
 
     # -- per-message faults ---------------------------------------------------
 

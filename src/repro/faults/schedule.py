@@ -11,7 +11,11 @@ that model:
 * **link faults** — an undirected edge goes *down* for an interval;
   messages sent over a downed link are lost;
 * **message faults** — independent per-message drop / duplicate /
-  delay-spike decisions with the given probabilities.
+  delay-spike decisions with the given probabilities;
+* **Byzantine faults** — a node turns *Byzantine* for an interval: it
+  keeps running the algorithm, but every estimate message it sends is
+  corrupted in transit (perturbed, equivocated per receiver, or replaced
+  by a stale replay) with magnitudes keyed by the per-message hash.
 
 A schedule is *pure data*: building one performs no randomness and holds
 no caches, so it pickles, deep-copies, and enters the canonical
@@ -31,7 +35,15 @@ from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ScheduleError
 
-__all__ = ["FaultSchedule", "NODE_CRASH", "NODE_RECOVER", "LINK_DOWN", "LINK_UP"]
+__all__ = [
+    "FaultSchedule",
+    "NODE_CRASH",
+    "NODE_RECOVER",
+    "LINK_DOWN",
+    "LINK_UP",
+    "BYZANTINE",
+    "BYZANTINE_END",
+]
 
 NodeId = Hashable
 Edge = Tuple[NodeId, NodeId]
@@ -40,6 +52,8 @@ NODE_CRASH = "crash"
 NODE_RECOVER = "recover"
 LINK_DOWN = "link-down"
 LINK_UP = "link-up"
+BYZANTINE = "byzantine"
+BYZANTINE_END = "byzantine-end"
 
 
 def _check_probability(name: str, value: float) -> float:
@@ -66,6 +80,11 @@ class FaultSchedule:  # reprolint: digest-critical
         Extra transit time added to a spiked message.  It is added *after*
         the delay model and may exceed the model's bound ``T`` — a delay
         spike is precisely a violation of the timing assumption.
+    byzantine_magnitude:
+        Scale of the estimate corruption applied to messages sent by a
+        Byzantine node (see :meth:`FaultInjector.corrupt_payload
+        <repro.faults.injector.FaultInjector.corrupt_payload>`).  Must be
+        positive if any ``byzantine`` events are scheduled.
     seed:
         Keys the per-message hash decisions (see module docstring).
 
@@ -82,6 +101,7 @@ class FaultSchedule:  # reprolint: digest-critical
         duplicate_probability: float = 0.0,
         spike_probability: float = 0.0,
         spike_delay: float = 0.0,
+        byzantine_magnitude: float = 0.0,
         seed: int = 0,
     ):
         self.drop_probability = _check_probability(
@@ -98,11 +118,16 @@ class FaultSchedule:  # reprolint: digest-critical
             raise ScheduleError(
                 "spike_probability > 0 requires a positive spike_delay"
             )
+        self.byzantine_magnitude = _check_time(
+            "byzantine_magnitude", byzantine_magnitude
+        )
         self.seed = int(seed)
         #: ``(time, node, kind)`` tuples in insertion order.
         self.node_events: List[Tuple[float, NodeId, str]] = []
         #: ``(time, (u, v), kind)`` tuples in insertion order.
         self.link_events: List[Tuple[float, Edge, str]] = []
+        #: ``(time, node, kind)`` tuples in insertion order.
+        self.byzantine_events: List[Tuple[float, NodeId, str]] = []
 
     # -- builder API ---------------------------------------------------------
 
@@ -134,6 +159,18 @@ class FaultSchedule:  # reprolint: digest-critical
     def link_up(self, u: NodeId, v: NodeId, at: float) -> "FaultSchedule":
         """Restore the undirected link ``{u, v}`` at time ``at``."""
         self.link_events.append((_check_time("link-up time", at), (u, v), LINK_UP))
+        return self
+
+    def byzantine(
+        self, node: NodeId, at: float, until: Optional[float] = None
+    ) -> "FaultSchedule":
+        """Turn ``node`` Byzantine on ``[at, until)`` (forever if no ``until``)."""
+        at = _check_time("byzantine time", at)
+        self.byzantine_events.append((at, node, BYZANTINE))
+        if until is not None:
+            self.byzantine_events.append(
+                (_check_time("byzantine-end time", until), node, BYZANTINE_END)
+            )
         return self
 
     def partition(
@@ -195,6 +232,10 @@ class FaultSchedule:  # reprolint: digest-critical
             or self.spike_probability > 0
         )
 
+    @property
+    def has_byzantine(self) -> bool:
+        return bool(self.byzantine_events)
+
     def boundaries(self, horizon: float) -> List[float]:
         """Sorted unique fault-event times within ``[0, horizon]``.
 
@@ -204,6 +245,7 @@ class FaultSchedule:  # reprolint: digest-critical
         """
         times = {t for t, _, _ in self.node_events if t <= horizon}
         times.update(t for t, _, _ in self.link_events if t <= horizon)
+        times.update(t for t, _, _ in self.byzantine_events if t <= horizon)
         return sorted(times)
 
     def cleared_time(self) -> float:
@@ -218,12 +260,15 @@ class FaultSchedule:  # reprolint: digest-critical
             last = max(last, t)
         for t, _, _ in self.link_events:
             last = max(last, t)
+        for t, _, _ in self.byzantine_events:
+            last = max(last, t)
         return last
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FaultSchedule(node_events={len(self.node_events)}, "
             f"link_events={len(self.link_events)}, "
+            f"byzantine_events={len(self.byzantine_events)}, "
             f"drop={self.drop_probability}, dup={self.duplicate_probability}, "
             f"spike={self.spike_probability}@{self.spike_delay}, "
             f"seed={self.seed})"

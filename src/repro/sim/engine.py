@@ -550,6 +550,15 @@ class SimulationEngine:
             if fate.duplicate:
                 copies = 2
                 self._messages_duplicated += 1
+        if injector is not None and injector.is_byzantine(runtime.node_id, self.now):
+            corrupted = injector.corrupt_payload(
+                runtime.node_id, neighbor, self.now, seq, payload
+            )
+            if corrupted is not None:
+                payload, reason = corrupted
+                if log is not None:
+                    log.append(("corrupt", self.now, runtime.node_id,
+                                {"to": neighbor, "seq": seq, "reason": reason}))
         if log is not None:
             log.append(("send", self.now, runtime.node_id,
                         {"to": neighbor, "seq": seq, "delay": delay,

@@ -18,6 +18,11 @@
 * :mod:`repro.variants.kllo_dynamic` — the same machinery under its
   dynamic-networks name for :class:`~repro.topology.dynamic.TopologySchedule`
   executions (see ``docs/DYNAMIC.md``).
+* :mod:`repro.variants.ftgcs` — Bund–Lenzen–Rosenbaum fault-tolerant GCS:
+  per-neighbor estimate filtering that survives Byzantine neighbors
+  (< 1/3 of each node's degree; see ``docs/FAULTS.md``).
+* :mod:`repro.variants.pcls` — Lenzen 2025 practically-constant-local-skew
+  rate discipline (continuous rate-rule evaluation).
 """
 
 from repro.variants.adaptive_delay import AdaptiveDelayAoptAlgorithm
@@ -27,14 +32,19 @@ from repro.variants.discrete import DiscreteAoptAlgorithm, discrete_params
 from repro.variants.envelope import HardwareEnvelopeAoptAlgorithm
 from repro.variants.external import ExternalAoptAlgorithm
 from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm
+from repro.variants.ftgcs import FtgcsAlgorithm, ftgcs_rejection_window
 from repro.variants.jump_aopt import JumpAoptAlgorithm
 from repro.variants.kllo_dynamic import KlloDynamicAlgorithm
 from repro.variants.min_gap import MinGapAoptAlgorithm
+from repro.variants.pcls import PclsAlgorithm
 
 __all__ = [
     "AdaptiveDelayAoptAlgorithm",
     "FaultTolerantAoptAlgorithm",
+    "FtgcsAlgorithm",
+    "ftgcs_rejection_window",
     "KlloDynamicAlgorithm",
+    "PclsAlgorithm",
     "MinGapAoptAlgorithm",
     "BitBudgetAoptAlgorithm",
     "bit_budget_params",

@@ -1,0 +1,163 @@
+"""Fault-tolerant GCS: per-neighbor estimate filtering against Byzantine lies.
+
+Bund–Lenzen–Rosenbaum ("Fault Tolerant Gradient Clock Synchronization",
+PAPERS.md) harden gradient clock synchronization against nodes that lie
+about their clock values: each node tolerates up to ``f`` faulty
+neighbors, ``f`` less than a third of its degree, by discarding the most
+extreme neighbor estimates before computing the skew terms the rate rule
+consumes.
+
+This variant ports that defense onto the A^opt estimate machinery (it
+composes with the recovery-aware ``aopt-ft`` base, so crash faults are
+handled too).  The filter in :meth:`FtgcsNode.skew_estimates`:
+
+1. sorts the current neighbor offsets ``L_v^w − L_v``;
+2. discards at most ``f_v = min(max_faulty, (deg(v) − 1) // 3)`` offsets
+   that exceed ``+rejection_window`` from the top, and at most ``f_v``
+   below ``−rejection_window`` from the bottom;
+3. computes ``(Λ↑, Λ↓)`` from whatever survives.
+
+The *rejection window* makes the filter sound on honest executions: a
+legitimate neighbor offset is bounded by the global skew ``G`` plus
+estimate error (one delay each way plus rate-rule slack), so honest
+offsets never reach the window and fault-free ``ftgcs`` is behaviorally
+identical to ``aopt-ft`` — which is exactly what the differential
+harness pins.  A Byzantine neighbor's corrupted estimates (see
+:meth:`~repro.faults.injector.FaultInjector.corrupt_payload`) land far
+outside the window and are discarded, so the rate rule keeps boosting
+lagging honest nodes instead of being frozen by a fabricated laggard.
+
+What the filter cannot defend — an inflated ``L^max``, adopted
+unconditionally by every variant's flooding rule — the corruption model
+deliberately never produces; see ``docs/FAULTS.md`` for the threat-model
+boundary.
+
+:func:`ftgcs_rejection_window` is the deployment-time calibration used
+by the CLI and the certification scenarios: ``G(params, D) + 2T + 4κ``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.core.bounds import global_skew_bound
+from repro.core.interfaces import NodeContext
+from repro.core.params import SyncParams
+from repro.errors import ConfigurationError
+from repro.variants.fault_tolerant import FaultTolerantAoptAlgorithm, _FaultTolerantNode
+
+__all__ = ["FtgcsAlgorithm", "FtgcsNode", "ftgcs_rejection_window", "max_faulty_neighbors"]
+
+NodeId = Hashable
+
+
+def ftgcs_rejection_window(params: SyncParams, diameter: int) -> float:
+    """The honest-offset bound the filter tolerates before discarding.
+
+    A correct neighbor's true offset is at most the global skew
+    ``G(params, diameter)``; the *estimate* of it adds at most one
+    message delay each way plus rate-rule slack, generously covered by
+    ``2T + 4κ``.  Anything beyond is either a Byzantine lie or a model
+    violation — both are exactly what the filter exists to reject.
+    """
+    return (
+        global_skew_bound(params, diameter)
+        + 2 * params.delay_bound
+        + 4 * params.kappa
+    )
+
+
+def max_faulty_neighbors(degree: int) -> int:
+    """The largest ``f`` with ``f/degree`` strictly below one third.
+
+    >>> [max_faulty_neighbors(d) for d in (1, 2, 3, 4, 6, 7)]
+    [0, 0, 0, 1, 1, 2]
+    """
+    return max(0, (degree - 1) // 3)
+
+
+class FtgcsNode(_FaultTolerantNode):
+    """A^opt node with the Bund–Lenzen–Rosenbaum estimate filter."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: Sequence[NodeId],
+        params: SyncParams,
+        staleness_timeout: float,
+        rejection_window: float,
+        max_faulty: Optional[int] = None,
+    ):
+        super().__init__(node_id, neighbors, params, staleness_timeout)
+        self.rejection_window = rejection_window
+        degree_cap = max_faulty_neighbors(len(self.neighbors))
+        self.tolerated_faults = (
+            degree_cap if max_faulty is None else min(int(max_faulty), degree_cap)
+        )
+
+    def skew_estimates(self, ctx: NodeContext) -> Optional[Tuple[float, float]]:
+        if not self._estimates:
+            return None
+        hardware_now = ctx.hardware()
+        logical_now = ctx.logical()
+        offsets = sorted(
+            value + (hardware_now - anchor) - logical_now
+            for value, anchor in self._estimates.values()
+        )
+        window = self.rejection_window
+        lo, hi = 0, len(offsets)
+        for _ in range(self.tolerated_faults):
+            if hi > lo and offsets[hi - 1] > window:
+                hi -= 1
+        for _ in range(self.tolerated_faults):
+            if hi > lo and offsets[lo] < -window:
+                lo += 1
+        if hi == lo:
+            # Every estimate looked Byzantine: no trustworthy information,
+            # run at the nominal rate (same as the empty-estimate case).
+            return None
+        return offsets[hi - 1], -offsets[lo]
+
+
+class FtgcsAlgorithm(FaultTolerantAoptAlgorithm):
+    """Factory for the fault-tolerant GCS variant (name ``ftgcs``).
+
+    Parameters
+    ----------
+    params:
+        Validated :class:`~repro.core.params.SyncParams`.
+    rejection_window:
+        Honest-offset bound; calibrate with :func:`ftgcs_rejection_window`
+        from the deployment diameter.
+    staleness_timeout:
+        Forwarded to the ``aopt-ft`` base (estimate expiry).
+    max_faulty:
+        Optional cap on the per-node tolerance ``f_v``; by default each
+        node tolerates ``(deg − 1) // 3`` faulty neighbors.
+    """
+
+    def __init__(
+        self,
+        params: SyncParams,
+        rejection_window: float,
+        staleness_timeout: Optional[float] = None,
+        max_faulty: Optional[int] = None,
+    ):
+        super().__init__(params, staleness_timeout)
+        if rejection_window <= 0:
+            raise ConfigurationError(
+                f"rejection_window must be positive, got {rejection_window}"
+            )
+        self.rejection_window = float(rejection_window)
+        self.max_faulty = None if max_faulty is None else int(max_faulty)
+        self.name = "ftgcs"
+
+    def make_node(self, node_id: NodeId, neighbors: Sequence[NodeId]) -> FtgcsNode:
+        return FtgcsNode(
+            node_id,
+            neighbors,
+            self.params,
+            self.staleness_timeout,
+            self.rejection_window,
+            self.max_faulty,
+        )

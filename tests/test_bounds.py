@@ -100,6 +100,7 @@ class TestRegistryConsistency:
     def test_catalog_covers_the_theorems(self):
         assert {GLOBAL, LOCAL, "cond1-envelope", "cond2-rate-bounds",
                 "monotonicity", "kllo-stabilization",
+                "ftgcs-byzantine-skew", "gcs-pcls-local-skew",
                 "thm-7.2-global-lower",
                 "thm-7.7-local-lower"} == set(CERTIFICATES)
 

@@ -37,10 +37,10 @@ pytestmark = pytest.mark.lint
 # Pinned 2026-08: recompute ONLY alongside a version bump (see module
 # docstring).
 GOLDEN_SPEC_DIGEST = (
-    "6e9cf35888e9b6cb115d7155a189909d29f8707ef7d1398aa003911770f818d7"
+    "2dbb2c79e083f7e085b77204896f2b3ba997ad67b5058b87f3ebaa1959592de3"
 )
 GOLDEN_SCHEDULE_SHA = (
-    "11187d97c081bb374892059e11aaac874125afabd9519e0d37bf8519fdd02021"
+    "f2588380ee53c6a977ebee6f62ed6049c733dd2afab6ec718ef1441e3eedac2c"
 )
 
 
@@ -92,8 +92,8 @@ def test_fault_schedule_encoding_is_pinned():
 def test_version_constants_match_pins():
     # The goldens above were computed at these versions; a bump must
     # re-pin them together (the whole point of the failure messages).
-    assert SPEC_DIGEST_VERSION == 4
-    assert CACHE_VERSION == 5
+    assert SPEC_DIGEST_VERSION == 5
+    assert CACHE_VERSION == 6
 
 
 def test_record_trace_flips_the_digest():
@@ -150,6 +150,22 @@ def test_topology_schedule_shifts_the_digest():
     shifted = with_schedule(TopologySchedule().edge_appears(2, 3, at=20.5))
     assert merged.digest() != GOLDEN_SPEC_DIGEST
     assert shifted.digest() != merged.digest()
+
+
+def test_byzantine_change_shifts_the_digest():
+    # Byzantine events and the corruption magnitude are digest-relevant
+    # schedule state (the v5 bump): adding either must re-key the cache.
+    base = canonical_encoding(_golden_schedule())
+    with_event = canonical_encoding(_golden_schedule().byzantine(3, at=20.0))
+    with_magnitude = canonical_encoding(
+        FaultSchedule(byzantine_magnitude=12.5)
+        .crash(2, at=10.0, until=25.0)
+        .link_down(0, 1, at=5.0, until=15.0)
+        .partition([(1, 2), (3, 4)], at=30.0, until=40.0)
+    )
+    assert with_event != base
+    assert with_magnitude != base
+    assert with_event != with_magnitude
 
 
 def test_fault_change_shifts_the_digest():

@@ -201,6 +201,123 @@ class TestEventLogParity:
         assert reference, "event log unexpectedly empty"
 
 
+class TestByzantineChurnParity:
+    """Byzantine corruption and topology churn hold the same bit-exact
+    parity contract as the static matrix — alone and combined.
+
+    Corruption draws come from the per-message hash, never shared RNG,
+    so the reference engine, the fast trace path, and the streaming fold
+    must land every lie on the same message with the same depth.
+    """
+
+    #: Fuzzer draws with ``include_byzantine=True``: star topologies with
+    #: one or more Byzantine leaves and horizons long enough for the
+    #: corruption to be *accepted* (not merely injected).
+    BYZANTINE_DRAWS = [(3, 0), (3, 1)]
+
+    def _combined_spec(self) -> ExecutionSpec:
+        """Hand-built worst case: Byzantine leaf + crash + edge churn."""
+        from repro.faults import FaultSchedule
+        from repro.topology.dynamic import TopologySchedule
+        from repro.topology.generators import star
+        from repro.variants import ftgcs_rejection_window
+
+        params = SyncParams.recommended(epsilon=0.1, delay_bound=0.5)
+        topology = star(6)
+        window = ftgcs_rejection_window(params, 2)
+        faults = (
+            FaultSchedule(seed=13, byzantine_magnitude=6.0 * window)
+            .byzantine(1, at=2.0, until=40.0)
+            .crash(5, at=15.0, until=25.0)
+        )
+        churn = (
+            TopologySchedule()
+            .edge_disappears(0, 3, at=10.0, until=20.0)
+            .leaves(4, at=30.0, until=40.0)
+        )
+        return ExecutionSpec(
+            topology,
+            AoptAlgorithm(params),
+            TwoGroupDrift(0.1, topology.nodes[3:]),
+            ConstantDelay(0.5),
+            60.0,
+            faults=faults,
+            topology_schedule=churn,
+            label="star/byzantine+crash+churn",
+        )
+
+    @pytest.mark.byzantine
+    @pytest.mark.parametrize("seed,index", BYZANTINE_DRAWS)
+    def test_byzantine_fast_trace_matches_reference(self, seed, index):
+        scenario = sample_scenario(seed, index, include_byzantine=True)
+        assert scenario.has_byzantine
+        reference, _ = _reference_summary(scenario.build_spec())
+        fast = scenario.build_spec().run_summary()
+        assert pickle.dumps(reference) == pickle.dumps(fast), (
+            f"fast-path summary diverged from the reference engine for "
+            f"{scenario.build_spec().label}"
+        )
+
+    @pytest.mark.byzantine
+    @pytest.mark.parametrize("seed,index", BYZANTINE_DRAWS)
+    def test_byzantine_streaming_matches_fast_trace(self, seed, index):
+        spec = sample_scenario(seed, index, include_byzantine=True).build_spec()
+        traced = spec.run_summary()
+        streamed = spec.with_record_trace(False).run_summary()
+        assert canonical_summary_json(traced) == canonical_summary_json(
+            streamed
+        ), f"streaming summary diverged from trace evaluation for {spec.label}"
+
+    @pytest.mark.byzantine
+    def test_combined_fast_trace_matches_reference(self):
+        reference, _ = _reference_summary(self._combined_spec())
+        fast = self._combined_spec().run_summary()
+        assert pickle.dumps(reference) == pickle.dumps(fast)
+
+    @pytest.mark.byzantine
+    def test_combined_streaming_matches_fast_trace(self):
+        spec = self._combined_spec()
+        traced = spec.run_summary()
+        streamed = spec.with_record_trace(False).run_summary()
+        assert canonical_summary_json(traced) == canonical_summary_json(
+            streamed
+        )
+
+    @pytest.mark.byzantine
+    def test_byzantine_event_logs_identical_across_all_three_paths(self):
+        spec = self._combined_spec()
+        runs = []
+        for mode in ("reference", "fast", "streaming"):
+            fresh = self._combined_spec()
+            if mode == "reference":
+                _, trace = _reference_summary(fresh, record_events=True)
+                runs.append(trace.event_log)
+            elif mode == "fast":
+                trace = run_execution(
+                    fresh.topology, fresh.algorithm, fresh.drift, fresh.delay,
+                    fresh.horizon, faults=fresh.faults,
+                    topology_schedule=fresh.topology_schedule,
+                    record_events=True,
+                )
+                runs.append(trace.event_log)
+            else:
+                result = run_execution_streaming(
+                    fresh.topology, fresh.algorithm, fresh.drift, fresh.delay,
+                    fresh.horizon, faults=fresh.faults,
+                    topology_schedule=fresh.topology_schedule,
+                    record_events=True,
+                )
+                runs.append(result.event_log)
+        reference, fast, streaming = runs
+        assert pickle.dumps(reference) == pickle.dumps(fast)
+        assert pickle.dumps(reference) == pickle.dumps(streaming)
+        corrupt = [e for e in reference if e[0] == "corrupt"]
+        assert corrupt, "expected corruption entries under a Byzantine schedule"
+        assert {e[2] for e in corrupt} == {1}, (
+            f"only the scheduled liar may corrupt, got {spec.label} log"
+        )
+
+
 class TestVectorScalarParity:
     """The optional numpy skew path must equal the scalar sweeps bit-for-bit.
 

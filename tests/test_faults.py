@@ -761,3 +761,223 @@ class TestLossyDelayHashing:
 
         assert dropping.delay(0, 1, 3.0, 2) == DROP
         assert sparing.delay(0, 1, 3.0, 2) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Byzantine corruption
+# ---------------------------------------------------------------------------
+
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.topology.generators import star  # noqa: E402
+
+
+def _byz_schedule(**kwargs):
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("byzantine_magnitude", 5.0)
+    return FaultSchedule(**kwargs)
+
+
+@pytest.mark.byzantine
+class TestByzantineSchedule:
+    def test_builder_records_events_and_flags(self):
+        schedule = _byz_schedule().byzantine(1, at=2.0, until=8.0).byzantine(2, at=3.0)
+        assert schedule.has_byzantine
+        assert not FaultSchedule().has_byzantine
+        kinds = [kind for _, _, kind in schedule.byzantine_events]
+        assert kinds == ["byzantine", "byzantine-end", "byzantine"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ScheduleError, match="byzantine time"):
+            _byz_schedule().byzantine(0, at=-1.0)
+        with pytest.raises(ScheduleError, match="byzantine_magnitude"):
+            FaultSchedule(byzantine_magnitude=-2.0)
+
+    def test_boundaries_and_cleared_time_include_byzantine(self):
+        schedule = _byz_schedule().byzantine(1, at=2.0, until=8.0)
+        assert {2.0, 8.0} <= set(schedule.boundaries(10.0))
+        assert schedule.cleared_time() == 8.0
+
+    def test_magnitude_required_at_injector(self):
+        schedule = FaultSchedule(seed=1).byzantine(0, at=0.0)
+        with pytest.raises(ScheduleError, match="byzantine_magnitude"):
+            FaultInjector(schedule)
+
+    def test_unknown_node_rejected(self):
+        schedule = _byz_schedule().byzantine(99, at=0.0)
+        with pytest.raises(ScheduleError, match="unknown byzantine node"):
+            FaultInjector(schedule, topology=line(4))
+
+
+@pytest.mark.byzantine
+class TestByzantineInjector:
+    def test_interval_semantics_half_open(self):
+        injector = FaultInjector(_byz_schedule().byzantine(1, at=2.0, until=5.0))
+        assert not injector.is_byzantine(1, 1.999)
+        assert injector.is_byzantine(1, 2.0)
+        assert injector.is_byzantine(1, 4.999)
+        assert not injector.is_byzantine(1, 5.0)
+        assert not injector.is_byzantine(0, 3.0)
+
+    def test_open_ended_interval(self):
+        injector = FaultInjector(_byz_schedule().byzantine(1, at=2.0))
+        assert injector.is_byzantine(1, 1e9)
+        assert injector.byzantine_nodes() == (1,)
+
+    def test_non_estimate_payload_passes_through(self):
+        injector = FaultInjector(_byz_schedule().byzantine(0, at=0.0))
+        assert injector.corrupt_payload(0, 1, 1.0, 0, "hello") is None
+        assert injector.corrupt_payload(0, 1, 1.0, 0, (1.0, 2.0, 3.0)) is None
+        assert injector.corrupt_payload(0, 1, 1.0, 0, None) is None
+
+    def test_corruption_is_downward_deterministic_and_bounded(self):
+        injector = FaultInjector(_byz_schedule().byzantine(0, at=0.0))
+        magnitude = 5.0
+        for seq in range(60):
+            payload = (100.0 + seq, 120.0)
+            first = injector.corrupt_payload(0, 1, 7.5, seq, payload)
+            again = injector.corrupt_payload(0, 1, 7.5, seq, payload)
+            assert first == again
+            (logical, l_max), reason = first
+            assert reason in ("perturb", "equivocate", "replay")
+            assert logical < payload[0]
+            assert payload[0] - logical <= magnitude
+            # The equivocation floor: every lie is substantial, so the
+            # raw-value guard can never be immunized by a near-honest one.
+            assert payload[0] - logical >= magnitude / 4
+            assert 0.0 <= l_max <= payload[1]
+            if reason != "replay":
+                assert l_max == payload[1]
+
+    def test_equivocation_differs_across_receivers(self):
+        injector = FaultInjector(_byz_schedule().byzantine(0, at=0.0))
+        values = {
+            injector.corrupt_payload(0, r, 3.0, 5, (50.0, 60.0))[0][0]
+            for r in range(1, 9)
+        }
+        assert len(values) > 1
+
+    def test_corruption_order_independent(self):
+        keys = [(0, 1 + (i % 4), float(i), i) for i in range(40)]
+        payload = (10.0, 12.0)
+        injector = FaultInjector(_byz_schedule().byzantine(0, at=0.0))
+        fresh = FaultInjector(_byz_schedule().byzantine(0, at=0.0))
+        forward = [injector.corrupt_payload(*key, payload) for key in keys]
+        backward = [fresh.corrupt_payload(*key, payload) for key in reversed(keys)]
+        assert forward == list(reversed(backward))
+
+    @given(
+        seed=st.integers(0, 10**6),
+        send_time=st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+        seq=st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_corruption_stable_under_schedule_permutation(self, seed, send_time, seq):
+        # The corruption of one message is a pure function of the seed,
+        # the magnitude, and the message identity — composing the
+        # schedule differently (event order, unrelated crash/link events)
+        # must not perturb it.
+        one = FaultInjector(
+            FaultSchedule(seed=seed, byzantine_magnitude=5.0)
+            .byzantine(0, at=0.0)
+            .byzantine(2, at=1.0, until=9.0)
+            .crash(1, at=3.0, until=4.0)
+        )
+        other = FaultInjector(
+            FaultSchedule(seed=seed, byzantine_magnitude=5.0)
+            .byzantine(2, at=1.0, until=9.0)
+            .link_down(1, 3, at=2.0, until=6.0)
+            .byzantine(0, at=0.0)
+        )
+        payload = (42.0, 44.0)
+        for sender in (0, 2):
+            assert one.corrupt_payload(
+                sender, 1, send_time, seq, payload
+            ) == other.corrupt_payload(sender, 1, send_time, seq, payload)
+
+
+# The engine attack suite runs on a short-T, high-drift parameterization:
+# corruption only *bites* once the victim's coasting estimate of the liar
+# falls behind truth by the lie depth, and that gap opens at a small
+# multiple of 2·epsilon per time unit.  At the module-wide PARAMS the
+# attack would need a four-digit horizon to register at all.
+ATTACK_PARAMS = SyncParams.recommended(epsilon=0.1, delay_bound=0.5)
+
+
+@pytest.mark.byzantine
+class TestByzantineEngine:
+    def _attack_trace(self, horizon=120.0, until=40.0, algorithm=None):
+        """Star-5: Byzantine slow leaf 1 pins the hub; leaves 2-4 race ahead.
+
+        The hub's degree is 4, so the < 1/3 rule tolerates one faulty
+        neighbor — the smallest star where the ftgcs filter is armed.
+        """
+        topology = star(5)
+        from repro.variants.ftgcs import ftgcs_rejection_window
+
+        window = ftgcs_rejection_window(ATTACK_PARAMS, 2)
+        schedule = FaultSchedule(seed=5, byzantine_magnitude=6.0 * window)
+        schedule.byzantine(1, at=5.0, until=until)
+        trace = run_execution(
+            topology,
+            algorithm or AoptAlgorithm(ATTACK_PARAMS),
+            TwoGroupDrift(ATTACK_PARAMS.epsilon, topology.nodes[2:]),
+            ConstantDelay(0.5),
+            horizon,
+            faults=schedule,
+        )
+        return trace, schedule
+
+    def test_corrupt_events_logged_with_reasons(self):
+        topology = star(4)
+        schedule = FaultSchedule(seed=5, byzantine_magnitude=9.0)
+        schedule.byzantine(1, at=2.0, until=6.0)
+        engine, trace = _run_engine(
+            topology, AoptAlgorithm(PARAMS), schedule, horizon=10.0,
+            record_events=True,
+        )
+        corrupt = [e for e in trace.event_log if e[0] == "corrupt"]
+        assert corrupt, "expected corruption entries in the event log"
+        for _, t, node, detail in corrupt:
+            assert node == 1
+            assert 2.0 <= t < 6.0
+            assert detail["reason"] in ("perturb", "equivocate", "replay")
+            assert detail["to"] == 0  # a leaf only talks to the hub
+
+    def test_attack_blocks_victim_then_recovers(self):
+        trace, schedule = self._attack_trace()
+        peak = trace.global_skew(5.0, 45.0).value
+        steady = trace.global_skew(90.0, 120.0).value
+        assert peak > 2.0 * steady  # corruption did real damage that healed
+        ttr = time_to_resync(trace, (peak + steady) / 2, schedule=schedule)
+        assert ttr is not None and 0.0 < ttr < 60.0
+
+    def test_time_to_resync_trichotomy_for_byzantine_recovery(self):
+        trace, schedule = self._attack_trace()
+        # No anchor: refuse to guess (never defaults to 0.0).
+        with pytest.raises(ValueError, match="clear_time or schedule"):
+            time_to_resync(trace, 1.0)
+        # Never exceeded after the clear: a legitimate, falsy 0.0.
+        peak = trace.global_skew(0.0, trace.horizon).value
+        assert time_to_resync(trace, peak * 1.1, schedule=schedule) == 0.0
+        # Still violating at the horizon: None, not a duration.
+        stuck, _ = self._attack_trace(horizon=60.0, until=1e9)
+        final = stuck.global_skew(50.0, 60.0).value
+        assert (
+            time_to_resync(stuck, final * 0.9, clear_time=5.0) is None
+        )
+
+    def test_ftgcs_filters_the_attack(self):
+        from repro.variants.ftgcs import FtgcsAlgorithm, ftgcs_rejection_window
+
+        window = ftgcs_rejection_window(ATTACK_PARAMS, 2)
+        exposed, _ = self._attack_trace(horizon=250.0, until=1e9)
+        filtered, _ = self._attack_trace(
+            horizon=250.0, until=1e9,
+            algorithm=FtgcsAlgorithm(ATTACK_PARAMS, window),
+        )
+        exposed_skew = exposed.global_skew(150.0, 250.0).value
+        filtered_skew = filtered.global_skew(150.0, 250.0).value
+        assert filtered_skew < exposed_skew / 2

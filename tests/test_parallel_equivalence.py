@@ -25,10 +25,11 @@ from repro.core.node import AoptAlgorithm
 from repro.core.params import SyncParams
 from repro.errors import SimulationError
 from repro.exec import ExecutionSpec, SweepExecutor
+from repro.faults import FaultSchedule
 from repro.sim.delays import ConstantDelay, DelayModel, UniformDelay
 from repro.sim.drift import AlternatingDrift, RandomWalkDrift, TwoGroupDrift
-from repro.topology.generators import grid, line, ring
-from repro.variants import JumpAoptAlgorithm
+from repro.topology.generators import grid, line, ring, star
+from repro.variants import FtgcsAlgorithm, JumpAoptAlgorithm, ftgcs_rejection_window
 
 PARAMS = SyncParams.recommended(epsilon=0.05, delay_bound=1.0)
 HORIZON = 40.0
@@ -215,6 +216,90 @@ class TestParallelEquivalence:
         assert resolve_workers(3) == 3
         with pytest.raises(SimulationError):
             resolve_workers(0)
+
+
+# Corruption only bites once the victim's coasting estimate of the liar
+# falls behind truth by the lie depth; at a short send period and high
+# drift that happens within the equivalence horizon (see test_faults).
+BYZ_PARAMS = SyncParams.recommended(epsilon=0.1, delay_bound=0.5)
+
+
+def _byzantine_case_grid():
+    """Specs carrying Byzantine schedules, over both engines' algorithms.
+
+    Corruption draws come from the per-message hash, so these cases probe
+    the property the hash exists for: no worker count, dispatch order, or
+    chunking can perturb which lie lands on which message.
+    """
+    window = ftgcs_rejection_window(BYZ_PARAMS, 2)
+    attack = (
+        FaultSchedule(seed=11, byzantine_magnitude=6.0 * window)
+        .byzantine(1, at=2.0, until=30.0)
+    )
+    two_faced = (
+        FaultSchedule(seed=12, byzantine_magnitude=6.0 * window)
+        .byzantine(1, at=2.0)
+        .byzantine(3, at=10.0, until=30.0)
+        .crash(4, at=15.0, until=20.0)
+    )
+    hub = star(5)
+    fast_half = hub.nodes[2:]
+    return [
+        ExecutionSpec(
+            hub, AoptAlgorithm(BYZ_PARAMS),
+            TwoGroupDrift(0.1, fast_half), ConstantDelay(0.5),
+            HORIZON, faults=attack, label="star/byzantine/aopt",
+        ),
+        ExecutionSpec(
+            hub, FtgcsAlgorithm(BYZ_PARAMS, window),
+            TwoGroupDrift(0.1, fast_half), ConstantDelay(0.5),
+            HORIZON, faults=attack, label="star/byzantine/ftgcs",
+        ),
+        ExecutionSpec(
+            star(6), AoptAlgorithm(BYZ_PARAMS),
+            RandomWalkDrift(0.1, step_period=5.0, step_size=0.04, seed=9),
+            UniformDelay(0.0, 0.5, seed=9),
+            HORIZON, seed=9, faults=two_faced,
+            label="star/byzantine+crash/aopt",
+        ),
+    ]
+
+
+@pytest.mark.byzantine
+class TestByzantineParallelEquivalence:
+    """Byzantine corruption inherits byte-identical parallelism."""
+
+    def test_byzantine_workers4_equals_workers1(self):
+        specs = _byzantine_case_grid()
+        serial = SweepExecutor(workers=1).run(specs)
+        parallel = SweepExecutor(workers=4).run(specs)
+        assert all(outcome.ok for outcome in serial)
+        _assert_outcomes_byte_identical(serial, parallel)
+        for s, p in zip(serial, parallel):
+            assert s.summary.global_skew == p.summary.global_skew
+            assert s.summary.local_skew == p.summary.local_skew
+
+    def test_byzantine_streaming_workers4_equals_workers1(self):
+        specs = [
+            spec.with_record_trace(False) for spec in _byzantine_case_grid()
+        ]
+        serial = SweepExecutor(workers=1).run(specs)
+        parallel = SweepExecutor(workers=4).run(specs)
+        assert all(outcome.ok for outcome in serial)
+        _assert_outcomes_byte_identical(serial, parallel)
+
+    def test_attack_actually_fired(self):
+        # Guard against a silently inert schedule: the unfiltered aopt
+        # case must show more skew than its Byzantine-free twin.
+        spec = _byzantine_case_grid()[0]
+        clean = ExecutionSpec(
+            spec.topology, spec.algorithm, spec.drift, spec.delay,
+            spec.horizon, label="star/clean/aopt",
+        )
+        attacked, unattacked = SweepExecutor(workers=1).run_summaries(
+            [spec, clean]
+        )
+        assert attacked.global_skew > unattacked.global_skew
 
 
 class TestHarnessEquivalence:
